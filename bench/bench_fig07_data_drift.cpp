@@ -1,0 +1,104 @@
+// Figure 7: robustness under data drift. ADMs (DACE, Zero-Shot) train on
+// the corpus without TPC-H; WDMs (MSCN, QueryFormer) train on TPC-H at
+// scale 1. Everyone is tested on TPC-H instances scaled up to 100x without
+// retraining.
+//
+//   ./bench_fig07_data_drift [--wdm_train=1000] [--test_queries=200]
+//                            [--queries_per_db=60] [--epochs=8]
+
+#include "baselines/mscn.h"
+#include "baselines/postgres_cost.h"
+#include "baselines/queryformer.h"
+#include "baselines/zeroshot.h"
+#include "bench/bench_util.h"
+#include "core/dace_model.h"
+#include "engine/dataset.h"
+#include "util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace dace;
+  const Flags flags = bench::ParseFlagsOrDie(argc, argv);
+  eval::ExperimentConfig config = eval::ExperimentConfig::FromFlags(flags);
+  config.queries_per_db = static_cast<int>(flags.GetInt("queries_per_db", 60));
+  config.epochs = static_cast<int>(flags.GetInt("epochs", 8));
+  const int wdm_train_queries =
+      static_cast<int>(flags.GetInt("wdm_train", 1000));
+  const int test_queries = static_cast<int>(flags.GetInt("test_queries", 200));
+
+  bench::PrintHeader("Fig. 7 — data drift on scaled TPC-H",
+                     "DACE paper Fig. 7 (q-error vs database scale)");
+
+  eval::Workbench bench(config);
+  const engine::Database& tpch = bench.corpus()[engine::kTpchIndex];
+
+  // ADMs: trained without TPC-H.
+  const auto adm_train = bench.TrainPlansExcluding(engine::kTpchIndex);
+  core::DaceConfig dace_config;
+  dace_config.epochs = config.epochs;
+  core::DaceEstimator dace_est(dace_config);
+  dace_est.Train(adm_train);
+  baselines::ZeroShot::Config zs_config;
+  zs_config.train.epochs = config.epochs;
+  baselines::ZeroShot zeroshot(zs_config);
+  zeroshot.Train(adm_train);
+  std::printf("  trained ADMs (DACE, Zero-Shot) without TPC-H\n");
+
+  // WDMs: trained on TPC-H scale 1.
+  const auto wdm_train = engine::GenerateLabeledPlans(
+      tpch, bench.m1(), engine::WorkloadKind::kComplex, wdm_train_queries, 444);
+  baselines::TrainOptions opts;
+  opts.epochs = config.epochs;
+  baselines::Mscn::Config mscn_config;
+  mscn_config.train = opts;
+  baselines::Mscn mscn(mscn_config);
+  mscn.Train(wdm_train);
+  baselines::QueryFormer::Config qf_config;
+  qf_config.train = opts;
+  baselines::QueryFormer queryformer(qf_config);
+  queryformer.Train(wdm_train);
+  baselines::PostgresLinear postgres;
+  postgres.Train(wdm_train);
+  std::printf("  trained WDMs (MSCN, QueryFormer) on TPC-H scale 1\n");
+
+  eval::TablePrinter median_table({"scale", "PostgreSQL", "MSCN",
+                                   "QueryFormer", "Zero-Shot", "DACE"});
+  eval::TablePrinter p95_table({"scale", "PostgreSQL", "MSCN", "QueryFormer",
+                                "Zero-Shot", "DACE"});
+  double dace_first_median = 0.0, dace_last_median = 0.0;
+
+  const double scales[] = {1.0, 5.0, 10.0, 20.0, 50.0, 100.0};
+  for (double scale : scales) {
+    const engine::Database scaled = engine::ScaleDatabase(tpch, scale);
+    // The same statement timeout applies at every scale, exactly as a real
+    // trace-collection pipeline would enforce it.
+    const auto test = engine::GenerateLabeledPlans(
+        scaled, bench.m1(), engine::WorkloadKind::kComplex, test_queries, 999);
+    const auto pg = eval::Evaluate(postgres, test);
+    const auto ms = eval::Evaluate(mscn, test);
+    const auto qf = eval::Evaluate(queryformer, test);
+    const auto zs = eval::Evaluate(zeroshot, test);
+    const auto dc = eval::Evaluate(dace_est, test);
+    median_table.AddRow({StrFormat("%gx", scale), eval::FormatMetric(pg.median),
+                         eval::FormatMetric(ms.median),
+                         eval::FormatMetric(qf.median),
+                         eval::FormatMetric(zs.median),
+                         eval::FormatMetric(dc.median)});
+    p95_table.AddRow({StrFormat("%gx", scale), eval::FormatMetric(pg.p95),
+                      eval::FormatMetric(ms.p95), eval::FormatMetric(qf.p95),
+                      eval::FormatMetric(zs.p95), eval::FormatMetric(dc.p95)});
+    if (scale == 1.0) dace_first_median = dc.median;
+    dace_last_median = dc.median;
+    std::printf("  evaluated scale %gx\n", scale);
+  }
+
+  std::printf("\nmedian q-error by scale factor:\n");
+  median_table.Print();
+  std::printf("\n95th-percentile q-error by scale factor:\n");
+  p95_table.Print();
+  std::printf(
+      "\nDACE median degradation across the sweep: %.0f%% (paper: <= 5%%).\n"
+      "expected shape: WDMs degrade sharply as data drifts; ADMs stay\n"
+      "stable, with DACE most accurate throughout.\n",
+      100.0 * (dace_last_median / dace_first_median - 1.0));
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Microbenchmarks (google-benchmark): the kernels behind Table II's
+// efficiency numbers — featurization, tree-masked attention, end-to-end
+// prediction, and the plan-tree derivations.
+
+#include <benchmark/benchmark.h>
+
+#include "core/dace_model.h"
+#include "engine/corpus.h"
+#include "engine/dataset.h"
+#include "engine/executor.h"
+#include "engine/machine.h"
+#include "engine/optimizer.h"
+#include "featurize/featurize.h"
+#include "nn/layers.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace dace;
+
+// Shared fixtures built once.
+struct Fixture {
+  engine::Database db = engine::BuildImdbLike(42);
+  std::vector<plan::QueryPlan> plans = engine::GenerateLabeledPlans(
+      db, engine::MachineM1(), engine::WorkloadKind::kComplex, 64, 7);
+  featurize::Featurizer featurizer;
+  core::DaceEstimator estimator;
+
+  Fixture() {
+    featurizer.Fit(plans);
+    core::DaceConfig config;
+    config.epochs = 2;
+    estimator = core::DaceEstimator(config);
+    estimator.Train(plans);
+  }
+};
+
+Fixture& GetFixture() {
+  static Fixture* fixture = new Fixture();
+  return *fixture;
+}
+
+void BM_PlanDfsOrder(benchmark::State& state) {
+  const auto& plan = GetFixture().plans[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan.DfsOrder());
+  }
+}
+BENCHMARK(BM_PlanDfsOrder);
+
+void BM_PlanAncestorClosure(benchmark::State& state) {
+  const auto& plan = GetFixture().plans[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan.AncestorClosure());
+  }
+}
+BENCHMARK(BM_PlanAncestorClosure);
+
+void BM_PlanTextRoundTrip(benchmark::State& state) {
+  const auto& plan = GetFixture().plans[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan::ParsePlanText(plan.ToText()));
+  }
+}
+BENCHMARK(BM_PlanTextRoundTrip);
+
+void BM_Featurize(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  featurize::FeaturizerConfig config;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.featurizer.Featurize(f.plans[i++ % f.plans.size()], config));
+  }
+}
+BENCHMARK(BM_Featurize);
+
+void BM_TreeAttentionForward(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  nn::TreeAttention attention;
+  attention.Init(18, 128, 128, &rng);
+  nn::Matrix s(n, 18);
+  s.FillGaussian(&rng, 1.0);
+  nn::Matrix mask(n, n);  // full attention mask
+  nn::Matrix out;
+  for (auto _ : state) {
+    attention.ForwardInference(s, mask, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_TreeAttentionForward)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_DacePredict(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.estimator.PredictMs(f.plans[i++ % f.plans.size()]));
+  }
+}
+BENCHMARK(BM_DacePredict);
+
+void BM_DaceEncode(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.estimator.Encode(f.plans[i++ % f.plans.size()]));
+  }
+}
+BENCHMARK(BM_DaceEncode);
+
+void BM_OptimizerBuildPlan(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const engine::Optimizer optimizer(&f.db);
+  const auto specs =
+      engine::GenerateQueries(f.db, engine::WorkloadKind::kComplex, 32, 3);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimizer.BuildPlan(specs[i++ % specs.size()]));
+  }
+}
+BENCHMARK(BM_OptimizerBuildPlan);
+
+void BM_SimulateExecution(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const engine::MachineProfile m1 = engine::MachineM1();
+  size_t i = 0;
+  for (auto _ : state) {
+    plan::QueryPlan plan = f.plans[i++ % f.plans.size()];
+    engine::SimulateExecution(f.db, m1, 9, &plan);
+    benchmark::DoNotOptimize(plan.node(plan.root()).actual_time_ms);
+  }
+}
+BENCHMARK(BM_SimulateExecution);
+
+}  // namespace
+
+BENCHMARK_MAIN();

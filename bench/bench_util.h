@@ -1,0 +1,49 @@
+#ifndef DACE_BENCH_BENCH_UTIL_H_
+#define DACE_BENCH_BENCH_UTIL_H_
+
+// Shared scaffolding for the table/figure reproduction binaries. Each bench
+// regenerates one table or figure of the DACE paper (see DESIGN.md's
+// per-experiment index); flags scale the workload up toward paper scale.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "eval/experiments.h"
+#include "eval/metrics.h"
+#include "util/flags.h"
+
+namespace dace::bench {
+
+inline Flags ParseFlagsOrDie(int argc, char** argv) {
+  auto flags = Flags::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *std::move(flags);
+}
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void PrintHeader(const char* experiment, const char* paper_ref) {
+  std::printf("==========================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("==========================================================\n");
+}
+
+}  // namespace dace::bench
+
+#endif  // DACE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,93 @@
+// Quickstart: pre-train DACE on several synthetic databases and predict the
+// execution time of queries on a database it has never seen.
+//
+//   ./quickstart [--train_dbs=6] [--queries_per_db=150] [--epochs=10]
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/dace_model.h"
+#include "engine/corpus.h"
+#include "engine/dataset.h"
+#include "engine/machine.h"
+#include "util/flags.h"
+
+namespace {
+
+double Qerror(double est, double act) {
+  est = std::max(est, 1e-6);
+  act = std::max(act, 1e-6);
+  return std::max(est / act, act / est);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags_or = dace::Flags::Parse(argc, argv);
+  if (!flags_or.ok()) {
+    std::fprintf(stderr, "%s\n", flags_or.status().ToString().c_str());
+    return 1;
+  }
+  const dace::Flags& flags = *flags_or;
+  const int train_dbs = static_cast<int>(flags.GetInt("train_dbs", 6));
+  const int queries_per_db =
+      static_cast<int>(flags.GetInt("queries_per_db", 150));
+  const int epochs = static_cast<int>(flags.GetInt("epochs", 10));
+
+  // 1. Build a corpus of synthetic databases. Database 0 (IMDB-like) is the
+  //    held-out test database; DACE trains on the others.
+  const std::vector<dace::engine::Database> corpus =
+      dace::engine::BuildCorpus(/*seed=*/42, /*num_databases=*/train_dbs + 1);
+  const dace::engine::MachineProfile machine = dace::engine::MachineM1();
+
+  // 2. Collect labelled plans: the optimizer produces EXPLAIN-style
+  //    estimates, the executor produces "measured" runtimes.
+  std::vector<dace::plan::QueryPlan> train_plans;
+  for (int db = 1; db <= train_dbs; ++db) {
+    auto plans = dace::engine::GenerateLabeledPlans(
+        corpus[static_cast<size_t>(db)], machine,
+        dace::engine::WorkloadKind::kComplex, queries_per_db,
+        /*seed=*/1000 + static_cast<uint64_t>(db));
+    train_plans.insert(train_plans.end(), plans.begin(), plans.end());
+  }
+  std::printf("collected %zu training plans from %d databases\n",
+              train_plans.size(), train_dbs);
+
+  // 3. Pre-train DACE.
+  dace::core::DaceConfig config;
+  config.epochs = epochs;
+  dace::core::DaceEstimator dace_est(config);
+  dace_est.Train(train_plans);
+  std::printf("trained DACE (%zu parameters) in %.0f ms, final loss %.4f\n",
+              dace_est.ParameterCount(), dace_est.last_train_stats().wall_ms,
+              dace_est.last_train_stats().final_loss);
+
+  // 4. Predict on the unseen database and report q-errors.
+  const auto test_plans = dace::engine::GenerateLabeledPlans(
+      corpus[0], machine, dace::engine::WorkloadKind::kComplex,
+      /*count=*/200, /*seed=*/999);
+  std::vector<double> qerrors;
+  qerrors.reserve(test_plans.size());
+  for (const auto& plan : test_plans) {
+    const double est = dace_est.PredictMs(plan);
+    const double act = plan.node(plan.root()).actual_time_ms;
+    qerrors.push_back(Qerror(est, act));
+  }
+  std::sort(qerrors.begin(), qerrors.end());
+  const auto pct = [&](double p) {
+    return qerrors[static_cast<size_t>(p * (qerrors.size() - 1))];
+  };
+  std::printf("q-error on unseen database '%s' (%zu queries):\n",
+              corpus[0].name.c_str(), qerrors.size());
+  std::printf("  median=%.2f  p90=%.2f  p95=%.2f  max=%.2f\n", pct(0.5),
+              pct(0.9), pct(0.95), qerrors.back());
+
+  // 5. Show one plan with DACE's sub-plan predictions.
+  const auto& sample = test_plans.front();
+  const std::vector<double> sub = dace_est.PredictSubPlansMs(sample);
+  std::printf("\nsample plan (root predicted %.2f ms, actual %.2f ms):\n%s",
+              sub[0], sample.node(sample.root()).actual_time_ms,
+              sample.ToText().c_str());
+  return 0;
+}

@@ -1,0 +1,42 @@
+#include "baselines/common.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dace::baselines {
+
+void WriteOneHot(double* dst, int size, int index) {
+  if (index < 0) return;
+  dst[std::min(index, size - 1)] = 1.0;
+}
+
+void PlanScalers::Fit(const std::vector<plan::QueryPlan>& plans) {
+  std::vector<double> cards, costs, times, literals;
+  for (const plan::QueryPlan& plan : plans) {
+    for (const plan::PlanNode& node : plan.nodes()) {
+      cards.push_back(node.est_cardinality);
+      costs.push_back(node.est_cost);
+      times.push_back(node.actual_time_ms);
+      for (const plan::FilterPredicate& f : node.annotation.filters) {
+        literals.push_back(std::fabs(f.literal));
+      }
+    }
+  }
+  card.Fit(std::move(cards));
+  cost.Fit(std::move(costs));
+  time.Fit(std::move(times));
+  literal.Fit(std::move(literals));
+}
+
+double HuberLoss(double residual) {
+  const double a = std::fabs(residual);
+  return a <= 1.0 ? 0.5 * residual * residual : a - 0.5;
+}
+
+double HuberGrad(double residual) { return std::clamp(residual, -1.0, 1.0); }
+
+double ClampPredictionMs(double ms) {
+  return std::clamp(ms, kMinPredictionMs, kMaxPredictionMs);
+}
+
+}  // namespace dace::baselines

@@ -1,0 +1,41 @@
+#include "baselines/postgres_cost.h"
+
+#include <cmath>
+
+#include "baselines/common.h"
+#include "util/logging.h"
+
+namespace dace::baselines {
+
+void PostgresLinear::Train(const std::vector<plan::QueryPlan>& plans) {
+  DACE_CHECK(!plans.empty());
+  // Least squares on (x, y) = (cost, time) of the roots, in raw units as the
+  // paper does.
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  double n = 0.0;
+  for (const plan::QueryPlan& plan : plans) {
+    const plan::PlanNode& root = plan.node(plan.root());
+    const double x = root.est_cost;
+    const double y = root.actual_time_ms;
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    n += 1.0;
+  }
+  const double denom = n * sxx - sx * sx;
+  if (std::fabs(denom) < 1e-12) {
+    slope_ = 0.0;
+    intercept_ = sy / n;
+    return;
+  }
+  slope_ = (n * sxy - sx * sy) / denom;
+  intercept_ = (sy - slope_ * sx) / n;
+}
+
+double PostgresLinear::PredictMs(const plan::QueryPlan& plan) const {
+  const plan::PlanNode& root = plan.node(plan.root());
+  return ClampPredictionMs(slope_ * root.est_cost + intercept_);
+}
+
+}  // namespace dace::baselines

@@ -1,0 +1,38 @@
+#ifndef DACE_BASELINES_POSTGRES_COST_H_
+#define DACE_BASELINES_POSTGRES_COST_H_
+
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+#include "plan/plan.h"
+
+namespace dace::baselines {
+
+// The "PostgreSQL" baseline of the paper: the optimizer's abstract cost is
+// not in time units, so (as in Sec. V-B) a linear model maps it to predicted
+// execution time: time = a·cost + b, fit by least squares on the training
+// roots. Raw-space least squares is dominated by the long-running queries,
+// so short queries suffer large relative errors — the behaviour Table I
+// reports for PostgreSQL.
+class PostgresLinear : public core::CostEstimator {
+ public:
+  std::string Name() const override { return "PostgreSQL"; }
+
+  void Train(const std::vector<plan::QueryPlan>& plans) override;
+
+  double PredictMs(const plan::QueryPlan& plan) const override;
+
+  size_t ParameterCount() const override { return 2; }
+
+  double slope() const { return slope_; }
+  double intercept() const { return intercept_; }
+
+ private:
+  double slope_ = 1.0;
+  double intercept_ = 0.0;
+};
+
+}  // namespace dace::baselines
+
+#endif  // DACE_BASELINES_POSTGRES_COST_H_

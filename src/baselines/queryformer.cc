@@ -1,0 +1,215 @@
+#include "baselines/queryformer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dace::baselines {
+
+namespace {
+using nn::Matrix;
+}  // namespace
+
+QueryFormer::QueryFormer() : QueryFormer(Config()) {}
+
+QueryFormer::QueryFormer(const Config& config,
+                         const core::DaceEstimator* encoder)
+    : config_(config), encoder_(encoder), rng_(config.train.seed) {
+  const size_t d = static_cast<size_t>(config_.d_model);
+  embed_.Init(kInDim, d, &rng_);
+  layers_.reserve(static_cast<size_t>(config_.num_layers));
+  for (int l = 0; l < config_.num_layers; ++l) {
+    auto layer = std::make_unique<EncoderLayer>();
+    layer->attention.Init(d, d, d, &rng_);
+    layer->ffn1.Init(d, static_cast<size_t>(config_.ffn_hidden), &rng_);
+    layer->ffn2.Init(static_cast<size_t>(config_.ffn_hidden), d, &rng_);
+    layers_.push_back(std::move(layer));
+  }
+  const size_t enc_dim =
+      encoder_ ? static_cast<size_t>(encoder_->EncodingDim()) : 0;
+  head1_.Init(d + enc_dim, d, &rng_);
+  head2_.Init(d, 1, &rng_);
+}
+
+Matrix QueryFormer::BuildInput(const plan::QueryPlan& plan) const {
+  const std::vector<int32_t> dfs = plan.DfsOrder();
+  const std::vector<int32_t> heights = plan.Heights();
+  const size_t n = dfs.size();
+  Matrix input(n + 1, kInDim);
+  input(0, 0) = 1.0;  // super node flag
+  for (size_t i = 0; i < n; ++i) {
+    const plan::PlanNode& node = plan.node(dfs[i]);
+    double* row = input.RowPtr(i + 1);
+    WriteOneHot(row + 1, plan::kNumOperatorTypes, static_cast<int>(node.type));
+    row[1 + plan::kNumOperatorTypes] = scalers_.card.Transform(node.est_cardinality);
+    row[1 + plan::kNumOperatorTypes + 1] = scalers_.cost.Transform(node.est_cost);
+    const int h = std::min<int>(heights[static_cast<size_t>(dfs[i])],
+                                kMaxHeightBucket);
+    WriteOneHot(row + 1 + plan::kNumOperatorTypes + 2, kMaxHeightBucket + 1, h);
+    WriteOneHot(row + 1 + plan::kNumOperatorTypes + 2 + kMaxHeightBucket + 1,
+                kMaxTables, node.annotation.table_id);
+  }
+  return input;
+}
+
+Matrix QueryFormer::BuildMask(const plan::QueryPlan& plan) const {
+  const size_t n = plan.DfsOrder().size();
+  const std::vector<uint8_t> closure = plan.AncestorClosure();
+  Matrix mask(n + 1, n + 1);
+  for (size_t i = 0; i <= n; ++i) {
+    for (size_t j = 0; j <= n; ++j) {
+      bool allowed;
+      if (i == 0 || j == 0) {
+        allowed = true;  // the super node sees and is seen by everything
+      } else {
+        // Structure-restricted: along ancestor/descendant lines only.
+        allowed = closure[(i - 1) * n + (j - 1)] != 0 ||
+                  closure[(j - 1) * n + (i - 1)] != 0;
+      }
+      mask(i, j) = allowed ? 0.0 : nn::kMaskNegInf;
+    }
+  }
+  return mask;
+}
+
+Matrix QueryFormer::ForwardBody(const Matrix& input, const Matrix& mask,
+                                bool train) {
+  DACE_CHECK(train);
+  Matrix h = embed_.Forward(input);
+  for (auto& layer : layers_) {
+    const Matrix& a = layer->attention.Forward(h, mask);
+    Matrix h1 = h;
+    h1.AddScaled(a, 1.0);
+    const Matrix& f =
+        layer->ffn2.Forward(layer->relu.Forward(layer->ffn1.Forward(h1)));
+    h = h1;
+    h.AddScaled(f, 1.0);
+  }
+  Matrix super(1, h.cols());
+  for (size_t j = 0; j < h.cols(); ++j) super(0, j) = h(0, j);
+  return super;
+}
+
+Matrix QueryFormer::ForwardBodyInference(const Matrix& input,
+                                         const Matrix& mask) const {
+  Matrix h;
+  embed_.ForwardInference(input, &h);
+  for (const auto& layer : layers_) {
+    Matrix a;
+    layer->attention.ForwardInference(h, mask, &a);
+    h.AddScaled(a, 1.0);
+    Matrix z1, h1, f;
+    layer->ffn1.ForwardInference(h, &z1);
+    layer->relu.ForwardInference(z1, &h1);
+    layer->ffn2.ForwardInference(h1, &f);
+    h.AddScaled(f, 1.0);
+  }
+  Matrix super(1, h.cols());
+  for (size_t j = 0; j < h.cols(); ++j) super(0, j) = h(0, j);
+  return super;
+}
+
+std::vector<nn::Parameter*> QueryFormer::Parameters() {
+  std::vector<nn::Parameter*> params;
+  embed_.CollectParameters(&params);
+  for (auto& layer : layers_) {
+    layer->attention.CollectParameters(&params);
+    layer->ffn1.CollectParameters(&params);
+    layer->ffn2.CollectParameters(&params);
+  }
+  head1_.CollectParameters(&params);
+  head2_.CollectParameters(&params);
+  return params;
+}
+
+void QueryFormer::Train(const std::vector<plan::QueryPlan>& plans) {
+  DACE_CHECK(!plans.empty());
+  scalers_.Fit(plans);
+  const size_t d = static_cast<size_t>(config_.d_model);
+  const size_t enc_dim =
+      encoder_ ? static_cast<size_t>(encoder_->EncodingDim()) : 0;
+
+  // Pre-extract inputs, masks, encodings, labels.
+  std::vector<Matrix> inputs, masks;
+  std::vector<std::vector<double>> encodings;
+  std::vector<double> labels;
+  for (const plan::QueryPlan& plan : plans) {
+    inputs.push_back(BuildInput(plan));
+    masks.push_back(BuildMask(plan));
+    encodings.push_back(encoder_ ? encoder_->Encode(plan)
+                                 : std::vector<double>());
+    labels.push_back(
+        scalers_.time.Transform(plan.node(plan.root()).actual_time_ms));
+  }
+
+  RunAdamTraining(config_.train, plans.size(), Parameters(), [&](size_t idx) {
+    const Matrix super = ForwardBody(inputs[idx], masks[idx], /*train=*/true);
+
+    Matrix concat(1, d + enc_dim);
+    for (size_t j = 0; j < d; ++j) concat(0, j) = super(0, j);
+    for (size_t j = 0; j < enc_dim; ++j) concat(0, d + j) = encodings[idx][j];
+    const Matrix& out = head2_.Forward(head_relu_.Forward(head1_.Forward(concat)));
+    const double residual = out(0, 0) - labels[idx];
+
+    // Head backward.
+    Matrix dout(1, 1), dr, dz, dconcat;
+    dout(0, 0) = HuberGrad(residual);
+    head2_.Backward(dout, &dr);
+    head_relu_.Backward(dr, &dz);
+    head1_.Backward(dz, &dconcat);
+
+    // Body backward: gradient only flows through the super-node row.
+    const size_t rows = inputs[idx].rows();
+    Matrix dh(rows, d);
+    for (size_t j = 0; j < d; ++j) dh(0, j) = dconcat(0, j);
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+      EncoderLayer& layer = **it;
+      // out = h1 + ffn(h1): dh1 = dh + d(ffn path).
+      Matrix df2, drelu, df1;
+      layer.ffn2.Backward(dh, &df2);
+      layer.relu.Backward(df2, &drelu);
+      layer.ffn1.Backward(drelu, &df1);
+      Matrix dh1 = dh;
+      dh1.AddScaled(df1, 1.0);
+      // h1 = hin + attn(hin): dhin = dh1 + d(attn path).
+      Matrix dattn;
+      layer.attention.Backward(dh1, &dattn);
+      dh = dh1;
+      dh.AddScaled(dattn, 1.0);
+    }
+    Matrix dinput;
+    embed_.Backward(dh, &dinput);
+    return HuberLoss(residual);
+  });
+}
+
+double QueryFormer::PredictMs(const plan::QueryPlan& plan) const {
+  const Matrix input = BuildInput(plan);
+  const Matrix mask = BuildMask(plan);
+  const Matrix super = ForwardBodyInference(input, mask);
+  const size_t d = static_cast<size_t>(config_.d_model);
+  const std::vector<double> encoding =
+      encoder_ ? encoder_->Encode(plan) : std::vector<double>();
+  Matrix concat(1, d + encoding.size());
+  for (size_t j = 0; j < d; ++j) concat(0, j) = super(0, j);
+  for (size_t j = 0; j < encoding.size(); ++j) concat(0, d + j) = encoding[j];
+  Matrix z, r, out;
+  head1_.ForwardInference(concat, &z);
+  head_relu_.ForwardInference(z, &r);
+  head2_.ForwardInference(r, &out);
+  return ClampPredictionMs(scalers_.time.InverseTransform(out(0, 0)));
+}
+
+size_t QueryFormer::ParameterCount() const {
+  size_t total = embed_.ParameterCount() + head1_.ParameterCount() +
+                 head2_.ParameterCount();
+  for (const auto& layer : layers_) {
+    total += layer->attention.ParameterCount();
+    total += layer->ffn1.ParameterCount();
+    total += layer->ffn2.ParameterCount();
+  }
+  return total;
+}
+
+}  // namespace dace::baselines

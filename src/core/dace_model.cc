@@ -1,0 +1,280 @@
+#include "core/dace_model.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace dace::core {
+
+namespace {
+
+using featurize::PlanFeatures;
+using nn::Matrix;
+
+// Huber loss and derivative (delta = 1) on the scaled-log-time residual:
+// quadratic near zero for smooth convergence, linear in the tails so outlier
+// plans do not dominate. |residual| in scaled-log space is monotone in the
+// q-error, so this optimizes the evaluation metric directly.
+double HuberLoss(double r) {
+  const double a = std::fabs(r);
+  return a <= 1.0 ? 0.5 * r * r : a - 0.5;
+}
+
+double HuberGrad(double r) { return std::clamp(r, -1.0, 1.0); }
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+DaceModel::DaceModel(const DaceConfig& config)
+    : config_(config), rng_(config.seed) {
+  attention_.Init(static_cast<size_t>(config_.d_model),
+                  static_cast<size_t>(config_.d_k),
+                  static_cast<size_t>(config_.d_v), &rng_);
+  fc1_.Init(static_cast<size_t>(config_.d_v),
+            static_cast<size_t>(config_.hidden1), &rng_);
+  fc2_.Init(static_cast<size_t>(config_.hidden1),
+            static_cast<size_t>(config_.hidden2), &rng_);
+  fc3_.Init(static_cast<size_t>(config_.hidden2), 1, &rng_);
+}
+
+void DaceModel::SetTrainMode(bool train_base, bool train_lora) {
+  attention_.SetTrainBase(train_base);
+  fc1_.SetTrainBase(train_base);
+  fc2_.SetTrainBase(train_base);
+  fc3_.SetTrainBase(train_base);
+  fc1_.SetTrainLora(train_lora);
+  fc2_.SetTrainLora(train_lora);
+  fc3_.SetTrainLora(train_lora);
+}
+
+double DaceModel::ForwardOnPlan(const PlanFeatures& f, bool train) {
+  const size_t n = f.node_features.rows();
+  const Matrix& attn = attention_.Forward(f.node_features, f.attention_mask);
+  const Matrix& h1 = relu1_.Forward(fc1_.Forward(attn));
+  const Matrix& h2 = relu2_.Forward(fc2_.Forward(h1));
+  const Matrix& pred = fc3_.Forward(h2);  // (n × 1)
+
+  double weight_sum = 0.0;
+  for (double w : f.loss_weights) weight_sum += w;
+  if (weight_sum <= 0.0) weight_sum = 1.0;
+
+  double loss = 0.0;
+  Matrix dpred(n, 1);
+  for (size_t i = 0; i < n; ++i) {
+    const double residual = pred(i, 0) - f.labels[i];
+    const double w = f.loss_weights[i] / weight_sum;
+    loss += w * HuberLoss(residual);
+    dpred(i, 0) = w * HuberGrad(residual);
+  }
+
+  if (train) {
+    Matrix dh2, dh2_pre, dh1, dh1_pre, dattn, ds;
+    fc3_.Backward(dpred, &dh2);
+    relu2_.Backward(dh2, &dh2_pre);
+    fc2_.Backward(dh2_pre, &dh1);
+    relu1_.Backward(dh1, &dh1_pre);
+    fc1_.Backward(dh1_pre, &dattn);
+    attention_.Backward(dattn, &ds);
+  }
+  return loss;
+}
+
+TrainStats DaceModel::RunTraining(const std::vector<PlanFeatures>& data,
+                                  bool lora_only) {
+  DACE_CHECK(!data.empty());
+  SetTrainMode(/*train_base=*/!lora_only, /*train_lora=*/lora_only);
+
+  std::vector<nn::Parameter*> params;
+  attention_.CollectParameters(&params);
+  fc1_.CollectParameters(&params);
+  fc2_.CollectParameters(&params);
+  fc3_.CollectParameters(&params);
+  DACE_CHECK(!params.empty());
+  nn::Adam adam(lora_only ? config_.lora_learning_rate
+                          : config_.learning_rate);
+  adam.Register(params);
+
+  std::vector<size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  const double start_ms = NowMs();
+  const int epochs = lora_only ? config_.finetune_epochs : config_.epochs;
+  double epoch_loss = 0.0;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    rng_.Shuffle(&order);
+    epoch_loss = 0.0;
+    size_t in_batch = 0;
+    for (size_t idx : order) {
+      epoch_loss += ForwardOnPlan(data[idx], /*train=*/true);
+      if (++in_batch >= static_cast<size_t>(config_.batch_size)) {
+        adam.Step();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) adam.Step();
+    epoch_loss /= static_cast<double>(data.size());
+  }
+
+  TrainStats stats;
+  stats.final_loss = epoch_loss;
+  stats.epochs = epochs;
+  stats.num_plans = data.size();
+  stats.wall_ms = NowMs() - start_ms;
+  return stats;
+}
+
+TrainStats DaceModel::Train(const std::vector<PlanFeatures>& data) {
+  return RunTraining(data, /*lora_only=*/false);
+}
+
+TrainStats DaceModel::FineTuneLora(const std::vector<PlanFeatures>& data) {
+  if (!lora_attached_) {
+    fc1_.AttachLora(static_cast<size_t>(config_.lora_r1), &rng_);
+    fc2_.AttachLora(static_cast<size_t>(config_.lora_r2), &rng_);
+    fc3_.AttachLora(static_cast<size_t>(config_.lora_r3), &rng_);
+    lora_attached_ = true;
+  }
+  return RunTraining(data, /*lora_only=*/true);
+}
+
+std::vector<double> DaceModel::PredictAll(const PlanFeatures& f) const {
+  Matrix attn, z1, h1, z2, h2, pred;
+  attention_.ForwardInference(f.node_features, f.attention_mask, &attn);
+  fc1_.ForwardInference(attn, &z1);
+  relu1_.ForwardInference(z1, &h1);
+  fc2_.ForwardInference(h1, &z2);
+  relu2_.ForwardInference(z2, &h2);
+  fc3_.ForwardInference(h2, &pred);
+  std::vector<double> out(pred.rows());
+  for (size_t i = 0; i < pred.rows(); ++i) out[i] = pred(i, 0);
+  return out;
+}
+
+double DaceModel::PredictRoot(const PlanFeatures& f) const {
+  return PredictAll(f)[0];
+}
+
+std::vector<double> DaceModel::EncodeRoot(const PlanFeatures& f) const {
+  Matrix attn, z1, h1, z2, h2;
+  attention_.ForwardInference(f.node_features, f.attention_mask, &attn);
+  fc1_.ForwardInference(attn, &z1);
+  relu1_.ForwardInference(z1, &h1);
+  fc2_.ForwardInference(h1, &z2);
+  relu2_.ForwardInference(z2, &h2);
+  std::vector<double> out(h2.cols());
+  for (size_t j = 0; j < h2.cols(); ++j) out[j] = h2(0, j);
+  return out;
+}
+
+size_t DaceModel::ParameterCount() const {
+  return attention_.ParameterCount() + fc1_.ParameterCount() +
+         fc2_.ParameterCount() + fc3_.ParameterCount();
+}
+
+size_t DaceModel::BaseParameterCount() const {
+  return ParameterCount() - LoraParameterCount();
+}
+
+size_t DaceModel::LoraParameterCount() const {
+  return fc1_.LoraParameterCount() + fc2_.LoraParameterCount() +
+         fc3_.LoraParameterCount();
+}
+
+void DaceModel::Serialize(std::ostream* os) const {
+  attention_.Serialize(os);
+  fc1_.Serialize(os);
+  fc2_.Serialize(os);
+  fc3_.Serialize(os);
+}
+
+Status DaceModel::Deserialize(std::istream* is) {
+  DACE_RETURN_IF_ERROR(attention_.Deserialize(is));
+  DACE_RETURN_IF_ERROR(fc1_.Deserialize(is));
+  DACE_RETURN_IF_ERROR(fc2_.Deserialize(is));
+  DACE_RETURN_IF_ERROR(fc3_.Deserialize(is));
+  lora_attached_ = fc1_.has_lora();
+  return Status::OK();
+}
+
+// --------------------------------------------------------- DaceEstimator --
+
+DaceEstimator::DaceEstimator(const DaceConfig& config)
+    : config_(config), model_(config) {}
+
+featurize::FeaturizerConfig DaceEstimator::FeatConfig() const {
+  featurize::FeaturizerConfig fc;
+  fc.alpha = config_.alpha;
+  fc.tree_attention = config_.tree_attention;
+  fc.use_actual_cardinality = config_.use_actual_cardinality;
+  return fc;
+}
+
+void DaceEstimator::Train(const std::vector<plan::QueryPlan>& plans) {
+  DACE_CHECK(!plans.empty());
+  featurizer_.Fit(plans);
+  std::vector<featurize::PlanFeatures> data;
+  data.reserve(plans.size());
+  const featurize::FeaturizerConfig fc = FeatConfig();
+  for (const plan::QueryPlan& plan : plans) {
+    data.push_back(featurizer_.Featurize(plan, fc));
+  }
+  last_train_stats_ = model_.Train(data);
+}
+
+TrainStats DaceEstimator::FineTune(const std::vector<plan::QueryPlan>& plans) {
+  DACE_CHECK(featurizer_.fitted()) << "FineTune requires a pre-trained model";
+  std::vector<featurize::PlanFeatures> data;
+  data.reserve(plans.size());
+  const featurize::FeaturizerConfig fc = FeatConfig();
+  for (const plan::QueryPlan& plan : plans) {
+    data.push_back(featurizer_.Featurize(plan, fc));
+  }
+  last_train_stats_ = model_.FineTuneLora(data);
+  return last_train_stats_;
+}
+
+double DaceEstimator::PredictMs(const plan::QueryPlan& plan) const {
+  const featurize::PlanFeatures f = featurizer_.Featurize(plan, FeatConfig());
+  return featurizer_.InverseTransformTime(model_.PredictRoot(f));
+}
+
+std::vector<double> DaceEstimator::PredictSubPlansMs(
+    const plan::QueryPlan& plan) const {
+  const featurize::PlanFeatures f = featurizer_.Featurize(plan, FeatConfig());
+  std::vector<double> scaled = model_.PredictAll(f);
+  for (double& v : scaled) v = featurizer_.InverseTransformTime(v);
+  return scaled;
+}
+
+std::vector<double> DaceEstimator::Encode(const plan::QueryPlan& plan) const {
+  const featurize::PlanFeatures f = featurizer_.Featurize(plan, FeatConfig());
+  return model_.EncodeRoot(f);
+}
+
+Status DaceEstimator::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::NotFound("cannot open for write: " + path);
+  featurizer_.Serialize(&out);
+  model_.Serialize(&out);
+  if (!out) return Status::DataLoss("write failed: " + path);
+  return Status::OK();
+}
+
+Status DaceEstimator::LoadFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open for read: " + path);
+  DACE_RETURN_IF_ERROR(featurizer_.Deserialize(&in));
+  DACE_RETURN_IF_ERROR(model_.Deserialize(&in));
+  return Status::OK();
+}
+
+}  // namespace dace::core

@@ -1,0 +1,162 @@
+#ifndef DACE_CORE_DACE_MODEL_H_
+#define DACE_CORE_DACE_MODEL_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+#include "featurize/featurize.h"
+#include "nn/layers.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace dace::core {
+
+// Hyperparameters (paper Sec. V "Parameters Setting"). The defaults are the
+// published configuration: a single encoder layer, single attention head,
+// d = 18, d_k = d_v = 128, MLP 128→64→1 on top of the attention output,
+// LoRA ranks 32/16/8, alpha = 0.5.
+struct DaceConfig {
+  int d_model = featurize::kFeatureDim;
+  int d_k = 128;
+  int d_v = 128;
+  int hidden1 = 128;
+  int hidden2 = 64;
+  int lora_r1 = 32;
+  int lora_r2 = 16;
+  int lora_r3 = 8;
+
+  // Featurization / ablation switches (Sec. V-E).
+  double alpha = 0.5;               // loss-adjuster decay; 0 = w/o SP, 1 = w/o LA
+  bool tree_attention = true;       // false = w/o TA
+  bool use_actual_cardinality = false;  // DACE-A (Fig. 12)
+
+  // Optimization.
+  double learning_rate = 1e-3;
+  // LoRA adapters tolerate (and benefit from) a hotter learning rate since
+  // the frozen base anchors the function.
+  double lora_learning_rate = 2e-3;
+  int epochs = 12;
+  // LoRA fine-tuning runs more epochs: the adapters are tiny, so each epoch
+  // is ~2× cheaper than a pre-training epoch (Table II), and the fine-tune
+  // corpus is typically smaller.
+  int finetune_epochs = 40;
+  int batch_size = 64;  // plans per Adam step
+  uint64_t seed = 7;
+};
+
+// Summary of one training run.
+struct TrainStats {
+  double final_loss = 0.0;
+  int epochs = 0;
+  size_t num_plans = 0;
+  double wall_ms = 0.0;
+};
+
+// The DACE network: tree-masked single-head attention over the node-feature
+// sequence, then a three-layer MLP head predicting every sub-plan's cost in
+// parallel (one output per DFS row). Works on PlanFeatures produced by a
+// fitted Featurizer; see DaceEstimator below for the plan-level facade.
+class DaceModel {
+ public:
+  explicit DaceModel(const DaceConfig& config);
+
+  const DaceConfig& config() const { return config_; }
+
+  // Pre-training: updates base weights (attention + MLP).
+  TrainStats Train(const std::vector<featurize::PlanFeatures>& data);
+
+  // LoRA fine-tuning (Eq. 8): attaches adapters on first call, freezes the
+  // base weights, and updates only the adapters.
+  TrainStats FineTuneLora(const std::vector<featurize::PlanFeatures>& data);
+
+  // Predicted scaled-log-time of the root (row 0).
+  double PredictRoot(const featurize::PlanFeatures& features) const;
+
+  // Predicted scaled-log-time of every DFS row (all sub-plans, in parallel).
+  std::vector<double> PredictAll(const featurize::PlanFeatures& features) const;
+
+  // Pre-trained-encoder API: the root row of the second hidden layer
+  // (h2, 64-dim), the w_E of Eq. (9).
+  std::vector<double> EncodeRoot(const featurize::PlanFeatures& features) const;
+  int EncodingDim() const { return config_.hidden2; }
+
+  size_t ParameterCount() const;      // base + adapters (if attached)
+  size_t BaseParameterCount() const;  // excludes adapters
+  size_t LoraParameterCount() const;
+  bool lora_attached() const { return lora_attached_; }
+
+  void Serialize(std::ostream* os) const;
+  Status Deserialize(std::istream* is);
+
+ private:
+  // Forward on one plan; if `train`, backpropagates the loss-adjusted Huber
+  // loss on scaled log-time and accumulates gradients. Returns the plan's
+  // weighted loss.
+  double ForwardOnPlan(const featurize::PlanFeatures& f, bool train);
+
+  TrainStats RunTraining(const std::vector<featurize::PlanFeatures>& data,
+                         bool lora_only);
+
+  void SetTrainMode(bool train_base, bool train_lora);
+
+  DaceConfig config_;
+  Rng rng_;
+  nn::TreeAttention attention_;
+  nn::Linear fc1_, fc2_, fc3_;
+  nn::Relu relu1_, relu2_;
+  bool lora_attached_ = false;
+};
+
+// Plan-level facade implementing the CostEstimator interface: owns the
+// featurizer (fitted on the training corpus) and the model, and handles
+// label/prediction transforms. This is the class the examples and benches
+// instantiate.
+class DaceEstimator : public CostEstimator {
+ public:
+  explicit DaceEstimator(const DaceConfig& config = DaceConfig());
+
+  std::string Name() const override { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // Pre-trains on labelled plans (fits the featurizer first).
+  void Train(const std::vector<plan::QueryPlan>& plans) override;
+
+  // LoRA fine-tuning on a new workload (across-more / instance adaptation).
+  // Reuses the already-fitted featurizer; requires Train first.
+  TrainStats FineTune(const std::vector<plan::QueryPlan>& plans);
+
+  double PredictMs(const plan::QueryPlan& plan) const override;
+
+  // Per-sub-plan predictions in ms, DFS order (index 0 = whole plan).
+  std::vector<double> PredictSubPlansMs(const plan::QueryPlan& plan) const;
+
+  // Pre-trained-encoder hook for WDM knowledge integration.
+  std::vector<double> Encode(const plan::QueryPlan& plan) const;
+  int EncodingDim() const { return model_.EncodingDim(); }
+
+  size_t ParameterCount() const override { return model_.ParameterCount(); }
+  size_t LoraParameterCount() const { return model_.LoraParameterCount(); }
+
+  const DaceModel& model() const { return model_; }
+  DaceModel& mutable_model() { return model_; }
+  const featurize::Featurizer& featurizer() const { return featurizer_; }
+  const TrainStats& last_train_stats() const { return last_train_stats_; }
+
+  Status SaveToFile(const std::string& path) const;
+  Status LoadFromFile(const std::string& path);
+
+ private:
+  featurize::FeaturizerConfig FeatConfig() const;
+
+  std::string name_ = "DACE";
+  DaceConfig config_;
+  featurize::Featurizer featurizer_;
+  DaceModel model_;
+  TrainStats last_train_stats_;
+};
+
+}  // namespace dace::core
+
+#endif  // DACE_CORE_DACE_MODEL_H_

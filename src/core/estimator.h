@@ -1,0 +1,37 @@
+#ifndef DACE_CORE_ESTIMATOR_H_
+#define DACE_CORE_ESTIMATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "plan/plan.h"
+
+namespace dace::core {
+
+// Common interface of every learned cost estimator in this repository (DACE
+// and the baselines). Implementations train on labelled plans and predict
+// the execution time of a plan's root in milliseconds.
+class CostEstimator {
+ public:
+  virtual ~CostEstimator() = default;
+
+  virtual std::string Name() const = 0;
+
+  // Trains (or retrains) the model from scratch on labelled plans.
+  virtual void Train(const std::vector<plan::QueryPlan>& plans) = 0;
+
+  // Predicted execution time of the whole plan, in milliseconds.
+  virtual double PredictMs(const plan::QueryPlan& plan) const = 0;
+
+  // Number of scalar parameters, for the Table II model-size comparison.
+  virtual size_t ParameterCount() const = 0;
+};
+
+// Deployment size in MB assuming float32 weights, as reported in Table II.
+inline double ModelSizeMb(size_t parameter_count) {
+  return static_cast<double>(parameter_count) * 4.0 / (1024.0 * 1024.0);
+}
+
+}  // namespace dace::core
+
+#endif  // DACE_CORE_ESTIMATOR_H_

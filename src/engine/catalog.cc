@@ -1,0 +1,112 @@
+#include "engine/catalog.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace dace::engine {
+
+int64_t Database::TotalRows() const {
+  int64_t total = 0;
+  for (const Table& t : tables) total += t.row_count;
+  return total;
+}
+
+std::vector<int32_t> Database::EdgesOf(int32_t table) const {
+  std::vector<int32_t> out;
+  for (size_t i = 0; i < join_edges.size(); ++i) {
+    if (join_edges[i].from_table == table || join_edges[i].to_table == table) {
+      out.push_back(static_cast<int32_t>(i));
+    }
+  }
+  return out;
+}
+
+int32_t Database::FindEdge(int32_t table_a, int32_t table_b) const {
+  for (size_t i = 0; i < join_edges.size(); ++i) {
+    const JoinEdge& e = join_edges[i];
+    if ((e.from_table == table_a && e.to_table == table_b) ||
+        (e.from_table == table_b && e.to_table == table_a)) {
+      return static_cast<int32_t>(i);
+    }
+  }
+  return -1;
+}
+
+Status Database::Validate() const {
+  if (tables.empty()) return Status::FailedPrecondition("database has no tables");
+  for (size_t t = 0; t < tables.size(); ++t) {
+    const Table& table = tables[t];
+    if (table.row_count <= 0) {
+      return Status::FailedPrecondition("table " + table.name +
+                                        " has non-positive row count");
+    }
+    if (table.columns.empty()) {
+      return Status::FailedPrecondition("table " + table.name + " has no columns");
+    }
+    for (size_t c = 0; c < table.columns.size(); ++c) {
+      const Column& col = table.columns[c];
+      if (col.distinct_count <= 0) {
+        return Status::FailedPrecondition("column with non-positive distinct");
+      }
+      if (col.distinct_count > table.row_count) {
+        return Status::FailedPrecondition(
+            StrFormat("column %s.%s distinct (%lld) exceeds rows (%lld)",
+                      table.name.c_str(), col.name.c_str(),
+                      static_cast<long long>(col.distinct_count),
+                      static_cast<long long>(table.row_count)));
+      }
+      if (col.min_value >= col.max_value) {
+        return Status::FailedPrecondition("column with empty value range");
+      }
+      if (col.correlated_with >= 0 &&
+          (static_cast<size_t>(col.correlated_with) >= table.columns.size() ||
+           static_cast<size_t>(col.correlated_with) == c)) {
+        return Status::FailedPrecondition("bad correlated_with index");
+      }
+      if (col.correlation < 0.0 || col.correlation >= 1.0) {
+        return Status::FailedPrecondition("correlation outside [0,1)");
+      }
+    }
+  }
+  for (const JoinEdge& e : join_edges) {
+    const auto in_range = [&](int32_t table, int32_t column) {
+      return table >= 0 && static_cast<size_t>(table) < tables.size() &&
+             column >= 0 &&
+             static_cast<size_t>(column) <
+                 tables[static_cast<size_t>(table)].columns.size();
+    };
+    if (!in_range(e.from_table, e.from_column) ||
+        !in_range(e.to_table, e.to_column)) {
+      return Status::FailedPrecondition("join edge index out of range");
+    }
+    if (e.from_table == e.to_table) {
+      return Status::FailedPrecondition("self-join edge");
+    }
+  }
+  return Status::OK();
+}
+
+Database ScaleDatabase(const Database& db, double factor) {
+  DACE_CHECK_GT(factor, 0.0);
+  Database scaled = db;
+  scaled.name = db.name + StrFormat("_x%.3g", factor);
+  for (Table& table : scaled.tables) {
+    table.row_count = std::max<int64_t>(
+        1, static_cast<int64_t>(std::llround(
+               static_cast<double>(table.row_count) * factor)));
+    for (Column& col : table.columns) {
+      // Distinct counts grow sublinearly with data volume (new data mostly
+      // repeats existing values) and never exceed the row count.
+      const double grown =
+          static_cast<double>(col.distinct_count) * std::pow(factor, 0.6);
+      col.distinct_count = std::clamp<int64_t>(
+          static_cast<int64_t>(std::llround(grown)), 1, table.row_count);
+    }
+  }
+  return scaled;
+}
+
+}  // namespace dace::engine

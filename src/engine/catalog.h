@@ -1,0 +1,85 @@
+#ifndef DACE_ENGINE_CATALOG_H_
+#define DACE_ENGINE_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dace::engine {
+
+// A column is described by its generating distribution rather than
+// materialized rows: the engine computes true cardinalities analytically
+// (see selectivity.h), which is what lets 20 databases with up to 10^7-row
+// tables exist inside a unit test. The knobs below control how hard the
+// column is for an optimizer that assumes uniformity and independence:
+//
+//   skew        — value-frequency skew (0 = uniform; ~1 = Zipf-like). Range
+//                 selectivities deviate from the covered fraction of the
+//                 domain, equality selectivities deviate from 1/distinct.
+//   correlated_with / correlation — conjunction of predicates on correlated
+//                 columns is NOT the product of the marginals; the optimizer
+//                 assumes it is, so multi-filter estimates degrade.
+//   histogram_error — magnitude of the optimizer's per-bucket statistics
+//                 error (stale/coarse histogram).
+struct Column {
+  std::string name;
+  double min_value = 0.0;
+  double max_value = 1.0;
+  int64_t distinct_count = 1;
+  double skew = 0.0;              // >= 0
+  int32_t correlated_with = -1;   // column index within the same table
+  double correlation = 0.0;       // [0, 1)
+  double histogram_error = 0.1;   // lognormal sigma of the optimizer's stats
+  bool indexed = false;
+};
+
+// A base table. Column 0 is the primary key by convention.
+struct Table {
+  std::string name;
+  int64_t row_count = 0;
+  int32_t width_bytes = 64;  // average tuple width, drives page counts
+  std::vector<Column> columns;
+};
+
+// A (child.column) -> (parent.column) equi-join edge of the schema graph.
+// `fanout_skew` makes some parent keys much more referenced than others,
+// which (combined with filters on the parent) breaks the optimizer's
+// uniform-fanout join estimate — the paper's EDQO in miniature.
+struct JoinEdge {
+  int32_t from_table = -1;  // child side
+  int32_t from_column = -1;
+  int32_t to_table = -1;    // parent side
+  int32_t to_column = -1;
+  double fanout_skew = 0.0;       // >= 0
+  double filter_correlation = 0.0;  // [0, 0.6]: parent-filter vs fanout corr.
+};
+
+// A self-contained synthetic database: schema + distribution parameters +
+// join graph. Databases carry a seed so that all derived quantities
+// (true selectivities, optimizer stats errors) are deterministic.
+struct Database {
+  std::string name;
+  uint64_t seed = 0;
+  std::vector<Table> tables;
+  std::vector<JoinEdge> join_edges;
+
+  int64_t TotalRows() const;
+
+  // Edges incident to `table` (either side).
+  std::vector<int32_t> EdgesOf(int32_t table) const;
+
+  // The edge joining the two tables, or -1.
+  int32_t FindEdge(int32_t table_a, int32_t table_b) const;
+
+  Status Validate() const;
+};
+
+// Uniformly scales every table's row_count by `factor` (data-drift
+// experiments, Fig. 7). Distribution shapes are preserved.
+Database ScaleDatabase(const Database& db, double factor);
+
+}  // namespace dace::engine
+
+#endif  // DACE_ENGINE_CATALOG_H_

@@ -1,0 +1,304 @@
+#include "engine/corpus.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace dace::engine {
+
+namespace {
+
+// Convenience builder for a column.
+Column MakeColumn(std::string name, double min_value, double max_value,
+                  int64_t distinct, double skew, double histogram_error,
+                  bool indexed = false) {
+  Column c;
+  c.name = std::move(name);
+  c.min_value = min_value;
+  c.max_value = max_value;
+  c.distinct_count = distinct;
+  c.skew = skew;
+  c.histogram_error = histogram_error;
+  c.indexed = indexed;
+  return c;
+}
+
+// Primary key column: unique, uniform, indexed.
+Column PkColumn(int64_t rows) {
+  return MakeColumn("id", 0.0, static_cast<double>(rows), rows, 0.0, 0.02,
+                    /*indexed=*/true);
+}
+
+void AddEdge(Database* db, int32_t from_table, int32_t from_column,
+             int32_t to_table, int32_t to_column, double fanout_skew,
+             double filter_correlation) {
+  JoinEdge e;
+  e.from_table = from_table;
+  e.from_column = from_column;
+  e.to_table = to_table;
+  e.to_column = to_column;
+  e.fanout_skew = fanout_skew;
+  e.filter_correlation = filter_correlation;
+  db->join_edges.push_back(e);
+}
+
+}  // namespace
+
+Database BuildImdbLike(uint64_t seed) {
+  Database db;
+  db.name = "imdb";
+  db.seed = seed;
+
+  // 0: title — the fact table of JOB-light.
+  {
+    Table t;
+    t.name = "title";
+    t.row_count = 2'500'000;
+    t.width_bytes = 94;
+    t.columns.push_back(PkColumn(t.row_count));
+    t.columns.push_back(
+        MakeColumn("production_year", 1880, 2025, 140, 1.2, 0.15));
+    t.columns.push_back(MakeColumn("kind_id", 1, 8, 7, 1.5, 0.05));
+    t.columns.push_back(MakeColumn("season_nr", 0, 90, 80, 1.8, 0.3));
+    t.columns.back().correlated_with = 2;  // season strongly tied to kind
+    t.columns.back().correlation = 0.7;
+    db.tables.push_back(std::move(t));
+  }
+  // 1: movie_keyword
+  {
+    Table t;
+    t.name = "movie_keyword";
+    t.row_count = 4'500'000;
+    t.width_bytes = 24;
+    t.columns.push_back(PkColumn(t.row_count));
+    t.columns.push_back(MakeColumn("movie_id", 0, 2'500'000, 1'400'000, 0.9,
+                                   0.1, /*indexed=*/true));
+    t.columns.push_back(MakeColumn("keyword_id", 1, 130'000, 130'000, 1.6, 0.25));
+    db.tables.push_back(std::move(t));
+  }
+  // 2: cast_info
+  {
+    Table t;
+    t.name = "cast_info";
+    t.row_count = 6'000'000;
+    t.width_bytes = 40;
+    t.columns.push_back(PkColumn(t.row_count));
+    t.columns.push_back(MakeColumn("movie_id", 0, 2'500'000, 2'100'000, 1.1,
+                                   0.12, /*indexed=*/true));
+    t.columns.push_back(MakeColumn("person_id", 1, 4'000'000, 3'500'000, 1.3, 0.2));
+    t.columns.push_back(MakeColumn("role_id", 1, 11, 11, 1.0, 0.05));
+    db.tables.push_back(std::move(t));
+  }
+  // 3: movie_companies
+  {
+    Table t;
+    t.name = "movie_companies";
+    t.row_count = 2'600'000;
+    t.width_bytes = 32;
+    t.columns.push_back(PkColumn(t.row_count));
+    t.columns.push_back(MakeColumn("movie_id", 0, 2'500'000, 1'100'000, 0.8,
+                                   0.1, /*indexed=*/true));
+    t.columns.push_back(MakeColumn("company_id", 1, 235'000, 235'000, 1.7, 0.3));
+    t.columns.push_back(MakeColumn("company_type_id", 1, 2, 2, 0.3, 0.05));
+    db.tables.push_back(std::move(t));
+  }
+  // 4: movie_info
+  {
+    Table t;
+    t.name = "movie_info";
+    t.row_count = 3'900'000;
+    t.width_bytes = 60;
+    t.columns.push_back(PkColumn(t.row_count));
+    t.columns.push_back(MakeColumn("movie_id", 0, 2'500'000, 1'800'000, 1.0,
+                                   0.15, /*indexed=*/true));
+    t.columns.push_back(MakeColumn("info_type_id", 1, 113, 71, 1.4, 0.1));
+    db.tables.push_back(std::move(t));
+  }
+  // 5: movie_info_idx
+  {
+    Table t;
+    t.name = "movie_info_idx";
+    t.row_count = 1'380'000;
+    t.width_bytes = 28;
+    t.columns.push_back(PkColumn(t.row_count));
+    t.columns.push_back(MakeColumn("movie_id", 0, 2'500'000, 700'000, 0.7,
+                                   0.1, /*indexed=*/true));
+    t.columns.push_back(MakeColumn("info_type_id", 99, 113, 5, 0.9, 0.1));
+    db.tables.push_back(std::move(t));
+  }
+
+  // Star edges: satellites reference title.id; recent titles have far more
+  // keywords/cast (filter correlation) and hot titles dominate (skew).
+  AddEdge(&db, 1, 1, 0, 0, 1.4, 0.45);
+  AddEdge(&db, 2, 1, 0, 0, 1.7, 0.5);
+  AddEdge(&db, 3, 1, 0, 0, 1.2, 0.35);
+  AddEdge(&db, 4, 1, 0, 0, 1.5, 0.4);
+  AddEdge(&db, 5, 1, 0, 0, 1.1, 0.3);
+
+  DACE_CHECK_OK(db.Validate());
+  return db;
+}
+
+Database BuildTpchLike(uint64_t seed) {
+  Database db;
+  db.name = "tpch";
+  db.seed = seed;
+
+  struct Spec {
+    const char* name;
+    int64_t rows;
+    int32_t width;
+  };
+  // Scale-factor-1-ish row counts.
+  const Spec specs[] = {
+      {"region", 5, 120},       {"nation", 25, 110},
+      {"supplier", 10'000, 140}, {"customer", 150'000, 160},
+      {"part", 200'000, 150},   {"partsupp", 800'000, 140},
+      {"orders", 1'500'000, 100}, {"lineitem", 6'000'000, 120},
+  };
+  for (const Spec& s : specs) {
+    Table t;
+    t.name = s.name;
+    t.row_count = s.rows;
+    t.width_bytes = s.width;
+    t.columns.push_back(PkColumn(t.row_count));
+    db.tables.push_back(std::move(t));
+  }
+  // Extra attribute columns (beyond pk + fk columns added below).
+  auto& nation = db.tables[1];
+  nation.columns.push_back(MakeColumn("regionkey", 0, 5, 5, 0.2, 0.02, true));
+  auto& supplier = db.tables[2];
+  supplier.columns.push_back(MakeColumn("nationkey", 0, 25, 25, 0.4, 0.05, true));
+  supplier.columns.push_back(MakeColumn("acctbal", -1000, 10000, 9500, 0.3, 0.1));
+  auto& customer = db.tables[3];
+  customer.columns.push_back(MakeColumn("nationkey", 0, 25, 25, 0.5, 0.05, true));
+  customer.columns.push_back(MakeColumn("acctbal", -1000, 10000, 9900, 0.2, 0.1));
+  customer.columns.push_back(MakeColumn("mktsegment", 1, 5, 5, 0.4, 0.05));
+  auto& part = db.tables[4];
+  part.columns.push_back(MakeColumn("retailprice", 900, 2100, 1100, 0.3, 0.1));
+  part.columns.push_back(MakeColumn("size", 1, 50, 50, 0.5, 0.08));
+  part.columns.push_back(MakeColumn("brand", 1, 25, 25, 0.6, 0.05));
+  auto& partsupp = db.tables[5];
+  partsupp.columns.push_back(MakeColumn("partkey", 0, 200'000, 200'000, 0.3,
+                                        0.08, true));
+  partsupp.columns.push_back(MakeColumn("suppkey", 0, 10'000, 10'000, 0.3,
+                                        0.08, true));
+  partsupp.columns.push_back(MakeColumn("supplycost", 1, 1000, 1000, 0.4, 0.1));
+  auto& orders = db.tables[6];
+  orders.columns.push_back(MakeColumn("custkey", 0, 150'000, 100'000, 0.7,
+                                      0.1, true));
+  orders.columns.push_back(MakeColumn("orderdate", 0, 2557, 2406, 0.6, 0.12));
+  orders.columns.push_back(MakeColumn("totalprice", 800, 600'000, 450'000, 1.0, 0.2));
+  orders.columns.back().correlated_with = 2;  // price tied to date (inflation)
+  orders.columns.back().correlation = 0.4;
+  auto& lineitem = db.tables[7];
+  lineitem.columns.push_back(MakeColumn("orderkey", 0, 1'500'000, 1'500'000,
+                                        0.5, 0.08, true));
+  lineitem.columns.push_back(MakeColumn("partkey", 0, 200'000, 200'000, 0.9,
+                                        0.15, true));
+  lineitem.columns.push_back(MakeColumn("suppkey", 0, 10'000, 10'000, 0.8,
+                                        0.12, true));
+  lineitem.columns.push_back(MakeColumn("shipdate", 0, 2680, 2526, 0.5, 0.1));
+  lineitem.columns.push_back(MakeColumn("quantity", 1, 50, 50, 0.2, 0.05));
+  lineitem.columns.back().correlated_with = 4;  // quantity vs shipdate (weak)
+  lineitem.columns.back().correlation = 0.2;
+
+  // FK edges (child.fkcol -> parent.pk).
+  AddEdge(&db, 1, 1, 0, 0, 0.1, 0.05);   // nation -> region
+  AddEdge(&db, 2, 1, 1, 0, 0.8, 0.1);    // supplier -> nation
+  AddEdge(&db, 3, 1, 1, 0, 0.9, 0.15);   // customer -> nation
+  AddEdge(&db, 5, 1, 4, 0, 0.9, 0.1);    // partsupp -> part
+  AddEdge(&db, 5, 2, 2, 0, 0.9, 0.1);    // partsupp -> supplier
+  AddEdge(&db, 6, 1, 3, 0, 1.4, 0.35);   // orders -> customer
+  AddEdge(&db, 7, 1, 6, 0, 1.1, 0.4);    // lineitem -> orders
+  AddEdge(&db, 7, 2, 4, 0, 1.3, 0.25);   // lineitem -> part
+  AddEdge(&db, 7, 3, 2, 0, 1.2, 0.2);    // lineitem -> supplier
+
+  DACE_CHECK_OK(db.Validate());
+  return db;
+}
+
+namespace {
+
+Database BuildRandomDatabase(const std::string& name, uint64_t seed) {
+  Rng rng(seed);
+  Database db;
+  db.name = name;
+  db.seed = seed;
+
+  const int num_tables = static_cast<int>(rng.UniformInt(3, 12));
+  for (int t = 0; t < num_tables; ++t) {
+    Table table;
+    table.name = StrFormat("t%d", t);
+    // Rows lognormal across 10^4 .. 5*10^6.
+    const double log_rows = rng.Uniform(std::log(1e4), std::log(5e6));
+    table.row_count = static_cast<int64_t>(std::exp(log_rows));
+    table.width_bytes = static_cast<int32_t>(rng.UniformInt(16, 220));
+    table.columns.push_back(PkColumn(table.row_count));
+    const int num_cols = static_cast<int>(rng.UniformInt(2, 7));
+    for (int c = 1; c < num_cols; ++c) {
+      const double lo = rng.Uniform(-1000.0, 1000.0);
+      const double hi = lo + rng.Uniform(1.0, 1e6);
+      const int64_t distinct = std::clamp<int64_t>(
+          static_cast<int64_t>(std::exp(rng.Uniform(
+              std::log(2.0), std::log(static_cast<double>(table.row_count))))),
+          2, table.row_count);
+      Column col = MakeColumn(StrFormat("c%d", c), lo, hi, distinct,
+                              rng.Uniform(0.0, 1.6), rng.Uniform(0.05, 0.4),
+                              rng.Bernoulli(0.35));
+      table.columns.push_back(std::move(col));
+    }
+    // Maybe correlate one non-key column pair.
+    if (table.columns.size() >= 3 && rng.Bernoulli(0.5)) {
+      const int32_t a = static_cast<int32_t>(
+          rng.UniformInt(1, static_cast<int64_t>(table.columns.size()) - 1));
+      int32_t b = static_cast<int32_t>(
+          rng.UniformInt(1, static_cast<int64_t>(table.columns.size()) - 1));
+      if (a != b) {
+        table.columns[static_cast<size_t>(a)].correlated_with = b;
+        table.columns[static_cast<size_t>(a)].correlation =
+            rng.Uniform(0.3, 0.9);
+      }
+    }
+    db.tables.push_back(std::move(table));
+  }
+
+  // Spanning tree of FK edges: every table after the first references an
+  // earlier table through a dedicated fk column appended to the child.
+  for (int t = 1; t < num_tables; ++t) {
+    const int parent = static_cast<int>(rng.UniformInt(0, t - 1));
+    Table& child = db.tables[static_cast<size_t>(t)];
+    const Table& parent_table = db.tables[static_cast<size_t>(parent)];
+    Column fk = MakeColumn(
+        StrFormat("fk_%s", parent_table.name.c_str()), 0.0,
+        static_cast<double>(parent_table.row_count),
+        std::min(child.row_count, parent_table.row_count),
+        rng.Uniform(0.0, 1.0), rng.Uniform(0.05, 0.25), rng.Bernoulli(0.7));
+    child.columns.push_back(std::move(fk));
+    AddEdge(&db, t, static_cast<int32_t>(child.columns.size() - 1), parent, 0,
+            rng.Uniform(0.4, 2.0), rng.Uniform(0.0, 0.5));
+  }
+
+  DACE_CHECK_OK(db.Validate());
+  return db;
+}
+
+}  // namespace
+
+std::vector<Database> BuildCorpus(uint64_t seed, int num_databases) {
+  DACE_CHECK_GE(num_databases, 2);
+  std::vector<Database> corpus;
+  corpus.reserve(static_cast<size_t>(num_databases));
+  corpus.push_back(BuildImdbLike(HashCombine(seed, 1001)));
+  corpus.push_back(BuildTpchLike(HashCombine(seed, 1002)));
+  for (int i = 2; i < num_databases; ++i) {
+    corpus.push_back(BuildRandomDatabase(StrFormat("db%02d", i),
+                                         HashCombine(seed, 2000 + static_cast<uint64_t>(i))));
+  }
+  return corpus;
+}
+
+}  // namespace dace::engine

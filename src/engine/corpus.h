@@ -1,0 +1,32 @@
+#ifndef DACE_ENGINE_CORPUS_H_
+#define DACE_ENGINE_CORPUS_H_
+
+#include <vector>
+
+#include "engine/catalog.h"
+
+namespace dace::engine {
+
+// Index of the IMDB-like database inside the corpus (workload 3 / Fig. 6/9
+// experiments hold this one out).
+inline constexpr int kImdbIndex = 0;
+// Index of the TPC-H-like database (data-drift experiments, Fig. 7).
+inline constexpr int kTpchIndex = 1;
+
+// An IMDB-like star schema: a large `title` fact table with five satellite
+// tables joined on movie_id, mirroring the JOB-light join structure.
+Database BuildImdbLike(uint64_t seed);
+
+// A TPC-H-like snowflake: lineitem/orders/customer/part/partsupp/supplier/
+// nation/region with the standard foreign-key edges.
+Database BuildTpchLike(uint64_t seed);
+
+// The 20-database benchmark corpus in the spirit of Zero-Shot: databases 0
+// and 1 are the IMDB- and TPC-H-like schemas; the rest are randomly shaped
+// (3–12 tables, 10^4–5·10^6 rows, varying skew/correlation/stats quality),
+// so their optimizer-error distributions differ widely.
+std::vector<Database> BuildCorpus(uint64_t seed = 42, int num_databases = 20);
+
+}  // namespace dace::engine
+
+#endif  // DACE_ENGINE_CORPUS_H_

@@ -1,0 +1,77 @@
+#include "engine/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dace::engine {
+
+namespace {
+double Log2Safe(double x) { return std::log2(std::max(x, 2.0)); }
+}  // namespace
+
+double OperatorCost(plan::OperatorType type, const CostInputs& in,
+                    const CostParams& p) {
+  using plan::OperatorType;
+  const double pages =
+      std::max(1.0, in.table_rows * in.width_bytes / p.page_size_bytes);
+  const double filter_cost =
+      p.cpu_operator_cost * static_cast<double>(in.num_filters);
+  switch (type) {
+    case OperatorType::kSeqScan:
+      return p.seq_page_cost * pages +
+             (p.cpu_tuple_cost + filter_cost) * in.table_rows;
+    case OperatorType::kIndexScan:
+      // One random page fetch per matching tuple (uncorrelated index).
+      return p.random_page_cost * std::min(in.out_rows, pages) +
+             p.cpu_index_tuple_cost * in.out_rows +
+             (p.cpu_tuple_cost + filter_cost) * in.out_rows;
+    case OperatorType::kIndexOnlyScan:
+      return p.random_page_cost * 0.25 * std::min(in.out_rows, pages) +
+             p.cpu_index_tuple_cost * in.out_rows;
+    case OperatorType::kBitmapIndexScan:
+      return p.cpu_index_tuple_cost * in.out_rows +
+             p.random_page_cost * Log2Safe(pages);
+    case OperatorType::kBitmapHeapScan: {
+      // Fetches each matching page once, roughly sequentially.
+      const double touched_pages = std::min(pages, in.left_rows);
+      return p.seq_page_cost * 1.5 * touched_pages +
+             (p.cpu_tuple_cost + filter_cost) * in.left_rows;
+    }
+    case OperatorType::kNestedLoop:
+      return p.cpu_operator_cost * in.left_rows * std::max(in.right_rows, 1.0) +
+             p.cpu_tuple_cost * in.out_rows;
+    case OperatorType::kHashJoin:
+      // Probe side cost; the build is charged to the Hash child.
+      return (p.cpu_operator_cost + p.cpu_tuple_cost) * in.left_rows +
+             p.cpu_operator_cost * in.right_rows +
+             p.cpu_tuple_cost * in.out_rows;
+    case OperatorType::kMergeJoin:
+      return p.cpu_operator_cost * (in.left_rows + in.right_rows) +
+             p.cpu_tuple_cost * in.out_rows;
+    case OperatorType::kHash:
+      return (p.cpu_operator_cost * 1.5 + p.cpu_tuple_cost) * in.left_rows;
+    case OperatorType::kSort:
+      return p.cpu_operator_cost * 2.0 * in.left_rows * Log2Safe(in.left_rows) +
+             p.cpu_tuple_cost * in.left_rows;
+    case OperatorType::kMaterialize:
+      return p.cpu_operator_cost * 0.5 * in.left_rows;
+    case OperatorType::kAggregate:
+      return p.cpu_operator_cost * in.left_rows + p.cpu_tuple_cost;
+    case OperatorType::kHashAggregate:
+      return (p.cpu_operator_cost * 2.0) * in.left_rows +
+             p.cpu_tuple_cost * in.out_rows;
+    case OperatorType::kGroupAggregate:
+      return p.cpu_operator_cost * in.left_rows +
+             p.cpu_tuple_cost * in.out_rows;
+    case OperatorType::kLimit:
+      return p.cpu_tuple_cost * in.out_rows;
+    case OperatorType::kGather:
+      return p.parallel_tuple_cost * in.left_rows + 1000.0 * p.cpu_operator_cost;
+  }
+  DACE_CHECK(false) << "unhandled operator type";
+  return 0.0;
+}
+
+}  // namespace dace::engine

@@ -1,0 +1,41 @@
+#ifndef DACE_ENGINE_COST_MODEL_H_
+#define DACE_ENGINE_COST_MODEL_H_
+
+#include "plan/plan.h"
+
+namespace dace::engine {
+
+// PostgreSQL-style abstract cost-model constants (defaults match
+// postgresql.conf). The optimizer's estimated cost of a node is
+// own-cost(estimated cardinalities) + children's costs, in abstract units —
+// NOT milliseconds. The mismatch between these formulas and the machine
+// profiles in machine.h is exactly the per-operator component of the EDQO.
+struct CostParams {
+  double seq_page_cost = 1.0;
+  double random_page_cost = 4.0;
+  double cpu_tuple_cost = 0.01;
+  double cpu_index_tuple_cost = 0.005;
+  double cpu_operator_cost = 0.0025;
+  double parallel_tuple_cost = 0.1;
+  double page_size_bytes = 8192.0;
+};
+
+// Inputs to a single operator's own-cost formula. Cardinalities are the
+// OPTIMIZER'S estimates when computing est_cost (and the true values when a
+// hypothetical oracle cost is wanted).
+struct CostInputs {
+  double out_rows = 1.0;
+  double left_rows = 0.0;    // outer / only child input
+  double right_rows = 0.0;   // inner input (joins) — 0 if unary
+  double table_rows = 0.0;   // scans: base table size
+  double width_bytes = 64.0;
+  int num_filters = 0;
+};
+
+// Own (non-cumulative) cost of one operator.
+double OperatorCost(plan::OperatorType type, const CostInputs& inputs,
+                    const CostParams& params = CostParams());
+
+}  // namespace dace::engine
+
+#endif  // DACE_ENGINE_COST_MODEL_H_

@@ -1,0 +1,44 @@
+#include "engine/dataset.h"
+
+#include "engine/executor.h"
+#include "engine/optimizer.h"
+#include "util/rng.h"
+
+namespace dace::engine {
+
+std::vector<plan::QueryPlan> GenerateLabeledPlans(const Database& db,
+                                                  const MachineProfile& machine,
+                                                  WorkloadKind kind, int count,
+                                                  uint64_t seed,
+                                                  double timeout_ms,
+                                                  const WorkloadOptions& options) {
+  // Same stream construction as GenerateQueries, so the first N accepted
+  // specs match the unfiltered generator's prefix.
+  Rng rng(HashCombine(seed, HashCombine(db.seed, 0x90ad1e5ull)));
+  const Optimizer optimizer(&db);
+  std::vector<plan::QueryPlan> plans;
+  plans.reserve(static_cast<size_t>(count));
+  const int max_attempts = count * 5;
+  for (int attempt = 0;
+       attempt < max_attempts && plans.size() < static_cast<size_t>(count);
+       ++attempt) {
+    const QuerySpec spec = GenerateQuery(db, kind, &rng, options);
+    plan::QueryPlan plan = optimizer.BuildPlan(spec);
+    SimulateExecution(db, machine,
+                      HashCombine(seed, 0xe8ec + static_cast<uint64_t>(attempt)),
+                      &plan);
+    if (plan.node(plan.root()).actual_time_ms > timeout_ms) continue;
+    plans.push_back(std::move(plan));
+  }
+  return plans;
+}
+
+void RelabelPlans(const Database& db, const MachineProfile& machine,
+                  uint64_t seed, std::vector<plan::QueryPlan>* plans) {
+  for (size_t i = 0; i < plans->size(); ++i) {
+    SimulateExecution(db, machine, HashCombine(seed, 0x12e1ab + i),
+                      &(*plans)[i]);
+  }
+}
+
+}  // namespace dace::engine

@@ -1,0 +1,37 @@
+#ifndef DACE_ENGINE_DATASET_H_
+#define DACE_ENGINE_DATASET_H_
+
+#include <vector>
+
+#include "engine/catalog.h"
+#include "engine/machine.h"
+#include "engine/workload.h"
+#include "plan/plan.h"
+
+namespace dace::engine {
+
+// Queries whose simulated runtime exceeds this are dropped during data
+// collection, mirroring the statement_timeout every real trace-collection
+// pipeline applies (a cross-product-heavy query would otherwise run for
+// hours and no label would exist for it).
+inline constexpr double kStatementTimeoutMs = 60'000.0;
+
+// End-to-end data collection, mirroring the paper's Sec. IV-A: sample
+// queries, have the optimizer plan them (estimates), and "execute" them on a
+// machine (labels). Every returned plan has est_cardinality/est_cost and
+// actual_cardinality/actual_time_ms populated on every node. Queries that
+// exceed `timeout_ms` on `machine` are discarded and resampled (up to a
+// bounded number of attempts, so pathological configurations still return).
+std::vector<plan::QueryPlan> GenerateLabeledPlans(
+    const Database& db, const MachineProfile& machine, WorkloadKind kind,
+    int count, uint64_t seed, double timeout_ms = kStatementTimeoutMs,
+    const WorkloadOptions& options = WorkloadOptions());
+
+// Re-labels existing plans for a different machine (workload 2: the same
+// query statements executed on M2). Estimates are untouched.
+void RelabelPlans(const Database& db, const MachineProfile& machine,
+                  uint64_t seed, std::vector<plan::QueryPlan>* plans);
+
+}  // namespace dace::engine
+
+#endif  // DACE_ENGINE_DATASET_H_

@@ -1,0 +1,65 @@
+#include "engine/executor.h"
+
+#include <cmath>
+
+#include "engine/cost_model.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace dace::engine {
+
+namespace {
+
+using plan::OperatorType;
+using plan::PlanNode;
+using plan::QueryPlan;
+
+// Recursive post-order walk: returns the inclusive time of `node_id`.
+double Simulate(const Database& db, const MachineProfile& machine,
+                uint64_t noise_seed, QueryPlan* plan, int32_t node_id) {
+  PlanNode& node = plan->mutable_node(node_id);
+  double children_time = 0.0;
+  for (int32_t child : node.children) {
+    children_time += Simulate(db, machine, noise_seed, plan, child);
+  }
+
+  CostInputs in;
+  in.out_rows = node.actual_cardinality;
+  in.num_filters = static_cast<int>(node.annotation.filters.size());
+  if (node.annotation.table_id >= 0) {
+    const Table& table =
+        db.tables[static_cast<size_t>(node.annotation.table_id)];
+    in.table_rows = static_cast<double>(table.row_count);
+    in.width_bytes = table.width_bytes;
+  }
+  if (!node.children.empty()) {
+    in.left_rows = plan->node(node.children[0]).actual_cardinality;
+  } else if (plan::IsScan(node.type)) {
+    in.left_rows = node.actual_cardinality;  // bitmap feeds, etc.
+  }
+  if (node.children.size() > 1) {
+    in.right_rows = plan->node(node.children[1]).actual_cardinality;
+  }
+  // BitmapHeapScan receives the bitmap's matched tuples as its input stream.
+  if (node.type == OperatorType::kBitmapHeapScan && !node.children.empty()) {
+    in.left_rows = plan->node(node.children[0]).actual_cardinality;
+  }
+
+  const double own = machine.OwnTimeMs(node.type, in);
+  const uint64_t key =
+      HashCombine(noise_seed, static_cast<uint64_t>(node_id) * 0x9e37ull + 7);
+  const double noise =
+      std::exp(machine.noise_sigma * HashGaussian(key));
+  node.actual_time_ms = own * noise + children_time;
+  return node.actual_time_ms;
+}
+
+}  // namespace
+
+void SimulateExecution(const Database& db, const MachineProfile& machine,
+                       uint64_t noise_seed, QueryPlan* plan) {
+  DACE_CHECK_GE(plan->root(), 0);
+  Simulate(db, machine, noise_seed, plan, plan->root());
+}
+
+}  // namespace dace::engine

@@ -1,0 +1,22 @@
+#ifndef DACE_ENGINE_EXECUTOR_H_
+#define DACE_ENGINE_EXECUTOR_H_
+
+#include "engine/catalog.h"
+#include "engine/machine.h"
+#include "plan/plan.h"
+
+namespace dace::engine {
+
+// Simulates executing `plan` on `machine` and fills every node's
+// actual_time_ms with the INCLUSIVE subtree time (what EXPLAIN ANALYZE
+// reports as "actual total time"), derived from the true cardinalities the
+// optimizer already recorded. Per-node lognormal noise models run-to-run
+// variance; it is deterministic in `noise_seed` so datasets are
+// reproducible. actual_cardinality must already be populated (Optimizer
+// does this).
+void SimulateExecution(const Database& db, const MachineProfile& machine,
+                       uint64_t noise_seed, plan::QueryPlan* plan);
+
+}  // namespace dace::engine
+
+#endif  // DACE_ENGINE_EXECUTOR_H_

@@ -1,0 +1,115 @@
+#include "engine/machine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dace::engine {
+
+namespace {
+double Log2Safe(double x) { return std::log2(std::max(x, 2.0)); }
+}  // namespace
+
+double MachineProfile::OwnTimeMs(plan::OperatorType type,
+                                 const CostInputs& in) const {
+  using plan::OperatorType;
+  const double pages = std::max(1.0, in.table_rows * in.width_bytes / 8192.0);
+  double cpu = 0.0;
+  double io = 0.0;
+  switch (type) {
+    case OperatorType::kSeqScan:
+      io = seq_row_ms * in.table_rows;
+      cpu = emit_row_ms * in.out_rows +
+            0.3 * seq_row_ms * in.table_rows * in.num_filters;
+      break;
+    case OperatorType::kIndexScan:
+      io = random_seek_ms * std::min(in.out_rows, pages);
+      cpu = index_row_ms * in.out_rows;
+      break;
+    case OperatorType::kIndexOnlyScan:
+      io = 0.2 * random_seek_ms * std::min(in.out_rows, pages);
+      cpu = index_row_ms * in.out_rows;
+      break;
+    case OperatorType::kBitmapIndexScan:
+      cpu = 0.5 * index_row_ms * in.out_rows;
+      io = random_seek_ms * Log2Safe(pages);
+      break;
+    case OperatorType::kBitmapHeapScan:
+      io = 1.6 * seq_row_ms * 8192.0 / std::max(in.width_bytes, 1.0) *
+           std::min(pages, in.left_rows);
+      cpu = emit_row_ms * in.out_rows;
+      break;
+    case OperatorType::kNestedLoop:
+      // Superlinear in practice: cache misses grow with the inner size.
+      cpu = nl_pair_ms * in.left_rows * std::max(in.right_rows, 1.0) *
+                (1.0 + 0.1 * Log2Safe(in.right_rows)) +
+            emit_row_ms * in.out_rows;
+      break;
+    case OperatorType::kHashJoin:
+      cpu = hash_probe_row_ms * in.left_rows *
+                (1.0 + 0.05 * Log2Safe(in.right_rows)) +
+            emit_row_ms * in.out_rows;
+      break;
+    case OperatorType::kMergeJoin:
+      cpu = 0.8 * hash_probe_row_ms * (in.left_rows + in.right_rows) +
+            emit_row_ms * in.out_rows;
+      break;
+    case OperatorType::kHash:
+      cpu = hash_build_row_ms * in.left_rows;
+      break;
+    case OperatorType::kSort:
+      cpu = sort_row_ms * in.left_rows * Log2Safe(in.left_rows);
+      break;
+    case OperatorType::kMaterialize:
+      cpu = 0.4 * emit_row_ms * in.left_rows;
+      break;
+    case OperatorType::kAggregate:
+      cpu = agg_row_ms * in.left_rows;
+      break;
+    case OperatorType::kHashAggregate:
+      cpu = (agg_row_ms + hash_build_row_ms) * in.left_rows +
+            emit_row_ms * in.out_rows;
+      break;
+    case OperatorType::kGroupAggregate:
+      cpu = agg_row_ms * in.left_rows + emit_row_ms * in.out_rows;
+      break;
+    case OperatorType::kLimit:
+      cpu = emit_row_ms * in.out_rows;
+      break;
+    case OperatorType::kGather:
+      cpu = gather_row_ms * in.left_rows;
+      break;
+  }
+  return startup_ms + cpu_factor * cpu + io_factor * io;
+}
+
+MachineProfile MachineM1() {
+  MachineProfile m;
+  m.name = "M1";
+  // Defaults above describe M1.
+  return m;
+}
+
+MachineProfile MachineM2() {
+  MachineProfile m;
+  m.name = "M2";
+  // Faster per-core CPU (desktop i5 at 3 GHz vs server Xeon at 2.2 GHz)...
+  m.cpu_factor = 0.55;
+  // ...but much slower storage and a smaller buffer pool, so the EDQO of
+  // IO-heavy and memory-hungry operators shifts substantially.
+  m.io_factor = 3.5;
+  m.random_seek_ms = 6.0e-3;
+  // Less memory: hashes and sorts degrade sooner and harder.
+  m.hash_build_row_ms = 3.2e-4;
+  m.hash_probe_row_ms = 1.1e-4;
+  m.sort_row_ms = 5.5e-5;
+  m.nl_pair_ms = 0.8e-5;  // tight loops love the faster core
+  m.agg_row_ms = 4.0e-5;
+  m.gather_row_ms = 2.5e-4;  // fewer cores, costlier parallelism
+  m.startup_ms = 0.02;
+  m.noise_sigma = 0.10;
+  return m;
+}
+
+}  // namespace dace::engine

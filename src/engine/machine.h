@@ -1,0 +1,59 @@
+#ifndef DACE_ENGINE_MACHINE_H_
+#define DACE_ENGINE_MACHINE_H_
+
+#include <string>
+
+#include "engine/cost_model.h"
+#include "plan/plan.h"
+
+namespace dace::engine {
+
+// A hardware/runtime profile: converts an operator's TRUE cardinalities into
+// wall-clock milliseconds. The functional forms intentionally differ from
+// the optimizer's abstract cost formulas (different constants, different
+// IO/CPU balance, superlinear terms the cost model linearizes), so that even
+// with perfect cardinalities, cost units map to time in an operator-specific
+// way — the second component of the EDQO.
+//
+// Two built-in profiles reproduce the paper's machines: M1 (server-class,
+// paper's Xeon E5-2650) and M2 (desktop-class, paper's i5-8500: faster
+// single-core CPU, slower storage), for the across-more experiments.
+struct MachineProfile {
+  std::string name;
+
+  double cpu_factor = 1.0;   // multiplies per-tuple CPU work
+  double io_factor = 1.0;    // multiplies page/seek IO work
+  double startup_ms = 0.05;  // fixed per-operator dispatch overhead
+
+  // Per-row work constants, milliseconds. These are the machine's "truth";
+  // they deliberately disagree with CostParams' relative weights.
+  double seq_row_ms = 4.0e-5;
+  double random_seek_ms = 2.5e-3;
+  double index_row_ms = 8.0e-5;
+  double hash_build_row_ms = 2.4e-4;
+  double hash_probe_row_ms = 1.5e-4;
+  double nl_pair_ms = 1.5e-5;
+  double sort_row_ms = 4.0e-5;  // times log2(n)
+  double agg_row_ms = 1.8e-4;
+  double emit_row_ms = 1.6e-4;
+  double gather_row_ms = 1.0e-4;
+
+  // Noise level of the measured runtimes (lognormal sigma). Mirrors run-to-
+  // run variance of EXPLAIN ANALYZE timings.
+  double noise_sigma = 0.08;
+
+  // Milliseconds of the operator's OWN work (exclusive of children), given
+  // true cardinalities. Deterministic; the executor applies noise.
+  double OwnTimeMs(plan::OperatorType type, const CostInputs& inputs) const;
+};
+
+// Paper machine M1: Xeon-class server with a capable disk subsystem.
+MachineProfile MachineM1();
+
+// Paper machine M2: desktop with faster per-core CPU, slower storage, less
+// memory (hash/sort spill more). The EDQO shifts; LoRA adapts DACE to it.
+MachineProfile MachineM2();
+
+}  // namespace dace::engine
+
+#endif  // DACE_ENGINE_MACHINE_H_

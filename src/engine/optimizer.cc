@@ -1,0 +1,292 @@
+#include "engine/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dace::engine {
+
+namespace {
+
+using plan::OperatorType;
+using plan::PlanNode;
+using plan::QueryPlan;
+
+constexpr double kMaxCard = 1e12;
+
+double ClampCard(double card) { return std::clamp(card, 1.0, kMaxCard); }
+
+}  // namespace
+
+Optimizer::SubPlan Optimizer::BuildScan(const TableRef& ref,
+                                        QueryPlan* plan) const {
+  const Table& table = db_->tables[static_cast<size_t>(ref.table_id)];
+  const double rows = static_cast<double>(table.row_count);
+
+  // Annotate each predicate with the optimizer's estimate (EXPLAIN shows
+  // per-qual selectivities implicitly through row counts).
+  std::vector<plan::FilterPredicate> filters = ref.filters;
+  for (plan::FilterPredicate& f : filters) {
+    f.est_selectivity = selectivity_.EstimatedPredicate(ref.table_id, f);
+  }
+
+  const double est_sel = selectivity_.EstimatedConjunction(ref.table_id, filters);
+  const double true_sel = selectivity_.TrueConjunction(ref.table_id, filters);
+  const double est_card = ClampCard(rows * est_sel);
+  const double act_card = ClampCard(rows * true_sel);
+
+  // Access-path choice on ESTIMATES, like a real optimizer.
+  bool any_indexed = false;
+  for (const plan::FilterPredicate& f : filters) {
+    if (table.columns[static_cast<size_t>(f.column_id)].indexed) {
+      any_indexed = true;
+      break;
+    }
+  }
+
+  CostInputs in;
+  in.table_rows = rows;
+  in.width_bytes = table.width_bytes;
+  in.num_filters = static_cast<int>(filters.size());
+  in.out_rows = est_card;
+
+  PlanNode node;
+  node.est_cardinality = est_card;
+  node.actual_cardinality = act_card;
+  node.annotation.table_id = ref.table_id;
+  node.annotation.table_rows = rows;
+  node.annotation.filters = filters;
+
+  SubPlan out;
+  out.est_card = est_card;
+  out.act_card = act_card;
+
+  if (!filters.empty() && any_indexed && est_sel < 0.002) {
+    // Highly selective and indexed: plain index scan; index-only when the
+    // single predicate touches just the indexed column (deterministic
+    // stand-in for a covering-index check).
+    const bool index_only =
+        filters.size() == 1 && (ref.table_id + filters[0].column_id) % 3 == 0;
+    node.type = index_only ? OperatorType::kIndexOnlyScan
+                           : OperatorType::kIndexScan;
+    node.est_cost = OwnCost(node.type, in);
+    out.root = plan->AddNode(std::move(node));
+    out.est_cost = plan->node(out.root).est_cost;
+    return out;
+  }
+
+  if (!filters.empty() && any_indexed && est_sel < 0.05) {
+    // Mid-selectivity: bitmap index scan feeding a bitmap heap scan.
+    PlanNode bitmap;
+    bitmap.type = OperatorType::kBitmapIndexScan;
+    bitmap.est_cardinality = est_card;
+    bitmap.actual_cardinality = act_card;
+    bitmap.annotation.table_id = ref.table_id;
+    bitmap.annotation.table_rows = rows;
+    CostInputs bin = in;
+    bin.num_filters = 1;
+    bitmap.est_cost = OwnCost(OperatorType::kBitmapIndexScan, bin);
+    const int32_t bitmap_id = plan->AddNode(std::move(bitmap));
+
+    node.type = OperatorType::kBitmapHeapScan;
+    CostInputs hin = in;
+    hin.left_rows = est_card;  // tuples delivered by the bitmap
+    node.est_cost =
+        OwnCost(OperatorType::kBitmapHeapScan, hin) + plan->node(bitmap_id).est_cost;
+    node.children.push_back(bitmap_id);
+    out.root = plan->AddNode(std::move(node));
+    out.est_cost = plan->node(out.root).est_cost;
+    return out;
+  }
+
+  // Sequential scan; very large tables go parallel behind a Gather.
+  node.type = OperatorType::kSeqScan;
+  node.est_cost = OwnCost(OperatorType::kSeqScan, in);
+  const double seq_cost = node.est_cost;
+  out.root = plan->AddNode(std::move(node));
+  out.est_cost = seq_cost;
+  if (rows > 2.5e6) {
+    PlanNode gather;
+    gather.type = OperatorType::kGather;
+    gather.est_cardinality = est_card;
+    gather.actual_cardinality = act_card;
+    CostInputs gin;
+    gin.left_rows = est_card;
+    gin.out_rows = est_card;
+    gather.est_cost = OwnCost(OperatorType::kGather, gin) + out.est_cost;
+    gather.children.push_back(out.root);
+    out.root = plan->AddNode(std::move(gather));
+    out.est_cost = plan->node(out.root).est_cost;
+  }
+  return out;
+}
+
+Optimizer::SubPlan Optimizer::AddUnary(OperatorType type, const SubPlan& input,
+                                       double est_out, double act_out,
+                                       QueryPlan* plan) const {
+  PlanNode node;
+  node.type = type;
+  node.est_cardinality = ClampCard(est_out);
+  node.actual_cardinality = ClampCard(act_out);
+  CostInputs in;
+  in.left_rows = input.est_card;
+  in.out_rows = node.est_cardinality;
+  node.est_cost = OwnCost(type, in) + input.est_cost;
+  node.children.push_back(input.root);
+  SubPlan out;
+  out.root = plan->AddNode(std::move(node));
+  out.est_card = ClampCard(est_out);
+  out.act_card = ClampCard(act_out);
+  out.est_cost = plan->node(out.root).est_cost;
+  return out;
+}
+
+Optimizer::SubPlan Optimizer::BuildJoin(const SubPlan& left,
+                                        const TableRef& right_ref,
+                                        const JoinEdge& edge,
+                                        double parent_true_sel,
+                                        QueryPlan* plan) const {
+  SubPlan right = BuildScan(right_ref, plan);
+
+  const double jsel_est = selectivity_.EstimatedJoin(edge);
+  const double jsel_true = selectivity_.TrueJoin(edge, parent_true_sel);
+  const double est_card = ClampCard(left.est_card * right.est_card * jsel_est);
+  const double act_card = ClampCard(left.act_card * right.act_card * jsel_true);
+
+  PlanNode node;
+  node.est_cardinality = est_card;
+  node.actual_cardinality = act_card;
+  node.annotation.left_table = edge.from_table;
+  node.annotation.left_column = edge.from_column;
+  node.annotation.right_table = edge.to_table;
+  node.annotation.right_column = edge.to_column;
+
+  SubPlan out;
+  out.est_card = est_card;
+  out.act_card = act_card;
+
+  // Method choice from estimates.
+  const bool tiny_inner = right.est_card <= 200.0;
+  const bool small_product = left.est_card * right.est_card <= 2e5;
+  const bool balanced_large = left.est_card > 5e4 && right.est_card > 5e4 &&
+                              left.est_card < 4.0 * right.est_card &&
+                              right.est_card < 4.0 * left.est_card;
+  if (tiny_inner || small_product) {
+    // Nested loop; materialize a non-trivial inner to avoid rescans.
+    SubPlan inner = right;
+    if (right.est_card > 50.0) {
+      inner = AddUnary(OperatorType::kMaterialize, right, right.est_card,
+                       right.act_card, plan);
+    }
+    node.type = OperatorType::kNestedLoop;
+    CostInputs in;
+    in.left_rows = left.est_card;
+    in.right_rows = inner.est_card;
+    in.out_rows = est_card;
+    node.est_cost = OwnCost(OperatorType::kNestedLoop, in) + left.est_cost +
+                    inner.est_cost;
+    node.children.push_back(left.root);
+    node.children.push_back(inner.root);
+    out.root = plan->AddNode(std::move(node));
+  } else if (balanced_large) {
+    // Merge join over two sorts.
+    SubPlan sl = AddUnary(OperatorType::kSort, left, left.est_card,
+                          left.act_card, plan);
+    SubPlan sr = AddUnary(OperatorType::kSort, right, right.est_card,
+                          right.act_card, plan);
+    node.type = OperatorType::kMergeJoin;
+    CostInputs in;
+    in.left_rows = sl.est_card;
+    in.right_rows = sr.est_card;
+    in.out_rows = est_card;
+    node.est_cost =
+        OwnCost(OperatorType::kMergeJoin, in) + sl.est_cost + sr.est_cost;
+    node.children.push_back(sl.root);
+    node.children.push_back(sr.root);
+    out.root = plan->AddNode(std::move(node));
+  } else {
+    // Hash join: build on the estimated-smaller side.
+    SubPlan probe = left;
+    SubPlan build = right;
+    if (left.est_card < right.est_card) std::swap(probe, build);
+    SubPlan hash = AddUnary(OperatorType::kHash, build, build.est_card,
+                            build.act_card, plan);
+    node.type = OperatorType::kHashJoin;
+    CostInputs in;
+    in.left_rows = probe.est_card;
+    in.right_rows = hash.est_card;
+    in.out_rows = est_card;
+    node.est_cost =
+        OwnCost(OperatorType::kHashJoin, in) + probe.est_cost + hash.est_cost;
+    node.children.push_back(probe.root);
+    node.children.push_back(hash.root);
+    out.root = plan->AddNode(std::move(node));
+  }
+  out.est_cost = plan->node(out.root).est_cost;
+  return out;
+}
+
+QueryPlan Optimizer::BuildPlan(const QuerySpec& spec) const {
+  DACE_CHECK_OK(ValidateSpec(*db_, spec));
+  QueryPlan plan;
+
+  // Per-table true conjunction selectivity, for join correlation boosts.
+  std::vector<double> true_sels(spec.tables.size(), 1.0);
+  for (size_t k = 0; k < spec.tables.size(); ++k) {
+    true_sels[k] = selectivity_.TrueConjunction(spec.tables[k].table_id,
+                                                spec.tables[k].filters);
+  }
+  const auto true_sel_of_table = [&](int32_t table_id) {
+    for (size_t k = 0; k < spec.tables.size(); ++k) {
+      if (spec.tables[k].table_id == table_id) return true_sels[k];
+    }
+    return 1.0;
+  };
+
+  SubPlan current = BuildScan(spec.tables[0], &plan);
+  for (size_t k = 0; k < spec.join_edge_ids.size(); ++k) {
+    const JoinEdge& edge =
+        db_->join_edges[static_cast<size_t>(spec.join_edge_ids[k])];
+    current = BuildJoin(current, spec.tables[k + 1], edge,
+                        true_sel_of_table(edge.to_table), &plan);
+  }
+
+  if (spec.has_aggregate) {
+    if (spec.aggregate_type == OperatorType::kAggregate ||
+        spec.group_table < 0) {
+      current = AddUnary(OperatorType::kAggregate, current, 1.0, 1.0, &plan);
+    } else {
+      const int32_t table_id =
+          spec.tables[static_cast<size_t>(spec.group_table)].table_id;
+      const double est_groups = selectivity_.EstimatedGroupCount(
+          table_id, spec.group_column, current.est_card);
+      const double act_groups = selectivity_.TrueGroupCount(
+          table_id, spec.group_column, current.act_card);
+      if (spec.aggregate_type == OperatorType::kGroupAggregate) {
+        current = AddUnary(OperatorType::kSort, current, current.est_card,
+                           current.act_card, &plan);
+        current = AddUnary(OperatorType::kGroupAggregate, current, est_groups,
+                           act_groups, &plan);
+      } else {
+        current = AddUnary(OperatorType::kHashAggregate, current, est_groups,
+                           act_groups, &plan);
+      }
+    }
+  }
+  if (spec.has_sort) {
+    current = AddUnary(OperatorType::kSort, current, current.est_card,
+                       current.act_card, &plan);
+  }
+  if (spec.has_limit) {
+    current = AddUnary(OperatorType::kLimit, current,
+                       std::min(current.est_card, spec.limit_rows),
+                       std::min(current.act_card, spec.limit_rows), &plan);
+  }
+
+  plan.SetRoot(current.root);
+  DACE_CHECK_OK(plan.Validate());
+  return plan;
+}
+
+}  // namespace dace::engine

@@ -1,0 +1,68 @@
+#ifndef DACE_ENGINE_OPTIMIZER_H_
+#define DACE_ENGINE_OPTIMIZER_H_
+
+#include "engine/catalog.h"
+#include "engine/cost_model.h"
+#include "engine/selectivity.h"
+#include "engine/workload.h"
+#include "plan/plan.h"
+
+namespace dace::engine {
+
+// Builds physical plans the way a classical optimizer would: scan and join
+// methods are chosen from ESTIMATED cardinalities and the abstract cost
+// model, so mis-estimates propagate into realistic physical plans (e.g. a
+// nested loop picked for a join the optimizer wrongly believes is tiny).
+//
+// The produced plan carries:
+//   est_cardinality / est_cost  — what the DBMS would print in EXPLAIN
+//                                 (costs inclusive of children, PG-style);
+//   actual_cardinality          — ground truth from the selectivity model.
+// actual_time_ms is left zero; Executor (executor.h) fills it per machine.
+//
+// Plan construction is deterministic: the same query yields the same plan,
+// so workloads 1 and 2 (machines M1/M2) share plans exactly as in the paper.
+class Optimizer {
+ public:
+  // `db` must outlive the optimizer.
+  explicit Optimizer(const Database* db)
+      : db_(db), selectivity_(db), cost_params_() {}
+
+  // `spec` must be valid for the database (see ValidateSpec).
+  plan::QueryPlan BuildPlan(const QuerySpec& spec) const;
+
+  const CostParams& cost_params() const { return cost_params_; }
+
+ private:
+  struct SubPlan {
+    int32_t root = -1;
+    double est_card = 1.0;
+    double act_card = 1.0;
+    double est_cost = 0.0;  // inclusive
+  };
+
+  // Builds the access path for one table ref.
+  SubPlan BuildScan(const TableRef& ref, plan::QueryPlan* plan) const;
+
+  // Joins `left` with a fresh scan of `right_ref` along `edge`.
+  SubPlan BuildJoin(const SubPlan& left, const TableRef& right_ref,
+                    const JoinEdge& edge, double parent_true_sel,
+                    plan::QueryPlan* plan) const;
+
+  // Appends a unary node on top of `input`.
+  SubPlan AddUnary(plan::OperatorType type, const SubPlan& input,
+                   double est_out, double act_out,
+                   plan::QueryPlan* plan) const;
+
+  double OwnCost(plan::OperatorType type, const CostInputs& in) const {
+    return OperatorCost(type, in, cost_params_);
+  }
+
+  const Database* db_;
+  SelectivityModel selectivity_;
+  CostParams cost_params_;
+};
+
+}  // namespace dace::engine
+
+#endif  // DACE_ENGINE_OPTIMIZER_H_

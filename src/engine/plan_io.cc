@@ -1,0 +1,76 @@
+#include "engine/plan_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace dace::engine {
+
+namespace {
+constexpr std::string_view kSeparator = "---";
+}  // namespace
+
+std::string PlansToText(const std::vector<plan::QueryPlan>& plans) {
+  std::string out;
+  for (size_t i = 0; i < plans.size(); ++i) {
+    if (i > 0) {
+      out += kSeparator;
+      out += '\n';
+    }
+    out += plans[i].ToText();
+  }
+  return out;
+}
+
+StatusOr<std::vector<plan::QueryPlan>> PlansFromText(std::string_view text) {
+  std::vector<plan::QueryPlan> plans;
+  std::string block;
+  size_t plan_index = 0;
+  const auto flush = [&]() -> Status {
+    if (StripWhitespace(block).empty()) {
+      block.clear();
+      return Status::OK();
+    }
+    auto parsed = plan::ParsePlanText(block);
+    if (!parsed.ok()) {
+      return Status(parsed.status().code(),
+                    StrFormat("plan %zu: %s", plan_index,
+                              parsed.status().message().c_str()));
+    }
+    plans.push_back(std::move(parsed).value());
+    ++plan_index;
+    block.clear();
+    return Status::OK();
+  };
+  for (std::string_view line : StrSplit(text, '\n')) {
+    if (StripWhitespace(line) == kSeparator) {
+      DACE_RETURN_IF_ERROR(flush());
+    } else {
+      block.append(line);
+      block.push_back('\n');
+    }
+  }
+  DACE_RETURN_IF_ERROR(flush());
+  return plans;
+}
+
+Status SavePlansToFile(const std::vector<plan::QueryPlan>& plans,
+                       const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot open for write: " + path);
+  out << PlansToText(plans);
+  if (!out) return Status::DataLoss("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<std::vector<plan::QueryPlan>> LoadPlansFromFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open for read: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return PlansFromText(buffer.str());
+}
+
+}  // namespace dace::engine

@@ -1,0 +1,36 @@
+#ifndef DACE_ENGINE_PLAN_IO_H_
+#define DACE_ENGINE_PLAN_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "plan/plan.h"
+#include "util/status.h"
+
+namespace dace::engine {
+
+// Persistence for labelled-plan corpora. The on-disk format is the
+// EXPLAIN-style text of plan/plan.h, one plan per block, blocks separated by
+// a line containing only "---". Text (rather than binary) keeps collected
+// traces diff-able and hand-editable, mirroring how real EXPLAIN ANALYZE
+// dumps are shipped around.
+//
+// The format round-trips every field the models consume: operator types,
+// estimated/actual cardinalities, estimated costs, actual times, table ids
+// and sizes, join columns and filter predicates.
+
+// Serializes plans into the multi-plan text format.
+std::string PlansToText(const std::vector<plan::QueryPlan>& plans);
+
+// Parses a multi-plan text blob. Fails on the first malformed plan.
+StatusOr<std::vector<plan::QueryPlan>> PlansFromText(std::string_view text);
+
+// File convenience wrappers.
+Status SavePlansToFile(const std::vector<plan::QueryPlan>& plans,
+                       const std::string& path);
+StatusOr<std::vector<plan::QueryPlan>> LoadPlansFromFile(
+    const std::string& path);
+
+}  // namespace dace::engine
+
+#endif  // DACE_ENGINE_PLAN_IO_H_

@@ -1,0 +1,201 @@
+#include "engine/selectivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace dace::engine {
+
+namespace {
+
+double Clamp01(double x) {
+  return std::clamp(x, SelectivityModel::kMinSel, 1.0);
+}
+
+const Column& ColumnOf(const Database& db, int32_t table, int32_t column) {
+  DACE_CHECK(table >= 0 && static_cast<size_t>(table) < db.tables.size());
+  const Table& t = db.tables[static_cast<size_t>(table)];
+  DACE_CHECK(column >= 0 && static_cast<size_t>(column) < t.columns.size());
+  return t.columns[static_cast<size_t>(column)];
+}
+
+}  // namespace
+
+double SelectivityModel::SkewExponent(int32_t table, int32_t column) const {
+  const Column& col = ColumnOf(*db_, table, column);
+  if (col.skew <= 0.0) return 1.0;
+  // Deterministic direction and magnitude in [exp(-skew), exp(skew)].
+  const uint64_t key = HashCombine(
+      HashCombine(db_->seed, 0x5e1ec71ull),
+      HashCombine(static_cast<uint64_t>(table), static_cast<uint64_t>(column)));
+  const double u = 2.0 * HashUniform(key) - 1.0;  // [-1, 1]
+  // Tempered: single-table estimates in real optimizers are off by small
+  // factors (histograms do work); the dramatic errors come from join
+  // compounding. An unbounded exponent would make a lone skewed scan harder
+  // to estimate than a five-way join, inverting the paper's Fig. 4 shape.
+  return std::exp(std::min(col.skew, 1.2) * 0.6 * u);
+}
+
+double SelectivityModel::DomainQuantile(const Column& column,
+                                        double value) const {
+  const double span = column.max_value - column.min_value;
+  return std::clamp((value - column.min_value) / span, 0.0, 1.0);
+}
+
+double SelectivityModel::StatsErrorFactor(int32_t table, int32_t column,
+                                          int bucket) const {
+  const Column& col = ColumnOf(*db_, table, column);
+  if (col.histogram_error <= 0.0) return 1.0;
+  const uint64_t key = HashCombine(
+      HashCombine(db_->seed, 0x81570ull),
+      HashCombine(HashCombine(static_cast<uint64_t>(table),
+                              static_cast<uint64_t>(column)),
+                  static_cast<uint64_t>(bucket)));
+  return std::exp(col.histogram_error * HashGaussian(key));
+}
+
+double SelectivityModel::TruePredicate(
+    int32_t table, const plan::FilterPredicate& pred) const {
+  const Column& col = ColumnOf(*db_, table, pred.column_id);
+  const double q = DomainQuantile(col, pred.literal);
+  const double e = SkewExponent(table, pred.column_id);
+  const double cdf = std::pow(q, e);
+  switch (pred.op) {
+    case plan::CompareOp::kLt:
+    case plan::CompareOp::kLe:
+      return Clamp01(cdf);
+    case plan::CompareOp::kGt:
+    case plan::CompareOp::kGe:
+      return Clamp01(1.0 - cdf);
+    case plan::CompareOp::kEq: {
+      // Local density at quantile q divided by distinct count: the fraction
+      // of rows holding the single value nearest to the literal.
+      const double density = e * std::pow(std::max(q, 1e-6), e - 1.0);
+      return Clamp01(density / static_cast<double>(col.distinct_count));
+    }
+    case plan::CompareOp::kNe: {
+      const double density = e * std::pow(std::max(q, 1e-6), e - 1.0);
+      return Clamp01(1.0 - density / static_cast<double>(col.distinct_count));
+    }
+  }
+  return 1.0;
+}
+
+double SelectivityModel::EstimatedPredicate(
+    int32_t table, const plan::FilterPredicate& pred) const {
+  const Column& col = ColumnOf(*db_, table, pred.column_id);
+  const double q = DomainQuantile(col, pred.literal);
+  const int bucket = std::min(9, static_cast<int>(q * 10.0));
+  const double err = StatsErrorFactor(table, pred.column_id, bucket);
+  switch (pred.op) {
+    case plan::CompareOp::kLt:
+    case plan::CompareOp::kLe:
+      // Uniformity assumption: covered fraction of the domain.
+      return Clamp01(q * err);
+    case plan::CompareOp::kGt:
+    case plan::CompareOp::kGe:
+      return Clamp01((1.0 - q) * err);
+    case plan::CompareOp::kEq:
+      return Clamp01(err / static_cast<double>(col.distinct_count));
+    case plan::CompareOp::kNe:
+      return Clamp01(1.0 - err / static_cast<double>(col.distinct_count));
+  }
+  return 1.0;
+}
+
+double SelectivityModel::TrueConjunction(
+    int32_t table, const std::vector<plan::FilterPredicate>& preds) const {
+  if (preds.empty()) return 1.0;
+  double sel = 1.0;
+  double min_marginal = 1.0;
+  for (const plan::FilterPredicate& pred : preds) {
+    const double s = TruePredicate(table, pred);
+    min_marginal = std::min(min_marginal, s);
+    const Column& col = ColumnOf(*db_, table, pred.column_id);
+    // If this column is correlated with another filtered column, the joint
+    // selectivity is larger than the independent product: contribute
+    // s^(1 - rho) instead of s.
+    double rho = 0.0;
+    if (col.correlated_with >= 0) {
+      for (const plan::FilterPredicate& other : preds) {
+        if (other.column_id == col.correlated_with) {
+          rho = col.correlation;
+          break;
+        }
+      }
+    }
+    sel *= std::pow(s, 1.0 - rho);
+  }
+  // A conjunction can never be more selective than its tightest conjunct.
+  return Clamp01(std::min(sel, min_marginal));
+}
+
+double SelectivityModel::EstimatedConjunction(
+    int32_t table, const std::vector<plan::FilterPredicate>& preds) const {
+  double sel = 1.0;
+  for (const plan::FilterPredicate& pred : preds) {
+    sel *= EstimatedPredicate(table, pred);
+  }
+  return Clamp01(sel);
+}
+
+double SelectivityModel::TrueJoin(const JoinEdge& edge,
+                                  double parent_true_sel) const {
+  const Column& parent_key =
+      ColumnOf(*db_, edge.to_table, edge.to_column);
+  // Base: every child row matches exactly one parent key, keys uniformly
+  // referenced -> selectivity 1/D_parent w.r.t. the cross product.
+  double sel = 1.0 / static_cast<double>(parent_key.distinct_count);
+  // Fanout skew: a deterministic per-edge multiplier. Hot parent keys have
+  // many more children than the average, so the realized cardinality of the
+  // join deviates from the uniform prediction.
+  if (edge.fanout_skew > 0.0) {
+    const uint64_t key = HashCombine(
+        HashCombine(db_->seed, 0xfa4047ull),
+        HashCombine(static_cast<uint64_t>(edge.from_table),
+                    static_cast<uint64_t>(edge.to_table)));
+    sel *= std::exp(edge.fanout_skew * std::fabs(HashGaussian(key)));
+  }
+  // Filter correlation: when the parent side is filtered, the surviving
+  // parent keys are over-represented among children (e.g. recent movies have
+  // more cast entries), so the join keeps more than parent_sel of the
+  // children. Boost grows as the parent filter tightens.
+  if (edge.filter_correlation > 0.0 && parent_true_sel < 1.0) {
+    sel *= std::pow(std::max(parent_true_sel, kMinSel),
+                    -edge.filter_correlation);
+  }
+  return Clamp01(sel);
+}
+
+double SelectivityModel::EstimatedJoin(const JoinEdge& edge) const {
+  const Column& from_key = ColumnOf(*db_, edge.from_table, edge.from_column);
+  const Column& to_key = ColumnOf(*db_, edge.to_table, edge.to_column);
+  // System R: 1 / max(distinct counts) under uniform fanout.
+  const double d = static_cast<double>(
+      std::max(from_key.distinct_count, to_key.distinct_count));
+  return Clamp01(1.0 / d);
+}
+
+double SelectivityModel::TrueGroupCount(int32_t table, int32_t column,
+                                        double input_rows) const {
+  const Column& col = ColumnOf(*db_, table, column);
+  // Distinct values present in a sample of `input_rows` rows: standard
+  // "balls into bins" expectation with the column's skew softening it.
+  const double d = static_cast<double>(col.distinct_count);
+  const double ratio = input_rows / d;
+  const double expected = d * (1.0 - std::exp(-ratio));
+  return std::max(1.0, std::min(expected, input_rows));
+}
+
+double SelectivityModel::EstimatedGroupCount(int32_t table, int32_t column,
+                                             double input_rows) const {
+  const Column& col = ColumnOf(*db_, table, column);
+  const double err = StatsErrorFactor(table, column, /*bucket=*/17);
+  // Optimizers typically take min(distinct, rows).
+  const double d = static_cast<double>(col.distinct_count) * err;
+  return std::max(1.0, std::min(d, input_rows));
+}
+
+}  // namespace dace::engine

@@ -1,0 +1,74 @@
+#ifndef DACE_ENGINE_SELECTIVITY_H_
+#define DACE_ENGINE_SELECTIVITY_H_
+
+#include <vector>
+
+#include "engine/catalog.h"
+#include "plan/plan.h"
+
+namespace dace::engine {
+
+// Computes TRUE and OPTIMIZER-ESTIMATED selectivities for predicates and
+// joins over a Database. The gap between the two is the raw material of the
+// EDQO (error distribution of the query optimizer) that DACE learns:
+//
+//  * True range selectivity follows a skew-bent CDF F(q) = q^e (e derived
+//    from the column's skew knob); the optimizer's histogram assumes the
+//    uniform F(q) = q, perturbed by a deterministic per-bucket stats error.
+//  * True equality selectivity is the local value frequency; the optimizer
+//    uses the classic 1/distinct.
+//  * True conjunctions respect inter-column correlation; the optimizer
+//    multiplies marginals (attribute independence).
+//  * True join selectivity includes reference-fanout skew and filter/fanout
+//    correlation; the optimizer uses 1/max(distinct_left, distinct_right).
+//
+// All "randomness" is a pure function of the database seed, so a database is
+// a reproducible world: the same query always has the same true cardinality
+// and the same optimizer misestimate.
+class SelectivityModel {
+ public:
+  // `db` must outlive this object.
+  explicit SelectivityModel(const Database* db) : db_(db) {}
+
+  // Single-predicate selectivities on a base table, in [kMinSel, 1].
+  double TruePredicate(int32_t table, const plan::FilterPredicate& pred) const;
+  double EstimatedPredicate(int32_t table,
+                            const plan::FilterPredicate& pred) const;
+
+  // Conjunction over one table. True combines with correlation awareness;
+  // the estimate assumes independence.
+  double TrueConjunction(int32_t table,
+                         const std::vector<plan::FilterPredicate>& preds) const;
+  double EstimatedConjunction(
+      int32_t table, const std::vector<plan::FilterPredicate>& preds) const;
+
+  // Join selectivity w.r.t. the cross product of the two (filtered) inputs.
+  // `parent_true_sel` is the true selectivity already applied to the parent
+  // side (drives the filter-correlation boost).
+  double TrueJoin(const JoinEdge& edge, double parent_true_sel) const;
+  double EstimatedJoin(const JoinEdge& edge) const;
+
+  // Group-by output cardinalities (used by the aggregate operators).
+  double TrueGroupCount(int32_t table, int32_t column, double input_rows) const;
+  double EstimatedGroupCount(int32_t table, int32_t column,
+                             double input_rows) const;
+
+  static constexpr double kMinSel = 1e-8;
+
+ private:
+  // Skew exponent e for a column's CDF; deterministic from the db seed.
+  double SkewExponent(int32_t table, int32_t column) const;
+
+  // Fraction of the column's domain at value v, clamped to [0, 1].
+  double DomainQuantile(const Column& column, double value) const;
+
+  // Lognormal stats-error factor for the optimizer at a given histogram
+  // bucket, deterministic from (seed, table, column, bucket).
+  double StatsErrorFactor(int32_t table, int32_t column, int bucket) const;
+
+  const Database* db_;
+};
+
+}  // namespace dace::engine
+
+#endif  // DACE_ENGINE_SELECTIVITY_H_

@@ -1,0 +1,271 @@
+#include "engine/workload.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.h"
+
+namespace dace::engine {
+
+namespace {
+
+using plan::CompareOp;
+using plan::FilterPredicate;
+
+// Samples a filter on a random non-key column of `table`. `wide_ranges`
+// biases toward low-selectivity range predicates (the kScale workload).
+// The cut-point quantile is confined to [options.filter_q_lo, filter_q_hi].
+FilterPredicate SampleFilter(const Table& table, Rng* rng, bool wide_ranges,
+                             const WorkloadOptions& options) {
+  FilterPredicate f;
+  // Prefer non-primary-key columns when available.
+  const int32_t num_cols = static_cast<int32_t>(table.columns.size());
+  f.column_id = num_cols > 1 ? static_cast<int32_t>(rng->UniformInt(1, num_cols - 1)) : 0;
+  const Column& col = table.columns[static_cast<size_t>(f.column_id)];
+  const double span = col.max_value - col.min_value;
+  const auto confine = [&](double q) {
+    return options.filter_q_lo + (options.filter_q_hi - options.filter_q_lo) * q;
+  };
+  const double roll = rng->NextDouble();
+  if (roll < 0.25) {
+    f.op = CompareOp::kEq;
+    f.literal = col.min_value + span * confine(rng->NextDouble());
+  } else {
+    f.op = rng->Bernoulli(0.5) ? CompareOp::kLt : CompareOp::kGt;
+    // Quantile of the cut point: wide ranges keep most rows, narrow few.
+    double q = rng->NextDouble();
+    if (!wide_ranges) {
+      q = 0.65 * q;  // biased toward selective cuts
+    }
+    q = confine(q);
+    f.literal = col.min_value + span * (f.op == CompareOp::kLt ? q : 1.0 - q);
+  }
+  return f;
+}
+
+// Grows a connected set of tables by random walk over the join graph.
+// Returns the table refs and the edges used, left-deep order.
+void SampleJoinTree(const Database& db, int desired_joins, Rng* rng,
+                    std::vector<int32_t>* tables,
+                    std::vector<int32_t>* edges) {
+  tables->clear();
+  edges->clear();
+  const int32_t num_tables = static_cast<int32_t>(db.tables.size());
+  int32_t start = static_cast<int32_t>(rng->UniformInt(0, num_tables - 1));
+  tables->push_back(start);
+  std::set<int32_t> in_set = {start};
+  for (int step = 0; step < desired_joins; ++step) {
+    // Collect edges leaving the current set.
+    std::vector<int32_t> frontier;
+    for (int32_t t : *tables) {
+      for (int32_t e : db.EdgesOf(t)) {
+        const JoinEdge& edge = db.join_edges[static_cast<size_t>(e)];
+        const int32_t other = edge.from_table == t ? edge.to_table : edge.from_table;
+        if (!in_set.count(other)) frontier.push_back(e);
+      }
+    }
+    if (frontier.empty()) break;  // schema has no more reachable tables
+    const int32_t e =
+        frontier[static_cast<size_t>(rng->UniformInt(0, static_cast<int64_t>(frontier.size()) - 1))];
+    const JoinEdge& edge = db.join_edges[static_cast<size_t>(e)];
+    const int32_t next = in_set.count(edge.from_table) ? edge.to_table : edge.from_table;
+    tables->push_back(next);
+    edges->push_back(e);
+    in_set.insert(next);
+  }
+}
+
+int SampleJoinCount(WorkloadKind kind, Rng* rng) {
+  switch (kind) {
+    case WorkloadKind::kComplex: {
+      // Geometric-ish over 0..5, mode at 1-2.
+      const double r = rng->NextDouble();
+      if (r < 0.15) return 0;
+      if (r < 0.40) return 1;
+      if (r < 0.65) return 2;
+      if (r < 0.82) return 3;
+      if (r < 0.93) return 4;
+      return 5;
+    }
+    case WorkloadKind::kSynthetic:
+      return static_cast<int>(rng->UniformInt(0, 2));
+    case WorkloadKind::kScale:
+      return static_cast<int>(rng->UniformInt(0, 4));
+    case WorkloadKind::kJobLight:
+      return static_cast<int>(rng->UniformInt(1, 4));
+  }
+  return 1;
+}
+
+}  // namespace
+
+const char* WorkloadKindName(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kComplex:
+      return "complex";
+    case WorkloadKind::kSynthetic:
+      return "synthetic";
+    case WorkloadKind::kScale:
+      return "scale";
+    case WorkloadKind::kJobLight:
+      return "job-light";
+  }
+  return "unknown";
+}
+
+QuerySpec GenerateQuery(const Database& db, WorkloadKind kind, Rng* rng,
+                        const WorkloadOptions& options) {
+  QuerySpec spec;
+  std::vector<int32_t> tables;
+  std::vector<int32_t> edges;
+  if (kind == WorkloadKind::kJobLight) {
+    // JOB-light style: star joins around the largest (fact) table. Fix the
+    // start table so the workload is a narrow template family.
+    int32_t fact = 0;
+    for (size_t t = 1; t < db.tables.size(); ++t) {
+      if (db.tables[t].row_count >
+          db.tables[static_cast<size_t>(fact)].row_count) {
+        fact = static_cast<int32_t>(t);
+      }
+    }
+    tables.push_back(fact);
+    std::set<int32_t> in_set = {fact};
+    const int desired = SampleJoinCount(kind, rng);
+    for (int step = 0; step < desired; ++step) {
+      std::vector<int32_t> frontier;
+      for (int32_t t : tables) {
+        for (int32_t e : db.EdgesOf(t)) {
+          const JoinEdge& edge = db.join_edges[static_cast<size_t>(e)];
+          const int32_t other =
+              edge.from_table == t ? edge.to_table : edge.from_table;
+          if (!in_set.count(other)) frontier.push_back(e);
+        }
+      }
+      if (frontier.empty()) break;
+      const int32_t e = frontier[static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(frontier.size()) - 1))];
+      const JoinEdge& edge = db.join_edges[static_cast<size_t>(e)];
+      const int32_t next =
+          in_set.count(edge.from_table) ? edge.to_table : edge.from_table;
+      tables.push_back(next);
+      edges.push_back(e);
+      in_set.insert(next);
+    }
+  } else {
+    SampleJoinTree(db, SampleJoinCount(kind, rng), rng, &tables, &edges);
+  }
+
+  spec.join_edge_ids = edges;
+  for (int32_t t : tables) {
+    TableRef ref;
+    ref.table_id = t;
+    const Table& table = db.tables[static_cast<size_t>(t)];
+    int max_filters = 3;
+    double filter_prob = 0.6;
+    switch (kind) {
+      case WorkloadKind::kComplex:
+        max_filters = 3;
+        filter_prob = 0.6;
+        break;
+      case WorkloadKind::kSynthetic:
+        max_filters = 3;
+        filter_prob = 0.75;
+        break;
+      case WorkloadKind::kScale:
+        max_filters = 2;
+        filter_prob = 0.8;
+        break;
+      case WorkloadKind::kJobLight:
+        max_filters = 2;
+        filter_prob = 0.5;
+        break;
+    }
+    for (int i = 0; i < max_filters; ++i) {
+      if (!rng->Bernoulli(filter_prob)) break;
+      ref.filters.push_back(
+          SampleFilter(table, rng, kind == WorkloadKind::kScale, options));
+    }
+    spec.tables.push_back(std::move(ref));
+  }
+
+  // Top-of-plan shape.
+  const double agg_prob = kind == WorkloadKind::kComplex ? 0.45 : 0.25;
+  if (rng->Bernoulli(agg_prob)) {
+    spec.has_aggregate = true;
+    const double r = rng->NextDouble();
+    if (r < 0.35) {
+      spec.aggregate_type = plan::OperatorType::kAggregate;  // COUNT(*) etc.
+    } else {
+      spec.aggregate_type = r < 0.8 ? plan::OperatorType::kHashAggregate
+                                    : plan::OperatorType::kGroupAggregate;
+      spec.group_table =
+          static_cast<int32_t>(rng->UniformInt(0, static_cast<int64_t>(spec.tables.size()) - 1));
+      const Table& gt =
+          db.tables[static_cast<size_t>(spec.tables[static_cast<size_t>(spec.group_table)].table_id)];
+      spec.group_column = static_cast<int32_t>(
+          rng->UniformInt(0, static_cast<int64_t>(gt.columns.size()) - 1));
+    }
+  }
+  if (kind == WorkloadKind::kComplex) {
+    if (!spec.has_aggregate && rng->Bernoulli(0.2)) spec.has_sort = true;
+    if (rng->Bernoulli(0.2)) {
+      spec.has_limit = true;
+      spec.limit_rows = static_cast<double>(rng->UniformInt(1, 1000));
+    }
+  }
+  return spec;
+}
+
+std::vector<QuerySpec> GenerateQueries(const Database& db, WorkloadKind kind,
+                                       int count, uint64_t seed,
+                                       const WorkloadOptions& options) {
+  Rng rng(HashCombine(seed, HashCombine(db.seed, 0x90ad1e5ull)));
+  std::vector<QuerySpec> specs;
+  specs.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    specs.push_back(GenerateQuery(db, kind, &rng, options));
+  }
+  return specs;
+}
+
+Status ValidateSpec(const Database& db, const QuerySpec& spec) {
+  if (spec.tables.empty()) return Status::FailedPrecondition("no tables");
+  if (spec.join_edge_ids.size() + 1 != spec.tables.size()) {
+    return Status::FailedPrecondition("join count must be tables-1");
+  }
+  std::set<int32_t> joined = {spec.tables[0].table_id};
+  for (size_t k = 0; k < spec.join_edge_ids.size(); ++k) {
+    const int32_t e = spec.join_edge_ids[k];
+    if (e < 0 || static_cast<size_t>(e) >= db.join_edges.size()) {
+      return Status::FailedPrecondition("edge id out of range");
+    }
+    const JoinEdge& edge = db.join_edges[static_cast<size_t>(e)];
+    const int32_t next = spec.tables[k + 1].table_id;
+    const bool connects =
+        (edge.from_table == next && joined.count(edge.to_table)) ||
+        (edge.to_table == next && joined.count(edge.from_table));
+    if (!connects) return Status::FailedPrecondition("edge does not connect");
+    joined.insert(next);
+  }
+  for (const TableRef& ref : spec.tables) {
+    if (ref.table_id < 0 ||
+        static_cast<size_t>(ref.table_id) >= db.tables.size()) {
+      return Status::FailedPrecondition("table id out of range");
+    }
+    const Table& table = db.tables[static_cast<size_t>(ref.table_id)];
+    for (const plan::FilterPredicate& f : ref.filters) {
+      if (f.column_id < 0 ||
+          static_cast<size_t>(f.column_id) >= table.columns.size()) {
+        return Status::FailedPrecondition("filter column out of range");
+      }
+    }
+  }
+  if (spec.has_aggregate && spec.group_table >= 0) {
+    if (static_cast<size_t>(spec.group_table) >= spec.tables.size()) {
+      return Status::FailedPrecondition("group table out of range");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace dace::engine

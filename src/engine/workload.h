@@ -1,0 +1,79 @@
+#ifndef DACE_ENGINE_WORKLOAD_H_
+#define DACE_ENGINE_WORKLOAD_H_
+
+#include <vector>
+
+#include "engine/catalog.h"
+#include "plan/plan.h"
+#include "util/rng.h"
+
+namespace dace::engine {
+
+// A scanned table plus its conjunctive filters.
+struct TableRef {
+  int32_t table_id = -1;
+  std::vector<plan::FilterPredicate> filters;
+};
+
+// A logical select-project-join(-aggregate) query. Joins are applied
+// left-deep in order: tables[0] ⋈ tables[1] ⋈ ... where join_edge_ids[k]
+// connects tables[k+1] to one of tables[0..k].
+struct QuerySpec {
+  std::vector<TableRef> tables;
+  std::vector<int32_t> join_edge_ids;
+
+  bool has_aggregate = false;
+  plan::OperatorType aggregate_type = plan::OperatorType::kAggregate;
+  int32_t group_table = -1;   // index into `tables`, not a table id
+  int32_t group_column = -1;
+
+  bool has_sort = false;
+  bool has_limit = false;
+  double limit_rows = 100.0;
+
+  int NumJoins() const { return static_cast<int>(join_edge_ids.size()); }
+};
+
+// Families of query workloads used in the paper's evaluation.
+enum class WorkloadKind {
+  // Zero-Shot-style "complex" workloads (workloads 1 and 2): up to 5 joins,
+  // aggregates, sorts, limits — the pre-training distribution.
+  kComplex,
+  // MSCN's synthetic benchmark: broad random SPJ queries, 0–2 joins.
+  kSynthetic,
+  // MSCN's scale benchmark: synthetic-like but weighted toward wide-range
+  // predicates whose cardinality varies over orders of magnitude.
+  kScale,
+  // JOB-light: a small fixed set of join templates (star joins around the
+  // fact table) with 1–2 filters — a template shift from kSynthetic.
+  kJobLight,
+};
+
+const char* WorkloadKindName(WorkloadKind kind);
+
+// Knobs for workload drift experiments (paper Fig. 1, Drift I: "the main
+// drift is the restricted range of filters"). Filter cut-points are drawn
+// from domain quantiles inside [filter_q_lo, filter_q_hi]; shifting the
+// window between a WDM's training workload and the test workload reproduces
+// the restricted-filter-range drift of the paper's workload 3.
+struct WorkloadOptions {
+  double filter_q_lo = 0.05;
+  double filter_q_hi = 0.95;
+};
+
+// Samples one query. The spec is always valid for `db` (connected join
+// subgraph, in-range predicate literals).
+QuerySpec GenerateQuery(const Database& db, WorkloadKind kind, Rng* rng,
+                        const WorkloadOptions& options = WorkloadOptions());
+
+// Samples `count` queries.
+std::vector<QuerySpec> GenerateQueries(
+    const Database& db, WorkloadKind kind, int count, uint64_t seed,
+    const WorkloadOptions& options = WorkloadOptions());
+
+// Validates a spec against a database (indices in range, edges connect).
+Status ValidateSpec(const Database& db, const QuerySpec& spec);
+
+}  // namespace dace::engine
+
+#endif  // DACE_ENGINE_WORKLOAD_H_

@@ -1,0 +1,80 @@
+#include "eval/experiments.h"
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace dace::eval {
+
+ExperimentConfig ExperimentConfig::FromFlags(const Flags& flags) {
+  ExperimentConfig config;
+  config.num_databases =
+      static_cast<int>(flags.GetInt("num_databases", config.num_databases));
+  config.queries_per_db =
+      static_cast<int>(flags.GetInt("queries_per_db", config.queries_per_db));
+  config.test_queries =
+      static_cast<int>(flags.GetInt("test_queries", config.test_queries));
+  config.epochs = static_cast<int>(flags.GetInt("epochs", config.epochs));
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", static_cast<int64_t>(config.seed)));
+  return config;
+}
+
+Workbench::Workbench(const ExperimentConfig& config)
+    : config_(config),
+      corpus_(engine::BuildCorpus(config.seed, config.num_databases)),
+      m1_(engine::MachineM1()),
+      m2_(engine::MachineM2()),
+      workload1_(corpus_.size()) {}
+
+const std::vector<plan::QueryPlan>& Workbench::Workload1(int db) {
+  DACE_CHECK(db >= 0 && static_cast<size_t>(db) < corpus_.size());
+  auto& cache = workload1_[static_cast<size_t>(db)];
+  if (cache.empty()) {
+    cache = engine::GenerateLabeledPlans(
+        corpus_[static_cast<size_t>(db)], m1_, engine::WorkloadKind::kComplex,
+        config_.queries_per_db,
+        HashCombine(config_.seed, 0x70ad + static_cast<uint64_t>(db)));
+  }
+  return cache;
+}
+
+std::vector<plan::QueryPlan> Workbench::Workload2(int db) {
+  std::vector<plan::QueryPlan> plans = Workload1(db);
+  engine::RelabelPlans(corpus_[static_cast<size_t>(db)], m2_,
+                       HashCombine(config_.seed, 0x2222 + static_cast<uint64_t>(db)),
+                       &plans);
+  return plans;
+}
+
+std::vector<plan::QueryPlan> Workbench::TrainPlansExcluding(int exclude_db,
+                                                            int per_db,
+                                                            int num_dbs) {
+  std::vector<plan::QueryPlan> pool;
+  const size_t limit =
+      num_dbs < 0 ? corpus_.size()
+                  : std::min(corpus_.size(), static_cast<size_t>(num_dbs) +
+                                                 (exclude_db >= 0 ? 1 : 0));
+  size_t used = 0;
+  for (size_t db = 0; db < corpus_.size(); ++db) {
+    if (static_cast<int>(db) == exclude_db) continue;
+    if (num_dbs >= 0 && used >= static_cast<size_t>(num_dbs)) break;
+    if (num_dbs < 0 && db >= limit) break;
+    const auto& plans = Workload1(static_cast<int>(db));
+    const size_t take =
+        per_db < 0 ? plans.size()
+                   : std::min(plans.size(), static_cast<size_t>(per_db));
+    pool.insert(pool.end(), plans.begin(), plans.begin() + static_cast<long>(take));
+    ++used;
+  }
+  return pool;
+}
+
+std::vector<plan::QueryPlan> Workbench::TestPlans(int db,
+                                                  engine::WorkloadKind kind,
+                                                  int count) {
+  DACE_CHECK(db >= 0 && static_cast<size_t>(db) < corpus_.size());
+  return engine::GenerateLabeledPlans(
+      corpus_[static_cast<size_t>(db)], m1_, kind, count,
+      HashCombine(config_.seed, 0x7e57 + static_cast<uint64_t>(db) * 131));
+}
+
+}  // namespace dace::eval

@@ -1,0 +1,68 @@
+#ifndef DACE_EVAL_EXPERIMENTS_H_
+#define DACE_EVAL_EXPERIMENTS_H_
+
+#include <vector>
+
+#include "engine/catalog.h"
+#include "engine/corpus.h"
+#include "engine/dataset.h"
+#include "engine/machine.h"
+#include "plan/plan.h"
+#include "util/flags.h"
+
+namespace dace::eval {
+
+// Common experiment scaffolding shared by the bench binaries: the corpus and
+// the per-database labelled workloads of the paper's protocols, scaled by
+// command-line flags so every figure can be regenerated at paper scale
+// (--queries_per_db=10000) or laptop scale (the defaults).
+struct ExperimentConfig {
+  int num_databases = 20;
+  int queries_per_db = 150;   // workload 1/2 size per database
+  int test_queries = 400;     // held-out test set size
+  int epochs = 12;            // pre-training epochs
+  uint64_t seed = 42;
+
+  static ExperimentConfig FromFlags(const Flags& flags);
+};
+
+// The corpus plus the per-database complex workloads on machine M1
+// (workload 1). Workload 2 (machine M2) is derived on demand.
+class Workbench {
+ public:
+  explicit Workbench(const ExperimentConfig& config);
+
+  const ExperimentConfig& config() const { return config_; }
+  const std::vector<engine::Database>& corpus() const { return corpus_; }
+  const engine::MachineProfile& m1() const { return m1_; }
+  const engine::MachineProfile& m2() const { return m2_; }
+
+  // Workload 1: complex queries of database `db` labelled on M1. Built
+  // lazily and cached.
+  const std::vector<plan::QueryPlan>& Workload1(int db);
+
+  // Workload 2: the same plans relabelled on M2.
+  std::vector<plan::QueryPlan> Workload2(int db);
+
+  // Training pool: workload-1 plans of every database except `exclude_db`
+  // (pass -1 to keep all), truncated to `per_db` plans per database
+  // (-1 = all), using the first `num_dbs` databases (-1 = all).
+  std::vector<plan::QueryPlan> TrainPlansExcluding(int exclude_db,
+                                                   int per_db = -1,
+                                                   int num_dbs = -1);
+
+  // Fresh test plans for a database (disjoint seed from Workload1).
+  std::vector<plan::QueryPlan> TestPlans(int db, engine::WorkloadKind kind,
+                                         int count);
+
+ private:
+  ExperimentConfig config_;
+  std::vector<engine::Database> corpus_;
+  engine::MachineProfile m1_;
+  engine::MachineProfile m2_;
+  std::vector<std::vector<plan::QueryPlan>> workload1_;  // per db, lazy
+};
+
+}  // namespace dace::eval
+
+#endif  // DACE_EVAL_EXPERIMENTS_H_

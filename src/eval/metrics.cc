@@ -1,0 +1,106 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace dace::eval {
+
+double Qerror(double est, double act) {
+  // Clamp into a sane range for execution times in ms so the ratio stays
+  // finite even for degenerate predictions.
+  est = std::clamp(est, 1e-6, 1e15);
+  act = std::clamp(act, 1e-6, 1e15);
+  return std::max(est / act, act / est);
+}
+
+QerrorSummary Summarize(std::vector<double> qerrors) {
+  QerrorSummary s;
+  if (qerrors.empty()) return s;
+  std::sort(qerrors.begin(), qerrors.end());
+  const auto pct = [&](double p) {
+    const double idx = p * static_cast<double>(qerrors.size() - 1);
+    const size_t lo = static_cast<size_t>(idx);
+    const size_t hi = std::min(lo + 1, qerrors.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return qerrors[lo] * (1.0 - frac) + qerrors[hi] * frac;
+  };
+  s.median = pct(0.5);
+  s.p90 = pct(0.9);
+  s.p95 = pct(0.95);
+  s.p99 = pct(0.99);
+  s.max = qerrors.back();
+  double total = 0.0;
+  for (double q : qerrors) total += q;
+  s.mean = total / static_cast<double>(qerrors.size());
+  s.count = qerrors.size();
+  return s;
+}
+
+std::vector<double> QerrorsOf(const core::CostEstimator& estimator,
+                              const std::vector<plan::QueryPlan>& test) {
+  std::vector<double> qerrors;
+  qerrors.reserve(test.size());
+  for (const plan::QueryPlan& plan : test) {
+    qerrors.push_back(Qerror(estimator.PredictMs(plan),
+                             plan.node(plan.root()).actual_time_ms));
+  }
+  return qerrors;
+}
+
+QerrorSummary Evaluate(const core::CostEstimator& estimator,
+                       const std::vector<plan::QueryPlan>& test) {
+  return Summarize(QerrorsOf(estimator, test));
+}
+
+std::string FormatMetric(double value) {
+  if (value >= 1000.0) return StrFormat("%.0f", value);
+  if (value >= 100.0) return StrFormat("%.1f", value);
+  return StrFormat("%.2f", value);
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  DACE_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::AddSummaryRow(const std::string& name,
+                                 const QerrorSummary& summary) {
+  AddRow({name, FormatMetric(summary.median), FormatMetric(summary.p90),
+          FormatMetric(summary.p95), FormatMetric(summary.p99),
+          FormatMetric(summary.max), FormatMetric(summary.mean)});
+}
+
+void TablePrinter::Print() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t c = 0; c < cells.size(); ++c) {
+      line += cells[c];
+      line.append(widths[c] - cells[c].size() + 2, ' ');
+    }
+    std::printf("%s\n", line.c_str());
+  };
+  print_row(headers_);
+  std::string rule;
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    rule.append(widths[c], '-');
+    rule.append(2, ' ');
+  }
+  std::printf("%s\n", rule.c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace dace::eval

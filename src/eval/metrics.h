@@ -1,0 +1,58 @@
+#ifndef DACE_EVAL_METRICS_H_
+#define DACE_EVAL_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+#include "plan/plan.h"
+
+namespace dace::eval {
+
+// Q-error (Eq. 1): max(est, act) / min(est, act), >= 1. Values are clamped
+// away from zero so degenerate predictions stay finite.
+double Qerror(double est, double act);
+
+// Percentile summary of a q-error sample, the row format of Table I.
+struct QerrorSummary {
+  double median = 0.0;
+  double p90 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  size_t count = 0;
+};
+
+QerrorSummary Summarize(std::vector<double> qerrors);
+
+// Root q-errors of an estimator over a test set.
+std::vector<double> QerrorsOf(const core::CostEstimator& estimator,
+                              const std::vector<plan::QueryPlan>& test);
+
+QerrorSummary Evaluate(const core::CostEstimator& estimator,
+                       const std::vector<plan::QueryPlan>& test);
+
+// Fixed-width ASCII table printer used by the benchmark binaries.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  // Convenience: name + q-error summary as one row.
+  void AddSummaryRow(const std::string& name, const QerrorSummary& summary);
+
+  // Renders to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with 3 significant-ish digits ("1.23", "45.6", "983").
+std::string FormatMetric(double value);
+
+}  // namespace dace::eval
+
+#endif  // DACE_EVAL_METRICS_H_

@@ -1,0 +1,144 @@
+#include "featurize/featurize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "util/logging.h"
+
+namespace dace::featurize {
+
+namespace {
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  DACE_CHECK(!sorted.empty());
+  const double idx = p * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(idx);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+void RobustScaler::Fit(std::vector<double> values) {
+  if (values.empty()) return;
+  for (double& v : values) v = std::log1p(std::max(v, 0.0));
+  std::sort(values.begin(), values.end());
+  median_ = Percentile(values, 0.5);
+  const double iqr = Percentile(values, 0.75) - Percentile(values, 0.25);
+  iqr_ = iqr > 1e-9 ? iqr : 1.0;
+}
+
+double RobustScaler::Transform(double value) const {
+  return (std::log1p(std::max(value, 0.0)) - median_) / iqr_;
+}
+
+double RobustScaler::InverseTransform(double scaled) const {
+  return std::expm1(scaled * iqr_ + median_);
+}
+
+void RobustScaler::Serialize(std::ostream* os) const {
+  os->write(reinterpret_cast<const char*>(&median_), sizeof(median_));
+  os->write(reinterpret_cast<const char*>(&iqr_), sizeof(iqr_));
+}
+
+Status RobustScaler::Deserialize(std::istream* is) {
+  is->read(reinterpret_cast<char*>(&median_), sizeof(median_));
+  is->read(reinterpret_cast<char*>(&iqr_), sizeof(iqr_));
+  if (!*is) return Status::DataLoss("truncated RobustScaler");
+  return Status::OK();
+}
+
+void Featurizer::Fit(const std::vector<plan::QueryPlan>& plans) {
+  std::vector<double> cards, costs, times;
+  for (const plan::QueryPlan& plan : plans) {
+    for (const plan::PlanNode& node : plan.nodes()) {
+      cards.push_back(node.est_cardinality);
+      costs.push_back(node.est_cost);
+      times.push_back(node.actual_time_ms);
+    }
+  }
+  card_scaler_.Fit(std::move(cards));
+  cost_scaler_.Fit(std::move(costs));
+  time_scaler_.Fit(std::move(times));
+  fitted_ = true;
+}
+
+PlanFeatures Featurizer::Featurize(const plan::QueryPlan& plan,
+                                   const FeaturizerConfig& config) const {
+  DACE_CHECK(fitted_) << "Featurizer::Fit must run before Featurize";
+  PlanFeatures out;
+  out.dfs = plan.DfsOrder();
+  const size_t n = out.dfs.size();
+  DACE_CHECK_GT(n, 0u);
+
+  out.node_features = nn::Matrix(n, kFeatureDim);
+  const std::vector<int32_t> heights = plan.Heights();
+  out.loss_weights.resize(n);
+  out.labels.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const plan::PlanNode& node = plan.node(out.dfs[i]);
+    const int type_idx = static_cast<int>(node.type);
+    DACE_DCHECK(type_idx >= 0 && type_idx < kNumNodeTypes);
+    out.node_features(i, static_cast<size_t>(type_idx)) = 1.0;
+    const double card = config.use_actual_cardinality
+                            ? node.actual_cardinality
+                            : node.est_cardinality;
+    out.node_features(i, kNumNodeTypes) = card_scaler_.Transform(card);
+    out.node_features(i, kNumNodeTypes + 1) =
+        cost_scaler_.Transform(node.est_cost);
+
+    const int32_t h = heights[static_cast<size_t>(out.dfs[i])];
+    // alpha^h with the 0^0 == 1 convention so the root always has weight 1.
+    out.loss_weights[i] =
+        (config.alpha == 0.0) ? (h == 0 ? 1.0 : 0.0)
+                              : std::pow(config.alpha, static_cast<double>(h));
+    out.labels[i] = TransformTime(node.actual_time_ms);
+  }
+
+  out.attention_mask = nn::Matrix(n, n);
+  if (config.tree_attention) {
+    const std::vector<uint8_t> closure = plan.AncestorClosure();
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        out.attention_mask(i, j) = closure[i * n + j] ? 0.0 : nn::kMaskNegInf;
+      }
+    }
+  }
+  return out;
+}
+
+double Featurizer::TransformTime(double ms) const {
+  return time_scaler_.Transform(ms);
+}
+
+double Featurizer::InverseTransformTime(double scaled) const {
+  // Predictions are clamped into a physically plausible runtime window: no
+  // query beats per-operator dispatch overhead (~10µs) and none run for
+  // weeks. Without the floor, a slightly-too-negative scaled output inverts
+  // to ~0 ms and records an absurd q-error against a sub-millisecond truth.
+  return std::clamp(time_scaler_.InverseTransform(scaled), 0.05, 1e9);
+}
+
+void Featurizer::Serialize(std::ostream* os) const {
+  card_scaler_.Serialize(os);
+  cost_scaler_.Serialize(os);
+  time_scaler_.Serialize(os);
+  const uint8_t fitted = fitted_ ? 1 : 0;
+  os->write(reinterpret_cast<const char*>(&fitted), sizeof(fitted));
+}
+
+Status Featurizer::Deserialize(std::istream* is) {
+  DACE_RETURN_IF_ERROR(card_scaler_.Deserialize(is));
+  DACE_RETURN_IF_ERROR(cost_scaler_.Deserialize(is));
+  DACE_RETURN_IF_ERROR(time_scaler_.Deserialize(is));
+  uint8_t fitted = 0;
+  is->read(reinterpret_cast<char*>(&fitted), sizeof(fitted));
+  if (!*is) return Status::DataLoss("truncated Featurizer");
+  fitted_ = fitted != 0;
+  return Status::OK();
+}
+
+}  // namespace dace::featurize

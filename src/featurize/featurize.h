@@ -1,0 +1,101 @@
+#ifndef DACE_FEATURIZE_FEATURIZE_H_
+#define DACE_FEATURIZE_FEATURIZE_H_
+
+#include <iosfwd>
+#include <vector>
+
+#include "nn/matrix.h"
+#include "plan/plan.h"
+#include "util/status.h"
+
+namespace dace::featurize {
+
+// Feature layout per node (paper Sec. V: d = 18): 16-way one-hot of the
+// operator type, then robust-scaled log cardinality and cost estimated by
+// the DBMS. DACE deliberately sees nothing else — no tables, predicates or
+// join columns — which is what makes it database-agnostic.
+inline constexpr int kNumNodeTypes = plan::kNumOperatorTypes;
+inline constexpr int kFeatureDim = kNumNodeTypes + 2;
+
+// Median/IQR scaler fitted on log1p-transformed values (the "robust scaler"
+// of Zero-Shot/DACE): insensitive to the heavy upper tail of cardinalities.
+class RobustScaler {
+ public:
+  // Fits on raw (non-log) values; empty input leaves the identity transform.
+  void Fit(std::vector<double> values);
+
+  // (log1p(v) - median) / iqr.
+  double Transform(double value) const;
+  // Inverse of Transform, back to raw space.
+  double InverseTransform(double scaled) const;
+
+  double median() const { return median_; }
+  double iqr() const { return iqr_; }
+
+  void Serialize(std::ostream* os) const;
+  Status Deserialize(std::istream* is);
+
+ private:
+  double median_ = 0.0;
+  double iqr_ = 1.0;
+};
+
+// Knobs for the ablations of Sec. V-E.
+struct FeaturizerConfig {
+  // Loss-adjuster decay (Eq. 4). 0.5 = paper default; 0 disables sub-plan
+  // learning (w/o SP); 1 gives every node equal weight (w/o LA).
+  double alpha = 0.5;
+  // Replace the DBMS-estimated cardinality feature with the true cardinality
+  // (DACE-A, Fig. 12).
+  bool use_actual_cardinality = false;
+  // Tree-structured attention mask; false = full attention (w/o TA).
+  bool tree_attention = true;
+};
+
+// A plan converted to model inputs. Rows follow the DFS (preorder) node
+// sequence; dfs[i] maps row i back to the plan's node index. Row 0 is always
+// the root.
+struct PlanFeatures {
+  nn::Matrix node_features;        // n × kFeatureDim
+  nn::Matrix attention_mask;       // n × n additive mask (0 or -inf)
+  std::vector<double> loss_weights;  // alpha^height, per row
+  std::vector<double> labels;        // scaled log actual time, per row
+  std::vector<int32_t> dfs;          // row -> plan node index
+};
+
+// Fits the scalers on training plans and converts plans into PlanFeatures.
+// The same fitted featurizer must be used at train and inference time; it is
+// saved alongside the model.
+class Featurizer {
+ public:
+  // Gathers every node's estimated cardinality/cost (and the root actual
+  // times for the label scaler) across the training corpus.
+  void Fit(const std::vector<plan::QueryPlan>& plans);
+
+  bool fitted() const { return fitted_; }
+
+  PlanFeatures Featurize(const plan::QueryPlan& plan,
+                         const FeaturizerConfig& config) const;
+
+  // Label transform: scaled log-milliseconds.
+  double TransformTime(double ms) const;
+  // Back to milliseconds, clamped positive.
+  double InverseTransformTime(double scaled) const;
+
+  const RobustScaler& card_scaler() const { return card_scaler_; }
+  const RobustScaler& cost_scaler() const { return cost_scaler_; }
+  const RobustScaler& time_scaler() const { return time_scaler_; }
+
+  void Serialize(std::ostream* os) const;
+  Status Deserialize(std::istream* is);
+
+ private:
+  RobustScaler card_scaler_;
+  RobustScaler cost_scaler_;
+  RobustScaler time_scaler_;
+  bool fitted_ = false;
+};
+
+}  // namespace dace::featurize
+
+#endif  // DACE_FEATURIZE_FEATURIZE_H_

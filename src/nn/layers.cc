@@ -1,0 +1,393 @@
+#include "nn/layers.h"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+namespace dace::nn {
+
+namespace {
+// Xavier/Glorot stddev for a (fan_in × fan_out) weight.
+double XavierStd(size_t fan_in, size_t fan_out) {
+  return std::sqrt(2.0 / static_cast<double>(fan_in + fan_out));
+}
+}  // namespace
+
+// ---------------------------------------------------------------- Linear --
+
+void Linear::Init(size_t in_dim, size_t out_dim, Rng* rng, size_t lora_rank) {
+  w_.value = Matrix(in_dim, out_dim);
+  w_.value.FillGaussian(rng, XavierStd(in_dim, out_dim));
+  w_.ResetGrad();
+  b_.value = Matrix(1, out_dim);
+  b_.ResetGrad();
+  lora_rank_ = 0;
+  if (lora_rank > 0) AttachLora(lora_rank, rng);
+}
+
+void Linear::AttachLora(size_t rank, Rng* rng) {
+  DACE_CHECK_GT(rank, 0u);
+  lora_rank_ = rank;
+  lora_scale_ = 1.0;  // alpha == rank, the common default
+  lora_a_.value = Matrix(in_dim(), rank);
+  lora_a_.value.FillGaussian(rng, XavierStd(in_dim(), rank));
+  lora_a_.ResetGrad();
+  // B starts at zero so the adapter initially contributes nothing.
+  lora_b_.value = Matrix(rank, out_dim());
+  lora_b_.ResetGrad();
+}
+
+const Matrix& Linear::Forward(const Matrix& x) {
+  DACE_CHECK_EQ(x.cols(), in_dim());
+  x_cache_ = x;
+  MatMul(x, w_.value, &y_);
+  const double* bias = b_.value.RowPtr(0);
+  for (size_t i = 0; i < y_.rows(); ++i) {
+    double* row = y_.RowPtr(i);
+    for (size_t j = 0; j < y_.cols(); ++j) row[j] += bias[j];
+  }
+  if (lora_rank_ > 0) {
+    MatMul(x, lora_a_.value, &xa_cache_);
+    MatMul(xa_cache_, lora_b_.value, &scratch_);
+    y_.AddScaled(scratch_, lora_scale_);
+  }
+  return y_;
+}
+
+void Linear::ForwardInference(const Matrix& x, Matrix* y) const {
+  DACE_CHECK_EQ(x.cols(), in_dim());
+  MatMul(x, w_.value, y);
+  const double* bias = b_.value.RowPtr(0);
+  for (size_t i = 0; i < y->rows(); ++i) {
+    double* row = y->RowPtr(i);
+    for (size_t j = 0; j < y->cols(); ++j) row[j] += bias[j];
+  }
+  if (lora_rank_ > 0) {
+    Matrix xa, xab;
+    MatMul(x, lora_a_.value, &xa);
+    MatMul(xa, lora_b_.value, &xab);
+    y->AddScaled(xab, lora_scale_);
+  }
+}
+
+void Linear::Backward(const Matrix& dy, Matrix* dx) {
+  DACE_CHECK_EQ(dy.rows(), x_cache_.rows());
+  DACE_CHECK_EQ(dy.cols(), out_dim());
+  if (train_base_) {
+    Matrix dw;
+    MatMulTransposedA(x_cache_, dy, &dw);
+    w_.grad.AddScaled(dw, 1.0);
+    double* db = b_.grad.RowPtr(0);
+    for (size_t i = 0; i < dy.rows(); ++i) {
+      const double* row = dy.RowPtr(i);
+      for (size_t j = 0; j < dy.cols(); ++j) db[j] += row[j];
+    }
+  }
+  // dx = dy W^T (+ LoRA path).
+  MatMulTransposedB(dy, w_.value, dx);
+  if (lora_rank_ > 0) {
+    if (train_lora_) {
+      Matrix dlb;
+      MatMulTransposedA(xa_cache_, dy, &dlb);  // (r × out)
+      lora_b_.grad.AddScaled(dlb, lora_scale_);
+      Matrix d_xa;  // (n × r)
+      MatMulTransposedB(dy, lora_b_.value, &d_xa);
+      Matrix dla;
+      MatMulTransposedA(x_cache_, d_xa, &dla);  // (in × r)
+      lora_a_.grad.AddScaled(dla, lora_scale_);
+    }
+    // dx += scale * dy B^T A^T
+    Matrix d_xa;
+    MatMulTransposedB(dy, lora_b_.value, &d_xa);
+    Matrix dx_lora;
+    MatMulTransposedB(d_xa, lora_a_.value, &dx_lora);
+    dx->AddScaled(dx_lora, lora_scale_);
+  }
+}
+
+void Linear::ForwardCached(const Matrix& x, ExternalCache* cache,
+                           Matrix* y) const {
+  cache->x = x;
+  ForwardInference(x, y);
+}
+
+void Linear::BackwardCached(const ExternalCache& cache, const Matrix& dy,
+                            Matrix* dx) {
+  DACE_CHECK_EQ(dy.rows(), cache.x.rows());
+  DACE_CHECK_EQ(dy.cols(), out_dim());
+  if (train_base_) {
+    Matrix dw;
+    MatMulTransposedA(cache.x, dy, &dw);
+    w_.grad.AddScaled(dw, 1.0);
+    double* db = b_.grad.RowPtr(0);
+    for (size_t i = 0; i < dy.rows(); ++i) {
+      const double* row = dy.RowPtr(i);
+      for (size_t j = 0; j < dy.cols(); ++j) db[j] += row[j];
+    }
+  }
+  MatMulTransposedB(dy, w_.value, dx);
+  if (lora_rank_ > 0) {
+    if (train_lora_) {
+      Matrix xa;
+      MatMul(cache.x, lora_a_.value, &xa);
+      Matrix dlb;
+      MatMulTransposedA(xa, dy, &dlb);
+      lora_b_.grad.AddScaled(dlb, lora_scale_);
+      Matrix d_xa;
+      MatMulTransposedB(dy, lora_b_.value, &d_xa);
+      Matrix dla;
+      MatMulTransposedA(cache.x, d_xa, &dla);
+      lora_a_.grad.AddScaled(dla, lora_scale_);
+    }
+    Matrix d_xa;
+    MatMulTransposedB(dy, lora_b_.value, &d_xa);
+    Matrix dx_lora;
+    MatMulTransposedB(d_xa, lora_a_.value, &dx_lora);
+    dx->AddScaled(dx_lora, lora_scale_);
+  }
+}
+
+void Linear::CollectParameters(std::vector<Parameter*>* out) {
+  if (train_base_) {
+    out->push_back(&w_);
+    out->push_back(&b_);
+  }
+  if (train_lora_ && lora_rank_ > 0) {
+    out->push_back(&lora_a_);
+    out->push_back(&lora_b_);
+  }
+}
+
+void Linear::CollectAllParameters(std::vector<Parameter*>* out) {
+  out->push_back(&w_);
+  out->push_back(&b_);
+  if (lora_rank_ > 0) {
+    out->push_back(&lora_a_);
+    out->push_back(&lora_b_);
+  }
+}
+
+size_t Linear::ParameterCount() const {
+  return w_.size() + b_.size() + LoraParameterCount();
+}
+
+size_t Linear::LoraParameterCount() const {
+  if (lora_rank_ == 0) return 0;
+  return lora_a_.size() + lora_b_.size();
+}
+
+void Linear::Serialize(std::ostream* os) const {
+  const uint64_t rank = lora_rank_;
+  os->write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+  WriteMatrix(w_.value, os);
+  WriteMatrix(b_.value, os);
+  if (lora_rank_ > 0) {
+    WriteMatrix(lora_a_.value, os);
+    WriteMatrix(lora_b_.value, os);
+  }
+}
+
+Status Linear::Deserialize(std::istream* is) {
+  uint64_t rank = 0;
+  is->read(reinterpret_cast<char*>(&rank), sizeof(rank));
+  if (!*is) return Status::DataLoss("truncated Linear header");
+  DACE_RETURN_IF_ERROR(ReadMatrix(is, &w_.value));
+  DACE_RETURN_IF_ERROR(ReadMatrix(is, &b_.value));
+  lora_rank_ = rank;
+  if (lora_rank_ > 0) {
+    DACE_RETURN_IF_ERROR(ReadMatrix(is, &lora_a_.value));
+    DACE_RETURN_IF_ERROR(ReadMatrix(is, &lora_b_.value));
+    lora_a_.ResetGrad();
+    lora_b_.ResetGrad();
+  }
+  w_.ResetGrad();
+  b_.ResetGrad();
+  return Status::OK();
+}
+
+// ------------------------------------------------------------------ Relu --
+
+const Matrix& Relu::Forward(const Matrix& x) {
+  x_cache_ = x;
+  ForwardInference(x, &y_);
+  return y_;
+}
+
+void Relu::ForwardInference(const Matrix& x, Matrix* y) const {
+  if (!y->SameShape(x)) *y = Matrix(x.rows(), x.cols());
+  const double* src = x.data();
+  double* dst = y->data();
+  for (size_t i = 0; i < x.size(); ++i) dst[i] = src[i] > 0.0 ? src[i] : 0.0;
+}
+
+void Relu::Backward(const Matrix& dy, Matrix* dx) {
+  DACE_CHECK(dy.SameShape(x_cache_));
+  if (!dx->SameShape(dy)) *dx = Matrix(dy.rows(), dy.cols());
+  const double* g = dy.data();
+  const double* x = x_cache_.data();
+  double* out = dx->data();
+  for (size_t i = 0; i < dy.size(); ++i) out[i] = x[i] > 0.0 ? g[i] : 0.0;
+}
+
+// --------------------------------------------------------- TreeAttention --
+
+void TreeAttention::Init(size_t d_model, size_t d_k, size_t d_v, Rng* rng) {
+  wq_.value = Matrix(d_model, d_k);
+  wq_.value.FillGaussian(rng, XavierStd(d_model, d_k));
+  wq_.ResetGrad();
+  wk_.value = Matrix(d_model, d_k);
+  wk_.value.FillGaussian(rng, XavierStd(d_model, d_k));
+  wk_.ResetGrad();
+  wv_.value = Matrix(d_model, d_v);
+  wv_.value.FillGaussian(rng, XavierStd(d_model, d_v));
+  wv_.ResetGrad();
+  inv_sqrt_dk_ = 1.0 / std::sqrt(static_cast<double>(d_k));
+}
+
+const Matrix& TreeAttention::Forward(const Matrix& s, const Matrix& mask) {
+  DACE_CHECK_EQ(s.cols(), wq_.value.rows());
+  DACE_CHECK_EQ(mask.rows(), s.rows());
+  DACE_CHECK_EQ(mask.cols(), s.rows());
+  s_cache_ = s;
+  MatMul(s, wq_.value, &q_);
+  MatMul(s, wk_.value, &k_);
+  MatMul(s, wv_.value, &v_);
+  Matrix scores;
+  MatMulTransposedB(q_, k_, &scores);
+  scores.Scale(inv_sqrt_dk_);
+  MaskedRowSoftmax(scores, mask, &probs_);
+  MatMul(probs_, v_, &out_);
+  return out_;
+}
+
+void TreeAttention::ForwardInference(const Matrix& s, const Matrix& mask,
+                                     Matrix* out) const {
+  Matrix q, k, v, scores, probs;
+  MatMul(s, wq_.value, &q);
+  MatMul(s, wk_.value, &k);
+  MatMul(s, wv_.value, &v);
+  MatMulTransposedB(q, k, &scores);
+  scores.Scale(inv_sqrt_dk_);
+  MaskedRowSoftmax(scores, mask, &probs);
+  MatMul(probs, v, out);
+}
+
+void TreeAttention::Backward(const Matrix& dy, Matrix* ds) {
+  const size_t n = s_cache_.rows();
+  DACE_CHECK_EQ(dy.rows(), n);
+  DACE_CHECK_EQ(dy.cols(), v_.cols());
+
+  // out = P V.
+  Matrix d_probs;
+  MatMulTransposedB(dy, v_, &d_probs);  // (n × n)
+  Matrix dv;
+  MatMulTransposedA(probs_, dy, &dv);  // (n × d_v) via P^T dy
+
+  // Softmax backward per row: dscore = P ⊙ (dP − sum_j dP_j P_j).
+  Matrix d_scores(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    const double* prow = probs_.RowPtr(i);
+    const double* dprow = d_probs.RowPtr(i);
+    double dot = 0.0;
+    for (size_t j = 0; j < n; ++j) dot += prow[j] * dprow[j];
+    double* drow = d_scores.RowPtr(i);
+    for (size_t j = 0; j < n; ++j) drow[j] = prow[j] * (dprow[j] - dot);
+  }
+  d_scores.Scale(inv_sqrt_dk_);
+
+  // scores = Q K^T (pre-scale): dQ = dS K, dK = dS^T Q.
+  Matrix dq, dk;
+  MatMul(d_scores, k_, &dq);
+  MatMulTransposedA(d_scores, q_, &dk);
+
+  if (train_base_) {
+    Matrix tmp;
+    MatMulTransposedA(s_cache_, dq, &tmp);
+    wq_.grad.AddScaled(tmp, 1.0);
+    MatMulTransposedA(s_cache_, dk, &tmp);
+    wk_.grad.AddScaled(tmp, 1.0);
+    MatMulTransposedA(s_cache_, dv, &tmp);
+    wv_.grad.AddScaled(tmp, 1.0);
+  }
+
+  // dS = dQ Wq^T + dK Wk^T + dV Wv^T.
+  MatMulTransposedB(dq, wq_.value, ds);
+  Matrix tmp;
+  MatMulTransposedB(dk, wk_.value, &tmp);
+  ds->AddScaled(tmp, 1.0);
+  MatMulTransposedB(dv, wv_.value, &tmp);
+  ds->AddScaled(tmp, 1.0);
+}
+
+void TreeAttention::CollectParameters(std::vector<Parameter*>* out) {
+  if (!train_base_) return;
+  out->push_back(&wq_);
+  out->push_back(&wk_);
+  out->push_back(&wv_);
+}
+
+void TreeAttention::CollectAllParameters(std::vector<Parameter*>* out) {
+  out->push_back(&wq_);
+  out->push_back(&wk_);
+  out->push_back(&wv_);
+}
+
+size_t TreeAttention::ParameterCount() const {
+  return wq_.size() + wk_.size() + wv_.size();
+}
+
+void TreeAttention::Serialize(std::ostream* os) const {
+  WriteMatrix(wq_.value, os);
+  WriteMatrix(wk_.value, os);
+  WriteMatrix(wv_.value, os);
+}
+
+Status TreeAttention::Deserialize(std::istream* is) {
+  DACE_RETURN_IF_ERROR(ReadMatrix(is, &wq_.value));
+  DACE_RETURN_IF_ERROR(ReadMatrix(is, &wk_.value));
+  DACE_RETURN_IF_ERROR(ReadMatrix(is, &wv_.value));
+  wq_.ResetGrad();
+  wk_.ResetGrad();
+  wv_.ResetGrad();
+  inv_sqrt_dk_ = 1.0 / std::sqrt(static_cast<double>(wq_.value.cols()));
+  return Status::OK();
+}
+
+// ------------------------------------------------------------------ Adam --
+
+void Adam::Register(std::vector<Parameter*> params) {
+  params_ = std::move(params);
+  m_.clear();
+  v_.clear();
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+    p->ResetGrad();
+  }
+  t_ = 0;
+}
+
+void Adam::Step() {
+  ++t_;
+  const double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (size_t idx = 0; idx < params_.size(); ++idx) {
+    Parameter* p = params_[idx];
+    double* value = p->value.data();
+    double* grad = p->grad.data();
+    double* m = m_[idx].data();
+    double* v = v_[idx].data();
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      m[i] = beta1_ * m[i] + (1.0 - beta1_) * grad[i];
+      v[i] = beta2_ * v[i] + (1.0 - beta2_) * grad[i] * grad[i];
+      const double mhat = m[i] / bias1;
+      const double vhat = v[i] / bias2;
+      value[i] -= lr_ * mhat / (std::sqrt(vhat) + epsilon_);
+      grad[i] = 0.0;
+    }
+  }
+}
+
+}  // namespace dace::nn

@@ -1,0 +1,178 @@
+#ifndef DACE_NN_LAYERS_H_
+#define DACE_NN_LAYERS_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "nn/matrix.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace dace::nn {
+
+// A trainable tensor: value plus accumulated gradient. Layers own their
+// parameters; optimizers hold raw pointers collected via CollectParameters.
+struct Parameter {
+  Matrix value;
+  Matrix grad;
+
+  void ResetGrad() {
+    if (!grad.SameShape(value)) grad = Matrix(value.rows(), value.cols());
+    grad.SetZero();
+  }
+  size_t size() const { return value.size(); }
+};
+
+// Fully connected layer y = x W + b with an optional LoRA adapter
+// y += (x A) B * (lora_alpha / rank). Training can address either the base
+// weights (pre-training) or only the adapter (fine-tuning), reproducing the
+// paper's Eq. (8): base W frozen, low-rank dW = B·A updated.
+class Linear {
+ public:
+  // Creates an uninitialized layer; call Init or Deserialize before use.
+  Linear() = default;
+
+  // Xavier-initialized weights, zero bias. lora_rank == 0 disables LoRA.
+  void Init(size_t in_dim, size_t out_dim, Rng* rng, size_t lora_rank = 0);
+
+  // Enables a LoRA adapter after the fact (A gaussian, B zero so the adapter
+  // starts as the identity perturbation).
+  void AttachLora(size_t rank, Rng* rng);
+
+  // Forward pass; caches the input for Backward.
+  // x: (n × in_dim) → returns (n × out_dim).
+  const Matrix& Forward(const Matrix& x);
+
+  // Same math as Forward but without caching; safe for concurrent inference
+  // paths and does not disturb training state.
+  void ForwardInference(const Matrix& x, Matrix* y) const;
+
+  // dy: (n × out_dim). Accumulates parameter gradients (respecting
+  // train_base/train_lora) and returns d/dx in *dx.
+  void Backward(const Matrix& dy, Matrix* dx);
+
+  // Caller-owned-cache variants for models that apply the SAME layer at many
+  // tree positions within one forward pass (QPPNet/TPool/Zero-Shot recursive
+  // encoders): the internal single-slot cache would be clobbered, so the
+  // caller keeps one ExternalCache per application site.
+  struct ExternalCache {
+    Matrix x;
+  };
+  void ForwardCached(const Matrix& x, ExternalCache* cache, Matrix* y) const;
+  void BackwardCached(const ExternalCache& cache, const Matrix& dy, Matrix* dx);
+
+  // Selects which parameter groups receive gradients and are exposed to
+  // optimizers via CollectParameters.
+  void SetTrainBase(bool train) { train_base_ = train; }
+  void SetTrainLora(bool train) { train_lora_ = train; }
+
+  void CollectParameters(std::vector<Parameter*>* out);
+
+  // All parameters regardless of trainability (for size accounting / IO).
+  void CollectAllParameters(std::vector<Parameter*>* out);
+
+  size_t in_dim() const { return w_.value.rows(); }
+  size_t out_dim() const { return w_.value.cols(); }
+  bool has_lora() const { return lora_rank_ > 0; }
+  size_t lora_rank() const { return lora_rank_; }
+
+  size_t ParameterCount() const;
+  size_t LoraParameterCount() const;
+
+  void Serialize(std::ostream* os) const;
+  Status Deserialize(std::istream* is);
+
+ private:
+  Parameter w_;     // (in × out)
+  Parameter b_;     // (1 × out)
+  Parameter lora_a_;  // (in × r)
+  Parameter lora_b_;  // (r × out)
+  size_t lora_rank_ = 0;
+  double lora_scale_ = 1.0;
+  bool train_base_ = true;
+  bool train_lora_ = false;
+
+  // caches
+  Matrix x_cache_;
+  Matrix xa_cache_;  // x · A, needed for LoRA backward
+  Matrix y_;
+  mutable Matrix scratch_;
+};
+
+// Elementwise ReLU with cached mask.
+class Relu {
+ public:
+  const Matrix& Forward(const Matrix& x);
+  void ForwardInference(const Matrix& x, Matrix* y) const;
+  void Backward(const Matrix& dy, Matrix* dx);
+
+ private:
+  Matrix x_cache_;
+  Matrix y_;
+};
+
+// Single-head scaled-dot-product attention with an additive mask — the
+// tree-structured attention of DACE Eq. (5). The mask encodes the partial
+// order of the plan: entry (i, j) is 0 if node j is in the sub-plan rooted at
+// node i (including i itself) and -inf otherwise, so each node's hidden state
+// aggregates exactly its own sub-plan, mirroring execution order.
+class TreeAttention {
+ public:
+  void Init(size_t d_model, size_t d_k, size_t d_v, Rng* rng);
+
+  // s: (n × d_model), mask: (n × n) additive. Returns (n × d_v).
+  const Matrix& Forward(const Matrix& s, const Matrix& mask);
+  void ForwardInference(const Matrix& s, const Matrix& mask, Matrix* out) const;
+
+  // dy: (n × d_v) → ds: (n × d_model); accumulates Wq/Wk/Wv gradients.
+  void Backward(const Matrix& dy, Matrix* ds);
+
+  void SetTrainBase(bool train) { train_base_ = train; }
+  void CollectParameters(std::vector<Parameter*>* out);
+  void CollectAllParameters(std::vector<Parameter*>* out);
+  size_t ParameterCount() const;
+
+  void Serialize(std::ostream* os) const;
+  Status Deserialize(std::istream* is);
+
+ private:
+  Parameter wq_, wk_, wv_;  // (d_model × d_k/d_k/d_v)
+  double inv_sqrt_dk_ = 1.0;
+  bool train_base_ = true;
+
+  // caches
+  Matrix s_cache_;
+  Matrix q_, k_, v_;
+  Matrix probs_;  // post-softmax attention (n × n)
+  Matrix out_;
+};
+
+// Adam optimizer over externally-owned parameters.
+class Adam {
+ public:
+  explicit Adam(double lr = 1e-3, double beta1 = 0.9, double beta2 = 0.999,
+                double epsilon = 1e-8)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), epsilon_(epsilon) {}
+
+  // Replaces the tracked parameter set; moment state is reset.
+  void Register(std::vector<Parameter*> params);
+
+  // Applies one update using the gradients currently accumulated in the
+  // parameters, then zeroes those gradients.
+  void Step();
+
+  void set_lr(double lr) { lr_ = lr; }
+  double lr() const { return lr_; }
+
+ private:
+  double lr_, beta1_, beta2_, epsilon_;
+  int64_t t_ = 0;
+  std::vector<Parameter*> params_;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+};
+
+}  // namespace dace::nn
+
+#endif  // DACE_NN_LAYERS_H_

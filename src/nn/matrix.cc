@@ -1,0 +1,152 @@
+#include "nn/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+namespace dace::nn {
+
+void Matrix::SetZero() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+void Matrix::Fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Matrix::FillGaussian(Rng* rng, double stddev) {
+  for (double& v : data_) v = rng->Gaussian(0.0, stddev);
+}
+
+void Matrix::AddScaled(const Matrix& other, double scale) {
+  DACE_CHECK(SameShape(other));
+  const double* src = other.data();
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += scale * src[i];
+}
+
+void Matrix::MulElementwise(const Matrix& other) {
+  DACE_CHECK(SameShape(other));
+  const double* src = other.data();
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] *= src[i];
+}
+
+void Matrix::Scale(double factor) {
+  for (double& v : data_) v *= factor;
+}
+
+double Matrix::SumAbs() const {
+  double total = 0.0;
+  for (double v : data_) total += std::fabs(v);
+  return total;
+}
+
+double Matrix::MaxAbs() const {
+  double best = 0.0;
+  for (double v : data_) best = std::max(best, std::fabs(v));
+  return best;
+}
+
+void MatMul(const Matrix& a, const Matrix& b, Matrix* out) {
+  DACE_CHECK_EQ(a.cols(), b.rows());
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  if (out->rows() != m || out->cols() != n) *out = Matrix(m, n);
+  out->SetZero();
+  // i-k-j loop order: streams through b and out rows contiguously.
+  for (size_t i = 0; i < m; ++i) {
+    const double* arow = a.RowPtr(i);
+    double* orow = out->RowPtr(i);
+    for (size_t p = 0; p < k; ++p) {
+      const double av = arow[p];
+      if (av == 0.0) continue;
+      const double* brow = b.RowPtr(p);
+      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void MatMulTransposedB(const Matrix& a, const Matrix& b, Matrix* out) {
+  DACE_CHECK_EQ(a.cols(), b.cols());
+  const size_t m = a.rows(), k = a.cols(), n = b.rows();
+  if (out->rows() != m || out->cols() != n) *out = Matrix(m, n);
+  for (size_t i = 0; i < m; ++i) {
+    const double* arow = a.RowPtr(i);
+    double* orow = out->RowPtr(i);
+    for (size_t j = 0; j < n; ++j) {
+      const double* brow = b.RowPtr(j);
+      double acc = 0.0;
+      for (size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      orow[j] = acc;
+    }
+  }
+}
+
+void MatMulTransposedA(const Matrix& a, const Matrix& b, Matrix* out) {
+  DACE_CHECK_EQ(a.rows(), b.rows());
+  const size_t k = a.rows(), m = a.cols(), n = b.cols();
+  if (out->rows() != m || out->cols() != n) *out = Matrix(m, n);
+  out->SetZero();
+  for (size_t p = 0; p < k; ++p) {
+    const double* arow = a.RowPtr(p);
+    const double* brow = b.RowPtr(p);
+    for (size_t i = 0; i < m; ++i) {
+      const double av = arow[i];
+      if (av == 0.0) continue;
+      double* orow = out->RowPtr(i);
+      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void MaskedRowSoftmax(const Matrix& in, const Matrix& mask, Matrix* out) {
+  DACE_CHECK(in.SameShape(mask));
+  if (!out->SameShape(in)) *out = Matrix(in.rows(), in.cols());
+  const size_t n = in.cols();
+  for (size_t i = 0; i < in.rows(); ++i) {
+    const double* irow = in.RowPtr(i);
+    const double* mrow = mask.RowPtr(i);
+    double* orow = out->RowPtr(i);
+    double max_val = kMaskNegInf;
+    for (size_t j = 0; j < n; ++j) {
+      const double v = irow[j] + mrow[j];
+      if (v > max_val) max_val = v;
+    }
+    DACE_CHECK_GT(max_val, kMaskNegInf) << "softmax row " << i << " fully masked";
+    double denom = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      const double v = irow[j] + mrow[j];
+      if (v <= kMaskNegInf) {
+        orow[j] = 0.0;
+      } else {
+        orow[j] = std::exp(v - max_val);
+        denom += orow[j];
+      }
+    }
+    for (size_t j = 0; j < n; ++j) orow[j] /= denom;
+  }
+}
+
+void WriteMatrix(const Matrix& m, std::ostream* os) {
+  const uint64_t rows = m.rows(), cols = m.cols();
+  os->write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  os->write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  os->write(reinterpret_cast<const char*>(m.data()),
+            static_cast<std::streamsize>(sizeof(double) * m.size()));
+}
+
+Status ReadMatrix(std::istream* is, Matrix* m) {
+  uint64_t rows = 0, cols = 0;
+  is->read(reinterpret_cast<char*>(&rows), sizeof(rows));
+  is->read(reinterpret_cast<char*>(&cols), sizeof(cols));
+  if (!*is) return Status::DataLoss("truncated matrix header");
+  if (rows > (1u << 24) || cols > (1u << 24)) {
+    return Status::DataLoss("implausible matrix shape");
+  }
+  Matrix result(rows, cols);
+  is->read(reinterpret_cast<char*>(result.data()),
+           static_cast<std::streamsize>(sizeof(double) * result.size()));
+  if (!*is) return Status::DataLoss("truncated matrix payload");
+  *m = std::move(result);
+  return Status::OK();
+}
+
+}  // namespace dace::nn

@@ -1,0 +1,103 @@
+#ifndef DACE_NN_MATRIX_H_
+#define DACE_NN_MATRIX_H_
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace dace::nn {
+
+// Dense row-major matrix of doubles. This is the whole math substrate for
+// the learned models in this repository: the networks are tiny (DACE has
+// ~30k parameters), so a straightforward cache-friendly implementation is
+// plenty and keeps the gradient code easy to audit.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+  Matrix(size_t rows, size_t cols, std::vector<double> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    DACE_CHECK_EQ(data_.size(), rows_ * cols_);
+  }
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) = default;
+  Matrix& operator=(Matrix&&) = default;
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t r, size_t c) {
+    DACE_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    DACE_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  double* RowPtr(size_t r) { return data_.data() + r * cols_; }
+  const double* RowPtr(size_t r) const { return data_.data() + r * cols_; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  void SetZero();
+  void Fill(double value);
+
+  // Fills with N(0, stddev^2) entries (e.g. Xavier/He scaling chosen by the
+  // caller from fan-in).
+  void FillGaussian(Rng* rng, double stddev);
+
+  // this += scale * other. Shapes must match.
+  void AddScaled(const Matrix& other, double scale);
+
+  // Elementwise multiply in place.
+  void MulElementwise(const Matrix& other);
+
+  void Scale(double factor);
+
+  double SumAbs() const;
+  double MaxAbs() const;
+
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+// out = a * b, shapes (m×k)·(k×n) → (m×n). `out` is overwritten.
+void MatMul(const Matrix& a, const Matrix& b, Matrix* out);
+
+// out = a * b^T, shapes (m×k)·(n×k)^T → (m×n).
+void MatMulTransposedB(const Matrix& a, const Matrix& b, Matrix* out);
+
+// out = a^T * b, shapes (k×m)^T·(k×n) → (m×n).
+void MatMulTransposedA(const Matrix& a, const Matrix& b, Matrix* out);
+
+// Row-wise softmax with an additive mask applied before normalisation:
+// out(i,j) = softmax_j(in(i,j) + mask(i,j)). Mask entries of -infinity
+// (any value <= kMaskNegInf) force a zero probability. Each row must have at
+// least one unmasked entry.
+inline constexpr double kMaskNegInf = -1e30;
+void MaskedRowSoftmax(const Matrix& in, const Matrix& mask, Matrix* out);
+
+// Binary serialization (shape + raw doubles).
+void WriteMatrix(const Matrix& m, std::ostream* os);
+Status ReadMatrix(std::istream* is, Matrix* m);
+
+}  // namespace dace::nn
+
+#endif  // DACE_NN_MATRIX_H_

@@ -1,0 +1,324 @@
+#include "plan/plan.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace dace::plan {
+
+namespace {
+constexpr const char* kOperatorNames[kNumOperatorTypes] = {
+    "Seq Scan",        "Index Scan",     "Index Only Scan", "Bitmap Index Scan",
+    "Bitmap Heap Scan", "Nested Loop",   "Hash Join",       "Merge Join",
+    "Hash",            "Sort",           "Materialize",     "Aggregate",
+    "HashAggregate",   "GroupAggregate", "Limit",           "Gather",
+};
+
+constexpr const char* kCompareOpNames[] = {"=", "<", ">", "<=", ">=", "!="};
+}  // namespace
+
+const char* OperatorTypeName(OperatorType type) {
+  const int idx = static_cast<int>(type);
+  DACE_CHECK(idx >= 0 && idx < kNumOperatorTypes);
+  return kOperatorNames[idx];
+}
+
+StatusOr<OperatorType> OperatorTypeFromName(std::string_view name) {
+  for (int i = 0; i < kNumOperatorTypes; ++i) {
+    if (name == kOperatorNames[i]) return static_cast<OperatorType>(i);
+  }
+  return Status::InvalidArgument("unknown operator type: " + std::string(name));
+}
+
+bool IsScan(OperatorType type) {
+  switch (type) {
+    case OperatorType::kSeqScan:
+    case OperatorType::kIndexScan:
+    case OperatorType::kIndexOnlyScan:
+    case OperatorType::kBitmapIndexScan:
+    case OperatorType::kBitmapHeapScan:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsJoin(OperatorType type) {
+  switch (type) {
+    case OperatorType::kNestedLoop:
+    case OperatorType::kHashJoin:
+    case OperatorType::kMergeJoin:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* CompareOpName(CompareOp op) {
+  const int idx = static_cast<int>(op);
+  DACE_CHECK(idx >= 0 && idx < 6);
+  return kCompareOpNames[idx];
+}
+
+namespace {
+StatusOr<CompareOp> CompareOpFromName(std::string_view name) {
+  for (int i = 0; i < 6; ++i) {
+    if (name == kCompareOpNames[i]) return static_cast<CompareOp>(i);
+  }
+  return Status::InvalidArgument("unknown compare op: " + std::string(name));
+}
+}  // namespace
+
+int32_t QueryPlan::AddNode(PlanNode node) {
+  nodes_.push_back(std::move(node));
+  return static_cast<int32_t>(nodes_.size() - 1);
+}
+
+std::vector<int32_t> QueryPlan::DfsOrder() const {
+  std::vector<int32_t> order;
+  order.reserve(nodes_.size());
+  if (root_ < 0) return order;
+  std::vector<int32_t> stack = {root_};
+  while (!stack.empty()) {
+    const int32_t id = stack.back();
+    stack.pop_back();
+    order.push_back(id);
+    const auto& children = nodes_[static_cast<size_t>(id)].children;
+    // Push in reverse so the leftmost child is visited first.
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return order;
+}
+
+std::vector<int32_t> QueryPlan::Heights() const {
+  std::vector<int32_t> heights(nodes_.size(), -1);
+  if (root_ < 0) return heights;
+  std::vector<int32_t> stack = {root_};
+  heights[static_cast<size_t>(root_)] = 0;
+  while (!stack.empty()) {
+    const int32_t id = stack.back();
+    stack.pop_back();
+    for (int32_t child : nodes_[static_cast<size_t>(id)].children) {
+      heights[static_cast<size_t>(child)] = heights[static_cast<size_t>(id)] + 1;
+      stack.push_back(child);
+    }
+  }
+  return heights;
+}
+
+std::vector<uint8_t> QueryPlan::AncestorClosure() const {
+  const std::vector<int32_t> dfs = DfsOrder();
+  const size_t n = dfs.size();
+  std::vector<uint8_t> closure(n * n, 0);
+  // Preorder property: the subtree of dfs[i] occupies a contiguous range
+  // [i, i + subtree_size(i)). Compute subtree sizes with one reverse pass.
+  std::vector<size_t> subtree_size(nodes_.size(), 1);
+  for (size_t pos = n; pos-- > 0;) {
+    const int32_t id = dfs[pos];
+    for (int32_t child : nodes_[static_cast<size_t>(id)].children) {
+      subtree_size[static_cast<size_t>(id)] +=
+          subtree_size[static_cast<size_t>(child)];
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const size_t extent = subtree_size[static_cast<size_t>(dfs[i])];
+    for (size_t j = i; j < i + extent; ++j) closure[i * n + j] = 1;
+  }
+  return closure;
+}
+
+Status QueryPlan::Validate() const {
+  if (nodes_.empty()) return Status::FailedPrecondition("empty plan");
+  if (root_ < 0 || static_cast<size_t>(root_) >= nodes_.size()) {
+    return Status::FailedPrecondition("invalid root index");
+  }
+  std::vector<int> in_degree(nodes_.size(), 0);
+  for (const PlanNode& node : nodes_) {
+    if (node.children.size() > 2) {
+      return Status::FailedPrecondition("node with more than two children");
+    }
+    for (int32_t child : node.children) {
+      if (child < 0 || static_cast<size_t>(child) >= nodes_.size()) {
+        return Status::FailedPrecondition("child index out of range");
+      }
+      ++in_degree[static_cast<size_t>(child)];
+    }
+  }
+  if (in_degree[static_cast<size_t>(root_)] != 0) {
+    return Status::FailedPrecondition("root has a parent");
+  }
+  size_t root_count = 0;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (in_degree[i] == 0) ++root_count;
+    if (in_degree[i] > 1) {
+      return Status::FailedPrecondition("node with multiple parents");
+    }
+  }
+  if (root_count != 1) {
+    return Status::FailedPrecondition("plan is a forest, not a tree");
+  }
+  // Reachability doubles as the cycle check: a tree with the invariants
+  // above reaches every node from the root.
+  if (DfsOrder().size() != nodes_.size()) {
+    return Status::FailedPrecondition("unreachable nodes in plan");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+void AppendNodeText(const QueryPlan& plan, int32_t id, int depth,
+                    std::string* out) {
+  const PlanNode& node = plan.node(id);
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(OperatorTypeName(node.type));
+  out->append(StrFormat(" (rows=%.17g cost=%.17g arows=%.17g ams=%.17g)",
+                        node.est_cardinality, node.est_cost,
+                        node.actual_cardinality, node.actual_time_ms));
+  const NodeAnnotation& a = node.annotation;
+  if (a.table_id >= 0) {
+    out->append(StrFormat(" table=%d trows=%.17g", a.table_id, a.table_rows));
+  }
+  if (a.left_table >= 0) {
+    out->append(StrFormat(" join=%d.%d=%d.%d", a.left_table, a.left_column,
+                          a.right_table, a.right_column));
+  }
+  for (const FilterPredicate& f : a.filters) {
+    out->append(StrFormat(" filter=%d,%s,%.17g,%.17g", f.column_id,
+                          CompareOpName(f.op), f.literal, f.est_selectivity));
+  }
+  out->push_back('\n');
+  for (int32_t child : node.children) {
+    AppendNodeText(plan, child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string QueryPlan::ToText() const {
+  std::string out;
+  if (root_ >= 0) AppendNodeText(*this, root_, 0, &out);
+  return out;
+}
+
+bool QueryPlan::operator==(const QueryPlan& other) const {
+  // Structural equality: the text form canonicalizes node order via DFS, so
+  // two plans with different internal node numbering still compare equal.
+  return ToText() == other.ToText();
+}
+
+StatusOr<QueryPlan> ParsePlanText(std::string_view text) {
+  QueryPlan plan;
+  // Stack of (depth, node index) for attaching children.
+  std::vector<std::pair<int, int32_t>> stack;
+  for (std::string_view raw_line : StrSplit(text, '\n')) {
+    if (StripWhitespace(raw_line).empty()) continue;
+    // Depth = leading spaces / 2.
+    size_t indent = 0;
+    while (indent < raw_line.size() && raw_line[indent] == ' ') ++indent;
+    if (indent % 2 != 0) return Status::InvalidArgument("odd indentation");
+    const int depth = static_cast<int>(indent / 2);
+    std::string_view line = raw_line.substr(indent);
+
+    const size_t paren = line.find(" (");
+    if (paren == std::string_view::npos) {
+      return Status::InvalidArgument("missing metrics: " + std::string(line));
+    }
+    PlanNode node;
+    DACE_ASSIGN_OR_RETURN(node.type,
+                          OperatorTypeFromName(line.substr(0, paren)));
+    const size_t close = line.find(')', paren);
+    if (close == std::string_view::npos) {
+      return Status::InvalidArgument("unterminated metrics");
+    }
+    // Metrics: rows=.. cost=.. arows=.. ams=..
+    for (std::string_view tok :
+         StrSplit(line.substr(paren + 2, close - paren - 2), ' ')) {
+      const size_t eq = tok.find('=');
+      if (eq == std::string_view::npos) continue;
+      const std::string_view key = tok.substr(0, eq);
+      DACE_ASSIGN_OR_RETURN(const double value, ParseDouble(tok.substr(eq + 1)));
+      if (key == "rows") {
+        node.est_cardinality = value;
+      } else if (key == "cost") {
+        node.est_cost = value;
+      } else if (key == "arows") {
+        node.actual_cardinality = value;
+      } else if (key == "ams") {
+        node.actual_time_ms = value;
+      } else {
+        return Status::InvalidArgument("unknown metric: " + std::string(key));
+      }
+    }
+    // Annotations after the metrics.
+    for (std::string_view tok : StrSplit(line.substr(close + 1), ' ')) {
+      if (tok.empty()) continue;
+      const size_t eq = tok.find('=');
+      if (eq == std::string_view::npos) {
+        return Status::InvalidArgument("bad annotation: " + std::string(tok));
+      }
+      const std::string_view key = tok.substr(0, eq);
+      const std::string_view value = tok.substr(eq + 1);
+      if (key == "table") {
+        DACE_ASSIGN_OR_RETURN(const int64_t id, ParseInt64(value));
+        node.annotation.table_id = static_cast<int32_t>(id);
+      } else if (key == "trows") {
+        DACE_ASSIGN_OR_RETURN(node.annotation.table_rows, ParseDouble(value));
+      } else if (key == "join") {
+        // l.lc=r.rc
+        const auto sides = StrSplit(value, '=');
+        if (sides.size() != 2) return Status::InvalidArgument("bad join");
+        const auto left = StrSplit(sides[0], '.');
+        const auto right = StrSplit(sides[1], '.');
+        if (left.size() != 2 || right.size() != 2) {
+          return Status::InvalidArgument("bad join sides");
+        }
+        DACE_ASSIGN_OR_RETURN(const int64_t lt, ParseInt64(left[0]));
+        DACE_ASSIGN_OR_RETURN(const int64_t lc, ParseInt64(left[1]));
+        DACE_ASSIGN_OR_RETURN(const int64_t rt, ParseInt64(right[0]));
+        DACE_ASSIGN_OR_RETURN(const int64_t rc, ParseInt64(right[1]));
+        node.annotation.left_table = static_cast<int32_t>(lt);
+        node.annotation.left_column = static_cast<int32_t>(lc);
+        node.annotation.right_table = static_cast<int32_t>(rt);
+        node.annotation.right_column = static_cast<int32_t>(rc);
+      } else if (key == "filter") {
+        const auto parts = StrSplit(value, ',');
+        if (parts.size() != 4) return Status::InvalidArgument("bad filter");
+        FilterPredicate f;
+        DACE_ASSIGN_OR_RETURN(const int64_t col, ParseInt64(parts[0]));
+        f.column_id = static_cast<int32_t>(col);
+        DACE_ASSIGN_OR_RETURN(f.op, CompareOpFromName(parts[1]));
+        DACE_ASSIGN_OR_RETURN(f.literal, ParseDouble(parts[2]));
+        DACE_ASSIGN_OR_RETURN(f.est_selectivity, ParseDouble(parts[3]));
+        node.annotation.filters.push_back(f);
+      } else {
+        return Status::InvalidArgument("unknown annotation: " +
+                                       std::string(key));
+      }
+    }
+
+    const int32_t id = plan.AddNode(std::move(node));
+    while (!stack.empty() && stack.back().first >= depth) stack.pop_back();
+    if (stack.empty()) {
+      if (depth != 0 || plan.root() >= 0) {
+        return Status::InvalidArgument("multiple roots or bad indentation");
+      }
+      plan.SetRoot(id);
+    } else {
+      if (stack.back().first != depth - 1) {
+        return Status::InvalidArgument("indentation jump");
+      }
+      plan.mutable_node(stack.back().second).children.push_back(id);
+    }
+    stack.emplace_back(depth, id);
+  }
+  if (plan.root() < 0) return Status::InvalidArgument("empty plan text");
+  DACE_RETURN_IF_ERROR(plan.Validate());
+  return plan;
+}
+
+}  // namespace dace::plan

@@ -1,0 +1,57 @@
+#include "util/flags.h"
+
+#include "util/strings.h"
+
+namespace dace {
+
+StatusOr<Flags> Flags::Parse(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      return Status::InvalidArgument("unexpected positional argument: " +
+                                     std::string(arg));
+    }
+    arg.remove_prefix(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      flags.values_[std::string(arg.substr(0, eq))] =
+          std::string(arg.substr(eq + 1));
+    } else if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+      flags.values_[std::string(arg)] = argv[i + 1];
+      ++i;
+    } else {
+      flags.values_[std::string(arg)] = "true";
+    }
+  }
+  return flags;
+}
+
+int64_t Flags::GetInt(std::string_view key, int64_t default_value) const {
+  const auto it = values_.find(std::string(key));
+  if (it == values_.end()) return default_value;
+  auto parsed = ParseInt64(it->second);
+  return parsed.ok() ? *parsed : default_value;
+}
+
+double Flags::GetDouble(std::string_view key, double default_value) const {
+  const auto it = values_.find(std::string(key));
+  if (it == values_.end()) return default_value;
+  auto parsed = ParseDouble(it->second);
+  return parsed.ok() ? *parsed : default_value;
+}
+
+bool Flags::GetBool(std::string_view key, bool default_value) const {
+  const auto it = values_.find(std::string(key));
+  if (it == values_.end()) return default_value;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::string Flags::GetString(std::string_view key,
+                             std::string_view default_value) const {
+  const auto it = values_.find(std::string(key));
+  if (it == values_.end()) return std::string(default_value);
+  return it->second;
+}
+
+}  // namespace dace

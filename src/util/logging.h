@@ -1,0 +1,64 @@
+#ifndef DACE_UTIL_LOGGING_H_
+#define DACE_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace dace {
+namespace internal {
+
+// Collects a message via operator<< and aborts on destruction. Used by the
+// DACE_CHECK family for fatal invariant violations (programming errors, as
+// opposed to recoverable conditions which return Status).
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* file, int line, const char* condition) {
+    stream_ << file << ":" << line << " CHECK failed: " << condition << " ";
+  }
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace dace
+
+// Fatal assertion: always on (benchmark-critical inner loops use
+// DACE_DCHECK instead, which compiles out in NDEBUG builds).
+#define DACE_CHECK(condition)                                         \
+  while (!(condition))                                                \
+  ::dace::internal::CheckFailureStream(__FILE__, __LINE__, #condition)
+
+#define DACE_CHECK_EQ(a, b) DACE_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DACE_CHECK_NE(a, b) DACE_CHECK((a) != (b))
+#define DACE_CHECK_LT(a, b) DACE_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DACE_CHECK_LE(a, b) DACE_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DACE_CHECK_GT(a, b) DACE_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DACE_CHECK_GE(a, b) DACE_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DACE_CHECK_OK(expr)                          \
+  do {                                               \
+    ::dace::Status dace_check_status_ = (expr);      \
+    DACE_CHECK(dace_check_status_.ok()) << dace_check_status_.ToString(); \
+  } while (false)
+
+#ifdef NDEBUG
+#define DACE_DCHECK(condition) \
+  while (false) ::dace::internal::CheckFailureStream(__FILE__, __LINE__, #condition)
+#else
+#define DACE_DCHECK(condition) DACE_CHECK(condition)
+#endif
+
+#endif  // DACE_UTIL_LOGGING_H_

@@ -1,0 +1,48 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace dace {
+
+int64_t Rng::Zipf(int64_t n, double s) {
+  DACE_CHECK_GT(n, 0);
+  if (s <= 1e-9) return UniformInt(0, n - 1);
+  // Rejection sampling after Devroye: envelope is the integral of x^-s.
+  const double b = std::pow(2.0, s - 1.0);
+  while (true) {
+    const double u = NextDouble();
+    const double v = NextDouble();
+    double x;
+    if (s == 1.0) {
+      x = std::exp(u * std::log(static_cast<double>(n) + 1.0));
+    } else {
+      const double t = std::pow(static_cast<double>(n) + 1.0, 1.0 - s);
+      x = std::pow(u * (t - 1.0) + 1.0, 1.0 / (1.0 - s));
+    }
+    const int64_t k = static_cast<int64_t>(x);
+    if (k < 1 || k > n) continue;
+    const double ratio =
+        std::pow(static_cast<double>(k) / x, s);  // pmf vs envelope density
+    if (v * b <= ratio * b) {
+      return k - 1;  // zero-based rank
+    }
+  }
+}
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  DACE_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    DACE_DCHECK(w >= 0.0);
+    total += w;
+  }
+  DACE_CHECK_GT(total, 0.0);
+  double draw = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    draw -= weights[i];
+    if (draw <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace dace

@@ -1,0 +1,145 @@
+#ifndef DACE_UTIL_RNG_H_
+#define DACE_UTIL_RNG_H_
+
+#include <cstdint>
+#include <cmath>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace dace {
+
+// Deterministic pseudo-random generator (xoshiro256**, seeded via splitmix64).
+// Every stochastic component in the library takes an explicit Rng so that
+// corpora, workloads and training runs are reproducible bit-for-bit from a
+// seed — a requirement for the benchmark harness and the tests.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Reseed(seed); }
+
+  void Reseed(uint64_t seed) {
+    // splitmix64 expansion of the seed into the 256-bit state.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      state_[i] = z ^ (z >> 31);
+    }
+    has_cached_gaussian_ = false;
+  }
+
+  // Uniform 64-bit value.
+  uint64_t NextUint64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    DACE_DCHECK(lo <= hi);
+    const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+    if (range == 0) return static_cast<int64_t>(NextUint64());  // full range
+    return lo + static_cast<int64_t>(NextUint64() % range);
+  }
+
+  // Bernoulli draw.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // Standard normal via Box-Muller (cached pair).
+  double Gaussian() {
+    if (has_cached_gaussian_) {
+      has_cached_gaussian_ = false;
+      return cached_gaussian_;
+    }
+    double u1 = NextDouble();
+    while (u1 <= 1e-300) u1 = NextDouble();
+    const double u2 = NextDouble();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_gaussian_ = r * std::sin(theta);
+    has_cached_gaussian_ = true;
+    return r * std::cos(theta);
+  }
+
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  // Log-normal multiplicative noise factor with median 1.
+  double LogNormalFactor(double sigma) { return std::exp(Gaussian(0.0, sigma)); }
+
+  // Zipf-distributed integer in [0, n) with exponent s >= 0 (s=0 is uniform).
+  // Uses inverse-CDF over the exact normalization; O(n) setup is avoided by
+  // rejection sampling against the bounding harmonic envelope.
+  int64_t Zipf(int64_t n, double s);
+
+  // Samples an index in [0, weights.size()) proportional to weights.
+  // Weights must be non-negative with a positive sum.
+  size_t Categorical(const std::vector<double>& weights);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+// Stateless deterministic hashing helpers. These derive reproducible
+// per-entity randomness (e.g. the optimizer's statistics error for a given
+// (database, table, column, bucket)) without threading an Rng everywhere.
+// splitmix64 finalizer.
+inline uint64_t HashMix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return HashMix(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+// Uniform in [0, 1) derived from a key.
+inline double HashUniform(uint64_t key) {
+  return static_cast<double>(HashMix(key) >> 11) * 0x1.0p-53;
+}
+
+// Standard normal derived from a key (Box-Muller over two hash lanes).
+inline double HashGaussian(uint64_t key) {
+  double u1 = HashUniform(HashCombine(key, 0x1234abcd));
+  if (u1 <= 1e-300) u1 = 1e-300;
+  const double u2 = HashUniform(HashCombine(key, 0xfeed5678));
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+}  // namespace dace
+
+#endif  // DACE_UTIL_RNG_H_

@@ -1,0 +1,158 @@
+#ifndef DACE_UTIL_STATUS_H_
+#define DACE_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace dace {
+
+// Error categories for fallible library operations. The library does not
+// throw exceptions across its public API (per the project style rules);
+// functions that can fail return Status or StatusOr<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kInternal = 5,
+  kUnimplemented = 6,
+  kDataLoss = 7,
+};
+
+// Returns a short human-readable name ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeToString(StatusCode code);
+
+// A lightweight success-or-error value, modeled on absl::Status.
+class Status {
+ public:
+  // Default constructor produces an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "INVALID_ARGUMENT: some message".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Either a value of type T or an error Status. Accessing the value of a
+// non-OK StatusOr aborts the process (programming error).
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work,
+  // matching the absl::StatusOr ergonomics this type mirrors.
+  StatusOr(const T& value) : value_(value) {}          // NOLINT
+  StatusOr(T&& value) : value_(std::move(value)) {}    // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    AbortIfOkStatus();
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AbortIfNoValue();
+    return *value_;
+  }
+  T& value() & {
+    AbortIfNoValue();
+    return *value_;
+  }
+  T&& value() && {
+    AbortIfNoValue();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void AbortIfNoValue() const;
+  void AbortIfOkStatus() const;
+
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+namespace internal {
+[[noreturn]] void DieBadStatusOrAccess(const Status& status);
+[[noreturn]] void DieOkStatusOrConstruction();
+}  // namespace internal
+
+template <typename T>
+void StatusOr<T>::AbortIfNoValue() const {
+  if (!value_.has_value()) internal::DieBadStatusOrAccess(status_);
+}
+
+template <typename T>
+void StatusOr<T>::AbortIfOkStatus() const {
+  if (status_.ok()) internal::DieOkStatusOrConstruction();
+}
+
+// Propagates a non-OK status to the caller.
+#define DACE_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::dace::Status dace_status_tmp_ = (expr);       \
+    if (!dace_status_tmp_.ok()) return dace_status_tmp_; \
+  } while (false)
+
+// Evaluates a StatusOr expression; on success binds the value to `lhs`,
+// otherwise returns the error status.
+#define DACE_ASSIGN_OR_RETURN(lhs, expr)            \
+  DACE_ASSIGN_OR_RETURN_IMPL_(                      \
+      DACE_STATUS_CONCAT_(statusor_, __LINE__), lhs, expr)
+
+#define DACE_STATUS_CONCAT_INNER_(a, b) a##b
+#define DACE_STATUS_CONCAT_(a, b) DACE_STATUS_CONCAT_INNER_(a, b)
+#define DACE_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+}  // namespace dace
+
+#endif  // DACE_UTIL_STATUS_H_

@@ -1,0 +1,31 @@
+#ifndef DACE_UTIL_STRINGS_H_
+#define DACE_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dace {
+
+// Splits `input` on `delimiter`, keeping empty pieces.
+std::vector<std::string> StrSplit(std::string_view input, char delimiter);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view input);
+
+// True if `input` begins with `prefix`.
+bool StartsWith(std::string_view input, std::string_view prefix);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+// Strict numeric parsers: the whole string must be consumed.
+StatusOr<int64_t> ParseInt64(std::string_view text);
+StatusOr<double> ParseDouble(std::string_view text);
+
+}  // namespace dace
+
+#endif  // DACE_UTIL_STRINGS_H_

@@ -1,0 +1,271 @@
+#include "core/dace_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "engine/corpus.h"
+#include "engine/dataset.h"
+#include "engine/machine.h"
+#include "eval/metrics.h"
+
+namespace dace::core {
+namespace {
+
+std::vector<plan::QueryPlan> TrainingPlans(int per_db = 60, int dbs = 4,
+                                           uint64_t seed = 11) {
+  const auto corpus = engine::BuildCorpus(42, dbs + 1);
+  std::vector<plan::QueryPlan> plans;
+  for (int db = 1; db <= dbs; ++db) {
+    auto batch = engine::GenerateLabeledPlans(
+        corpus[static_cast<size_t>(db)], engine::MachineM1(),
+        engine::WorkloadKind::kComplex, per_db, seed + static_cast<uint64_t>(db));
+    plans.insert(plans.end(), batch.begin(), batch.end());
+  }
+  return plans;
+}
+
+DaceConfig FastConfig() {
+  DaceConfig config;
+  config.epochs = 6;
+  return config;
+}
+
+TEST(DaceModelTest, ParameterCountMatchesArchitecture) {
+  DaceModel model((DaceConfig()));
+  // Attention: 3 × 18 × 128; MLP: (128+1)×128 + (128+1)×64 + (64+1)×1.
+  const size_t expected = 3 * 18 * 128 + (128 * 128 + 128) +
+                          (128 * 64 + 64) + (64 * 1 + 1);
+  EXPECT_EQ(model.ParameterCount(), expected);
+  EXPECT_EQ(model.LoraParameterCount(), 0u);
+  EXPECT_LT(ModelSizeMb(model.ParameterCount()), 0.15);  // lightweight
+}
+
+TEST(DaceModelTest, LoraParameterCountMatchesRanks) {
+  DaceConfig config = FastConfig();
+  config.epochs = 1;
+  DaceEstimator est(config);
+  est.Train(TrainingPlans(10, 2));
+  est.FineTune(TrainingPlans(10, 2, 99));
+  // r1=32 on 128->128, r2=16 on 128->64, r3=8 on 64->1.
+  const size_t expected_lora =
+      (128 * 32 + 32 * 128) + (128 * 16 + 16 * 64) + (64 * 8 + 8 * 1);
+  EXPECT_EQ(est.LoraParameterCount(), expected_lora);
+}
+
+TEST(DaceModelTest, TrainingReducesLoss) {
+  const auto plans = TrainingPlans(40, 3);
+  DaceConfig one_epoch = FastConfig();
+  one_epoch.epochs = 1;
+  DaceEstimator before(one_epoch);
+  before.Train(plans);
+  DaceConfig many_epochs = FastConfig();
+  many_epochs.epochs = 10;
+  DaceEstimator after(many_epochs);
+  after.Train(plans);
+  EXPECT_LT(after.last_train_stats().final_loss,
+            before.last_train_stats().final_loss);
+}
+
+TEST(DaceModelTest, OverfitsTinyDataset) {
+  auto plans = TrainingPlans(12, 1);
+  DaceConfig config = FastConfig();
+  config.epochs = 200;
+  DaceEstimator est(config);
+  est.Train(plans);
+  const auto summary = eval::Evaluate(est, plans);
+  EXPECT_LT(summary.median, 1.25);
+}
+
+TEST(DaceModelTest, PredictsFiniteAndPositive) {
+  const auto plans = TrainingPlans(40, 3);
+  DaceEstimator est(FastConfig());
+  est.Train(plans);
+  for (const auto& plan : plans) {
+    const double ms = est.PredictMs(plan);
+    EXPECT_TRUE(std::isfinite(ms));
+    EXPECT_GT(ms, 0.0);
+  }
+}
+
+TEST(DaceModelTest, PredictSubPlansMatchesPlanSize) {
+  const auto plans = TrainingPlans(20, 2);
+  DaceEstimator est(FastConfig());
+  est.Train(plans);
+  for (const auto& plan : plans) {
+    const auto sub = est.PredictSubPlansMs(plan);
+    EXPECT_EQ(sub.size(), plan.size());
+    EXPECT_NEAR(sub[0], est.PredictMs(plan), 1e-9);
+    for (double ms : sub) EXPECT_GT(ms, 0.0);
+  }
+}
+
+TEST(DaceModelTest, EncodeReturnsHidden2Dims) {
+  const auto plans = TrainingPlans(20, 2);
+  DaceEstimator est(FastConfig());
+  est.Train(plans);
+  const auto encoding = est.Encode(plans[0]);
+  EXPECT_EQ(encoding.size(), 64u);
+  EXPECT_EQ(est.EncodingDim(), 64);
+  for (double v : encoding) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, 0.0);  // post-ReLU
+  }
+}
+
+TEST(DaceModelTest, EncodingsDifferAcrossPlans) {
+  const auto plans = TrainingPlans(20, 2);
+  DaceEstimator est(FastConfig());
+  est.Train(plans);
+  const auto e1 = est.Encode(plans[0]);
+  const auto e2 = est.Encode(plans[1]);
+  double delta = 0.0;
+  for (size_t i = 0; i < e1.size(); ++i) delta += std::fabs(e1[i] - e2[i]);
+  EXPECT_GT(delta, 1e-6);
+}
+
+TEST(DaceModelTest, LearnsBetterThanConstantPredictor) {
+  const auto train = TrainingPlans(80, 4);
+  const auto corpus = engine::BuildCorpus(42, 5);
+  const auto test = engine::GenerateLabeledPlans(
+      corpus[0], engine::MachineM1(), engine::WorkloadKind::kComplex, 100, 777);
+
+  DaceEstimator est(FastConfig());
+  est.Train(train);
+  const auto summary = eval::Evaluate(est, test);
+
+  // Constant predictor: median train time.
+  std::vector<double> train_times;
+  for (const auto& p : train) {
+    train_times.push_back(p.node(p.root()).actual_time_ms);
+  }
+  std::sort(train_times.begin(), train_times.end());
+  const double constant = train_times[train_times.size() / 2];
+  std::vector<double> constant_qerrors;
+  for (const auto& p : test) {
+    constant_qerrors.push_back(
+        eval::Qerror(constant, p.node(p.root()).actual_time_ms));
+  }
+  const auto constant_summary = eval::Summarize(constant_qerrors);
+  EXPECT_LT(summary.median, constant_summary.median * 0.7)
+      << "DACE should beat a constant predictor by a wide margin";
+}
+
+TEST(DaceModelTest, FineTuneFreezesBaseWeights) {
+  auto plans = TrainingPlans(20, 2);
+  DaceConfig config = FastConfig();
+  config.epochs = 2;
+  DaceEstimator est(config);
+  est.Train(plans);
+
+  // Fine-tune on relabelled (M2) data.
+  const auto corpus = engine::BuildCorpus(42, 3);
+  auto m2_plans = plans;
+  engine::RelabelPlans(corpus[1], engine::MachineM2(), 55, &m2_plans);
+  est.FineTune(m2_plans);
+  // The adapters must have changed predictions...
+  EXPECT_TRUE(est.model().lora_attached());
+  // ...but a fresh fine-tune must not have touched base weights: verify by
+  // checking the base parameter count is unchanged and LoRA params exist.
+  EXPECT_GT(est.LoraParameterCount(), 0u);
+  EXPECT_EQ(est.model().BaseParameterCount() + est.LoraParameterCount(),
+            est.ParameterCount());
+}
+
+TEST(DaceModelTest, FineTuneImprovesOnShiftedMachine) {
+  const auto corpus = engine::BuildCorpus(42, 4);
+  std::vector<plan::QueryPlan> train_m1, train_m2, test_m2;
+  for (int db = 1; db <= 3; ++db) {
+    auto batch = engine::GenerateLabeledPlans(
+        corpus[static_cast<size_t>(db)], engine::MachineM1(),
+        engine::WorkloadKind::kComplex, 120, 21 + static_cast<uint64_t>(db));
+    train_m1.insert(train_m1.end(), batch.begin(), batch.end());
+    engine::RelabelPlans(corpus[static_cast<size_t>(db)], engine::MachineM2(),
+                         91 + static_cast<uint64_t>(db), &batch);
+    train_m2.insert(train_m2.end(), batch.begin(), batch.end());
+  }
+  test_m2 = engine::GenerateLabeledPlans(corpus[0], engine::MachineM2(),
+                                         engine::WorkloadKind::kComplex, 150,
+                                         1234);
+
+  DaceConfig config = FastConfig();
+  config.epochs = 8;
+  DaceEstimator est(config);
+  est.Train(train_m1);
+  const auto before = eval::Evaluate(est, test_m2);
+  est.FineTune(train_m2);
+  const auto after = eval::Evaluate(est, test_m2);
+  EXPECT_LT(after.median, before.median)
+      << "LoRA fine-tuning should adapt DACE to machine M2";
+  EXPECT_LT(after.p95, before.p95);
+}
+
+TEST(DaceModelTest, SaveLoadRoundTripPredictions) {
+  const auto plans = TrainingPlans(20, 2);
+  DaceEstimator est(FastConfig());
+  est.Train(plans);
+
+  const std::string path = ::testing::TempDir() + "/dace_model.bin";
+  ASSERT_TRUE(est.SaveToFile(path).ok());
+
+  DaceEstimator restored(FastConfig());
+  ASSERT_TRUE(restored.LoadFromFile(path).ok());
+  for (const auto& plan : plans) {
+    EXPECT_NEAR(restored.PredictMs(plan), est.PredictMs(plan), 1e-9);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DaceModelTest, LoadFromMissingFileFails) {
+  DaceEstimator est(FastConfig());
+  EXPECT_FALSE(est.LoadFromFile("/nonexistent/dace.bin").ok());
+}
+
+TEST(DaceModelTest, TrainStatsPopulated) {
+  const auto plans = TrainingPlans(15, 2);
+  DaceEstimator est(FastConfig());
+  est.Train(plans);
+  const TrainStats& stats = est.last_train_stats();
+  EXPECT_EQ(stats.num_plans, plans.size());
+  EXPECT_EQ(stats.epochs, 6);
+  EXPECT_GT(stats.wall_ms, 0.0);
+  EXPECT_TRUE(std::isfinite(stats.final_loss));
+}
+
+// Ablation configs must all train without blowing up.
+class DaceAblationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DaceAblationTest, AblationsTrainAndPredict) {
+  DaceConfig config = FastConfig();
+  config.epochs = 3;
+  switch (GetParam()) {
+    case 0:
+      break;  // full DACE
+    case 1:
+      config.tree_attention = false;  // w/o TA
+      break;
+    case 2:
+      config.alpha = 0.0;  // w/o SP
+      break;
+    case 3:
+      config.alpha = 1.0;  // w/o LA
+      break;
+    case 4:
+      config.use_actual_cardinality = true;  // DACE-A
+      break;
+  }
+  const auto plans = TrainingPlans(25, 2);
+  DaceEstimator est(config);
+  est.Train(plans);
+  for (const auto& plan : plans) {
+    const double ms = est.PredictMs(plan);
+    EXPECT_TRUE(std::isfinite(ms));
+    EXPECT_GT(ms, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, DaceAblationTest, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace dace::core

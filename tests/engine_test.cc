@@ -1,0 +1,594 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "engine/catalog.h"
+#include "engine/corpus.h"
+#include "engine/cost_model.h"
+#include "engine/dataset.h"
+#include "engine/executor.h"
+#include "engine/machine.h"
+#include "engine/optimizer.h"
+#include "engine/selectivity.h"
+#include "engine/workload.h"
+#include "util/rng.h"
+
+namespace dace::engine {
+namespace {
+
+using plan::CompareOp;
+using plan::FilterPredicate;
+using plan::OperatorType;
+
+FilterPredicate MakePred(int32_t col, CompareOp op, double literal) {
+  FilterPredicate f;
+  f.column_id = col;
+  f.op = op;
+  f.literal = literal;
+  return f;
+}
+
+// ------------------------------------------------------------ Catalog ----
+
+TEST(CatalogTest, ImdbLikeValidatesAndHasStarSchema) {
+  const Database db = BuildImdbLike(1);
+  EXPECT_TRUE(db.Validate().ok());
+  EXPECT_EQ(db.tables.size(), 6u);
+  EXPECT_EQ(db.join_edges.size(), 5u);
+  // Every edge points at table 0 (title).
+  for (const JoinEdge& e : db.join_edges) EXPECT_EQ(e.to_table, 0);
+}
+
+TEST(CatalogTest, TpchLikeValidates) {
+  const Database db = BuildTpchLike(2);
+  EXPECT_TRUE(db.Validate().ok());
+  EXPECT_EQ(db.tables.size(), 8u);
+  EXPECT_GT(db.join_edges.size(), 6u);
+  EXPECT_GT(db.TotalRows(), 8'000'000);
+}
+
+TEST(CatalogTest, EdgesOfFindsIncidentEdges) {
+  const Database db = BuildTpchLike(3);
+  // lineitem (7) has three outgoing FKs.
+  EXPECT_EQ(db.EdgesOf(7).size(), 3u);
+}
+
+TEST(CatalogTest, FindEdgeSymmetric) {
+  const Database db = BuildTpchLike(4);
+  const int32_t e1 = db.FindEdge(7, 6);
+  const int32_t e2 = db.FindEdge(6, 7);
+  EXPECT_GE(e1, 0);
+  EXPECT_EQ(e1, e2);
+  EXPECT_EQ(db.FindEdge(0, 7), -1);  // region-lineitem: no direct edge
+}
+
+TEST(CatalogTest, ValidateCatchesBadDistinct) {
+  Database db = BuildImdbLike(5);
+  db.tables[0].columns[1].distinct_count = db.tables[0].row_count + 1;
+  EXPECT_FALSE(db.Validate().ok());
+}
+
+TEST(CatalogTest, ValidateCatchesEmptyRange) {
+  Database db = BuildImdbLike(6);
+  db.tables[0].columns[1].min_value = db.tables[0].columns[1].max_value;
+  EXPECT_FALSE(db.Validate().ok());
+}
+
+TEST(CatalogTest, ValidateCatchesSelfCorrelation) {
+  Database db = BuildImdbLike(7);
+  db.tables[0].columns[1].correlated_with = 1;
+  EXPECT_FALSE(db.Validate().ok());
+}
+
+TEST(CatalogTest, ValidateCatchesBadEdge) {
+  Database db = BuildImdbLike(8);
+  db.join_edges[0].to_table = 99;
+  EXPECT_FALSE(db.Validate().ok());
+}
+
+TEST(CatalogTest, ScaleDatabaseScalesRows) {
+  const Database db = BuildTpchLike(9);
+  const Database scaled = ScaleDatabase(db, 10.0);
+  EXPECT_TRUE(scaled.Validate().ok());
+  for (size_t t = 0; t < db.tables.size(); ++t) {
+    EXPECT_NEAR(static_cast<double>(scaled.tables[t].row_count),
+                10.0 * static_cast<double>(db.tables[t].row_count), 1.0);
+    for (size_t c = 0; c < db.tables[t].columns.size(); ++c) {
+      // Distinct counts grow sublinearly and stay bounded by rows.
+      EXPECT_GE(scaled.tables[t].columns[c].distinct_count,
+                db.tables[t].columns[c].distinct_count);
+      EXPECT_LE(scaled.tables[t].columns[c].distinct_count,
+                scaled.tables[t].row_count);
+    }
+  }
+}
+
+TEST(CatalogTest, ScaleDatabaseDownScales) {
+  const Database db = BuildTpchLike(10);
+  const Database scaled = ScaleDatabase(db, 0.01);
+  EXPECT_TRUE(scaled.Validate().ok());
+  EXPECT_LT(scaled.TotalRows(), db.TotalRows() / 50);
+}
+
+// ------------------------------------------------------------- Corpus ----
+
+TEST(CorpusTest, BuildsRequestedCount) {
+  const auto corpus = BuildCorpus(42, 20);
+  EXPECT_EQ(corpus.size(), 20u);
+  EXPECT_EQ(corpus[kImdbIndex].name, "imdb");
+  EXPECT_EQ(corpus[kTpchIndex].name, "tpch");
+  for (const Database& db : corpus) EXPECT_TRUE(db.Validate().ok());
+}
+
+TEST(CorpusTest, DeterministicForSeed) {
+  const auto a = BuildCorpus(7, 6);
+  const auto b = BuildCorpus(7, 6);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].tables.size(), b[i].tables.size());
+    for (size_t t = 0; t < a[i].tables.size(); ++t) {
+      EXPECT_EQ(a[i].tables[t].row_count, b[i].tables[t].row_count);
+    }
+  }
+}
+
+TEST(CorpusTest, DatabasesAreDiverse) {
+  const auto corpus = BuildCorpus(42, 20);
+  std::set<size_t> table_counts;
+  for (const Database& db : corpus) table_counts.insert(db.tables.size());
+  EXPECT_GE(table_counts.size(), 4u);
+}
+
+TEST(CorpusTest, RandomDatabasesAreConnected) {
+  const auto corpus = BuildCorpus(42, 20);
+  for (const Database& db : corpus) {
+    // Spanning-tree edges: at least tables-1.
+    EXPECT_GE(db.join_edges.size(), db.tables.size() - 1);
+  }
+}
+
+// -------------------------------------------------------- Selectivity ----
+
+class SelectivityTest : public ::testing::Test {
+ protected:
+  SelectivityTest() : db_(BuildImdbLike(42)), model_(&db_) {}
+  Database db_;
+  SelectivityModel model_;
+};
+
+TEST_F(SelectivityTest, RangeBoundsAndMonotonicity) {
+  // production_year in [1880, 2025].
+  double prev = 0.0;
+  for (double year = 1880; year <= 2025; year += 5) {
+    const double sel =
+        model_.TruePredicate(0, MakePred(1, CompareOp::kLt, year));
+    EXPECT_GE(sel, SelectivityModel::kMinSel);
+    EXPECT_LE(sel, 1.0);
+    EXPECT_GE(sel, prev - 1e-12);  // monotone in the literal
+    prev = sel;
+  }
+  EXPECT_NEAR(model_.TruePredicate(0, MakePred(1, CompareOp::kLt, 2025.0)),
+              1.0, 1e-6);
+}
+
+TEST_F(SelectivityTest, LtAndGtAreComplementary) {
+  const double lt = model_.TruePredicate(0, MakePred(1, CompareOp::kLt, 1990));
+  const double gt = model_.TruePredicate(0, MakePred(1, CompareOp::kGt, 1990));
+  EXPECT_NEAR(lt + gt, 1.0, 1e-9);
+}
+
+TEST_F(SelectivityTest, EqSelectivitySmall) {
+  const double eq = model_.TruePredicate(0, MakePred(1, CompareOp::kEq, 2000));
+  EXPECT_GT(eq, 0.0);
+  EXPECT_LT(eq, 0.2);
+  const double ne = model_.TruePredicate(0, MakePred(1, CompareOp::kNe, 2000));
+  EXPECT_NEAR(eq + ne, 1.0, 1e-9);
+}
+
+TEST_F(SelectivityTest, EstimateDiffersFromTruthOnSkewedColumn) {
+  // kind_id is heavily skewed (skew=1.5): the uniform estimate must be
+  // measurably wrong somewhere in the domain.
+  double max_ratio = 1.0;
+  for (double cut = 1.5; cut < 8.0; cut += 0.5) {
+    const double t = model_.TruePredicate(0, MakePred(2, CompareOp::kLt, cut));
+    const double e =
+        model_.EstimatedPredicate(0, MakePred(2, CompareOp::kLt, cut));
+    max_ratio = std::max(max_ratio, std::max(t / e, e / t));
+  }
+  EXPECT_GT(max_ratio, 1.3);
+}
+
+TEST_F(SelectivityTest, EstimateIsDeterministic) {
+  const auto pred = MakePred(1, CompareOp::kLt, 1995);
+  EXPECT_DOUBLE_EQ(model_.EstimatedPredicate(0, pred),
+                   model_.EstimatedPredicate(0, pred));
+}
+
+TEST_F(SelectivityTest, ConjunctionBoundedByTightestConjunct) {
+  const std::vector<FilterPredicate> preds = {
+      MakePred(1, CompareOp::kLt, 1950), MakePred(2, CompareOp::kEq, 3)};
+  const double joint = model_.TrueConjunction(0, preds);
+  const double s1 = model_.TruePredicate(0, preds[0]);
+  const double s2 = model_.TruePredicate(0, preds[1]);
+  EXPECT_LE(joint, std::min(s1, s2) + 1e-12);
+  EXPECT_GE(joint, s1 * s2 - 1e-12);  // correlation can only increase it
+}
+
+TEST_F(SelectivityTest, CorrelatedConjunctionExceedsIndependent) {
+  // season_nr (col 3) is correlated with kind_id (col 2) at rho=0.7.
+  const std::vector<FilterPredicate> preds = {
+      MakePred(2, CompareOp::kLt, 3.0), MakePred(3, CompareOp::kLt, 10.0)};
+  const double joint = model_.TrueConjunction(0, preds);
+  const double independent = model_.TruePredicate(0, preds[0]) *
+                             model_.TruePredicate(0, preds[1]);
+  EXPECT_GT(joint, independent * 1.05);
+}
+
+TEST_F(SelectivityTest, EstimatedConjunctionAssumesIndependence) {
+  const std::vector<FilterPredicate> preds = {
+      MakePred(2, CompareOp::kLt, 3.0), MakePred(3, CompareOp::kLt, 10.0)};
+  const double est = model_.EstimatedConjunction(0, preds);
+  const double product = model_.EstimatedPredicate(0, preds[0]) *
+                         model_.EstimatedPredicate(0, preds[1]);
+  EXPECT_NEAR(est, product, 1e-12);
+}
+
+TEST_F(SelectivityTest, EmptyConjunctionIsOne) {
+  EXPECT_DOUBLE_EQ(model_.TrueConjunction(0, {}), 1.0);
+  EXPECT_DOUBLE_EQ(model_.EstimatedConjunction(0, {}), 1.0);
+}
+
+TEST_F(SelectivityTest, JoinSelectivityBounds) {
+  const JoinEdge& edge = db_.join_edges[0];
+  const double t = model_.TrueJoin(edge, 1.0);
+  const double e = model_.EstimatedJoin(edge);
+  EXPECT_GT(t, 0.0);
+  EXPECT_LE(t, 1.0);
+  EXPECT_GT(e, 0.0);
+  EXPECT_LE(e, 1.0);
+}
+
+TEST_F(SelectivityTest, FilteredParentBoostsTrueJoin) {
+  const JoinEdge& edge = db_.join_edges[1];  // cast_info -> title, corr 0.5
+  const double unfiltered = model_.TrueJoin(edge, 1.0);
+  const double filtered = model_.TrueJoin(edge, 0.01);
+  EXPECT_GT(filtered, unfiltered * 1.5);
+}
+
+TEST_F(SelectivityTest, GroupCountsBounded) {
+  const double t = model_.TrueGroupCount(0, 1, 1e6);
+  const double e = model_.EstimatedGroupCount(0, 1, 1e6);
+  EXPECT_GE(t, 1.0);
+  EXPECT_LE(t, 1e6);
+  EXPECT_LE(t, 141.0);  // distinct=140 + rounding
+  EXPECT_GE(e, 1.0);
+  EXPECT_LE(e, 1e6);
+  // Group count saturates with more input.
+  EXPECT_GE(model_.TrueGroupCount(0, 1, 1e6),
+            model_.TrueGroupCount(0, 1, 10.0));
+}
+
+// ---------------------------------------------------------- CostModel ----
+
+TEST(CostModelTest, AllOperatorsPositiveCost) {
+  CostInputs in;
+  in.out_rows = 100;
+  in.left_rows = 1000;
+  in.right_rows = 500;
+  in.table_rows = 10000;
+  in.num_filters = 1;
+  for (int t = 0; t < plan::kNumOperatorTypes; ++t) {
+    EXPECT_GT(OperatorCost(static_cast<OperatorType>(t), in), 0.0)
+        << plan::OperatorTypeName(static_cast<OperatorType>(t));
+  }
+}
+
+TEST(CostModelTest, SeqScanMonotoneInTableSize) {
+  CostInputs small, large;
+  small.table_rows = 1000;
+  large.table_rows = 100000;
+  EXPECT_LT(OperatorCost(OperatorType::kSeqScan, small),
+            OperatorCost(OperatorType::kSeqScan, large));
+}
+
+TEST(CostModelTest, IndexScanCheaperThanSeqScanWhenSelective) {
+  CostInputs in;
+  in.table_rows = 1'000'000;
+  in.width_bytes = 100;
+  in.out_rows = 10;
+  in.num_filters = 1;
+  EXPECT_LT(OperatorCost(OperatorType::kIndexScan, in),
+            OperatorCost(OperatorType::kSeqScan, in));
+}
+
+TEST(CostModelTest, NestedLoopQuadraticHashLinearish) {
+  CostInputs in;
+  in.left_rows = 10000;
+  in.right_rows = 10000;
+  in.out_rows = 10000;
+  EXPECT_GT(OperatorCost(OperatorType::kNestedLoop, in),
+            10.0 * OperatorCost(OperatorType::kHashJoin, in));
+}
+
+// ------------------------------------------------------------ Machine ----
+
+TEST(MachineTest, ProfilesDiffer) {
+  const MachineProfile m1 = MachineM1();
+  const MachineProfile m2 = MachineM2();
+  EXPECT_NE(m1.name, m2.name);
+  CostInputs in;
+  in.table_rows = 1'000'000;
+  in.width_bytes = 100;
+  in.out_rows = 100;
+  in.left_rows = 1'000'000;
+  // M2 has slower IO: seq scans take longer.
+  EXPECT_GT(m2.OwnTimeMs(OperatorType::kSeqScan, in),
+            m1.OwnTimeMs(OperatorType::kSeqScan, in));
+  // M2 has faster CPU: pure-CPU aggregation is quicker.
+  CostInputs agg;
+  agg.left_rows = 1'000'000;
+  EXPECT_LT(m2.OwnTimeMs(OperatorType::kAggregate, agg),
+            m1.OwnTimeMs(OperatorType::kAggregate, agg));
+}
+
+TEST(MachineTest, AllOperatorsPositiveTime) {
+  const MachineProfile m = MachineM1();
+  CostInputs in;
+  in.out_rows = 10;
+  in.left_rows = 100;
+  in.right_rows = 50;
+  in.table_rows = 1000;
+  for (int t = 0; t < plan::kNumOperatorTypes; ++t) {
+    EXPECT_GT(m.OwnTimeMs(static_cast<OperatorType>(t), in), 0.0);
+  }
+}
+
+// ----------------------------------------------------------- Workload ----
+
+TEST(WorkloadTest, GeneratedQueriesAreValid) {
+  const Database db = BuildImdbLike(42);
+  const auto specs = GenerateQueries(db, WorkloadKind::kComplex, 100, 1);
+  EXPECT_EQ(specs.size(), 100u);
+  for (const QuerySpec& spec : specs) {
+    EXPECT_TRUE(ValidateSpec(db, spec).ok());
+  }
+}
+
+TEST(WorkloadTest, DeterministicForSeed) {
+  const Database db = BuildImdbLike(42);
+  const auto a = GenerateQueries(db, WorkloadKind::kComplex, 20, 9);
+  const auto b = GenerateQueries(db, WorkloadKind::kComplex, 20, 9);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].tables.size(), b[i].tables.size());
+    EXPECT_EQ(a[i].join_edge_ids, b[i].join_edge_ids);
+  }
+}
+
+TEST(WorkloadTest, JobLightStartsAtFactTable) {
+  const Database db = BuildImdbLike(42);
+  const auto specs = GenerateQueries(db, WorkloadKind::kJobLight, 50, 2);
+  for (const QuerySpec& spec : specs) {
+    EXPECT_EQ(spec.tables[0].table_id, 2);  // cast_info is the largest table
+    EXPECT_GE(spec.NumJoins(), 1);
+  }
+}
+
+TEST(WorkloadTest, KindsDifferInJoinDistribution) {
+  const Database db = BuildTpchLike(42);
+  double complex_joins = 0.0, synthetic_joins = 0.0;
+  for (const auto& s : GenerateQueries(db, WorkloadKind::kComplex, 300, 3)) {
+    complex_joins += s.NumJoins();
+  }
+  for (const auto& s : GenerateQueries(db, WorkloadKind::kSynthetic, 300, 3)) {
+    synthetic_joins += s.NumJoins();
+  }
+  EXPECT_GT(complex_joins, synthetic_joins);
+}
+
+TEST(WorkloadTest, ValidateSpecCatchesDisconnectedJoin) {
+  const Database db = BuildTpchLike(42);
+  QuerySpec spec;
+  TableRef r0, r1;
+  r0.table_id = 0;  // region
+  r1.table_id = 7;  // lineitem — not adjacent to region
+  spec.tables = {r0, r1};
+  spec.join_edge_ids = {0};  // nation->region edge: does not connect lineitem
+  EXPECT_FALSE(ValidateSpec(db, spec).ok());
+}
+
+// ---------------------------------------------- Optimizer & Executor ----
+
+class PlanningTest : public ::testing::Test {
+ protected:
+  PlanningTest() : db_(BuildImdbLike(42)), optimizer_(&db_) {}
+  Database db_;
+  Optimizer optimizer_;
+};
+
+TEST_F(PlanningTest, PlansAreValidTrees) {
+  const auto specs = GenerateQueries(db_, WorkloadKind::kComplex, 50, 4);
+  for (const QuerySpec& spec : specs) {
+    const plan::QueryPlan plan = optimizer_.BuildPlan(spec);
+    EXPECT_TRUE(plan.Validate().ok());
+    EXPECT_GE(plan.size(), spec.tables.size());
+  }
+}
+
+TEST_F(PlanningTest, EstimatedCostInclusiveMonotone) {
+  const auto specs = GenerateQueries(db_, WorkloadKind::kComplex, 30, 5);
+  for (const QuerySpec& spec : specs) {
+    const plan::QueryPlan plan = optimizer_.BuildPlan(spec);
+    for (const plan::PlanNode& node : plan.nodes()) {
+      for (int32_t child : node.children) {
+        EXPECT_GT(node.est_cost, plan.node(child).est_cost)
+            << "parent cost must include child cost";
+      }
+    }
+  }
+}
+
+TEST_F(PlanningTest, ScansCarryAnnotations) {
+  const auto specs = GenerateQueries(db_, WorkloadKind::kComplex, 30, 6);
+  for (const QuerySpec& spec : specs) {
+    const plan::QueryPlan plan = optimizer_.BuildPlan(spec);
+    size_t scan_count = 0;
+    for (const plan::PlanNode& node : plan.nodes()) {
+      if (plan::IsScan(node.type) &&
+          node.type != OperatorType::kBitmapIndexScan) {
+        ++scan_count;
+        EXPECT_GE(node.annotation.table_id, 0);
+        EXPECT_GT(node.annotation.table_rows, 0.0);
+      }
+      if (plan::IsJoin(node.type)) {
+        EXPECT_GE(node.annotation.left_table, 0);
+        EXPECT_GE(node.annotation.right_table, 0);
+        EXPECT_EQ(node.children.size(), 2u);
+      }
+    }
+    EXPECT_EQ(scan_count, spec.tables.size());
+  }
+}
+
+TEST_F(PlanningTest, PlanConstructionDeterministic) {
+  const auto specs = GenerateQueries(db_, WorkloadKind::kComplex, 10, 7);
+  for (const QuerySpec& spec : specs) {
+    EXPECT_EQ(optimizer_.BuildPlan(spec).ToText(),
+              optimizer_.BuildPlan(spec).ToText());
+  }
+}
+
+TEST_F(PlanningTest, EstimatesDivergeFromActuals) {
+  // The whole point: the optimizer must be wrong (sometimes badly) so there
+  // is an EDQO to learn.
+  const auto specs = GenerateQueries(db_, WorkloadKind::kComplex, 200, 8);
+  double max_ratio = 1.0;
+  for (const QuerySpec& spec : specs) {
+    const plan::QueryPlan plan = optimizer_.BuildPlan(spec);
+    const plan::PlanNode& root = plan.node(plan.root());
+    const double ratio =
+        std::max(root.est_cardinality / root.actual_cardinality,
+                 root.actual_cardinality / root.est_cardinality);
+    max_ratio = std::max(max_ratio, ratio);
+  }
+  EXPECT_GT(max_ratio, 5.0);
+}
+
+TEST_F(PlanningTest, ExecutorFillsInclusiveTimes) {
+  const auto specs = GenerateQueries(db_, WorkloadKind::kComplex, 30, 9);
+  const MachineProfile m1 = MachineM1();
+  for (const QuerySpec& spec : specs) {
+    plan::QueryPlan plan = optimizer_.BuildPlan(spec);
+    SimulateExecution(db_, m1, 1234, &plan);
+    for (const plan::PlanNode& node : plan.nodes()) {
+      EXPECT_GT(node.actual_time_ms, 0.0);
+      double children_total = 0.0;
+      for (int32_t child : node.children) {
+        children_total += plan.node(child).actual_time_ms;
+      }
+      EXPECT_GT(node.actual_time_ms, children_total)
+          << "inclusive time must exceed the children's total";
+    }
+  }
+}
+
+TEST_F(PlanningTest, ExecutorDeterministicInSeed) {
+  const auto specs = GenerateQueries(db_, WorkloadKind::kComplex, 5, 10);
+  const MachineProfile m1 = MachineM1();
+  for (const QuerySpec& spec : specs) {
+    plan::QueryPlan a = optimizer_.BuildPlan(spec);
+    plan::QueryPlan b = optimizer_.BuildPlan(spec);
+    SimulateExecution(db_, m1, 77, &a);
+    SimulateExecution(db_, m1, 77, &b);
+    EXPECT_EQ(a.ToText(), b.ToText());
+    SimulateExecution(db_, m1, 78, &b);
+    EXPECT_NE(a.ToText(), b.ToText());  // different noise seed
+  }
+}
+
+TEST_F(PlanningTest, MachinesProduceDifferentLabels) {
+  const auto specs = GenerateQueries(db_, WorkloadKind::kComplex, 10, 11);
+  for (const QuerySpec& spec : specs) {
+    plan::QueryPlan a = optimizer_.BuildPlan(spec);
+    plan::QueryPlan b = a;
+    SimulateExecution(db_, MachineM1(), 5, &a);
+    SimulateExecution(db_, MachineM2(), 5, &b);
+    EXPECT_NE(a.node(a.root()).actual_time_ms,
+              b.node(b.root()).actual_time_ms);
+  }
+}
+
+// ------------------------------------------------------------ Dataset ----
+
+TEST(DatasetTest, GenerateLabeledPlansEndToEnd) {
+  const Database db = BuildTpchLike(42);
+  const auto plans = GenerateLabeledPlans(db, MachineM1(),
+                                          WorkloadKind::kComplex, 25, 3);
+  EXPECT_EQ(plans.size(), 25u);
+  for (const plan::QueryPlan& plan : plans) {
+    EXPECT_TRUE(plan.Validate().ok());
+    EXPECT_GT(plan.node(plan.root()).actual_time_ms, 0.0);
+    EXPECT_GT(plan.node(plan.root()).est_cost, 0.0);
+  }
+}
+
+TEST(DatasetTest, RelabelKeepsEstimates) {
+  const Database db = BuildTpchLike(42);
+  auto plans = GenerateLabeledPlans(db, MachineM1(),
+                                    WorkloadKind::kComplex, 10, 4);
+  const auto before = plans;
+  RelabelPlans(db, MachineM2(), 99, &plans);
+  for (size_t i = 0; i < plans.size(); ++i) {
+    for (size_t n = 0; n < plans[i].size(); ++n) {
+      const auto& node_after = plans[i].node(static_cast<int32_t>(n));
+      const auto& node_before = before[i].node(static_cast<int32_t>(n));
+      EXPECT_DOUBLE_EQ(node_after.est_cost, node_before.est_cost);
+      EXPECT_DOUBLE_EQ(node_after.est_cardinality, node_before.est_cardinality);
+      EXPECT_NE(node_after.actual_time_ms, node_before.actual_time_ms);
+    }
+  }
+}
+
+// Every operator type should actually appear in a large complex workload —
+// otherwise parts of the models are dead code.
+TEST(DatasetTest, AllOperatorTypesExercised) {
+  const auto corpus = BuildCorpus(42, 8);
+  std::set<int> seen;
+  for (const Database& db : corpus) {
+    const auto plans =
+        GenerateLabeledPlans(db, MachineM1(), WorkloadKind::kComplex, 120, 5);
+    for (const auto& plan : plans) {
+      for (const auto& node : plan.nodes()) {
+        seen.insert(static_cast<int>(node.type));
+      }
+    }
+  }
+  EXPECT_GE(seen.size(), 14u) << "expected nearly all 16 operator types";
+}
+
+// Property sweep: dataset invariants across databases.
+class DatasetPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DatasetPropertyTest, LabeledPlansWellFormedOnEveryDatabase) {
+  const auto corpus = BuildCorpus(42, 10);
+  const Database& db = corpus[static_cast<size_t>(GetParam())];
+  const auto plans =
+      GenerateLabeledPlans(db, MachineM1(), WorkloadKind::kComplex, 20, 6);
+  for (const plan::QueryPlan& plan : plans) {
+    ASSERT_TRUE(plan.Validate().ok());
+    for (const plan::PlanNode& node : plan.nodes()) {
+      EXPECT_GE(node.est_cardinality, 1.0);
+      EXPECT_GE(node.actual_cardinality, 1.0);
+      EXPECT_GT(node.est_cost, 0.0);
+      EXPECT_GT(node.actual_time_ms, 0.0);
+      EXPECT_TRUE(std::isfinite(node.est_cost));
+      EXPECT_TRUE(std::isfinite(node.actual_time_ms));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Databases, DatasetPropertyTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace dace::engine

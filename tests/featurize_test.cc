@@ -1,0 +1,245 @@
+#include "featurize/featurize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "engine/corpus.h"
+#include "engine/dataset.h"
+#include "engine/machine.h"
+
+namespace dace::featurize {
+namespace {
+
+std::vector<plan::QueryPlan> SamplePlans(int count = 40, uint64_t seed = 3) {
+  const engine::Database db = engine::BuildImdbLike(42);
+  return engine::GenerateLabeledPlans(db, engine::MachineM1(),
+                                      engine::WorkloadKind::kComplex, count,
+                                      seed);
+}
+
+// ------------------------------------------------------- RobustScaler ----
+
+TEST(RobustScalerTest, IdentityWhenUnfitted) {
+  RobustScaler scaler;
+  EXPECT_DOUBLE_EQ(scaler.Transform(std::expm1(1.0)), 1.0);
+}
+
+TEST(RobustScalerTest, CentersMedianAtZero) {
+  RobustScaler scaler;
+  scaler.Fit({1, 10, 100, 1000, 10000});
+  EXPECT_NEAR(scaler.Transform(100.0), 0.0, 1e-9);
+  EXPECT_GT(scaler.Transform(10000.0), 0.0);
+  EXPECT_LT(scaler.Transform(1.0), 0.0);
+}
+
+TEST(RobustScalerTest, InverseRoundTrip) {
+  RobustScaler scaler;
+  scaler.Fit({5, 50, 500, 5000, 50000, 500000});
+  for (double v : {3.0, 77.0, 1234.5, 9e5}) {
+    EXPECT_NEAR(scaler.InverseTransform(scaler.Transform(v)), v, v * 1e-9);
+  }
+}
+
+TEST(RobustScalerTest, RobustToOutliers) {
+  RobustScaler a, b;
+  std::vector<double> values = {10, 20, 30, 40, 50, 60, 70, 80, 90};
+  a.Fit(values);
+  values.push_back(1e12);  // a single extreme outlier
+  b.Fit(values);
+  EXPECT_NEAR(a.Transform(50.0), b.Transform(50.0), 0.2);
+}
+
+TEST(RobustScalerTest, ConstantInputKeepsUnitIqr) {
+  RobustScaler scaler;
+  scaler.Fit({7, 7, 7, 7});
+  EXPECT_DOUBLE_EQ(scaler.iqr(), 1.0);
+  EXPECT_NEAR(scaler.Transform(7.0), 0.0, 1e-12);
+}
+
+TEST(RobustScalerTest, SerializationRoundTrip) {
+  RobustScaler scaler;
+  scaler.Fit({1, 2, 3, 4, 100});
+  std::stringstream ss;
+  scaler.Serialize(&ss);
+  RobustScaler restored;
+  ASSERT_TRUE(restored.Deserialize(&ss).ok());
+  EXPECT_DOUBLE_EQ(restored.median(), scaler.median());
+  EXPECT_DOUBLE_EQ(restored.iqr(), scaler.iqr());
+}
+
+// --------------------------------------------------------- Featurizer ----
+
+class FeaturizerTest : public ::testing::Test {
+ protected:
+  FeaturizerTest() : plans_(SamplePlans()) { featurizer_.Fit(plans_); }
+  std::vector<plan::QueryPlan> plans_;
+  Featurizer featurizer_;
+  FeaturizerConfig config_;
+};
+
+TEST_F(FeaturizerTest, DimensionsMatchPaper) {
+  EXPECT_EQ(kFeatureDim, 18);  // 16 one-hot + card + cost (Sec. V)
+  const PlanFeatures f = featurizer_.Featurize(plans_[0], config_);
+  EXPECT_EQ(f.node_features.cols(), 18u);
+  EXPECT_EQ(f.node_features.rows(), plans_[0].size());
+  EXPECT_EQ(f.attention_mask.rows(), plans_[0].size());
+  EXPECT_EQ(f.attention_mask.cols(), plans_[0].size());
+  EXPECT_EQ(f.loss_weights.size(), plans_[0].size());
+  EXPECT_EQ(f.labels.size(), plans_[0].size());
+}
+
+TEST_F(FeaturizerTest, OneHotExactlyOneTypeBit) {
+  const PlanFeatures f = featurizer_.Featurize(plans_[0], config_);
+  for (size_t i = 0; i < f.node_features.rows(); ++i) {
+    double sum = 0.0;
+    for (int j = 0; j < kNumNodeTypes; ++j) sum += f.node_features(i, static_cast<size_t>(j));
+    EXPECT_DOUBLE_EQ(sum, 1.0);
+  }
+}
+
+TEST_F(FeaturizerTest, OneHotMatchesNodeType) {
+  const plan::QueryPlan& plan = plans_[0];
+  const PlanFeatures f = featurizer_.Featurize(plan, config_);
+  for (size_t i = 0; i < f.dfs.size(); ++i) {
+    const int type = static_cast<int>(plan.node(f.dfs[i]).type);
+    EXPECT_DOUBLE_EQ(f.node_features(i, static_cast<size_t>(type)), 1.0);
+  }
+}
+
+TEST_F(FeaturizerTest, RowZeroIsRoot) {
+  const PlanFeatures f = featurizer_.Featurize(plans_[0], config_);
+  EXPECT_EQ(f.dfs[0], plans_[0].root());
+  EXPECT_DOUBLE_EQ(f.loss_weights[0], 1.0);
+}
+
+TEST_F(FeaturizerTest, LossWeightsAreAlphaPowers) {
+  const plan::QueryPlan& plan = plans_[0];
+  config_.alpha = 0.5;
+  const PlanFeatures f = featurizer_.Featurize(plan, config_);
+  const std::vector<int32_t> heights = plan.Heights();
+  for (size_t i = 0; i < f.dfs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(f.loss_weights[i],
+                     std::pow(0.5, heights[static_cast<size_t>(f.dfs[i])]));
+  }
+}
+
+TEST_F(FeaturizerTest, AlphaZeroKeepsOnlyRoot) {
+  config_.alpha = 0.0;  // "DACE w/o SP"
+  const PlanFeatures f = featurizer_.Featurize(plans_[0], config_);
+  EXPECT_DOUBLE_EQ(f.loss_weights[0], 1.0);
+  for (size_t i = 1; i < f.loss_weights.size(); ++i) {
+    EXPECT_DOUBLE_EQ(f.loss_weights[i], 0.0);
+  }
+}
+
+TEST_F(FeaturizerTest, AlphaOneWeighsAllEqually) {
+  config_.alpha = 1.0;  // "DACE w/o LA"
+  const PlanFeatures f = featurizer_.Featurize(plans_[0], config_);
+  for (double w : f.loss_weights) EXPECT_DOUBLE_EQ(w, 1.0);
+}
+
+TEST_F(FeaturizerTest, MaskMatchesAncestorClosure) {
+  const plan::QueryPlan& plan = plans_[0];
+  const PlanFeatures f = featurizer_.Featurize(plan, config_);
+  const auto closure = plan.AncestorClosure();
+  const size_t n = plan.size();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (closure[i * n + j]) {
+        EXPECT_DOUBLE_EQ(f.attention_mask(i, j), 0.0);
+      } else {
+        EXPECT_LE(f.attention_mask(i, j), nn::kMaskNegInf);
+      }
+    }
+  }
+}
+
+TEST_F(FeaturizerTest, NoTreeAttentionGivesOpenMask) {
+  config_.tree_attention = false;  // "DACE w/o TA"
+  const PlanFeatures f = featurizer_.Featurize(plans_[0], config_);
+  for (size_t i = 0; i < f.attention_mask.rows(); ++i) {
+    for (size_t j = 0; j < f.attention_mask.cols(); ++j) {
+      EXPECT_DOUBLE_EQ(f.attention_mask(i, j), 0.0);
+    }
+  }
+}
+
+TEST_F(FeaturizerTest, ActualCardinalitySwap) {
+  // DACE-A (Fig. 12): the cardinality feature flips to the true value.
+  FeaturizerConfig actual_config;
+  actual_config.use_actual_cardinality = true;
+  const PlanFeatures est = featurizer_.Featurize(plans_[0], config_);
+  const PlanFeatures act = featurizer_.Featurize(plans_[0], actual_config);
+  bool any_differs = false;
+  for (size_t i = 0; i < est.node_features.rows(); ++i) {
+    if (std::fabs(est.node_features(i, kNumNodeTypes) -
+                  act.node_features(i, kNumNodeTypes)) > 1e-9) {
+      any_differs = true;
+    }
+    // Cost feature unchanged.
+    EXPECT_DOUBLE_EQ(est.node_features(i, kNumNodeTypes + 1),
+                     act.node_features(i, kNumNodeTypes + 1));
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST_F(FeaturizerTest, LabelsAreScaledLogTimes) {
+  const plan::QueryPlan& plan = plans_[0];
+  const PlanFeatures f = featurizer_.Featurize(plan, config_);
+  for (size_t i = 0; i < f.dfs.size(); ++i) {
+    const double ms = plan.node(f.dfs[i]).actual_time_ms;
+    EXPECT_NEAR(featurizer_.InverseTransformTime(f.labels[i]), ms,
+                ms * 1e-6 + 1e-9);
+  }
+}
+
+TEST_F(FeaturizerTest, SerializationRoundTrip) {
+  std::stringstream ss;
+  featurizer_.Serialize(&ss);
+  Featurizer restored;
+  ASSERT_TRUE(restored.Deserialize(&ss).ok());
+  EXPECT_TRUE(restored.fitted());
+  const PlanFeatures a = featurizer_.Featurize(plans_[1], config_);
+  const PlanFeatures b = restored.Featurize(plans_[1], config_);
+  for (size_t i = 0; i < a.node_features.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.node_features.data()[i], b.node_features.data()[i]);
+  }
+}
+
+TEST_F(FeaturizerTest, DeserializeFailsOnTruncation) {
+  std::stringstream ss;
+  featurizer_.Serialize(&ss);
+  std::string data = ss.str();
+  data.resize(data.size() - 4);
+  std::stringstream truncated(data);
+  Featurizer restored;
+  EXPECT_FALSE(restored.Deserialize(&truncated).ok());
+}
+
+// Property sweep: featurization invariants across many plans.
+class FeaturizePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FeaturizePropertyTest, FiniteFeaturesEverywhere) {
+  const auto plans = SamplePlans(30, static_cast<uint64_t>(GetParam()) + 50);
+  Featurizer featurizer;
+  featurizer.Fit(plans);
+  FeaturizerConfig config;
+  for (const auto& plan : plans) {
+    const PlanFeatures f = featurizer.Featurize(plan, config);
+    for (size_t i = 0; i < f.node_features.size(); ++i) {
+      EXPECT_TRUE(std::isfinite(f.node_features.data()[i]));
+    }
+    for (double label : f.labels) EXPECT_TRUE(std::isfinite(label));
+    for (double w : f.loss_weights) {
+      EXPECT_GE(w, 0.0);
+      EXPECT_LE(w, 1.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FeaturizePropertyTest, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace dace::featurize

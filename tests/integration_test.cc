@@ -1,0 +1,156 @@
+// Cross-module integration tests: the full pipeline from synthetic database
+// to trained estimator, through on-disk artifacts, mirroring how a
+// downstream user would wire the library together.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "baselines/postgres_cost.h"
+#include "core/dace_model.h"
+#include "engine/corpus.h"
+#include "engine/dataset.h"
+#include "engine/machine.h"
+#include "engine/plan_io.h"
+#include "eval/metrics.h"
+
+namespace dace {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus_ = new std::vector<engine::Database>(engine::BuildCorpus(42, 6));
+    train_ = new std::vector<plan::QueryPlan>();
+    for (int db = 1; db <= 5; ++db) {
+      auto batch = engine::GenerateLabeledPlans(
+          (*corpus_)[static_cast<size_t>(db)], engine::MachineM1(),
+          engine::WorkloadKind::kComplex, 80, 700 + static_cast<uint64_t>(db));
+      train_->insert(train_->end(), batch.begin(), batch.end());
+    }
+    test_ = new std::vector<plan::QueryPlan>(engine::GenerateLabeledPlans(
+        (*corpus_)[0], engine::MachineM1(), engine::WorkloadKind::kComplex,
+        150, 901));
+  }
+  static void TearDownTestSuite() {
+    delete corpus_;
+    delete train_;
+    delete test_;
+  }
+  static std::vector<engine::Database>* corpus_;
+  static std::vector<plan::QueryPlan>* train_;
+  static std::vector<plan::QueryPlan>* test_;
+};
+
+std::vector<engine::Database>* IntegrationTest::corpus_ = nullptr;
+std::vector<plan::QueryPlan>* IntegrationTest::train_ = nullptr;
+std::vector<plan::QueryPlan>* IntegrationTest::test_ = nullptr;
+
+TEST_F(IntegrationTest, TrainFromDiskMatchesTrainFromMemory) {
+  // Save the corpus, reload it, train on both; predictions must be
+  // identical because training is deterministic and IO is lossless.
+  const std::string path = ::testing::TempDir() + "/corpus.plans";
+  ASSERT_TRUE(engine::SavePlansToFile(*train_, path).ok());
+  auto loaded = engine::LoadPlansFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), train_->size());
+
+  core::DaceConfig config;
+  config.epochs = 3;
+  core::DaceEstimator from_memory(config);
+  from_memory.Train(*train_);
+  core::DaceEstimator from_disk(config);
+  from_disk.Train(*loaded);
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_NEAR(from_memory.PredictMs((*test_)[i]),
+                from_disk.PredictMs((*test_)[i]), 1e-9);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(IntegrationTest, DaceBeatsCostOnlyBaselineOnUnseenDatabase) {
+  core::DaceConfig config;
+  config.epochs = 10;
+  core::DaceEstimator dace_est(config);
+  dace_est.Train(*train_);
+  baselines::PostgresLinear postgres;
+  postgres.Train(*train_);
+
+  const auto dace_summary = eval::Evaluate(dace_est, *test_);
+  const auto pg_summary = eval::Evaluate(postgres, *test_);
+  EXPECT_LT(dace_summary.median, pg_summary.median)
+      << "learning the EDQO must beat the raw cost mapping";
+  EXPECT_LT(dace_summary.p95, pg_summary.p95);
+}
+
+TEST_F(IntegrationTest, FullLifecycleTrainFineTuneSaveLoadPredict) {
+  core::DaceConfig config;
+  config.epochs = 3;
+  config.finetune_epochs = 5;
+  core::DaceEstimator est(config);
+  est.Train(*train_);
+
+  // Across-more shift.
+  auto m2_train = *train_;
+  engine::RelabelPlans((*corpus_)[1], engine::MachineM2(), 77, &m2_train);
+  est.FineTune(m2_train);
+  ASSERT_TRUE(est.model().lora_attached());
+
+  const std::string path = ::testing::TempDir() + "/lifecycle.dace";
+  ASSERT_TRUE(est.SaveToFile(path).ok());
+  core::DaceEstimator restored(config);
+  ASSERT_TRUE(restored.LoadFromFile(path).ok());
+  EXPECT_TRUE(restored.model().lora_attached());
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(restored.PredictMs((*test_)[i]), est.PredictMs((*test_)[i]),
+                1e-9);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(IntegrationTest, CorruptedModelFileRejected) {
+  core::DaceConfig config;
+  config.epochs = 1;
+  core::DaceEstimator est(config);
+  est.Train(*train_);
+  const std::string path = ::testing::TempDir() + "/corrupt.dace";
+  ASSERT_TRUE(est.SaveToFile(path).ok());
+  // Truncate the file: the loader must fail cleanly, not crash.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    ASSERT_EQ(std::fclose(f), 0);
+    ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+  }
+  core::DaceEstimator restored(config);
+  EXPECT_FALSE(restored.LoadFromFile(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(IntegrationTest, SubPlanPredictionsAreInternallyConsistent) {
+  core::DaceConfig config;
+  config.epochs = 10;
+  core::DaceEstimator est(config);
+  est.Train(*train_);
+  // A sub-plan (strict subtree) should rarely be predicted slower than the
+  // whole plan; check the aggregate tendency rather than each pair (the
+  // model is not architecturally constrained to monotonicity).
+  int total = 0, inversions = 0;
+  for (const auto& plan : *test_) {
+    const auto sub = est.PredictSubPlansMs(plan);
+    for (size_t i = 1; i < sub.size(); ++i) {
+      ++total;
+      if (sub[i] > 1.5 * sub[0]) ++inversions;
+    }
+  }
+  ASSERT_GT(total, 0);
+  EXPECT_LT(static_cast<double>(inversions) / total, 0.10)
+      << "sub-plan predictions should usually respect subtree ordering";
+}
+
+}  // namespace
+}  // namespace dace

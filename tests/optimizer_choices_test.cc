@@ -1,0 +1,217 @@
+// Focused tests of the optimizer's physical choices — the access-path and
+// join-method heuristics that determine which of the 16 operator types
+// appear — and of invariants the estimators rely on downstream.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "engine/corpus.h"
+#include "engine/optimizer.h"
+#include "engine/workload.h"
+
+namespace dace::engine {
+namespace {
+
+using plan::CompareOp;
+using plan::FilterPredicate;
+using plan::OperatorType;
+
+class ChoiceTest : public ::testing::Test {
+ protected:
+  ChoiceTest() : db_(BuildImdbLike(42)), optimizer_(&db_) {}
+
+  // A single-table query over `title` with the given filters.
+  QuerySpec ScanSpec(std::vector<FilterPredicate> filters) {
+    QuerySpec spec;
+    TableRef ref;
+    ref.table_id = 0;
+    ref.filters = std::move(filters);
+    spec.tables.push_back(std::move(ref));
+    return spec;
+  }
+
+  FilterPredicate Pred(int32_t col, CompareOp op, double literal) {
+    FilterPredicate f;
+    f.column_id = col;
+    f.op = op;
+    f.literal = literal;
+    return f;
+  }
+
+  std::set<OperatorType> TypesIn(const plan::QueryPlan& plan) {
+    std::set<OperatorType> types;
+    for (const auto& node : plan.nodes()) types.insert(node.type);
+    return types;
+  }
+
+  Database db_;
+  Optimizer optimizer_;
+};
+
+TEST_F(ChoiceTest, UnfilteredBigTableGetsParallelSeqScan) {
+  QuerySpec spec;
+  TableRef ref;
+  ref.table_id = 2;  // cast_info, 6M rows: above the parallel threshold
+  spec.tables.push_back(std::move(ref));
+  const plan::QueryPlan plan = optimizer_.BuildPlan(spec);
+  const auto types = TypesIn(plan);
+  EXPECT_TRUE(types.count(OperatorType::kSeqScan));
+  EXPECT_TRUE(types.count(OperatorType::kGather)) << "6M rows goes parallel";
+}
+
+TEST_F(ChoiceTest, HighlySelectiveIndexedFilterGetsIndexScan) {
+  // Equality on the indexed primary key: estimated selectivity ~1/2.5M.
+  const plan::QueryPlan plan =
+      optimizer_.BuildPlan(ScanSpec({Pred(0, CompareOp::kEq, 12345.0)}));
+  const auto types = TypesIn(plan);
+  EXPECT_TRUE(types.count(OperatorType::kIndexScan) ||
+              types.count(OperatorType::kIndexOnlyScan));
+  EXPECT_FALSE(types.count(OperatorType::kSeqScan));
+}
+
+TEST_F(ChoiceTest, UnindexedFilterFallsBackToSeqScan) {
+  // production_year (column 1) is not indexed on title.
+  const plan::QueryPlan plan =
+      optimizer_.BuildPlan(ScanSpec({Pred(1, CompareOp::kEq, 1999.0)}));
+  EXPECT_TRUE(TypesIn(plan).count(OperatorType::kSeqScan));
+}
+
+TEST_F(ChoiceTest, MidSelectivityIndexedFilterGetsBitmapScan) {
+  // movie_keyword.movie_id is indexed; a narrow range on it lands in the
+  // bitmap window (est. selectivity between 0.2% and 5%).
+  QuerySpec spec;
+  TableRef ref;
+  ref.table_id = 1;
+  ref.filters = {Pred(1, CompareOp::kLt, 2'500'000.0 * 0.03)};
+  spec.tables.push_back(std::move(ref));
+  const plan::QueryPlan plan = optimizer_.BuildPlan(spec);
+  const auto types = TypesIn(plan);
+  EXPECT_TRUE(types.count(OperatorType::kBitmapHeapScan));
+  EXPECT_TRUE(types.count(OperatorType::kBitmapIndexScan));
+}
+
+TEST_F(ChoiceTest, BitmapPairIsParentChild) {
+  QuerySpec spec;
+  TableRef ref;
+  ref.table_id = 1;
+  ref.filters = {Pred(1, CompareOp::kLt, 2'500'000.0 * 0.03)};
+  spec.tables.push_back(std::move(ref));
+  const plan::QueryPlan plan = optimizer_.BuildPlan(spec);
+  for (const auto& node : plan.nodes()) {
+    if (node.type == OperatorType::kBitmapHeapScan) {
+      ASSERT_EQ(node.children.size(), 1u);
+      EXPECT_EQ(plan.node(node.children[0]).type,
+                OperatorType::kBitmapIndexScan);
+    }
+  }
+}
+
+TEST_F(ChoiceTest, LargeJoinUsesHashOrMergeNotNestedLoop) {
+  // Unfiltered title ⋈ cast_info: both sides in the millions.
+  QuerySpec spec;
+  TableRef title, cast;
+  title.table_id = 0;
+  cast.table_id = 2;
+  spec.tables = {title, cast};
+  spec.join_edge_ids = {db_.FindEdge(0, 2)};
+  const plan::QueryPlan plan = optimizer_.BuildPlan(spec);
+  const auto types = TypesIn(plan);
+  EXPECT_FALSE(types.count(OperatorType::kNestedLoop));
+  EXPECT_TRUE(types.count(OperatorType::kHashJoin) ||
+              types.count(OperatorType::kMergeJoin));
+}
+
+TEST_F(ChoiceTest, TinyInnerUsesNestedLoop) {
+  // Filter cast_info to a sliver, then join: the optimizer should pick a
+  // nested loop with the tiny side inner.
+  QuerySpec spec;
+  TableRef title, cast;
+  title.table_id = 0;
+  title.filters = {Pred(0, CompareOp::kEq, 777.0)};  // pk equality: ~1 row
+  cast.table_id = 2;
+  cast.filters = {Pred(0, CompareOp::kEq, 999.0)};
+  spec.tables = {title, cast};
+  spec.join_edge_ids = {db_.FindEdge(0, 2)};
+  const plan::QueryPlan plan = optimizer_.BuildPlan(spec);
+  EXPECT_TRUE(TypesIn(plan).count(OperatorType::kNestedLoop));
+}
+
+TEST_F(ChoiceTest, HashJoinBuildsOnSmallerSide) {
+  // title filtered to be much smaller than cast_info: the Hash child must
+  // hang off the smaller (title) side.
+  QuerySpec spec;
+  TableRef title, cast;
+  title.table_id = 0;
+  title.filters = {Pred(1, CompareOp::kLt, 1940.0)};
+  cast.table_id = 2;
+  spec.tables = {title, cast};
+  spec.join_edge_ids = {db_.FindEdge(0, 2)};
+  const plan::QueryPlan plan = optimizer_.BuildPlan(spec);
+  for (const auto& node : plan.nodes()) {
+    if (node.type == OperatorType::kHashJoin) {
+      ASSERT_EQ(node.children.size(), 2u);
+      const auto& probe = plan.node(node.children[0]);
+      const auto& build = plan.node(node.children[1]);
+      EXPECT_EQ(build.type, OperatorType::kHash);
+      EXPECT_LE(build.est_cardinality, probe.est_cardinality);
+    }
+  }
+}
+
+TEST_F(ChoiceTest, GroupAggregateSitsAboveSort) {
+  QuerySpec spec = ScanSpec({});
+  spec.has_aggregate = true;
+  spec.aggregate_type = OperatorType::kGroupAggregate;
+  spec.group_table = 0;
+  spec.group_column = 1;
+  const plan::QueryPlan plan = optimizer_.BuildPlan(spec);
+  bool found = false;
+  for (const auto& node : plan.nodes()) {
+    if (node.type == OperatorType::kGroupAggregate) {
+      found = true;
+      ASSERT_EQ(node.children.size(), 1u);
+      EXPECT_EQ(plan.node(node.children[0]).type, OperatorType::kSort);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ChoiceTest, PlainAggregateReturnsOneRow) {
+  QuerySpec spec = ScanSpec({});
+  spec.has_aggregate = true;
+  spec.aggregate_type = OperatorType::kAggregate;
+  const plan::QueryPlan plan = optimizer_.BuildPlan(spec);
+  const auto& root = plan.node(plan.root());
+  EXPECT_EQ(root.type, OperatorType::kAggregate);
+  EXPECT_DOUBLE_EQ(root.est_cardinality, 1.0);
+  EXPECT_DOUBLE_EQ(root.actual_cardinality, 1.0);
+}
+
+TEST_F(ChoiceTest, LimitCapsCardinalities) {
+  QuerySpec spec = ScanSpec({});
+  spec.has_limit = true;
+  spec.limit_rows = 42.0;
+  const plan::QueryPlan plan = optimizer_.BuildPlan(spec);
+  const auto& root = plan.node(plan.root());
+  EXPECT_EQ(root.type, OperatorType::kLimit);
+  EXPECT_LE(root.est_cardinality, 42.0);
+  EXPECT_LE(root.actual_cardinality, 42.0);
+}
+
+TEST_F(ChoiceTest, FiltersAnnotatedWithEstimatedSelectivity) {
+  const plan::QueryPlan plan =
+      optimizer_.BuildPlan(ScanSpec({Pred(1, CompareOp::kLt, 1990.0)}));
+  bool found = false;
+  for (const auto& node : plan.nodes()) {
+    for (const auto& f : node.annotation.filters) {
+      found = true;
+      EXPECT_GT(f.est_selectivity, 0.0);
+      EXPECT_LE(f.est_selectivity, 1.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace dace::engine

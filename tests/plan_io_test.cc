@@ -1,0 +1,121 @@
+#include "engine/plan_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "engine/corpus.h"
+#include "engine/dataset.h"
+#include "engine/machine.h"
+
+namespace dace::engine {
+namespace {
+
+std::vector<plan::QueryPlan> SamplePlans(int count, uint64_t seed = 5) {
+  const Database db = BuildTpchLike(42);
+  return GenerateLabeledPlans(db, MachineM1(), WorkloadKind::kComplex, count,
+                              seed);
+}
+
+TEST(PlanIoTest, TextRoundTripMultiplePlans) {
+  const auto plans = SamplePlans(10);
+  const std::string text = PlansToText(plans);
+  auto restored = PlansFromText(text);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_EQ(restored->size(), plans.size());
+  for (size_t i = 0; i < plans.size(); ++i) {
+    EXPECT_TRUE((*restored)[i] == plans[i]) << "plan " << i;
+  }
+}
+
+TEST(PlanIoTest, EmptyInputIsEmptyCorpus) {
+  auto restored = PlansFromText("");
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored->empty());
+}
+
+TEST(PlanIoTest, SinglePlanNoSeparator) {
+  const auto plans = SamplePlans(1);
+  auto restored = PlansFromText(plans[0].ToText());
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored->size(), 1u);
+  EXPECT_TRUE((*restored)[0] == plans[0]);
+}
+
+TEST(PlanIoTest, TrailingSeparatorTolerated) {
+  const auto plans = SamplePlans(2);
+  auto restored = PlansFromText(PlansToText(plans) + "---\n");
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->size(), 2u);
+}
+
+TEST(PlanIoTest, ErrorNamesOffendingPlan) {
+  const auto plans = SamplePlans(2);
+  const std::string text =
+      PlansToText(plans) + "---\nBroken Scan (rows=1 cost=1 arows=1 ams=1)\n";
+  auto restored = PlansFromText(text);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_NE(restored.status().message().find("plan 2"), std::string::npos);
+}
+
+TEST(PlanIoTest, FileRoundTrip) {
+  const auto plans = SamplePlans(6);
+  const std::string path = ::testing::TempDir() + "/plans.txt";
+  ASSERT_TRUE(SavePlansToFile(plans, path).ok());
+  auto restored = LoadPlansFromFile(path);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_EQ(restored->size(), plans.size());
+  for (size_t i = 0; i < plans.size(); ++i) {
+    EXPECT_TRUE((*restored)[i] == plans[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PlanIoTest, LoadMissingFileFails) {
+  EXPECT_FALSE(LoadPlansFromFile("/nonexistent/plans.txt").ok());
+}
+
+TEST(PlanIoTest, SaveToUnwritablePathFails) {
+  EXPECT_FALSE(SavePlansToFile(SamplePlans(1), "/nonexistent/dir/p.txt").ok());
+}
+
+// The labels survive the round trip exactly — a corpus on disk can train a
+// model to the same weights as the in-memory corpus.
+TEST(PlanIoTest, LabelsExactlyPreserved) {
+  const auto plans = SamplePlans(5);
+  auto restored = PlansFromText(PlansToText(plans));
+  ASSERT_TRUE(restored.ok());
+  for (size_t i = 0; i < plans.size(); ++i) {
+    const auto dfs_a = plans[i].DfsOrder();
+    const auto dfs_b = (*restored)[i].DfsOrder();
+    ASSERT_EQ(dfs_a.size(), dfs_b.size());
+    for (size_t k = 0; k < dfs_a.size(); ++k) {
+      const auto& a = plans[i].node(dfs_a[k]);
+      const auto& b = (*restored)[i].node(dfs_b[k]);
+      EXPECT_DOUBLE_EQ(a.actual_time_ms, b.actual_time_ms);
+      EXPECT_DOUBLE_EQ(a.est_cost, b.est_cost);
+      EXPECT_DOUBLE_EQ(a.est_cardinality, b.est_cardinality);
+      EXPECT_DOUBLE_EQ(a.actual_cardinality, b.actual_cardinality);
+    }
+  }
+}
+
+class PlanIoPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlanIoPropertyTest, RoundTripAcrossDatabases) {
+  const auto corpus = BuildCorpus(42, 8);
+  const Database& db = corpus[static_cast<size_t>(GetParam())];
+  const auto plans =
+      GenerateLabeledPlans(db, MachineM1(), WorkloadKind::kComplex, 8, 3);
+  auto restored = PlansFromText(PlansToText(plans));
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_EQ(restored->size(), plans.size());
+  for (size_t i = 0; i < plans.size(); ++i) {
+    EXPECT_TRUE((*restored)[i] == plans[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Databases, PlanIoPropertyTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace dace::engine

@@ -1,0 +1,165 @@
+// Property sweeps of the statistical substrate across the whole corpus:
+// invariants that must hold for every database, table, column and edge, not
+// just the hand-built schemas exercised in engine_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "engine/corpus.h"
+#include "engine/selectivity.h"
+#include "util/rng.h"
+
+namespace dace::engine {
+namespace {
+
+using plan::CompareOp;
+using plan::FilterPredicate;
+
+class CorpusPropertyTest : public ::testing::TestWithParam<int> {
+ protected:
+  CorpusPropertyTest()
+      : corpus_(BuildCorpus(42, 10)),
+        db_(corpus_[static_cast<size_t>(GetParam())]),
+        model_(&db_) {}
+  std::vector<Database> corpus_;
+  const Database& db_;
+  SelectivityModel model_;
+};
+
+TEST_P(CorpusPropertyTest, RangeCdfMonotoneOnEveryColumn) {
+  for (size_t t = 0; t < db_.tables.size(); ++t) {
+    const Table& table = db_.tables[t];
+    for (size_t c = 0; c < table.columns.size(); ++c) {
+      const Column& col = table.columns[c];
+      double prev_true = 0.0, prev_est = 0.0;
+      for (int step = 0; step <= 10; ++step) {
+        FilterPredicate f;
+        f.column_id = static_cast<int32_t>(c);
+        f.op = CompareOp::kLt;
+        f.literal = col.min_value +
+                    (col.max_value - col.min_value) * 0.1 * step;
+        const double ts = model_.TruePredicate(static_cast<int32_t>(t), f);
+        EXPECT_GE(ts, prev_true - 1e-12)
+            << table.name << "." << col.name << " step " << step;
+        prev_true = ts;
+        // The estimate is monotone within a histogram bucket but may jump at
+        // bucket boundaries; only check global bounds.
+        const double es = model_.EstimatedPredicate(static_cast<int32_t>(t), f);
+        EXPECT_GE(es, SelectivityModel::kMinSel);
+        EXPECT_LE(es, 1.0);
+        prev_est = es;
+      }
+      (void)prev_est;
+      // Full range covers (almost) everything.
+      FilterPredicate all;
+      all.column_id = static_cast<int32_t>(c);
+      all.op = CompareOp::kLt;
+      all.literal = col.max_value;
+      EXPECT_GT(model_.TruePredicate(static_cast<int32_t>(t), all), 0.999);
+    }
+  }
+}
+
+TEST_P(CorpusPropertyTest, EqNePartitionOnEveryColumn) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 31);
+  for (size_t t = 0; t < db_.tables.size(); ++t) {
+    const Table& table = db_.tables[t];
+    for (size_t c = 0; c < table.columns.size(); ++c) {
+      const Column& col = table.columns[c];
+      FilterPredicate eq;
+      eq.column_id = static_cast<int32_t>(c);
+      eq.op = CompareOp::kEq;
+      eq.literal = rng.Uniform(col.min_value, col.max_value);
+      FilterPredicate ne = eq;
+      ne.op = CompareOp::kNe;
+      const double se = model_.TruePredicate(static_cast<int32_t>(t), eq);
+      const double sn = model_.TruePredicate(static_cast<int32_t>(t), ne);
+      EXPECT_NEAR(se + sn, 1.0, 1e-6);
+    }
+  }
+}
+
+TEST_P(CorpusPropertyTest, JoinSelectivitiesBoundedOnEveryEdge) {
+  for (const JoinEdge& edge : db_.join_edges) {
+    for (double parent_sel : {1.0, 0.1, 0.001}) {
+      const double ts = model_.TrueJoin(edge, parent_sel);
+      EXPECT_GT(ts, 0.0);
+      EXPECT_LE(ts, 1.0);
+      // Tighter parent filters can only keep or boost the per-pair match
+      // probability (filter correlation is non-negative).
+      EXPECT_GE(model_.TrueJoin(edge, parent_sel),
+                model_.TrueJoin(edge, 1.0) - 1e-15);
+    }
+    const double es = model_.EstimatedJoin(edge);
+    EXPECT_GT(es, 0.0);
+    EXPECT_LE(es, 1.0);
+  }
+}
+
+TEST_P(CorpusPropertyTest, ConjunctionNeverExceedsMarginal) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 77);
+  for (size_t t = 0; t < db_.tables.size(); ++t) {
+    const Table& table = db_.tables[t];
+    if (table.columns.size() < 2) continue;
+    std::vector<FilterPredicate> preds;
+    for (size_t c = 0; c < std::min<size_t>(table.columns.size(), 3); ++c) {
+      FilterPredicate f;
+      f.column_id = static_cast<int32_t>(c);
+      f.op = rng.Bernoulli(0.5) ? CompareOp::kLt : CompareOp::kGt;
+      const Column& col = table.columns[c];
+      f.literal = rng.Uniform(col.min_value, col.max_value);
+      preds.push_back(f);
+    }
+    const double joint = model_.TrueConjunction(static_cast<int32_t>(t), preds);
+    for (const FilterPredicate& f : preds) {
+      EXPECT_LE(joint,
+                model_.TruePredicate(static_cast<int32_t>(t), f) + 1e-12);
+    }
+    EXPECT_GE(joint, SelectivityModel::kMinSel);
+  }
+}
+
+TEST_P(CorpusPropertyTest, GroupCountsSaturateOnEveryColumn) {
+  for (size_t t = 0; t < db_.tables.size(); ++t) {
+    const Table& table = db_.tables[t];
+    for (size_t c = 0; c < table.columns.size(); ++c) {
+      double prev = 0.0;
+      for (double rows : {1.0, 100.0, 1e4, 1e6, 1e8}) {
+        const double groups = model_.TrueGroupCount(
+            static_cast<int32_t>(t), static_cast<int32_t>(c), rows);
+        EXPECT_GE(groups, 1.0);
+        EXPECT_LE(groups, rows);
+        EXPECT_LE(groups,
+                  static_cast<double>(table.columns[c].distinct_count) + 1.0);
+        EXPECT_GE(groups, prev - 1e-9);  // monotone in input size
+        prev = groups;
+      }
+    }
+  }
+}
+
+TEST_P(CorpusPropertyTest, StatsDeterministicPerDatabase) {
+  // Two independent SelectivityModel instances over the same database agree
+  // exactly — the database seed is the only source of "randomness".
+  SelectivityModel other(&db_);
+  for (size_t t = 0; t < db_.tables.size(); ++t) {
+    const Table& table = db_.tables[t];
+    for (size_t c = 0; c < table.columns.size(); ++c) {
+      const Column& col = table.columns[c];
+      FilterPredicate f;
+      f.column_id = static_cast<int32_t>(c);
+      f.op = CompareOp::kLt;
+      f.literal = 0.5 * (col.min_value + col.max_value);
+      EXPECT_DOUBLE_EQ(model_.TruePredicate(static_cast<int32_t>(t), f),
+                       other.TruePredicate(static_cast<int32_t>(t), f));
+      EXPECT_DOUBLE_EQ(model_.EstimatedPredicate(static_cast<int32_t>(t), f),
+                       other.EstimatedPredicate(static_cast<int32_t>(t), f));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Databases, CorpusPropertyTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace dace::engine

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "engine/corpus.h"
+#include "engine/dataset.h"
+#include "engine/machine.h"
+#include "engine/workload.h"
+
+namespace dace::engine {
+namespace {
+
+// Quantile of a filter literal within its column's domain.
+double LiteralQuantile(const Database& db, int32_t table_id,
+                       const plan::FilterPredicate& f) {
+  const Column& col = db.tables[static_cast<size_t>(table_id)]
+                          .columns[static_cast<size_t>(f.column_id)];
+  return (f.literal - col.min_value) / (col.max_value - col.min_value);
+}
+
+TEST(WorkloadDriftTest, FilterWindowRespected) {
+  const Database db = BuildImdbLike(42);
+  WorkloadOptions window;
+  window.filter_q_lo = 0.20;
+  window.filter_q_hi = 0.55;
+  const auto specs =
+      GenerateQueries(db, WorkloadKind::kSynthetic, 200, 11, window);
+  int filters_seen = 0;
+  for (const QuerySpec& spec : specs) {
+    for (const TableRef& ref : spec.tables) {
+      for (const plan::FilterPredicate& f : ref.filters) {
+        ++filters_seen;
+        const double q = LiteralQuantile(db, ref.table_id, f);
+        // Greater-than predicates mirror the quantile; both live in the
+        // complement window.
+        const bool in_window = (q >= window.filter_q_lo - 1e-9 &&
+                                q <= window.filter_q_hi + 1e-9) ||
+                               (q >= 1.0 - window.filter_q_hi - 1e-9 &&
+                                q <= 1.0 - window.filter_q_lo + 1e-9);
+        EXPECT_TRUE(in_window) << "literal quantile " << q;
+      }
+    }
+  }
+  EXPECT_GT(filters_seen, 100);
+}
+
+TEST(WorkloadDriftTest, ShiftedWindowsProduceDifferentSelectivities) {
+  const Database db = BuildImdbLike(42);
+  WorkloadOptions narrow;
+  narrow.filter_q_hi = 0.50;
+  WorkloadOptions wide;
+  wide.filter_q_lo = 0.50;
+  const auto low = GenerateLabeledPlans(db, MachineM1(),
+                                        WorkloadKind::kSynthetic, 100, 5,
+                                        kStatementTimeoutMs, narrow);
+  const auto high = GenerateLabeledPlans(db, MachineM1(),
+                                         WorkloadKind::kSynthetic, 100, 5,
+                                         kStatementTimeoutMs, wide);
+  const auto mean_root_card = [](const std::vector<plan::QueryPlan>& plans) {
+    double total = 0.0;
+    for (const auto& p : plans) {
+      total += std::log(p.node(p.root()).actual_cardinality);
+    }
+    return total / static_cast<double>(plans.size());
+  };
+  // Different filter windows materially shift the result-size distribution.
+  EXPECT_GT(std::fabs(mean_root_card(low) - mean_root_card(high)), 0.3);
+}
+
+TEST(WorkloadDriftTest, DefaultOptionsMatchLegacyBehaviour) {
+  const Database db = BuildTpchLike(42);
+  const auto a = GenerateQueries(db, WorkloadKind::kComplex, 30, 9);
+  const auto b =
+      GenerateQueries(db, WorkloadKind::kComplex, 30, 9, WorkloadOptions());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].tables.size(), b[i].tables.size());
+    for (size_t t = 0; t < a[i].tables.size(); ++t) {
+      ASSERT_EQ(a[i].tables[t].filters.size(), b[i].tables[t].filters.size());
+      for (size_t f = 0; f < a[i].tables[t].filters.size(); ++f) {
+        EXPECT_DOUBLE_EQ(a[i].tables[t].filters[f].literal,
+                         b[i].tables[t].filters[f].literal);
+      }
+    }
+  }
+}
+
+TEST(StatementTimeoutTest, AllLabelsWithinTimeout) {
+  const Database db = BuildImdbLike(42);
+  const double timeout = 5'000.0;
+  const auto plans = GenerateLabeledPlans(db, MachineM1(),
+                                          WorkloadKind::kComplex, 60, 3,
+                                          timeout);
+  EXPECT_FALSE(plans.empty());
+  for (const auto& p : plans) {
+    EXPECT_LE(p.node(p.root()).actual_time_ms, timeout);
+  }
+}
+
+TEST(StatementTimeoutTest, TighterTimeoutDropsHeavyQueries) {
+  const Database db = BuildImdbLike(42);
+  const auto lenient = GenerateLabeledPlans(db, MachineM1(),
+                                            WorkloadKind::kComplex, 100, 3,
+                                            /*timeout_ms=*/1e9);
+  const auto strict = GenerateLabeledPlans(db, MachineM1(),
+                                           WorkloadKind::kComplex, 100, 3,
+                                           /*timeout_ms=*/500.0);
+  double max_lenient = 0.0, max_strict = 0.0;
+  for (const auto& p : lenient) {
+    max_lenient = std::max(max_lenient, p.node(p.root()).actual_time_ms);
+  }
+  for (const auto& p : strict) {
+    max_strict = std::max(max_strict, p.node(p.root()).actual_time_ms);
+  }
+  EXPECT_LE(max_strict, 500.0);
+  EXPECT_GT(max_lenient, 500.0);  // the IMDB workload does contain heavy queries
+}
+
+TEST(StatementTimeoutTest, ReturnsFewerWhenMostTimeOut) {
+  const Database db = BuildImdbLike(42);
+  // A 1ms timeout rejects nearly everything; the attempt bound must stop
+  // the generator rather than loop forever.
+  const auto plans = GenerateLabeledPlans(db, MachineM1(),
+                                          WorkloadKind::kComplex, 50, 3,
+                                          /*timeout_ms=*/1.0);
+  EXPECT_LT(plans.size(), 50u);
+}
+
+class DriftWindowPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DriftWindowPropertyTest, SpecsValidUnderAnyWindow) {
+  const auto corpus = BuildCorpus(42, 6);
+  const Database& db = corpus[static_cast<size_t>(GetParam() % 6)];
+  WorkloadOptions window;
+  window.filter_q_lo = 0.1 * GetParam();
+  window.filter_q_hi = window.filter_q_lo + 0.3;
+  const auto specs =
+      GenerateQueries(db, WorkloadKind::kScale, 40, 17, window);
+  for (const QuerySpec& spec : specs) {
+    EXPECT_TRUE(ValidateSpec(db, spec).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, DriftWindowPropertyTest,
+                         ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace dace::engine
