@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_zeroshot_nodes.dir/bench/bench_fig04_zeroshot_nodes.cpp.o"
+  "CMakeFiles/bench_fig04_zeroshot_nodes.dir/bench/bench_fig04_zeroshot_nodes.cpp.o.d"
+  "bench/bench_fig04_zeroshot_nodes"
+  "bench/bench_fig04_zeroshot_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_zeroshot_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_knowledge_integration.dir/bench/bench_fig06_knowledge_integration.cpp.o"
+  "CMakeFiles/bench_fig06_knowledge_integration.dir/bench/bench_fig06_knowledge_integration.cpp.o.d"
+  "bench/bench_fig06_knowledge_integration"
+  "bench/bench_fig06_knowledge_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_knowledge_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_data_drift.dir/bench/bench_fig07_data_drift.cpp.o"
+  "CMakeFiles/bench_fig07_data_drift.dir/bench/bench_fig07_data_drift.cpp.o.d"
+  "bench/bench_fig07_data_drift"
+  "bench/bench_fig07_data_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_data_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

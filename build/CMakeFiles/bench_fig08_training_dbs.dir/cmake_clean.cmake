@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_training_dbs.dir/bench/bench_fig08_training_dbs.cpp.o"
+  "CMakeFiles/bench_fig08_training_dbs.dir/bench/bench_fig08_training_dbs.cpp.o.d"
+  "bench/bench_fig08_training_dbs"
+  "bench/bench_fig08_training_dbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_training_dbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_cold_start.dir/bench/bench_fig09_cold_start.cpp.o"
+  "CMakeFiles/bench_fig09_cold_start.dir/bench/bench_fig09_cold_start.cpp.o.d"
+  "bench/bench_fig09_cold_start"
+  "bench/bench_fig09_cold_start.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_cold_start.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_actual_card.dir/bench/bench_fig12_actual_card.cpp.o"
+  "CMakeFiles/bench_fig12_actual_card.dir/bench/bench_fig12_actual_card.cpp.o.d"
+  "bench/bench_fig12_actual_card"
+  "bench/bench_fig12_actual_card.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_actual_card.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

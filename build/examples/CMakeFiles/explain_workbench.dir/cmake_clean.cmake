@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain_workbench.dir/explain_workbench.cpp.o"
+  "CMakeFiles/explain_workbench.dir/explain_workbench.cpp.o.d"
+  "explain_workbench"
+  "explain_workbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain_workbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finetune_lora.dir/finetune_lora.cpp.o"
+  "CMakeFiles/finetune_lora.dir/finetune_lora.cpp.o.d"
+  "finetune_lora"
+  "finetune_lora.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finetune_lora.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pretrained_encoder.dir/pretrained_encoder.cpp.o"
+  "CMakeFiles/pretrained_encoder.dir/pretrained_encoder.cpp.o.d"
+  "pretrained_encoder"
+  "pretrained_encoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pretrained_encoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

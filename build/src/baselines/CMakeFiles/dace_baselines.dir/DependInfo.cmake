@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/common.cc" "src/baselines/CMakeFiles/dace_baselines.dir/common.cc.o" "gcc" "src/baselines/CMakeFiles/dace_baselines.dir/common.cc.o.d"
+  "/root/repo/src/baselines/mscn.cc" "src/baselines/CMakeFiles/dace_baselines.dir/mscn.cc.o" "gcc" "src/baselines/CMakeFiles/dace_baselines.dir/mscn.cc.o.d"
+  "/root/repo/src/baselines/postgres_cost.cc" "src/baselines/CMakeFiles/dace_baselines.dir/postgres_cost.cc.o" "gcc" "src/baselines/CMakeFiles/dace_baselines.dir/postgres_cost.cc.o.d"
+  "/root/repo/src/baselines/qppnet.cc" "src/baselines/CMakeFiles/dace_baselines.dir/qppnet.cc.o" "gcc" "src/baselines/CMakeFiles/dace_baselines.dir/qppnet.cc.o.d"
+  "/root/repo/src/baselines/queryformer.cc" "src/baselines/CMakeFiles/dace_baselines.dir/queryformer.cc.o" "gcc" "src/baselines/CMakeFiles/dace_baselines.dir/queryformer.cc.o.d"
+  "/root/repo/src/baselines/tpool.cc" "src/baselines/CMakeFiles/dace_baselines.dir/tpool.cc.o" "gcc" "src/baselines/CMakeFiles/dace_baselines.dir/tpool.cc.o.d"
+  "/root/repo/src/baselines/zeroshot.cc" "src/baselines/CMakeFiles/dace_baselines.dir/zeroshot.cc.o" "gcc" "src/baselines/CMakeFiles/dace_baselines.dir/zeroshot.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dace_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/featurize/CMakeFiles/dace_featurize.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dace_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/dace_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

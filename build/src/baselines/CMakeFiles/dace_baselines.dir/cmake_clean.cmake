@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dace_baselines.dir/common.cc.o"
+  "CMakeFiles/dace_baselines.dir/common.cc.o.d"
+  "CMakeFiles/dace_baselines.dir/mscn.cc.o"
+  "CMakeFiles/dace_baselines.dir/mscn.cc.o.d"
+  "CMakeFiles/dace_baselines.dir/postgres_cost.cc.o"
+  "CMakeFiles/dace_baselines.dir/postgres_cost.cc.o.d"
+  "CMakeFiles/dace_baselines.dir/qppnet.cc.o"
+  "CMakeFiles/dace_baselines.dir/qppnet.cc.o.d"
+  "CMakeFiles/dace_baselines.dir/queryformer.cc.o"
+  "CMakeFiles/dace_baselines.dir/queryformer.cc.o.d"
+  "CMakeFiles/dace_baselines.dir/tpool.cc.o"
+  "CMakeFiles/dace_baselines.dir/tpool.cc.o.d"
+  "CMakeFiles/dace_baselines.dir/zeroshot.cc.o"
+  "CMakeFiles/dace_baselines.dir/zeroshot.cc.o.d"
+  "libdace_baselines.a"
+  "libdace_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dace_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dace_core.dir/dace_model.cc.o"
+  "CMakeFiles/dace_core.dir/dace_model.cc.o.d"
+  "libdace_core.a"
+  "libdace_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dace_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

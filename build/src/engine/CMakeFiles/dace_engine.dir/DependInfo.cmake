@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/catalog.cc" "src/engine/CMakeFiles/dace_engine.dir/catalog.cc.o" "gcc" "src/engine/CMakeFiles/dace_engine.dir/catalog.cc.o.d"
+  "/root/repo/src/engine/corpus.cc" "src/engine/CMakeFiles/dace_engine.dir/corpus.cc.o" "gcc" "src/engine/CMakeFiles/dace_engine.dir/corpus.cc.o.d"
+  "/root/repo/src/engine/cost_model.cc" "src/engine/CMakeFiles/dace_engine.dir/cost_model.cc.o" "gcc" "src/engine/CMakeFiles/dace_engine.dir/cost_model.cc.o.d"
+  "/root/repo/src/engine/dataset.cc" "src/engine/CMakeFiles/dace_engine.dir/dataset.cc.o" "gcc" "src/engine/CMakeFiles/dace_engine.dir/dataset.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "src/engine/CMakeFiles/dace_engine.dir/executor.cc.o" "gcc" "src/engine/CMakeFiles/dace_engine.dir/executor.cc.o.d"
+  "/root/repo/src/engine/machine.cc" "src/engine/CMakeFiles/dace_engine.dir/machine.cc.o" "gcc" "src/engine/CMakeFiles/dace_engine.dir/machine.cc.o.d"
+  "/root/repo/src/engine/optimizer.cc" "src/engine/CMakeFiles/dace_engine.dir/optimizer.cc.o" "gcc" "src/engine/CMakeFiles/dace_engine.dir/optimizer.cc.o.d"
+  "/root/repo/src/engine/plan_io.cc" "src/engine/CMakeFiles/dace_engine.dir/plan_io.cc.o" "gcc" "src/engine/CMakeFiles/dace_engine.dir/plan_io.cc.o.d"
+  "/root/repo/src/engine/selectivity.cc" "src/engine/CMakeFiles/dace_engine.dir/selectivity.cc.o" "gcc" "src/engine/CMakeFiles/dace_engine.dir/selectivity.cc.o.d"
+  "/root/repo/src/engine/workload.cc" "src/engine/CMakeFiles/dace_engine.dir/workload.cc.o" "gcc" "src/engine/CMakeFiles/dace_engine.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/plan/CMakeFiles/dace_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dace_engine.dir/catalog.cc.o"
+  "CMakeFiles/dace_engine.dir/catalog.cc.o.d"
+  "CMakeFiles/dace_engine.dir/corpus.cc.o"
+  "CMakeFiles/dace_engine.dir/corpus.cc.o.d"
+  "CMakeFiles/dace_engine.dir/cost_model.cc.o"
+  "CMakeFiles/dace_engine.dir/cost_model.cc.o.d"
+  "CMakeFiles/dace_engine.dir/dataset.cc.o"
+  "CMakeFiles/dace_engine.dir/dataset.cc.o.d"
+  "CMakeFiles/dace_engine.dir/executor.cc.o"
+  "CMakeFiles/dace_engine.dir/executor.cc.o.d"
+  "CMakeFiles/dace_engine.dir/machine.cc.o"
+  "CMakeFiles/dace_engine.dir/machine.cc.o.d"
+  "CMakeFiles/dace_engine.dir/optimizer.cc.o"
+  "CMakeFiles/dace_engine.dir/optimizer.cc.o.d"
+  "CMakeFiles/dace_engine.dir/plan_io.cc.o"
+  "CMakeFiles/dace_engine.dir/plan_io.cc.o.d"
+  "CMakeFiles/dace_engine.dir/selectivity.cc.o"
+  "CMakeFiles/dace_engine.dir/selectivity.cc.o.d"
+  "CMakeFiles/dace_engine.dir/workload.cc.o"
+  "CMakeFiles/dace_engine.dir/workload.cc.o.d"
+  "libdace_engine.a"
+  "libdace_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dace_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dace_eval.dir/experiments.cc.o"
+  "CMakeFiles/dace_eval.dir/experiments.cc.o.d"
+  "CMakeFiles/dace_eval.dir/metrics.cc.o"
+  "CMakeFiles/dace_eval.dir/metrics.cc.o.d"
+  "libdace_eval.a"
+  "libdace_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dace_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

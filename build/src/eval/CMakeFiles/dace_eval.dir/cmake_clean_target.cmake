@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdace_eval.a"
+)

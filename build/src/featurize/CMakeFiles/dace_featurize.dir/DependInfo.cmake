@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/featurize/featurize.cc" "src/featurize/CMakeFiles/dace_featurize.dir/featurize.cc.o" "gcc" "src/featurize/CMakeFiles/dace_featurize.dir/featurize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/dace_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/dace_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

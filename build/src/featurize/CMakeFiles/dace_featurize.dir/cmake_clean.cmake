@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dace_featurize.dir/featurize.cc.o"
+  "CMakeFiles/dace_featurize.dir/featurize.cc.o.d"
+  "libdace_featurize.a"
+  "libdace_featurize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dace_featurize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dace_nn.dir/layers.cc.o"
+  "CMakeFiles/dace_nn.dir/layers.cc.o.d"
+  "CMakeFiles/dace_nn.dir/matrix.cc.o"
+  "CMakeFiles/dace_nn.dir/matrix.cc.o.d"
+  "libdace_nn.a"
+  "libdace_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dace_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

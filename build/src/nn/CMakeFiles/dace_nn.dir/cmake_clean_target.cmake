@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdace_nn.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dace_plan.dir/plan.cc.o"
+  "CMakeFiles/dace_plan.dir/plan.cc.o.d"
+  "libdace_plan.a"
+  "libdace_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dace_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

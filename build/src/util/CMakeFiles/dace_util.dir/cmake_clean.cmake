@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dace_util.dir/flags.cc.o"
+  "CMakeFiles/dace_util.dir/flags.cc.o.d"
+  "CMakeFiles/dace_util.dir/rng.cc.o"
+  "CMakeFiles/dace_util.dir/rng.cc.o.d"
+  "CMakeFiles/dace_util.dir/status.cc.o"
+  "CMakeFiles/dace_util.dir/status.cc.o.d"
+  "CMakeFiles/dace_util.dir/strings.cc.o"
+  "CMakeFiles/dace_util.dir/strings.cc.o.d"
+  "libdace_util.a"
+  "libdace_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dace_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/optimizer_choices_test.cc" "tests/CMakeFiles/optimizer_choices_test.dir/optimizer_choices_test.cc.o" "gcc" "tests/CMakeFiles/optimizer_choices_test.dir/optimizer_choices_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/dace_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/dace_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dace_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/featurize/CMakeFiles/dace_featurize.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/dace_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/dace_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dace_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizer_choices_test.dir/optimizer_choices_test.cc.o"
+  "CMakeFiles/optimizer_choices_test.dir/optimizer_choices_test.cc.o.d"
+  "optimizer_choices_test"
+  "optimizer_choices_test.pdb"
+  "optimizer_choices_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizer_choices_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

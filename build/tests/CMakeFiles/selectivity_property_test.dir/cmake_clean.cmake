@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selectivity_property_test.dir/selectivity_property_test.cc.o"
+  "CMakeFiles/selectivity_property_test.dir/selectivity_property_test.cc.o.d"
+  "selectivity_property_test"
+  "selectivity_property_test.pdb"
+  "selectivity_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selectivity_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
