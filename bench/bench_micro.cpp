@@ -1,8 +1,14 @@
 // Microbenchmarks (google-benchmark): the kernels behind Table II's
 // efficiency numbers — featurization, tree-masked attention, end-to-end
-// prediction, and the plan-tree derivations.
+// prediction, the plan-tree derivations, and the parallel-engine hot paths
+// (blocked matmul, data-parallel training epochs, batched inference with a
+// thread-count sweep and a heap-allocation counter).
 
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
 
 #include "core/dace_model.h"
 #include "engine/corpus.h"
@@ -13,6 +19,29 @@
 #include "featurize/featurize.h"
 #include "nn/layers.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
+
+// Process-wide allocation counter: lets the inference benchmarks report
+// allocs/iteration and prove the warm batched-forward path is allocation-free.
+// GCC flags free() inside the replacement operator delete as a mismatched
+// pair — a false positive, since the replacement operator new mallocs.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+static std::atomic<size_t> g_heap_allocs{0};
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -134,6 +163,144 @@ void BM_SimulateExecution(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimulateExecution);
+
+// --- Parallel-engine benchmarks -------------------------------------------
+
+// Pre-blocking reference: the straight i/j/k triple loop MatMul used before
+// cache tiling, kept here so the speedup of the blocked kernel is measurable
+// in one binary.
+void NaiveMatMulInto(const nn::Matrix& a, const nn::Matrix& b,
+                     nn::Matrix* out) {
+  *out = nn::Matrix(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (size_t k = 0; k < a.cols(); ++k) acc += a(i, k) * b(k, j);
+      (*out)(i, j) = acc;
+    }
+  }
+}
+
+void BM_MatMulNaive(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  nn::Matrix a(n, n), b(n, n), out;
+  a.FillGaussian(&rng, 1.0);
+  b.FillGaussian(&rng, 1.0);
+  for (auto _ : state) {
+    NaiveMatMulInto(a, b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * n * n));
+}
+BENCHMARK(BM_MatMulNaive)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatMulBlocked(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  nn::Matrix a(n, n), b(n, n), out;
+  a.FillGaussian(&rng, 1.0);
+  b.FillGaussian(&rng, 1.0);
+  for (auto _ : state) {
+    nn::MatMul(a, b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * n * n));
+}
+BENCHMARK(BM_MatMulBlocked)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatMulTransposedB(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(3);
+  nn::Matrix a(n, n), b(n, n), out;
+  a.FillGaussian(&rng, 1.0);
+  b.FillGaussian(&rng, 1.0);
+  for (auto _ : state) {
+    nn::MatMulTransposedB(a, b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * n * n));
+}
+BENCHMARK(BM_MatMulTransposedB)->Arg(64)->Arg(128)->Arg(256);
+
+// One data-parallel training epoch over the fixture corpus; Arg = pool size.
+// Results are bit-identical across the sweep (see parallel_determinism_test),
+// so the sweep isolates pure wall-clock scaling.
+void BM_TrainEpoch(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  static const std::vector<featurize::PlanFeatures>* features = [] {
+    auto* data = new std::vector<featurize::PlanFeatures>();
+    featurize::FeaturizerConfig fc;
+    for (const auto& plan : GetFixture().plans) {
+      data->push_back(GetFixture().featurizer.Featurize(plan, fc));
+    }
+    return data;
+  }();
+  ThreadPool pool(static_cast<int>(state.range(0)));
+  core::DaceConfig config;
+  config.epochs = 1;
+  core::DaceModel model(config);
+  model.set_thread_pool(&pool);
+  (void)f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Train(*features).final_loss);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(features->size()));
+}
+BENCHMARK(BM_TrainEpoch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Batched inference over the fixture corpus; Arg = pool size. Reports
+// allocs/plan measured after a warm-up batch: the model forward is
+// allocation-free, the remaining allocations come from featurization's
+// plan-tree derivations (DfsOrder/Heights/AncestorClosure vectors).
+void BM_PredictBatch(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  ThreadPool pool(static_cast<int>(state.range(0)));
+  f.estimator.set_thread_pool(&pool);
+  benchmark::DoNotOptimize(f.estimator.PredictBatchMs(f.plans));  // warm-up
+  const size_t allocs_before = g_heap_allocs.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.estimator.PredictBatchMs(f.plans));
+  }
+  const size_t allocs = g_heap_allocs.load(std::memory_order_relaxed) -
+                        allocs_before;
+  f.estimator.set_thread_pool(nullptr);  // pool dies with this benchmark
+  state.counters["allocs/plan"] = benchmark::Counter(
+      static_cast<double>(allocs) /
+      (static_cast<double>(state.iterations()) *
+       static_cast<double>(f.plans.size())));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.plans.size()));
+}
+BENCHMARK(BM_PredictBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// The model forward in isolation through a warm workspace: must be exactly
+// zero allocations per call (the strict zero-alloc contract of
+// DaceModel::PredictAllInto).
+void BM_PredictAllIntoWarm(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  featurize::FeaturizerConfig fc;
+  const auto feats = f.featurizer.Featurize(f.plans[0], fc);
+  core::DaceModel::Workspace ws;
+  std::vector<double> preds;
+  f.estimator.model().PredictAllInto(feats, &ws, &preds);  // warm-up
+  const size_t allocs_before = g_heap_allocs.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    f.estimator.model().PredictAllInto(feats, &ws, &preds);
+    benchmark::DoNotOptimize(preds.data());
+  }
+  const size_t allocs = g_heap_allocs.load(std::memory_order_relaxed) -
+                        allocs_before;
+  state.counters["allocs/call"] = benchmark::Counter(
+      static_cast<double>(allocs) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_PredictAllIntoWarm);
 
 }  // namespace
 

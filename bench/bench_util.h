@@ -12,14 +12,21 @@
 #include "eval/experiments.h"
 #include "eval/metrics.h"
 #include "util/flags.h"
+#include "util/thread_pool.h"
 
 namespace dace::bench {
 
+// Parses flags and applies the harness-wide ones: --threads=N resizes the
+// process-default thread pool that training, batched inference and workload
+// generation fan out on (0 or absent = hardware_concurrency()).
 inline Flags ParseFlagsOrDie(int argc, char** argv) {
   auto flags = Flags::Parse(argc, argv);
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
     std::exit(1);
+  }
+  if (flags->Has("threads")) {
+    ThreadPool::SetDefaultThreads(static_cast<int>(flags->GetInt("threads", 0)));
   }
   return *std::move(flags);
 }

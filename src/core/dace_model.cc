@@ -32,6 +32,13 @@ double NowMs() {
       .count();
 }
 
+// Plans per gradient chunk. Chunks — not workers — own the accumulation
+// buffers: chunk c always covers the same batch positions and its buffer is
+// always reduced c-th, so training arithmetic is a pure function of the data
+// and the batch schedule, never of the pool size or thread timing. Small
+// enough that a default 64-plan batch yields 16 chunks for load balancing.
+constexpr size_t kGradChunkPlans = 4;
+
 }  // namespace
 
 DaceModel::DaceModel(const DaceConfig& config)
@@ -56,36 +63,45 @@ void DaceModel::SetTrainMode(bool train_base, bool train_lora) {
   fc3_.SetTrainLora(train_lora);
 }
 
-double DaceModel::ForwardOnPlan(const PlanFeatures& f, bool train) {
+double DaceModel::ForwardBackward(const PlanFeatures& f, Workspace* ws) const {
   const size_t n = f.node_features.rows();
-  const Matrix& attn = attention_.Forward(f.node_features, f.attention_mask);
-  const Matrix& h1 = relu1_.Forward(fc1_.Forward(attn));
-  const Matrix& h2 = relu2_.Forward(fc2_.Forward(h1));
-  const Matrix& pred = fc3_.Forward(h2);  // (n × 1)
+  attention_.ForwardCached(f.node_features, f.attention_mask, &ws->attn_c,
+                           &ws->attn);
+  fc1_.ForwardCached(ws->attn, &ws->fc1_c, &ws->z1);
+  relu1_.ForwardInference(ws->z1, &ws->h1);
+  fc2_.ForwardCached(ws->h1, &ws->fc2_c, &ws->z2);
+  relu2_.ForwardInference(ws->z2, &ws->h2);
+  fc3_.ForwardCached(ws->h2, &ws->fc3_c, &ws->pred);  // (n × 1)
 
   double weight_sum = 0.0;
   for (double w : f.loss_weights) weight_sum += w;
   if (weight_sum <= 0.0) weight_sum = 1.0;
 
   double loss = 0.0;
-  Matrix dpred(n, 1);
+  if (ws->dpred.rows() != n || ws->dpred.cols() != 1) {
+    ws->dpred = Matrix(n, 1);
+  }
   for (size_t i = 0; i < n; ++i) {
-    const double residual = pred(i, 0) - f.labels[i];
+    const double residual = ws->pred(i, 0) - f.labels[i];
     const double w = f.loss_weights[i] / weight_sum;
     loss += w * HuberLoss(residual);
-    dpred(i, 0) = w * HuberGrad(residual);
+    ws->dpred(i, 0) = w * HuberGrad(residual);
   }
 
-  if (train) {
-    Matrix dh2, dh2_pre, dh1, dh1_pre, dattn, ds;
-    fc3_.Backward(dpred, &dh2);
-    relu2_.Backward(dh2, &dh2_pre);
-    fc2_.Backward(dh2_pre, &dh1);
-    relu1_.Backward(dh1, &dh1_pre);
-    fc1_.Backward(dh1_pre, &dattn);
-    attention_.Backward(dattn, &ds);
-  }
+  fc3_.BackwardCached(ws->fc3_c, ws->dpred, &ws->fc3_g, &ws->dh2);
+  relu2_.BackwardCached(ws->z2, ws->dh2, &ws->dh2_pre);
+  fc2_.BackwardCached(ws->fc2_c, ws->dh2_pre, &ws->fc2_g, &ws->dh1);
+  relu1_.BackwardCached(ws->z1, ws->dh1, &ws->dh1_pre);
+  fc1_.BackwardCached(ws->fc1_c, ws->dh1_pre, &ws->fc1_g, &ws->dattn);
+  attention_.BackwardCached(ws->attn_c, ws->dattn, &ws->attn_g, &ws->ds);
   return loss;
+}
+
+void DaceModel::InitWorkspaceGradients(Workspace* ws) const {
+  attention_.InitGradients(&ws->attn_g);
+  fc1_.InitGradients(&ws->fc1_g);
+  fc2_.InitGradients(&ws->fc2_g);
+  fc3_.InitGradients(&ws->fc3_g);
 }
 
 TrainStats DaceModel::RunTraining(const std::vector<PlanFeatures>& data,
@@ -106,21 +122,46 @@ TrainStats DaceModel::RunTraining(const std::vector<PlanFeatures>& data,
   std::vector<size_t> order(data.size());
   std::iota(order.begin(), order.end(), 0);
 
+  ThreadPool* pool = thread_pool();
+  const size_t batch_size = static_cast<size_t>(config_.batch_size);
+  const size_t max_chunks =
+      (std::min(batch_size, data.size()) + kGradChunkPlans - 1) /
+      kGradChunkPlans;
+  std::vector<Workspace> chunks(max_chunks);
+  for (Workspace& ws : chunks) InitWorkspaceGradients(&ws);
+
   const double start_ms = NowMs();
   const int epochs = lora_only ? config_.finetune_epochs : config_.epochs;
   double epoch_loss = 0.0;
   for (int epoch = 0; epoch < epochs; ++epoch) {
     rng_.Shuffle(&order);
     epoch_loss = 0.0;
-    size_t in_batch = 0;
-    for (size_t idx : order) {
-      epoch_loss += ForwardOnPlan(data[idx], /*train=*/true);
-      if (++in_batch >= static_cast<size_t>(config_.batch_size)) {
-        adam.Step();
-        in_batch = 0;
+    for (size_t base = 0; base < order.size(); base += batch_size) {
+      const size_t batch_end = std::min(base + batch_size, order.size());
+      const size_t num_chunks =
+          (batch_end - base + kGradChunkPlans - 1) / kGradChunkPlans;
+      // Chunk workers share the frozen weights (all cached passes are const)
+      // and write only their own chunk's workspace.
+      pool->ParallelFor(0, num_chunks, [&](size_t c) {
+        Workspace& ws = chunks[c];
+        const size_t lo = base + c * kGradChunkPlans;
+        const size_t hi = std::min(lo + kGradChunkPlans, batch_end);
+        for (size_t i = lo; i < hi; ++i) {
+          ws.loss += ForwardBackward(data[order[i]], &ws);
+        }
+      });
+      // Deterministic reduction: chunk buffers fold into the shared
+      // gradients in chunk order, whatever thread produced them.
+      for (size_t c = 0; c < num_chunks; ++c) {
+        epoch_loss += chunks[c].loss;
+        chunks[c].loss = 0.0;
+        attention_.AccumulateGradients(&chunks[c].attn_g);
+        fc1_.AccumulateGradients(&chunks[c].fc1_g);
+        fc2_.AccumulateGradients(&chunks[c].fc2_g);
+        fc3_.AccumulateGradients(&chunks[c].fc3_g);
       }
+      adam.Step();
     }
-    if (in_batch > 0) adam.Step();
     epoch_loss /= static_cast<double>(data.size());
   }
 
@@ -146,16 +187,23 @@ TrainStats DaceModel::FineTuneLora(const std::vector<PlanFeatures>& data) {
   return RunTraining(data, /*lora_only=*/true);
 }
 
+void DaceModel::PredictAllInto(const PlanFeatures& f, Workspace* ws,
+                               std::vector<double>* out) const {
+  attention_.ForwardCached(f.node_features, f.attention_mask, &ws->attn_c,
+                           &ws->attn);
+  fc1_.ForwardCached(ws->attn, &ws->fc1_c, &ws->z1);
+  relu1_.ForwardInference(ws->z1, &ws->h1);
+  fc2_.ForwardCached(ws->h1, &ws->fc2_c, &ws->z2);
+  relu2_.ForwardInference(ws->z2, &ws->h2);
+  fc3_.ForwardCached(ws->h2, &ws->fc3_c, &ws->pred);
+  out->resize(ws->pred.rows());
+  for (size_t i = 0; i < ws->pred.rows(); ++i) (*out)[i] = ws->pred(i, 0);
+}
+
 std::vector<double> DaceModel::PredictAll(const PlanFeatures& f) const {
-  Matrix attn, z1, h1, z2, h2, pred;
-  attention_.ForwardInference(f.node_features, f.attention_mask, &attn);
-  fc1_.ForwardInference(attn, &z1);
-  relu1_.ForwardInference(z1, &h1);
-  fc2_.ForwardInference(h1, &z2);
-  relu2_.ForwardInference(z2, &h2);
-  fc3_.ForwardInference(h2, &pred);
-  std::vector<double> out(pred.rows());
-  for (size_t i = 0; i < pred.rows(); ++i) out[i] = pred(i, 0);
+  Workspace ws;
+  std::vector<double> out;
+  PredictAllInto(f, &ws, &out);
   return out;
 }
 
@@ -218,33 +266,60 @@ featurize::FeaturizerConfig DaceEstimator::FeatConfig() const {
   return fc;
 }
 
+void DaceEstimator::set_thread_pool(ThreadPool* pool) {
+  pool_ = pool;
+  model_.set_thread_pool(pool);
+  batch_scratch_.clear();  // re-sized for the new pool on next batch call
+}
+
+std::vector<featurize::PlanFeatures> DaceEstimator::FeaturizeAll(
+    const std::vector<plan::QueryPlan>& plans) const {
+  // Featurize the whole corpus once, up front and in parallel; slot i
+  // depends only on plan i, so the result is pool-size independent.
+  std::vector<featurize::PlanFeatures> data(plans.size());
+  const featurize::FeaturizerConfig fc = FeatConfig();
+  model_.thread_pool()->ParallelFor(0, plans.size(), [&](size_t i) {
+    data[i] = featurizer_.Featurize(plans[i], fc);
+  });
+  return data;
+}
+
 void DaceEstimator::Train(const std::vector<plan::QueryPlan>& plans) {
   DACE_CHECK(!plans.empty());
   featurizer_.Fit(plans);
-  std::vector<featurize::PlanFeatures> data;
-  data.reserve(plans.size());
-  const featurize::FeaturizerConfig fc = FeatConfig();
-  for (const plan::QueryPlan& plan : plans) {
-    data.push_back(featurizer_.Featurize(plan, fc));
-  }
-  last_train_stats_ = model_.Train(data);
+  last_train_stats_ = model_.Train(FeaturizeAll(plans));
 }
 
 TrainStats DaceEstimator::FineTune(const std::vector<plan::QueryPlan>& plans) {
   DACE_CHECK(featurizer_.fitted()) << "FineTune requires a pre-trained model";
-  std::vector<featurize::PlanFeatures> data;
-  data.reserve(plans.size());
-  const featurize::FeaturizerConfig fc = FeatConfig();
-  for (const plan::QueryPlan& plan : plans) {
-    data.push_back(featurizer_.Featurize(plan, fc));
-  }
-  last_train_stats_ = model_.FineTuneLora(data);
+  last_train_stats_ = model_.FineTuneLora(FeaturizeAll(plans));
   return last_train_stats_;
 }
 
 double DaceEstimator::PredictMs(const plan::QueryPlan& plan) const {
   const featurize::PlanFeatures f = featurizer_.Featurize(plan, FeatConfig());
   return featurizer_.InverseTransformTime(model_.PredictRoot(f));
+}
+
+std::vector<double> DaceEstimator::PredictBatchMs(
+    std::span<const plan::QueryPlan> plans) const {
+  std::vector<double> out(plans.size());
+  if (plans.empty()) return out;
+  ThreadPool* pool = model_.thread_pool();
+  if (batch_scratch_.size() < static_cast<size_t>(pool->num_threads())) {
+    batch_scratch_.resize(static_cast<size_t>(pool->num_threads()));
+  }
+  const featurize::FeaturizerConfig fc = FeatConfig();
+  // out[i] depends only on plan i and the weights, so results are identical
+  // for every pool size; the worker slot only selects which scratch to
+  // reuse.
+  pool->ParallelForWorker(0, plans.size(), [&](int slot, size_t i) {
+    BatchScratch& s = batch_scratch_[static_cast<size_t>(slot)];
+    featurizer_.FeaturizeInto(plans[i], fc, &s.feats);
+    model_.PredictAllInto(s.feats, &s.ws, &s.preds);
+    out[i] = featurizer_.InverseTransformTime(s.preds[0]);
+  });
+  return out;
 }
 
 std::vector<double> DaceEstimator::PredictSubPlansMs(

@@ -10,6 +10,7 @@
 #include "nn/layers.h"
 #include "util/rng.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace dace::core {
 
@@ -64,6 +65,30 @@ class DaceModel {
 
   const DaceConfig& config() const { return config_; }
 
+  // Pool used by the data-parallel paths; nullptr (default) means
+  // ThreadPool::Default(). Training and batched inference are
+  // bit-deterministic for ANY pool size: minibatch gradients accumulate into
+  // per-chunk buffers keyed by batch position and reduce in chunk order, so
+  // the arithmetic never depends on which thread ran what.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+  ThreadPool* thread_pool() const {
+    return pool_ != nullptr ? pool_ : ThreadPool::Default();
+  }
+
+  // Per-worker state for data-parallel training and allocation-free batched
+  // inference: activation caches, gradient sinks and intermediates, all
+  // reused across plans. After shapes warm up, a forward (or
+  // forward/backward) pass through a Workspace performs no heap allocation.
+  struct Workspace {
+    nn::TreeAttention::Cache attn_c;
+    nn::Linear::ExternalCache fc1_c, fc2_c, fc3_c;
+    nn::TreeAttention::Gradients attn_g;
+    nn::Linear::Gradients fc1_g, fc2_g, fc3_g;
+    nn::Matrix attn, z1, h1, z2, h2, pred;                    // forward
+    nn::Matrix dpred, dh2, dh2_pre, dh1, dh1_pre, dattn, ds;  // backward
+    double loss = 0.0;  // per-chunk loss accumulator
+  };
+
   // Pre-training: updates base weights (attention + MLP).
   TrainStats Train(const std::vector<featurize::PlanFeatures>& data);
 
@@ -76,6 +101,12 @@ class DaceModel {
 
   // Predicted scaled-log-time of every DFS row (all sub-plans, in parallel).
   std::vector<double> PredictAll(const featurize::PlanFeatures& features) const;
+
+  // Allocation-free variant: runs the forward pass through the caller's
+  // workspace, writing one scaled-log-time per DFS row into *out. Const on
+  // the weights — concurrent callers each bring their own workspace.
+  void PredictAllInto(const featurize::PlanFeatures& features, Workspace* ws,
+                      std::vector<double>* out) const;
 
   // Pre-trained-encoder API: the root row of the second hidden layer
   // (h2, 64-dim), the w_E of Eq. (9).
@@ -91,10 +122,14 @@ class DaceModel {
   Status Deserialize(std::istream* is);
 
  private:
-  // Forward on one plan; if `train`, backpropagates the loss-adjusted Huber
-  // loss on scaled log-time and accumulates gradients. Returns the plan's
-  // weighted loss.
-  double ForwardOnPlan(const featurize::PlanFeatures& f, bool train);
+  // Forward + backward on one plan through `ws`: backpropagates the
+  // loss-adjusted Huber loss on scaled log-time into the workspace's
+  // gradient sinks. Const on the weights, so chunk workers run it
+  // concurrently. Returns the plan's weighted loss.
+  double ForwardBackward(const featurize::PlanFeatures& f, Workspace* ws) const;
+
+  // Shapes and zeroes the gradient sinks of `ws` for the current layer set.
+  void InitWorkspaceGradients(Workspace* ws) const;
 
   TrainStats RunTraining(const std::vector<featurize::PlanFeatures>& data,
                          bool lora_only);
@@ -107,6 +142,7 @@ class DaceModel {
   nn::Linear fc1_, fc2_, fc3_;
   nn::Relu relu1_, relu2_;
   bool lora_attached_ = false;
+  ThreadPool* pool_ = nullptr;
 };
 
 // Plan-level facade implementing the CostEstimator interface: owns the
@@ -129,6 +165,19 @@ class DaceEstimator : public CostEstimator {
 
   double PredictMs(const plan::QueryPlan& plan) const override;
 
+  // Batched inference hot path: featurization + forward fan out across the
+  // thread pool, and each worker reuses its scratch (featurization buffers
+  // and forward matrices) so the per-plan forward allocates nothing after
+  // warm-up. Results are bit-identical to per-plan PredictMs for any pool
+  // size. Not safe to call concurrently on one estimator (the scratch is
+  // shared); use separate estimators or external serialization.
+  std::vector<double> PredictBatchMs(
+      std::span<const plan::QueryPlan> plans) const override;
+
+  // Pool used for training featurization and PredictBatchMs; nullptr =
+  // process default. Also forwarded to the model.
+  void set_thread_pool(ThreadPool* pool);
+
   // Per-sub-plan predictions in ms, DFS order (index 0 = whole plan).
   std::vector<double> PredictSubPlansMs(const plan::QueryPlan& plan) const;
 
@@ -150,11 +199,24 @@ class DaceEstimator : public CostEstimator {
  private:
   featurize::FeaturizerConfig FeatConfig() const;
 
+  // One per pool worker, lazily sized; reused across PredictBatchMs calls so
+  // the steady-state batch path performs no per-plan allocation.
+  struct BatchScratch {
+    featurize::PlanFeatures feats;
+    DaceModel::Workspace ws;
+    std::vector<double> preds;
+  };
+
+  std::vector<featurize::PlanFeatures> FeaturizeAll(
+      const std::vector<plan::QueryPlan>& plans) const;
+
   std::string name_ = "DACE";
   DaceConfig config_;
   featurize::Featurizer featurizer_;
   DaceModel model_;
   TrainStats last_train_stats_;
+  ThreadPool* pool_ = nullptr;
+  mutable std::vector<BatchScratch> batch_scratch_;
 };
 
 }  // namespace dace::core

@@ -1,6 +1,7 @@
 #ifndef DACE_CORE_ESTIMATOR_H_
 #define DACE_CORE_ESTIMATOR_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,18 @@ class CostEstimator {
 
   // Predicted execution time of the whole plan, in milliseconds.
   virtual double PredictMs(const plan::QueryPlan& plan) const = 0;
+
+  // Predicted execution time for a batch of plans, in milliseconds, indexed
+  // like `plans`. The default loops over PredictMs; estimators with a
+  // parallel/vectorized hot path (DACE) override it. Every implementation
+  // must return exactly what per-plan PredictMs would.
+  virtual std::vector<double> PredictBatchMs(
+      std::span<const plan::QueryPlan> plans) const {
+    std::vector<double> out;
+    out.reserve(plans.size());
+    for (const plan::QueryPlan& plan : plans) out.push_back(PredictMs(plan));
+    return out;
+  }
 
   // Number of scalar parameters, for the Table II model-size comparison.
   virtual size_t ParameterCount() const = 0;

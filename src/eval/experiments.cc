@@ -2,6 +2,7 @@
 
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace dace::eval {
 
@@ -48,22 +49,33 @@ std::vector<plan::QueryPlan> Workbench::Workload2(int db) {
 std::vector<plan::QueryPlan> Workbench::TrainPlansExcluding(int exclude_db,
                                                             int per_db,
                                                             int num_dbs) {
-  std::vector<plan::QueryPlan> pool;
+  // First pass: decide which databases participate (pure index arithmetic).
+  std::vector<size_t> dbs;
   const size_t limit =
       num_dbs < 0 ? corpus_.size()
                   : std::min(corpus_.size(), static_cast<size_t>(num_dbs) +
                                                  (exclude_db >= 0 ? 1 : 0));
-  size_t used = 0;
   for (size_t db = 0; db < corpus_.size(); ++db) {
     if (static_cast<int>(db) == exclude_db) continue;
-    if (num_dbs >= 0 && used >= static_cast<size_t>(num_dbs)) break;
+    if (num_dbs >= 0 && dbs.size() >= static_cast<size_t>(num_dbs)) break;
     if (num_dbs < 0 && db >= limit) break;
+    dbs.push_back(db);
+  }
+  // Generate the missing per-database workloads in parallel: each task fills
+  // only its own cache slot from its own seed, so the result is identical to
+  // the sequential lazy path.
+  ThreadPool::Default()->ParallelFor(0, dbs.size(), [this, &dbs](size_t i) {
+    Workload1(static_cast<int>(dbs[i]));
+  });
+  // Second pass: concatenate in database order.
+  std::vector<plan::QueryPlan> pool;
+  for (size_t db : dbs) {
     const auto& plans = Workload1(static_cast<int>(db));
     const size_t take =
         per_db < 0 ? plans.size()
                    : std::min(plans.size(), static_cast<size_t>(per_db));
-    pool.insert(pool.end(), plans.begin(), plans.begin() + static_cast<long>(take));
-    ++used;
+    pool.insert(pool.end(), plans.begin(),
+                plans.begin() + static_cast<long>(take));
   }
   return pool;
 }

@@ -38,7 +38,9 @@ class Workbench {
   const engine::MachineProfile& m2() const { return m2_; }
 
   // Workload 1: complex queries of database `db` labelled on M1. Built
-  // lazily and cached.
+  // lazily and cached. Not safe to call concurrently for the SAME db;
+  // TrainPlansExcluding parallelizes generation across distinct databases
+  // (each task touches only its own cache slot).
   const std::vector<plan::QueryPlan>& Workload1(int db);
 
   // Workload 2: the same plans relabelled on M2.

@@ -42,11 +42,15 @@ QerrorSummary Summarize(std::vector<double> qerrors) {
 
 std::vector<double> QerrorsOf(const core::CostEstimator& estimator,
                               const std::vector<plan::QueryPlan>& test) {
+  // One batched-inference call: estimators with a parallel hot path (DACE)
+  // fan the forward passes across the thread pool; the rest fall back to the
+  // interface's sequential default.
+  const std::vector<double> predictions = estimator.PredictBatchMs(test);
   std::vector<double> qerrors;
   qerrors.reserve(test.size());
-  for (const plan::QueryPlan& plan : test) {
-    qerrors.push_back(Qerror(estimator.PredictMs(plan),
-                             plan.node(plan.root()).actual_time_ms));
+  for (size_t i = 0; i < test.size(); ++i) {
+    qerrors.push_back(
+        Qerror(predictions[i], test[i].node(test[i].root()).actual_time_ms));
   }
   return qerrors;
 }

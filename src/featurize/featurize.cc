@@ -68,46 +68,61 @@ void Featurizer::Fit(const std::vector<plan::QueryPlan>& plans) {
 
 PlanFeatures Featurizer::Featurize(const plan::QueryPlan& plan,
                                    const FeaturizerConfig& config) const {
-  DACE_CHECK(fitted_) << "Featurizer::Fit must run before Featurize";
   PlanFeatures out;
-  out.dfs = plan.DfsOrder();
-  const size_t n = out.dfs.size();
+  FeaturizeInto(plan, config, &out);
+  return out;
+}
+
+void Featurizer::FeaturizeInto(const plan::QueryPlan& plan,
+                               const FeaturizerConfig& config,
+                               PlanFeatures* out) const {
+  DACE_CHECK(fitted_) << "Featurizer::Fit must run before Featurize";
+  out->dfs = plan.DfsOrder();
+  const size_t n = out->dfs.size();
   DACE_CHECK_GT(n, 0u);
 
-  out.node_features = nn::Matrix(n, kFeatureDim);
+  if (out->node_features.rows() != n ||
+      out->node_features.cols() != static_cast<size_t>(kFeatureDim)) {
+    out->node_features = nn::Matrix(n, kFeatureDim);
+  } else {
+    out->node_features.SetZero();  // one-hot writes only the set entries
+  }
   const std::vector<int32_t> heights = plan.Heights();
-  out.loss_weights.resize(n);
-  out.labels.resize(n);
+  out->loss_weights.resize(n);
+  out->labels.resize(n);
   for (size_t i = 0; i < n; ++i) {
-    const plan::PlanNode& node = plan.node(out.dfs[i]);
+    const plan::PlanNode& node = plan.node(out->dfs[i]);
     const int type_idx = static_cast<int>(node.type);
     DACE_DCHECK(type_idx >= 0 && type_idx < kNumNodeTypes);
-    out.node_features(i, static_cast<size_t>(type_idx)) = 1.0;
+    out->node_features(i, static_cast<size_t>(type_idx)) = 1.0;
     const double card = config.use_actual_cardinality
                             ? node.actual_cardinality
                             : node.est_cardinality;
-    out.node_features(i, kNumNodeTypes) = card_scaler_.Transform(card);
-    out.node_features(i, kNumNodeTypes + 1) =
+    out->node_features(i, kNumNodeTypes) = card_scaler_.Transform(card);
+    out->node_features(i, kNumNodeTypes + 1) =
         cost_scaler_.Transform(node.est_cost);
 
-    const int32_t h = heights[static_cast<size_t>(out.dfs[i])];
+    const int32_t h = heights[static_cast<size_t>(out->dfs[i])];
     // alpha^h with the 0^0 == 1 convention so the root always has weight 1.
-    out.loss_weights[i] =
+    out->loss_weights[i] =
         (config.alpha == 0.0) ? (h == 0 ? 1.0 : 0.0)
                               : std::pow(config.alpha, static_cast<double>(h));
-    out.labels[i] = TransformTime(node.actual_time_ms);
+    out->labels[i] = TransformTime(node.actual_time_ms);
   }
 
-  out.attention_mask = nn::Matrix(n, n);
+  if (out->attention_mask.rows() != n || out->attention_mask.cols() != n) {
+    out->attention_mask = nn::Matrix(n, n);
+  } else {
+    out->attention_mask.SetZero();
+  }
   if (config.tree_attention) {
     const std::vector<uint8_t> closure = plan.AncestorClosure();
     for (size_t i = 0; i < n; ++i) {
       for (size_t j = 0; j < n; ++j) {
-        out.attention_mask(i, j) = closure[i * n + j] ? 0.0 : nn::kMaskNegInf;
+        out->attention_mask(i, j) = closure[i * n + j] ? 0.0 : nn::kMaskNegInf;
       }
     }
   }
-  return out;
 }
 
 double Featurizer::TransformTime(double ms) const {

@@ -77,6 +77,13 @@ class Featurizer {
   PlanFeatures Featurize(const plan::QueryPlan& plan,
                          const FeaturizerConfig& config) const;
 
+  // Buffer-reusing variant backing the batched train/inference paths: the
+  // matrices in *out are only reallocated when the plan's node count
+  // changes, so a per-worker PlanFeatures amortizes to zero matrix
+  // allocations. Const and stateless — safe from concurrent workers.
+  void FeaturizeInto(const plan::QueryPlan& plan,
+                     const FeaturizerConfig& config, PlanFeatures* out) const;
+
   // Label transform: scaled log-milliseconds.
   double TransformTime(double ms) const;
   // Back to milliseconds, clamped positive.

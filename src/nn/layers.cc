@@ -107,8 +107,68 @@ void Linear::Backward(const Matrix& dy, Matrix* dx) {
 
 void Linear::ForwardCached(const Matrix& x, ExternalCache* cache,
                            Matrix* y) const {
+  DACE_CHECK_EQ(x.cols(), in_dim());
   cache->x = x;
-  ForwardInference(x, y);
+  MatMul(x, w_.value, y);
+  const double* bias = b_.value.RowPtr(0);
+  for (size_t i = 0; i < y->rows(); ++i) {
+    double* row = y->RowPtr(i);
+    for (size_t j = 0; j < y->cols(); ++j) row[j] += bias[j];
+  }
+  if (lora_rank_ > 0) {
+    MatMul(x, lora_a_.value, &cache->xa);
+    MatMul(cache->xa, lora_b_.value, &cache->xab);
+    y->AddScaled(cache->xab, lora_scale_);
+  }
+}
+
+void Linear::InitGradients(Gradients* g) const {
+  g->dw = Matrix(w_.value.rows(), w_.value.cols());
+  g->db = Matrix(b_.value.rows(), b_.value.cols());
+  if (lora_rank_ > 0) {
+    g->dla = Matrix(lora_a_.value.rows(), lora_a_.value.cols());
+    g->dlb = Matrix(lora_b_.value.rows(), lora_b_.value.cols());
+  }
+}
+
+void Linear::BackwardCached(const ExternalCache& cache, const Matrix& dy,
+                            Gradients* g, Matrix* dx) const {
+  DACE_CHECK_EQ(dy.rows(), cache.x.rows());
+  DACE_CHECK_EQ(dy.cols(), out_dim());
+  if (train_base_) {
+    MatMulTransposedAAcc(cache.x, dy, &g->dw);
+    double* db = g->db.RowPtr(0);
+    for (size_t i = 0; i < dy.rows(); ++i) {
+      const double* row = dy.RowPtr(i);
+      for (size_t j = 0; j < dy.cols(); ++j) db[j] += row[j];
+    }
+  }
+  MatMulTransposedB(dy, w_.value, dx);
+  if (lora_rank_ > 0) {
+    // s1 = dy B^T is shared by the dla path and the dx path.
+    MatMulTransposedB(dy, lora_b_.value, &g->s1);
+    if (train_lora_) {
+      MatMulTransposedAAcc(cache.xa, dy, &g->dlb);
+      MatMulTransposedAAcc(cache.x, g->s1, &g->dla);
+    }
+    MatMulTransposedB(g->s1, lora_a_.value, &g->s2);
+    dx->AddScaled(g->s2, lora_scale_);
+  }
+}
+
+void Linear::AccumulateGradients(Gradients* g) {
+  if (train_base_) {
+    w_.grad.AddScaled(g->dw, 1.0);
+    b_.grad.AddScaled(g->db, 1.0);
+    g->dw.SetZero();
+    g->db.SetZero();
+  }
+  if (train_lora_ && lora_rank_ > 0) {
+    lora_a_.grad.AddScaled(g->dla, lora_scale_);
+    lora_b_.grad.AddScaled(g->dlb, lora_scale_);
+    g->dla.SetZero();
+    g->dlb.SetZero();
+  }
 }
 
 void Linear::BackwardCached(const ExternalCache& cache, const Matrix& dy,
@@ -221,10 +281,15 @@ void Relu::ForwardInference(const Matrix& x, Matrix* y) const {
 }
 
 void Relu::Backward(const Matrix& dy, Matrix* dx) {
-  DACE_CHECK(dy.SameShape(x_cache_));
+  BackwardCached(x_cache_, dy, dx);
+}
+
+void Relu::BackwardCached(const Matrix& x_cache, const Matrix& dy,
+                          Matrix* dx) const {
+  DACE_CHECK(dy.SameShape(x_cache));
   if (!dx->SameShape(dy)) *dx = Matrix(dy.rows(), dy.cols());
   const double* g = dy.data();
-  const double* x = x_cache_.data();
+  const double* x = x_cache.data();
   double* out = dx->data();
   for (size_t i = 0; i < dy.size(); ++i) out[i] = x[i] > 0.0 ? g[i] : 0.0;
 }
@@ -270,6 +335,77 @@ void TreeAttention::ForwardInference(const Matrix& s, const Matrix& mask,
   scores.Scale(inv_sqrt_dk_);
   MaskedRowSoftmax(scores, mask, &probs);
   MatMul(probs, v, out);
+}
+
+void TreeAttention::ForwardCached(const Matrix& s, const Matrix& mask,
+                                  Cache* cache, Matrix* out) const {
+  DACE_CHECK_EQ(s.cols(), wq_.value.rows());
+  DACE_CHECK_EQ(mask.rows(), s.rows());
+  DACE_CHECK_EQ(mask.cols(), s.rows());
+  cache->s = s;
+  MatMul(s, wq_.value, &cache->q);
+  MatMul(s, wk_.value, &cache->k);
+  MatMul(s, wv_.value, &cache->v);
+  MatMulTransposedB(cache->q, cache->k, &cache->scores);
+  cache->scores.Scale(inv_sqrt_dk_);
+  MaskedRowSoftmax(cache->scores, mask, &cache->probs);
+  MatMul(cache->probs, cache->v, out);
+}
+
+void TreeAttention::InitGradients(Gradients* g) const {
+  g->dwq = Matrix(wq_.value.rows(), wq_.value.cols());
+  g->dwk = Matrix(wk_.value.rows(), wk_.value.cols());
+  g->dwv = Matrix(wv_.value.rows(), wv_.value.cols());
+}
+
+void TreeAttention::BackwardCached(const Cache& cache, const Matrix& dy,
+                                   Gradients* g, Matrix* ds) const {
+  const size_t n = cache.s.rows();
+  DACE_CHECK_EQ(dy.rows(), n);
+  DACE_CHECK_EQ(dy.cols(), cache.v.cols());
+
+  // out = P V.
+  MatMulTransposedB(dy, cache.v, &g->d_probs);     // (n × n)
+  MatMulTransposedA(cache.probs, dy, &g->dv);      // (n × d_v)
+
+  // Softmax backward per row: dscore = P ⊙ (dP − sum_j dP_j P_j).
+  if (!g->d_scores.SameShape(cache.probs)) g->d_scores = Matrix(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    const double* prow = cache.probs.RowPtr(i);
+    const double* dprow = g->d_probs.RowPtr(i);
+    double dot = 0.0;
+    for (size_t j = 0; j < n; ++j) dot += prow[j] * dprow[j];
+    double* drow = g->d_scores.RowPtr(i);
+    for (size_t j = 0; j < n; ++j) drow[j] = prow[j] * (dprow[j] - dot);
+  }
+  g->d_scores.Scale(inv_sqrt_dk_);
+
+  // scores = Q K^T (pre-scale): dQ = dS K, dK = dS^T Q.
+  MatMul(g->d_scores, cache.k, &g->dq);
+  MatMulTransposedA(g->d_scores, cache.q, &g->dk);
+
+  if (train_base_) {
+    MatMulTransposedAAcc(cache.s, g->dq, &g->dwq);
+    MatMulTransposedAAcc(cache.s, g->dk, &g->dwk);
+    MatMulTransposedAAcc(cache.s, g->dv, &g->dwv);
+  }
+
+  // dS = dQ Wq^T + dK Wk^T + dV Wv^T.
+  MatMulTransposedB(g->dq, wq_.value, ds);
+  MatMulTransposedB(g->dk, wk_.value, &g->tmp);
+  ds->AddScaled(g->tmp, 1.0);
+  MatMulTransposedB(g->dv, wv_.value, &g->tmp);
+  ds->AddScaled(g->tmp, 1.0);
+}
+
+void TreeAttention::AccumulateGradients(Gradients* g) {
+  if (!train_base_) return;
+  wq_.grad.AddScaled(g->dwq, 1.0);
+  wk_.grad.AddScaled(g->dwk, 1.0);
+  wv_.grad.AddScaled(g->dwv, 1.0);
+  g->dwq.SetZero();
+  g->dwk.SetZero();
+  g->dwv.SetZero();
 }
 
 void TreeAttention::Backward(const Matrix& dy, Matrix* ds) {

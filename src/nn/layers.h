@@ -55,12 +55,40 @@ class Linear {
   // Caller-owned-cache variants for models that apply the SAME layer at many
   // tree positions within one forward pass (QPPNet/TPool/Zero-Shot recursive
   // encoders): the internal single-slot cache would be clobbered, so the
-  // caller keeps one ExternalCache per application site.
+  // caller keeps one ExternalCache per application site. They are also the
+  // concurrency story: Forward/Backward through caller-owned caches and
+  // gradient sinks are const on the layer, so any number of workers can share
+  // one set of weights. All matrices inside the cache are reused across
+  // calls — after the first call with a given shape the path allocates
+  // nothing.
   struct ExternalCache {
     Matrix x;
+    Matrix xa;   // x · A when LoRA is attached (needed for backward)
+    Matrix xab;  // (x · A) · B scratch
   };
   void ForwardCached(const Matrix& x, ExternalCache* cache, Matrix* y) const;
   void BackwardCached(const ExternalCache& cache, const Matrix& dy, Matrix* dx);
+
+  // Caller-owned gradient sink, one per concurrent worker: BackwardCached
+  // accumulates here instead of the layer's internal Parameter::grad, and
+  // AccumulateGradients folds the sink into the internal gradients (then
+  // zeroes the sink) on the coordinating thread. Reducing sinks in a fixed
+  // order makes data-parallel training bit-deterministic for any pool size.
+  // LoRA sink entries are pre-scale; AccumulateGradients applies lora_scale.
+  struct Gradients {
+    Matrix dw, db;    // base
+    Matrix dla, dlb;  // LoRA (present iff attached)
+    Matrix s1, s2;    // backward scratch (dy·Bᵀ and its products)
+  };
+  // Shapes and zeroes `g` to match this layer's parameters.
+  void InitGradients(Gradients* g) const;
+  // Const backward: reads activations from `cache`, accumulates parameter
+  // gradients into `g` (respecting train_base/train_lora), writes d/dx.
+  void BackwardCached(const ExternalCache& cache, const Matrix& dy,
+                      Gradients* g, Matrix* dx) const;
+  // grad += g (LoRA entries scaled by lora_scale), then zeroes g. Callers
+  // must serialize calls; invoke per sink in a fixed order for determinism.
+  void AccumulateGradients(Gradients* g);
 
   // Selects which parameter groups receive gradients and are exposed to
   // optimizers via CollectParameters.
@@ -107,6 +135,12 @@ class Relu {
   void ForwardInference(const Matrix& x, Matrix* y) const;
   void Backward(const Matrix& dy, Matrix* dx);
 
+  // Stateless variant of the ExternalCache idiom: ReLU's only "cache" is its
+  // input, which concurrent workers already hold, so the caller passes it
+  // back explicitly. Const — safe from any number of threads.
+  void BackwardCached(const Matrix& x_cache, const Matrix& dy,
+                      Matrix* dx) const;
+
  private:
   Matrix x_cache_;
   Matrix y_;
@@ -127,6 +161,30 @@ class TreeAttention {
 
   // dy: (n × d_v) → ds: (n × d_model); accumulates Wq/Wk/Wv gradients.
   void Backward(const Matrix& dy, Matrix* ds);
+
+  // Caller-owned-cache variants (same idiom as Linear::ExternalCache): const
+  // on the weights so concurrent workers can share one attention layer, and
+  // every intermediate lives in the caller's cache/sink — zero allocation
+  // once shapes warm up. ForwardCached is also the allocation-free inference
+  // path (ForwardInference allocates five temporaries per call).
+  struct Cache {
+    Matrix s;            // input (needed for weight gradients)
+    Matrix q, k, v;      // projections
+    Matrix scores;       // pre-softmax logits scratch
+    Matrix probs;        // post-softmax attention
+  };
+  struct Gradients {
+    Matrix dwq, dwk, dwv;                  // parameter sinks
+    Matrix d_probs, d_scores, dq, dk, dv;  // backward scratch
+    Matrix tmp;
+  };
+  void ForwardCached(const Matrix& s, const Matrix& mask, Cache* cache,
+                     Matrix* out) const;
+  void InitGradients(Gradients* g) const;
+  void BackwardCached(const Cache& cache, const Matrix& dy, Gradients* g,
+                      Matrix* ds) const;
+  // grad += g, then zeroes g; serialize calls, fixed order for determinism.
+  void AccumulateGradients(Gradients* g);
 
   void SetTrainBase(bool train) { train_base_ = train; }
   void CollectParameters(std::vector<Parameter*>* out);

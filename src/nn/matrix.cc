@@ -46,45 +46,94 @@ double Matrix::MaxAbs() const {
   return best;
 }
 
-void MatMul(const Matrix& a, const Matrix& b, Matrix* out) {
-  DACE_CHECK_EQ(a.cols(), b.rows());
-  const size_t m = a.rows(), k = a.cols(), n = b.cols();
-  if (out->rows() != m || out->cols() != n) *out = Matrix(m, n);
-  out->SetZero();
-  // i-k-j loop order: streams through b and out rows contiguously.
-  for (size_t i = 0; i < m; ++i) {
+namespace {
+
+// L1-residency tiles for the blocked kernels. A kKc×kJc panel of b is
+// 16 KB (2048 doubles) — half a typical 32 KB L1d, leaving room for the a/out
+// rows streaming through. Tiling only reorders which (i, j) cells are visited
+// when; for any fixed output cell the k-accumulation still runs in ascending
+// k order, so the blocked kernels are bit-identical to the naive ones.
+constexpr size_t kKc = 32;   // rows of b per tile (k direction)
+constexpr size_t kJc = 64;   // columns of b per tile (j direction)
+constexpr size_t kJb = 16;   // b rows per tile in the dot-product kernel
+
+// Accumulating core of MatMul: out += a[, pp:pend) * b[pp:pend, jj:jend).
+void MatMulPanel(const Matrix& a, const Matrix& b, size_t pp, size_t pend,
+                 size_t jj, size_t jend, Matrix* out) {
+  for (size_t i = 0; i < a.rows(); ++i) {
     const double* arow = a.RowPtr(i);
     double* orow = out->RowPtr(i);
-    for (size_t p = 0; p < k; ++p) {
+    for (size_t p = pp; p < pend; ++p) {
       const double av = arow[p];
       if (av == 0.0) continue;
       const double* brow = b.RowPtr(p);
-      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      for (size_t j = jj; j < jend; ++j) orow[j] += av * brow[j];
     }
   }
+}
+
+void MatMulBlockedInto(const Matrix& a, const Matrix& b, Matrix* out) {
+  const size_t k = a.cols(), n = b.cols();
+  for (size_t jj = 0; jj < n; jj += kJc) {
+    const size_t jend = std::min(jj + kJc, n);
+    for (size_t pp = 0; pp < k; pp += kKc) {
+      MatMulPanel(a, b, pp, std::min(pp + kKc, k), jj, jend, out);
+    }
+  }
+}
+
+}  // namespace
+
+void MatMul(const Matrix& a, const Matrix& b, Matrix* out) {
+  DACE_CHECK_EQ(a.cols(), b.rows());
+  const size_t m = a.rows(), n = b.cols();
+  if (out->rows() != m || out->cols() != n) *out = Matrix(m, n);
+  out->SetZero();
+  MatMulBlockedInto(a, b, out);
+}
+
+void MatMulAcc(const Matrix& a, const Matrix& b, Matrix* out) {
+  DACE_CHECK_EQ(a.cols(), b.rows());
+  DACE_CHECK_EQ(out->rows(), a.rows());
+  DACE_CHECK_EQ(out->cols(), b.cols());
+  MatMulBlockedInto(a, b, out);
 }
 
 void MatMulTransposedB(const Matrix& a, const Matrix& b, Matrix* out) {
   DACE_CHECK_EQ(a.cols(), b.cols());
   const size_t m = a.rows(), k = a.cols(), n = b.rows();
   if (out->rows() != m || out->cols() != n) *out = Matrix(m, n);
-  for (size_t i = 0; i < m; ++i) {
-    const double* arow = a.RowPtr(i);
-    double* orow = out->RowPtr(i);
-    for (size_t j = 0; j < n; ++j) {
-      const double* brow = b.RowPtr(j);
-      double acc = 0.0;
-      for (size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      orow[j] = acc;
+  // j-tiled dot products: a kJb-row panel of b (≤16 KB at k = 128) stays in
+  // L1 while every row of a streams against it. Attention's (n×n) score and
+  // context products hit this kernel with n up to the plan size.
+  for (size_t jj = 0; jj < n; jj += kJb) {
+    const size_t jend = std::min(jj + kJb, n);
+    for (size_t i = 0; i < m; ++i) {
+      const double* arow = a.RowPtr(i);
+      double* orow = out->RowPtr(i);
+      for (size_t j = jj; j < jend; ++j) {
+        const double* brow = b.RowPtr(j);
+        double acc = 0.0;
+        for (size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        orow[j] = acc;
+      }
     }
   }
 }
 
 void MatMulTransposedA(const Matrix& a, const Matrix& b, Matrix* out) {
   DACE_CHECK_EQ(a.rows(), b.rows());
-  const size_t k = a.rows(), m = a.cols(), n = b.cols();
+  const size_t m = a.cols(), n = b.cols();
   if (out->rows() != m || out->cols() != n) *out = Matrix(m, n);
   out->SetZero();
+  MatMulTransposedAAcc(a, b, out);
+}
+
+void MatMulTransposedAAcc(const Matrix& a, const Matrix& b, Matrix* out) {
+  DACE_CHECK_EQ(a.rows(), b.rows());
+  const size_t k = a.rows(), m = a.cols(), n = b.cols();
+  DACE_CHECK_EQ(out->rows(), m);
+  DACE_CHECK_EQ(out->cols(), n);
   for (size_t p = 0; p < k; ++p) {
     const double* arow = a.RowPtr(p);
     const double* brow = b.RowPtr(p);
@@ -138,7 +187,12 @@ Status ReadMatrix(std::istream* is, Matrix* m) {
   is->read(reinterpret_cast<char*>(&rows), sizeof(rows));
   is->read(reinterpret_cast<char*>(&cols), sizeof(cols));
   if (!*is) return Status::DataLoss("truncated matrix header");
-  if (rows > (1u << 24) || cols > (1u << 24)) {
+  // Bound the element count jointly, not per dimension: two individually
+  // plausible dimensions from a corrupt file can still multiply into an
+  // allocation of ~2^48 doubles.
+  constexpr uint64_t kMaxElements = 1ull << 24;
+  if (rows > kMaxElements || cols > kMaxElements ||
+      (rows != 0 && cols > kMaxElements / rows)) {
     return Status::DataLoss("implausible matrix shape");
   }
   Matrix result(rows, cols);

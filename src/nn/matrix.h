@@ -78,14 +78,25 @@ class Matrix {
   std::vector<double> data_;
 };
 
-// out = a * b, shapes (m×k)·(k×n) → (m×n). `out` is overwritten.
+// out = a * b, shapes (m×k)·(k×n) → (m×n). `out` is overwritten. The kernels
+// are cache-blocked (k/j tiles sized for L1 residency) but accumulate each
+// output cell in ascending-k order, so results are bit-identical to a naive
+// triple loop.
 void MatMul(const Matrix& a, const Matrix& b, Matrix* out);
+
+// out += a * b. `out` must already have shape (m×n). Used by the gradient
+// accumulation paths so per-plan gradients land directly in the sink with no
+// temporary.
+void MatMulAcc(const Matrix& a, const Matrix& b, Matrix* out);
 
 // out = a * b^T, shapes (m×k)·(n×k)^T → (m×n).
 void MatMulTransposedB(const Matrix& a, const Matrix& b, Matrix* out);
 
 // out = a^T * b, shapes (k×m)^T·(k×n) → (m×n).
 void MatMulTransposedA(const Matrix& a, const Matrix& b, Matrix* out);
+
+// out += a^T * b. `out` must already have shape (m×n).
+void MatMulTransposedAAcc(const Matrix& a, const Matrix& b, Matrix* out);
 
 // Row-wise softmax with an additive mask applied before normalisation:
 // out(i,j) = softmax_j(in(i,j) + mask(i,j)). Mask entries of -infinity

@@ -1,0 +1,164 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace dace {
+
+namespace {
+
+// Set while a thread executes pool work; nested ParallelFor calls detect it
+// and run inline instead of re-entering the (single-job) pool.
+thread_local bool t_in_pool_work = false;
+
+std::mutex g_default_mu;
+std::unique_ptr<ThreadPool>& DefaultSlot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+int AutoThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+// RAII for the nested-call marker (restores on exception too).
+class ScopedPoolWork {
+ public:
+  ScopedPoolWork() : saved_(t_in_pool_work) { t_in_pool_work = true; }
+  ~ScopedPoolWork() { t_in_pool_work = saved_; }
+
+ private:
+  bool saved_;
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int workers = std::max(num_threads, 1) - 1;
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    // Slot 0 is the caller; workers take 1..N-1.
+    workers_.emplace_back([this, i] { WorkerLoop(i + 1); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::RunChunks(Job* job, int slot) {
+  ScopedPoolWork scope;
+  for (;;) {
+    const size_t start = job->next.fetch_add(job->chunk);
+    if (start >= job->end) break;
+    const size_t stop = std::min(start + job->chunk, job->end);
+    size_t retired = stop - start;  // this claim always retires itself
+    try {
+      for (size_t i = start; i < stop; ++i) (*job->fn)(slot, i);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(job->error_mu);
+        if (!job->error) job->error = std::current_exception();
+      }
+      // Cancel (and retire) every item nobody claimed yet. A concurrent
+      // thrower gets prev == end and retires nothing extra.
+      const size_t prev = job->next.exchange(job->end);
+      retired += job->end - std::min(prev, job->end);
+    }
+    job->pending.fetch_sub(retired);
+  }
+}
+
+void ThreadPool::WorkerLoop(int slot) {
+  uint64_t seen_seq = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_.wait(lock, [this, seen_seq] {
+        return stop_ || (job_ != nullptr && job_seq_ != seen_seq);
+      });
+      if (stop_) return;
+      seen_seq = job_seq_;
+      job = job_;
+    }
+    RunChunks(job.get(), slot);
+    if (job->pending.load() == 0) {
+      // Notify under the lock so the caller cannot check the predicate and
+      // sleep between our load and the notify.
+      std::lock_guard<std::mutex> lock(mu_);
+      done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end,
+                             const std::function<void(size_t)>& fn) {
+  ParallelForWorker(begin, end, [&fn](int /*slot*/, size_t i) { fn(i); });
+}
+
+void ThreadPool::ParallelForWorker(size_t begin, size_t end,
+                                   const std::function<void(int, size_t)>& fn) {
+  if (end <= begin) return;
+  const size_t count = end - begin;
+  // Run inline when there is nothing to fan out to, when the range is a
+  // single item, or when this is a nested call from inside pool work.
+  if (workers_.empty() || count == 1 || t_in_pool_work) {
+    ScopedPoolWork scope;
+    for (size_t i = begin; i < end; ++i) fn(0, i);
+    return;
+  }
+
+  std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  // Re-base onto [0, count) so the claim cursor starts at zero; shift back
+  // in the trampoline. The trampoline lives on this stack frame, which is
+  // safe: once pending hits zero no item remains claimable, so no worker
+  // can dereference `fn`/`body` after we return (the Job itself is kept
+  // alive by the workers' shared_ptr).
+  const std::function<void(int, size_t)> body =
+      [&fn, begin](int slot, size_t i) { fn(slot, begin + i); };
+  auto job = std::make_shared<Job>();
+  job->end = count;
+  // ~4 chunks per thread: coarse enough to amortize the atomic claim, fine
+  // enough to rebalance around stragglers.
+  job->chunk =
+      std::max<size_t>(1, count / (static_cast<size_t>(num_threads()) * 4));
+  job->fn = &body;
+  job->pending.store(count);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = job;
+    ++job_seq_;
+  }
+  wake_.notify_all();
+  RunChunks(job.get(), /*slot=*/0);
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_.wait(lock, [&job] { return job->pending.load() == 0; });
+    job_ = nullptr;
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+ThreadPool* ThreadPool::Default() {
+  std::lock_guard<std::mutex> lock(g_default_mu);
+  if (!DefaultSlot()) {
+    DefaultSlot() = std::make_unique<ThreadPool>(AutoThreads());
+  }
+  return DefaultSlot().get();
+}
+
+void ThreadPool::SetDefaultThreads(int num_threads) {
+  const int n = num_threads <= 0 ? AutoThreads() : num_threads;
+  std::lock_guard<std::mutex> lock(g_default_mu);
+  DefaultSlot() = std::make_unique<ThreadPool>(n);
+}
+
+}  // namespace dace

@@ -1,0 +1,101 @@
+#ifndef DACE_UTIL_THREAD_POOL_H_
+#define DACE_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dace {
+
+// Fixed-size worker pool with a blocking parallel-for primitive. This is the
+// shared execution substrate for data-parallel training, batched inference
+// and corpus generation: one process-wide default pool (sized from
+// std::thread::hardware_concurrency(), overridable via SetDefaultThreads or
+// the benches' --threads flag) plus explicitly-sized pools for tests.
+//
+// Design notes:
+//  - The calling thread participates in every ParallelFor, so a pool of
+//    parallelism N spawns only N-1 workers and ThreadPool(0)/ThreadPool(1)
+//    spawn none at all — those degrade to a plain sequential loop, which is
+//    what makes "pool size 1" a meaningful determinism baseline.
+//  - Work is claimed chunk-at-a-time from an atomic cursor, so callers get
+//    load balancing for free; anything that must be numerically deterministic
+//    (gradient reduction) keys its buffers off the *item index*, never off
+//    the executing worker.
+//  - Nested ParallelFor calls from inside a worker run inline on that worker:
+//    no new threads, no deadlock, same results.
+//  - The first exception thrown by the body cancels the remaining items and
+//    is rethrown on the calling thread.
+class ThreadPool {
+ public:
+  // Parallelism degree `num_threads` (caller included). Values <= 1 create
+  // no worker threads; ParallelFor then runs inline on the caller.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Effective parallelism (>= 1, caller included).
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  // Calls fn(i) for every i in [begin, end), potentially concurrently;
+  // returns once all calls finished. Safe to call concurrently from several
+  // threads (calls serialize) and recursively from inside a body (the inner
+  // loop runs inline).
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t)>& fn);
+
+  // Like ParallelFor but also hands the body a stable worker slot in
+  // [0, num_threads()); slot 0 is the calling thread. Use it to index
+  // per-worker scratch. Item-to-slot assignment is NOT deterministic — do
+  // not let results depend on the slot (reads/writes of scratch are fine).
+  void ParallelForWorker(size_t begin, size_t end,
+                         const std::function<void(int, size_t)>& fn);
+
+  // Process-wide default pool. First use creates it with
+  // hardware_concurrency() threads unless SetDefaultThreads ran earlier.
+  static ThreadPool* Default();
+
+  // Resizes the default pool (0 = hardware_concurrency()). Must not be
+  // called while another thread is inside a Default()-pool ParallelFor;
+  // intended for process startup (flag parsing) and tests.
+  static void SetDefaultThreads(int num_threads);
+
+ private:
+  struct Job {
+    size_t end = 0;    // items are [0, end); ParallelForWorker re-bases
+    size_t chunk = 1;  // items claimed per atomic fetch_add
+    const std::function<void(int, size_t)>* fn = nullptr;
+    std::atomic<size_t> next{0};     // claim cursor
+    std::atomic<size_t> pending{0};  // items not yet retired
+    std::exception_ptr error;
+    std::mutex error_mu;
+  };
+
+  void WorkerLoop(int slot);
+  // Claims chunks of `job` until exhausted; records the first exception and
+  // cancels unclaimed items on throw. Returns with job->pending reduced by
+  // every item this thread retired.
+  static void RunChunks(Job* job, int slot);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;                  // guards job_/job_seq_/stop_
+  std::condition_variable wake_;   // workers wait here for a new job
+  std::condition_variable done_;   // caller waits here for completion
+  std::mutex submit_mu_;           // serializes concurrent ParallelFor calls
+  std::shared_ptr<Job> job_;       // current job, null when idle
+  uint64_t job_seq_ = 0;           // bumped per job so workers run each once
+  bool stop_ = false;
+};
+
+}  // namespace dace
+
+#endif  // DACE_UTIL_THREAD_POOL_H_

@@ -210,6 +210,70 @@ TEST(SerializationTest, EmptyStreamFails) {
   EXPECT_FALSE(ReadMatrix(&ss, &restored).ok());
 }
 
+TEST(SerializationTest, RejectsImplausibleJointShape) {
+  // Each dimension alone passes the per-dimension bound, but together they
+  // describe a ~2^46-element allocation; the joint bound must catch it
+  // before any allocation happens.
+  const uint64_t rows = 1ull << 23, cols = 1ull << 23;
+  std::stringstream ss;
+  ss.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  ss.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  Matrix restored;
+  const Status status = ReadMatrix(&ss, &restored);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+}
+
+TEST(SerializationTest, RejectsOversizedSingleDimension) {
+  const uint64_t rows = 1ull << 25, cols = 1;
+  std::stringstream ss;
+  ss.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  ss.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  Matrix restored;
+  EXPECT_FALSE(ReadMatrix(&ss, &restored).ok());
+}
+
+// The blocked kernels must stay bit-identical to the naive accumulation
+// order at shapes spanning multiple k/j tiles (tiles are 32×64 / 16 rows).
+TEST(MatMulTest, BlockedMatchesNaiveBitExact) {
+  const Matrix a = RandomMatrix(70, 130, 21);
+  const Matrix b = RandomMatrix(130, 150, 22);
+  const Matrix expected = NaiveMatMul(a, b);
+  Matrix out;
+  MatMul(a, b, &out);
+  ASSERT_TRUE(out.SameShape(expected));
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out.data()[i], expected.data()[i]) << "element " << i;
+  }
+}
+
+TEST(MatMulTest, AccumulateVariantsAddOnTop) {
+  const Matrix a = RandomMatrix(33, 65, 23);
+  const Matrix b = RandomMatrix(65, 40, 24);
+  Matrix base;
+  MatMul(a, b, &base);
+
+  Matrix acc(33, 40);
+  acc.Fill(1.5);
+  MatMulAcc(a, b, &acc);
+  // The accumulate variant folds the pre-existing value into the running sum,
+  // so rounding differs from `base + 1.5` by a few ULPs — compare with a
+  // tolerance, not bit-exactly.
+  for (size_t i = 0; i < acc.size(); ++i) {
+    EXPECT_NEAR(acc.data()[i], base.data()[i] + 1.5, 1e-9);
+  }
+
+  const Matrix at = RandomMatrix(65, 33, 25);  // a^T layout: (k × m)
+  Matrix ta_base;
+  MatMulTransposedA(at, b, &ta_base);
+  Matrix ta_acc(33, 40);
+  ta_acc.Fill(-2.0);
+  MatMulTransposedAAcc(at, b, &ta_acc);
+  for (size_t i = 0; i < ta_acc.size(); ++i) {
+    EXPECT_NEAR(ta_acc.data()[i], ta_base.data()[i] - 2.0, 1e-9);
+  }
+}
+
 // Property sweep: MatMul distributes over addition.
 class MatMulPropertyTest : public ::testing::TestWithParam<int> {};
 

@@ -1,0 +1,149 @@
+// Bit-determinism of the data-parallel paths: training and batched inference
+// must produce identical results for ANY thread-pool size, because gradient
+// buffers are keyed by batch position (not worker) and reduced in fixed chunk
+// order. These tests train twin estimators on pools of size 1 and 8 and
+// require bitwise-equal serialized weights and predictions.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "core/dace_model.h"
+#include "engine/corpus.h"
+#include "engine/dataset.h"
+#include "engine/machine.h"
+#include "util/thread_pool.h"
+
+namespace dace::core {
+namespace {
+
+std::vector<plan::QueryPlan> TrainingPlans(int per_db = 40, int dbs = 3,
+                                           uint64_t seed = 11) {
+  const auto corpus = engine::BuildCorpus(42, dbs + 1);
+  std::vector<plan::QueryPlan> plans;
+  for (int db = 1; db <= dbs; ++db) {
+    auto batch = engine::GenerateLabeledPlans(
+        corpus[static_cast<size_t>(db)], engine::MachineM1(),
+        engine::WorkloadKind::kComplex, per_db,
+        seed + static_cast<uint64_t>(db));
+    plans.insert(plans.end(), batch.begin(), batch.end());
+  }
+  return plans;
+}
+
+DaceConfig FastConfig() {
+  DaceConfig config;
+  config.epochs = 3;
+  config.finetune_epochs = 4;
+  return config;
+}
+
+std::string SerializedModel(const DaceEstimator& est) {
+  std::stringstream ss;
+  est.model().Serialize(&ss);
+  return ss.str();
+}
+
+TEST(ParallelDeterminismTest, TrainedWeightsBitIdenticalAcrossPoolSizes) {
+  const auto plans = TrainingPlans();
+
+  ThreadPool serial(1);
+  ThreadPool wide(8);
+
+  DaceEstimator est1(FastConfig());
+  est1.set_thread_pool(&serial);
+  est1.Train(plans);
+
+  DaceEstimator est8(FastConfig());
+  est8.set_thread_pool(&wide);
+  est8.Train(plans);
+
+  EXPECT_EQ(SerializedModel(est1), SerializedModel(est8))
+      << "pool size must not change training arithmetic";
+  EXPECT_EQ(est1.last_train_stats().final_loss,
+            est8.last_train_stats().final_loss);
+}
+
+TEST(ParallelDeterminismTest, FineTuneBitIdenticalAcrossPoolSizes) {
+  const auto pretrain = TrainingPlans(30, 2, 11);
+  const auto finetune = TrainingPlans(30, 2, 99);
+
+  ThreadPool serial(1);
+  ThreadPool wide(8);
+
+  DaceEstimator est1(FastConfig());
+  est1.set_thread_pool(&serial);
+  est1.Train(pretrain);
+  est1.FineTune(finetune);
+
+  DaceEstimator est8(FastConfig());
+  est8.set_thread_pool(&wide);
+  est8.Train(pretrain);
+  est8.FineTune(finetune);
+
+  EXPECT_EQ(SerializedModel(est1), SerializedModel(est8));
+}
+
+TEST(ParallelDeterminismTest, PredictBatchBitIdenticalAcrossPoolSizes) {
+  const auto plans = TrainingPlans();
+  const auto test = engine::GenerateLabeledPlans(
+      engine::BuildCorpus(42, 2)[1], engine::MachineM1(),
+      engine::WorkloadKind::kComplex, 60, 777);
+
+  ThreadPool serial(1);
+  ThreadPool wide(8);
+
+  DaceEstimator est(FastConfig());
+  est.set_thread_pool(&serial);
+  est.Train(plans);
+
+  const std::vector<double> preds1 = est.PredictBatchMs(test);
+  est.set_thread_pool(&wide);
+  const std::vector<double> preds8 = est.PredictBatchMs(test);
+
+  ASSERT_EQ(preds1.size(), test.size());
+  ASSERT_EQ(preds8.size(), test.size());
+  for (size_t i = 0; i < test.size(); ++i) {
+    EXPECT_EQ(preds1[i], preds8[i]) << "plan " << i;
+  }
+}
+
+TEST(ParallelDeterminismTest, PredictBatchMatchesPerPlanPredict) {
+  const auto plans = TrainingPlans(30, 2);
+  const auto test = engine::GenerateLabeledPlans(
+      engine::BuildCorpus(42, 2)[1], engine::MachineM1(),
+      engine::WorkloadKind::kComplex, 40, 555);
+
+  ThreadPool wide(8);
+  DaceEstimator est(FastConfig());
+  est.set_thread_pool(&wide);
+  est.Train(plans);
+
+  const std::vector<double> batch = est.PredictBatchMs(test);
+  ASSERT_EQ(batch.size(), test.size());
+  for (size_t i = 0; i < test.size(); ++i) {
+    EXPECT_EQ(batch[i], est.PredictMs(test[i])) << "plan " << i;
+  }
+}
+
+TEST(ParallelDeterminismTest, RepeatedBatchCallsReuseScratch) {
+  // Back-to-back batch calls go through the same warm scratch; results must
+  // not drift (guards against stale state leaking between calls).
+  const auto plans = TrainingPlans(30, 2);
+  const auto test = engine::GenerateLabeledPlans(
+      engine::BuildCorpus(42, 2)[1], engine::MachineM1(),
+      engine::WorkloadKind::kComplex, 30, 321);
+
+  ThreadPool wide(4);
+  DaceEstimator est(FastConfig());
+  est.set_thread_pool(&wide);
+  est.Train(plans);
+
+  const std::vector<double> first = est.PredictBatchMs(test);
+  const std::vector<double> second = est.PredictBatchMs(test);
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace dace::core
