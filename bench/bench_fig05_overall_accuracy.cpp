@@ -79,6 +79,13 @@ int main(int argc, char** argv) {
     table.AddRow({bench.corpus()[static_cast<size_t>(test_db)].name,
                   eval::FormatMetric(zs.median), eval::FormatMetric(dace.median),
                   eval::FormatMetric(lora.median), win ? "yes" : "no"});
+    bench::Json()
+        .Add("fig05_db")
+        .Str("database", bench.corpus()[static_cast<size_t>(test_db)].name)
+        .Num("zeroshot_median", zs.median)
+        .Num("dace_median", dace.median)
+        .Num("dace_lora_median", lora.median)
+        .Num("dace_wins", win ? 1 : 0);
     std::printf("  [run %d/%d] %s done (%.0fs elapsed)\n", test_db + 1, runs,
                 bench.corpus()[static_cast<size_t>(test_db)].name.c_str(),
                 timer.ElapsedMs() / 1000.0);
@@ -93,5 +100,12 @@ int main(int argc, char** argv) {
       "(paper: 1.48 vs 1.56); DACE-LoRA on workload 2: %.2f "
       "(paper: < 1.27).\n",
       dace_wins, runs, worst_dace, worst_zeroshot, worst_lora);
-  return 0;
+  bench::Json()
+      .Add("fig05_summary")
+      .Num("dace_wins", dace_wins)
+      .Num("runs", runs)
+      .Num("worst_dace_median", worst_dace)
+      .Num("worst_zeroshot_median", worst_zeroshot)
+      .Num("worst_lora_median", worst_lora);
+  return bench::Json().WriteIfRequested() ? 0 : 1;
 }

@@ -8,8 +8,13 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <cstring>
+#include <map>
 #include <new>
+#include <string>
+#include <vector>
 
+#include "bench/bench_util.h"
 #include "core/dace_model.h"
 #include "engine/corpus.h"
 #include "engine/dataset.h"
@@ -17,6 +22,7 @@
 #include "engine/machine.h"
 #include "engine/optimizer.h"
 #include "featurize/featurize.h"
+#include "nn/kernels.h"
 #include "nn/layers.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -43,6 +49,27 @@ void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
+// Alignment-aware overloads: Matrix storage allocates through
+// ::operator new(size, std::align_val_t{64}), which must hit the same
+// counter or the allocs/plan numbers silently under-count matrix churn.
+void* operator new(std::size_t size, std::align_val_t al) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(al), size) == 0) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t al) {
+  return ::operator new(size, al);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
 namespace {
 
 using namespace dace;
@@ -61,6 +88,10 @@ struct Fixture {
     config.epochs = 2;
     estimator = core::DaceEstimator(config);
     estimator.Train(plans);
+    // The shared estimator cycles a 64-plan corpus, so the default-on
+    // prediction cache would turn every bench below into a hit benchmark.
+    // Keep it off here; the cache benchmarks opt in (and restore this).
+    estimator.set_prediction_cache_capacity(0);
   }
 };
 
@@ -211,6 +242,46 @@ void BM_MatMulBlocked(benchmark::State& state) {
 }
 BENCHMARK(BM_MatMulBlocked)->Arg(64)->Arg(128)->Arg(256);
 
+// ISA-pinned variants of the blocked matmul, so one run measures the SIMD
+// speedup directly (the derived record matmul_simd_speedup_n128 in
+// BENCH_micro.json is their ratio at n = 128).
+struct ScopedIsa {
+  explicit ScopedIsa(nn::kernel::Isa isa) : prev(nn::kernel::ActiveIsa()) {
+    nn::kernel::SetIsa(isa);
+  }
+  ~ScopedIsa() { nn::kernel::SetIsa(prev); }
+  nn::kernel::Isa prev;
+};
+
+void MatMulWithIsa(benchmark::State& state, nn::kernel::Isa isa) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  ScopedIsa pin(isa);
+  Rng rng(2);
+  nn::Matrix a(n, n), b(n, n), out;
+  a.FillGaussian(&rng, 1.0);
+  b.FillGaussian(&rng, 1.0);
+  for (auto _ : state) {
+    nn::MatMul(a, b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * n * n));
+}
+
+void BM_MatMulScalar(benchmark::State& state) {
+  MatMulWithIsa(state, nn::kernel::Isa::kScalar);
+}
+BENCHMARK(BM_MatMulScalar)->Arg(128);
+
+void BM_MatMulSimd(benchmark::State& state) {
+  if (!nn::kernel::HasAvx2()) {
+    state.SkipWithError("AVX2+FMA unavailable on this machine/build");
+    return;
+  }
+  MatMulWithIsa(state, nn::kernel::Isa::kAvx2);
+}
+BENCHMARK(BM_MatMulSimd)->Arg(128);
+
 void BM_MatMulTransposedB(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   Rng rng(3);
@@ -280,6 +351,46 @@ void BM_PredictBatch(benchmark::State& state) {
 BENCHMARK(BM_PredictBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+// Serving path with the prediction cache disabled: every call pays
+// fingerprint + featurization + forward. The baseline for
+// predict_cache_hit_speedup.
+void BM_PredictBatchCold(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  ThreadPool pool(1);
+  f.estimator.set_thread_pool(&pool);
+  f.estimator.set_prediction_cache_capacity(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.estimator.PredictBatchMs(f.plans));
+  }
+  f.estimator.set_thread_pool(nullptr);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.plans.size()));
+}
+BENCHMARK(BM_PredictBatchCold)->Unit(benchmark::kMillisecond);
+
+// Serving path with every plan already cached: fingerprint + LRU lookup
+// only. The warm-up batch fills the cache; the hit_fraction counter proves
+// the measured iterations were all hits.
+void BM_PredictBatchCacheHit(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  ThreadPool pool(1);
+  f.estimator.set_thread_pool(&pool);
+  f.estimator.set_prediction_cache_capacity(4096);
+  benchmark::DoNotOptimize(f.estimator.PredictBatchMs(f.plans));  // fill
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.estimator.PredictBatchMs(f.plans));
+  }
+  const auto stats = f.estimator.prediction_cache_stats();
+  f.estimator.set_thread_pool(nullptr);
+  f.estimator.set_prediction_cache_capacity(0);  // fixture default
+  state.counters["hit_fraction"] = benchmark::Counter(
+      static_cast<double>(stats.hits) /
+      static_cast<double>(stats.hits + stats.misses));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.plans.size()));
+}
+BENCHMARK(BM_PredictBatchCacheHit)->Unit(benchmark::kMillisecond);
+
 // The model forward in isolation through a warm workspace: must be exactly
 // zero allocations per call (the strict zero-alloc contract of
 // DaceModel::PredictAllInto).
@@ -302,6 +413,86 @@ void BM_PredictAllIntoWarm(benchmark::State& state) {
 }
 BENCHMARK(BM_PredictAllIntoWarm);
 
+// Per-iteration real seconds by benchmark name, for the derived ratios.
+std::map<std::string, double>& CapturedSeconds() {
+  static auto* m = new std::map<std::string, double>();
+  return *m;
+}
+
+// Console output as usual, plus one JSON record per run into the shared
+// emitter (bench_util.h) so BENCH_micro.json carries the raw numbers the
+// derived speedups are computed from.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const double secs =
+          run.iterations > 0
+              ? run.real_accumulated_time / static_cast<double>(run.iterations)
+              : run.real_accumulated_time;
+      const double cpu_secs =
+          run.iterations > 0
+              ? run.cpu_accumulated_time / static_cast<double>(run.iterations)
+              : run.cpu_accumulated_time;
+      auto& rec = dace::bench::Json().Add(run.benchmark_name());
+      rec.Num("real_s_per_iter", secs)
+          .Num("cpu_s_per_iter", cpu_secs)
+          .Num("iterations", static_cast<double>(run.iterations));
+      for (const auto& [cname, counter] : run.counters) {
+        rec.Num(cname, counter.value);
+      }
+      CapturedSeconds()[run.benchmark_name()] = secs;
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+};
+
+// speedup = t(baseline) / t(contender), recorded only when both ran (e.g.
+// a --benchmark_filter may have excluded one side).
+void AddSpeedupRecord(const char* record_name, const char* baseline,
+                      const char* contender) {
+  const auto& secs = CapturedSeconds();
+  const auto b = secs.find(baseline);
+  const auto c = secs.find(contender);
+  if (b == secs.end() || c == secs.end() || c->second <= 0.0) return;
+  const double speedup = b->second / c->second;
+  dace::bench::Json()
+      .Add(record_name)
+      .Str("baseline", baseline)
+      .Str("contender", contender)
+      .Num("speedup", speedup);
+  std::printf("%-32s %.2fx (%s / %s)\n", record_name, speedup, baseline,
+              contender);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN: peels --json=PATH (everything else
+// goes to google-benchmark), runs with the capturing reporter, then writes
+// BENCH_micro.json (default) with raw runs + derived speedup records.
+int main(int argc, char** argv) {
+  dace::bench::Json().SetPath("BENCH_micro.json");
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      dace::bench::Json().SetPath(argv[i] + 7);
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  JsonCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  AddSpeedupRecord("matmul_simd_speedup_n128", "BM_MatMulScalar/128",
+                   "BM_MatMulSimd/128");
+  AddSpeedupRecord("predict_cache_hit_speedup", "BM_PredictBatchCold",
+                   "BM_PredictBatchCacheHit");
+  const bool ok = dace::bench::Json().WriteIfRequested();
+  benchmark::Shutdown();
+  return ok ? 0 : 1;
+}

@@ -143,10 +143,22 @@ int main(int argc, char** argv) {
     eval::TablePrinter table(
         {"Model", "Median", "90th", "95th", "99th", "Max", "Mean"});
     for (auto& [name, model] : models) {
-      table.AddSummaryRow(name, eval::Evaluate(*model, test_set.plans));
+      const eval::QerrorSummary s = eval::Evaluate(*model, test_set.plans);
+      table.AddSummaryRow(name, s);
+      bench::Json()
+          .Add("table1_row")
+          .Str("test_set", test_set.name)
+          .Str("model", name)
+          .Num("median", s.median)
+          .Num("p90", s.p90)
+          .Num("p95", s.p95)
+          .Num("p99", s.p99)
+          .Num("max", s.max)
+          .Num("mean", s.mean);
     }
     table.Print();
   }
+  if (!bench::Json().WriteIfRequested()) return 1;
   std::printf(
       "\nexpected shape (paper Tab. I): PostgreSQL worst; DACE beats both\n"
       "WDMs and Zero-Shot on tail metrics despite never training on IMDB;\n"

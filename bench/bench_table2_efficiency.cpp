@@ -184,6 +184,16 @@ int main(int argc, char** argv) {
                   eval::FormatMetric(row.infer_qps)});
   }
   table.Print();
+  for (const Row& row : rows) {
+    bench::Json()
+        .Add("table2_row")
+        .Str("model", row.name)
+        .Num("size_mb", row.size_mb)
+        .Num("train_qps", row.train_qps)
+        .Num("infer_qps", row.infer_qps)
+        .Num("tuning", row.tuning ? 1 : 0);
+  }
+  if (!bench::Json().WriteIfRequested()) return 1;
   std::printf(
       "\nexpected shape (paper Tab. II): DACE is the smallest model by a\n"
       "wide margin and the fastest learned model to train and to run.\n"

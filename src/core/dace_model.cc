@@ -67,10 +67,8 @@ double DaceModel::ForwardBackward(const PlanFeatures& f, Workspace* ws) const {
   const size_t n = f.node_features.rows();
   attention_.ForwardCached(f.node_features, f.attention_mask, &ws->attn_c,
                            &ws->attn);
-  fc1_.ForwardCached(ws->attn, &ws->fc1_c, &ws->z1);
-  relu1_.ForwardInference(ws->z1, &ws->h1);
-  fc2_.ForwardCached(ws->h1, &ws->fc2_c, &ws->z2);
-  relu2_.ForwardInference(ws->z2, &ws->h2);
+  fc1_.ForwardReluCached(ws->attn, &ws->fc1_c, &ws->z1, &ws->h1);
+  fc2_.ForwardReluCached(ws->h1, &ws->fc2_c, &ws->z2, &ws->h2);
   fc3_.ForwardCached(ws->h2, &ws->fc3_c, &ws->pred);  // (n × 1)
 
   double weight_sum = 0.0;
@@ -170,6 +168,7 @@ TrainStats DaceModel::RunTraining(const std::vector<PlanFeatures>& data,
   stats.epochs = epochs;
   stats.num_plans = data.size();
   stats.wall_ms = NowMs() - start_ms;
+  ++weights_version_;  // every cached prediction is now stale
   return stats;
 }
 
@@ -191,10 +190,8 @@ void DaceModel::PredictAllInto(const PlanFeatures& f, Workspace* ws,
                                std::vector<double>* out) const {
   attention_.ForwardCached(f.node_features, f.attention_mask, &ws->attn_c,
                            &ws->attn);
-  fc1_.ForwardCached(ws->attn, &ws->fc1_c, &ws->z1);
-  relu1_.ForwardInference(ws->z1, &ws->h1);
-  fc2_.ForwardCached(ws->h1, &ws->fc2_c, &ws->z2);
-  relu2_.ForwardInference(ws->z2, &ws->h2);
+  fc1_.ForwardReluCached(ws->attn, &ws->fc1_c, &ws->z1, &ws->h1);
+  fc2_.ForwardReluCached(ws->h1, &ws->fc2_c, &ws->z2, &ws->h2);
   fc3_.ForwardCached(ws->h2, &ws->fc3_c, &ws->pred);
   out->resize(ws->pred.rows());
   for (size_t i = 0; i < ws->pred.rows(); ++i) (*out)[i] = ws->pred(i, 0);
@@ -250,6 +247,7 @@ Status DaceModel::Deserialize(std::istream* is) {
   DACE_RETURN_IF_ERROR(fc2_.Deserialize(is));
   DACE_RETURN_IF_ERROR(fc3_.Deserialize(is));
   lora_attached_ = fc1_.has_lora();
+  ++weights_version_;  // loaded weights replace whatever was cached against
   return Status::OK();
 }
 
@@ -297,8 +295,15 @@ TrainStats DaceEstimator::FineTune(const std::vector<plan::QueryPlan>& plans) {
 }
 
 double DaceEstimator::PredictMs(const plan::QueryPlan& plan) const {
-  const featurize::PlanFeatures f = featurizer_.Featurize(plan, FeatConfig());
-  return featurizer_.InverseTransformTime(model_.PredictRoot(f));
+  const featurize::FeaturizerConfig fc = FeatConfig();
+  const uint64_t version = model_.weights_version();
+  const uint64_t fp = featurizer_.Fingerprint(plan, fc);
+  double ms = 0.0;
+  if (prediction_cache_->Lookup(version, fp, &ms)) return ms;
+  const featurize::PlanFeatures f = featurizer_.Featurize(plan, fc);
+  ms = featurizer_.InverseTransformTime(model_.PredictRoot(f));
+  prediction_cache_->Insert(version, fp, ms);
+  return ms;
 }
 
 std::vector<double> DaceEstimator::PredictBatchMs(
@@ -310,14 +315,23 @@ std::vector<double> DaceEstimator::PredictBatchMs(
     batch_scratch_.resize(static_cast<size_t>(pool->num_threads()));
   }
   const featurize::FeaturizerConfig fc = FeatConfig();
+  const uint64_t version = model_.weights_version();
   // out[i] depends only on plan i and the weights, so results are identical
   // for every pool size; the worker slot only selects which scratch to
-  // reuse.
+  // reuse. The prediction cache preserves that: a hit returns the exact
+  // double a cold run would have produced under the same weights.
   pool->ParallelForWorker(0, plans.size(), [&](int slot, size_t i) {
+    const uint64_t fp = featurizer_.Fingerprint(plans[i], fc);
+    double ms = 0.0;
+    if (prediction_cache_->Lookup(version, fp, &ms)) {
+      out[i] = ms;
+      return;
+    }
     BatchScratch& s = batch_scratch_[static_cast<size_t>(slot)];
     featurizer_.FeaturizeInto(plans[i], fc, &s.feats);
     model_.PredictAllInto(s.feats, &s.ws, &s.preds);
     out[i] = featurizer_.InverseTransformTime(s.preds[0]);
+    prediction_cache_->Insert(version, fp, out[i]);
   });
   return out;
 }

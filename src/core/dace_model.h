@@ -2,10 +2,12 @@
 #define DACE_CORE_DACE_MODEL_H_
 
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/estimator.h"
+#include "core/prediction_cache.h"
 #include "featurize/featurize.h"
 #include "nn/layers.h"
 #include "util/rng.h"
@@ -118,6 +120,13 @@ class DaceModel {
   size_t LoraParameterCount() const;
   bool lora_attached() const { return lora_attached_; }
 
+  // Monotone counter identifying the current weights: bumped by every
+  // mutation of the parameters (Train, FineTuneLora, Deserialize). Cached
+  // predictions are valid exactly as long as this value is unchanged — the
+  // prediction cache stores the version it was filled under and flushes on
+  // mismatch.
+  uint64_t weights_version() const { return weights_version_; }
+
   void Serialize(std::ostream* os) const;
   Status Deserialize(std::istream* is);
 
@@ -142,6 +151,7 @@ class DaceModel {
   nn::Linear fc1_, fc2_, fc3_;
   nn::Relu relu1_, relu2_;
   bool lora_attached_ = false;
+  uint64_t weights_version_ = 1;
   ThreadPool* pool_ = nullptr;
 };
 
@@ -177,6 +187,19 @@ class DaceEstimator : public CostEstimator {
   // Pool used for training featurization and PredictBatchMs; nullptr =
   // process default. Also forwarded to the model.
   void set_thread_pool(ThreadPool* pool);
+
+  // Prediction-cache control: the serving paths (PredictMs/PredictBatchMs)
+  // memoize final predictions keyed by (weights version, plan fingerprint).
+  // Capacity 0 disables caching entirely; resizing resets entries and
+  // counters. Default capacity is kDefaultPredictionCacheCapacity.
+  void set_prediction_cache_capacity(size_t capacity) {
+    prediction_cache_->Reset(capacity);
+  }
+  PredictionCache::Stats prediction_cache_stats() const {
+    return prediction_cache_->GetStats();
+  }
+
+  static constexpr size_t kDefaultPredictionCacheCapacity = 4096;
 
   // Per-sub-plan predictions in ms, DFS order (index 0 = whole plan).
   std::vector<double> PredictSubPlansMs(const plan::QueryPlan& plan) const;
@@ -217,6 +240,9 @@ class DaceEstimator : public CostEstimator {
   TrainStats last_train_stats_;
   ThreadPool* pool_ = nullptr;
   mutable std::vector<BatchScratch> batch_scratch_;
+  // unique_ptr keeps the estimator movable (the cache holds a mutex).
+  mutable std::unique_ptr<PredictionCache> prediction_cache_ =
+      std::make_unique<PredictionCache>(kDefaultPredictionCacheCapacity);
 };
 
 }  // namespace dace::core

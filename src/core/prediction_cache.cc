@@ -1,0 +1,78 @@
+#include "core/prediction_cache.h"
+
+namespace dace::core {
+
+void PredictionCache::FlushIfStaleLocked(uint64_t version) {
+  if (version == version_) return;
+  lru_.clear();
+  index_.clear();
+  version_ = version;
+}
+
+bool PredictionCache::Lookup(uint64_t version, uint64_t fingerprint,
+                             double* ms_out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity_ == 0) {
+    ++misses_;
+    return false;
+  }
+  FlushIfStaleLocked(version);
+  auto it = index_.find(fingerprint);
+  if (it == index_.end()) {
+    ++misses_;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  *ms_out = it->second->ms;
+  ++hits_;
+  return true;
+}
+
+void PredictionCache::Insert(uint64_t version, uint64_t fingerprint,
+                             double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity_ == 0) return;
+  FlushIfStaleLocked(version);
+  auto it = index_.find(fingerprint);
+  if (it != index_.end()) {
+    // Concurrent workers can race to fill the same fingerprint; the values
+    // are identical (same weights, same plan), so just refresh recency.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    it->second->ms = ms;
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().fingerprint);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.push_front(Entry{fingerprint, ms});
+  index_[fingerprint] = lru_.begin();
+}
+
+void PredictionCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+void PredictionCache::Reset(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  capacity_ = capacity;
+  hits_ = misses_ = evictions_ = 0;
+}
+
+PredictionCache::Stats PredictionCache::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.size = lru_.size();
+  s.capacity = capacity_;
+  return s;
+}
+
+}  // namespace dace::core

@@ -26,7 +26,11 @@ double Simulate(const Database& db, const MachineProfile& machine,
   CostInputs in;
   in.out_rows = node.actual_cardinality;
   in.num_filters = static_cast<int>(node.annotation.filters.size());
-  if (node.annotation.table_id >= 0) {
+  // Plans relabelled against a database other than the one that planned them
+  // (RelabelPlans on a mixed-corpus batch) can carry table ids the target
+  // database does not have; treat those like table-less nodes.
+  if (node.annotation.table_id >= 0 &&
+      static_cast<size_t>(node.annotation.table_id) < db.tables.size()) {
     const Table& table =
         db.tables[static_cast<size_t>(node.annotation.table_id)];
     in.table_rows = static_cast<double>(table.row_count);

@@ -5,6 +5,7 @@
 #include <istream>
 #include <ostream>
 
+#include "util/hash.h"
 #include "util/logging.h"
 
 namespace dace::featurize {
@@ -123,6 +124,33 @@ void Featurizer::FeaturizeInto(const plan::QueryPlan& plan,
       }
     }
   }
+}
+
+uint64_t Featurizer::Fingerprint(const plan::QueryPlan& plan,
+                                 const FeaturizerConfig& config) const {
+  DACE_CHECK(fitted_) << "Featurizer::Fit must run before Fingerprint";
+  Hash64 h;
+  // Scaler state: a re-fitted featurizer produces different features (and a
+  // different inverse time transform) from the same plan.
+  h.AddDouble(card_scaler_.median());
+  h.AddDouble(card_scaler_.iqr());
+  h.AddDouble(cost_scaler_.median());
+  h.AddDouble(cost_scaler_.iqr());
+  h.AddDouble(time_scaler_.median());
+  h.AddDouble(time_scaler_.iqr());
+  h.AddBool(config.use_actual_cardinality);
+  h.AddBool(config.tree_attention);
+  const std::vector<int32_t> dfs = plan.DfsOrder();
+  h.AddU64(dfs.size());
+  for (int32_t idx : dfs) {
+    const plan::PlanNode& node = plan.node(idx);
+    h.AddU64(static_cast<uint64_t>(node.type));
+    h.AddU64(node.children.size());
+    h.AddDouble(config.use_actual_cardinality ? node.actual_cardinality
+                                              : node.est_cardinality);
+    h.AddDouble(node.est_cost);
+  }
+  return h.digest();
 }
 
 double Featurizer::TransformTime(double ms) const {

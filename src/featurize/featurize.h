@@ -84,6 +84,20 @@ class Featurizer {
   void FeaturizeInto(const plan::QueryPlan& plan,
                      const FeaturizerConfig& config, PlanFeatures* out) const;
 
+  // Stable 64-bit content fingerprint of everything that determines this
+  // featurizer's *inference-time* output for `plan`: the fitted scaler
+  // parameters, the config switches that change features
+  // (use_actual_cardinality, tree_attention), and a preorder walk of
+  // (operator type, child count, cardinality input, estimated cost) per
+  // node. Preorder + per-node child counts uniquely encode the tree shape,
+  // so the attention mask is covered without hashing the n×n closure.
+  // config.alpha is deliberately excluded — it only weights training losses
+  // and never changes a prediction. Two plans with equal fingerprints get
+  // equal predictions from equal weights, which is what makes this a safe
+  // prediction-cache key (see core/prediction_cache.h).
+  uint64_t Fingerprint(const plan::QueryPlan& plan,
+                       const FeaturizerConfig& config) const;
+
   // Label transform: scaled log-milliseconds.
   double TransformTime(double ms) const;
   // Back to milliseconds, clamped positive.

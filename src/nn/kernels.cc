@@ -1,0 +1,167 @@
+#include "nn/kernels.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace dace::nn::kernel {
+
+namespace {
+
+// ----------------------------------------------------------------- scalar --
+// The always-available fallback: the exact blocked-scalar loops the repo
+// shipped before the SIMD substrate, so forcing DACE_KERNELS=scalar
+// reproduces the previous numerics bit-for-bit.
+
+void MmPanelScalar(const double* a, size_t lda, const double* b, size_t ldb,
+                   double* out, size_t ldo, size_t m, size_t pp, size_t pend,
+                   size_t jj, size_t jend) {
+  for (size_t i = 0; i < m; ++i) {
+    const double* arow = a + i * lda;
+    double* orow = out + i * ldo;
+    for (size_t p = pp; p < pend; ++p) {
+      const double av = arow[p];
+      if (av == 0.0) continue;
+      const double* brow = b + p * ldb;
+      for (size_t j = jj; j < jend; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void AxpyScalar(size_t n, double a, const double* x, double* y) {
+  for (size_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+double DotScalar(size_t n, const double* a, const double* b) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void ScaleScalar(size_t n, double s, double* x) {
+  for (size_t i = 0; i < n; ++i) x[i] *= s;
+}
+
+void DivScalar(size_t n, double d, double* x) {
+  for (size_t i = 0; i < n; ++i) x[i] /= d;
+}
+
+void ReluScalar(size_t n, const double* z, double* h) {
+  for (size_t i = 0; i < n; ++i) h[i] = z[i] > 0.0 ? z[i] : 0.0;
+}
+
+double MaskedMaxScalar(size_t n, const double* in, const double* mask,
+                       double init) {
+  double max_val = init;
+  for (size_t i = 0; i < n; ++i) {
+    const double v = in[i] + mask[i];
+    if (v > max_val) max_val = v;
+  }
+  return max_val;
+}
+
+double MaskedExpScalar(size_t n, const double* in, const double* mask,
+                       double max_val, double neg_inf, double* out) {
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double v = in[i] + mask[i];
+    if (v <= neg_inf) {
+      out[i] = 0.0;
+    } else {
+      out[i] = std::exp(v - max_val);
+      sum += out[i];
+    }
+  }
+  return sum;
+}
+
+constexpr Table kScalarTable = {
+    MmPanelScalar, AxpyScalar, DotScalar,    ScaleScalar,
+    DivScalar,     ReluScalar, MaskedMaxScalar, MaskedExpScalar,
+    "scalar",
+};
+
+// --------------------------------------------------------------- dispatch --
+
+bool CpuSupportsAvx2Fma() {
+#if defined(DACE_HAVE_AVX2_KERNELS)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+const Table* ResolveDefault() {
+  if (const char* env = std::getenv("DACE_KERNELS")) {
+    if (std::strcmp(env, "scalar") == 0) return &kScalarTable;
+    if (std::strcmp(env, "avx2") == 0) {
+      if (HasAvx2()) return &TableFor(Isa::kAvx2);
+      std::fprintf(stderr,
+                   "DACE_KERNELS=avx2 requested but AVX2+FMA is unavailable; "
+                   "falling back to scalar kernels\n");
+      return &kScalarTable;
+    }
+    DACE_CHECK(false) << "unknown DACE_KERNELS value '" << env
+                      << "' (expected 'scalar' or 'avx2')";
+  }
+  return HasAvx2() ? &TableFor(Isa::kAvx2) : &kScalarTable;
+}
+
+std::atomic<const Table*> g_active{nullptr};
+
+}  // namespace
+
+#if defined(DACE_HAVE_AVX2_KERNELS)
+// Defined in kernels_avx2.cc (compiled with -mavx2 -mfma -ffp-contract=off).
+const Table& Avx2Table();
+#endif
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool HasAvx2() {
+  static const bool supported = CpuSupportsAvx2Fma();
+  return supported;
+}
+
+const Table& TableFor(Isa isa) {
+  if (isa == Isa::kScalar) return kScalarTable;
+#if defined(DACE_HAVE_AVX2_KERNELS)
+  DACE_CHECK(HasAvx2()) << "AVX2 kernels requested on a CPU without AVX2+FMA";
+  return Avx2Table();
+#else
+  DACE_CHECK(false) << "AVX2 kernels are not compiled into this build";
+  return kScalarTable;  // unreachable
+#endif
+}
+
+const Table& Active() {
+  const Table* t = g_active.load(std::memory_order_acquire);
+  if (t == nullptr) {
+    // Benign race: concurrent first calls resolve to the same table.
+    t = ResolveDefault();
+    g_active.store(t, std::memory_order_release);
+  }
+  return *t;
+}
+
+Isa ActiveIsa() {
+  return &Active() == &kScalarTable ? Isa::kScalar : Isa::kAvx2;
+}
+
+void SetIsa(Isa isa) {
+  g_active.store(&TableFor(isa), std::memory_order_release);
+}
+
+}  // namespace dace::nn::kernel

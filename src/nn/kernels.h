@@ -1,0 +1,90 @@
+#ifndef DACE_NN_KERNELS_H_
+#define DACE_NN_KERNELS_H_
+
+#include <cstddef>
+
+namespace dace::nn::kernel {
+
+// Instruction sets the dense kernels can run on. kScalar is the portable
+// blocked-scalar code and is always available; kAvx2 is the AVX2+FMA path,
+// present only on x86-64 builds and selected at runtime when the CPU
+// advertises both feature bits.
+enum class Isa {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+const char* IsaName(Isa isa);
+
+// True when this build contains the AVX2 kernels AND the running CPU
+// supports AVX2+FMA.
+bool HasAvx2();
+
+// The primitive operations every matrix-level kernel is built from. Each
+// entry has a scalar implementation and (when available) an AVX2+FMA one.
+//
+// Floating-point contract, per entry:
+//   - Order-preserving ops (mm_panel, axpy, scale, div, relu, masked_max)
+//     perform exactly the same operations in exactly the same per-element
+//     order on every ISA, so their results are bit-identical across paths.
+//     The AVX2 code deliberately uses separate multiply and add instructions
+//     (no FMA contraction; the TU is compiled with -ffp-contract=off) to
+//     keep that guarantee.
+//   - Reduction/approximation ops (dot, masked_exp) trade the guarantee for
+//     throughput: dot uses split SIMD accumulators (different summation
+//     order) with FMA, and masked_exp uses a vectorized Cephes-style exp.
+//     Both stay within a small documented ULP bound of the scalar results
+//     (see kernels_test.cc).
+struct Table {
+  // Accumulating matmul panel over row-major storage:
+  //   out[i][j] += sum_{p in [pp, pend)} a[i][p] * b[p][j]
+  // for i in [0, m), j in [jj, jend). The k-accumulation runs in ascending
+  // p order per output element and skips a[i][p] == 0 (one-hot feature rows
+  // are mostly zeros), identically on every ISA.
+  void (*mm_panel)(const double* a, size_t lda, const double* b, size_t ldb,
+                   double* out, size_t ldo, size_t m, size_t pp, size_t pend,
+                   size_t jj, size_t jend);
+  // y[i] += a * x[i], ascending i. Order-preserving.
+  void (*axpy)(size_t n, double a, const double* x, double* y);
+  // sum_i a[i] * b[i]. SIMD uses split accumulators + FMA (different
+  // rounding than the scalar left-to-right sum).
+  double (*dot)(size_t n, const double* a, const double* b);
+  // x[i] *= s. Order-preserving.
+  void (*scale)(size_t n, double s, double* x);
+  // x[i] /= d. Order-preserving (true division on every ISA).
+  void (*div)(size_t n, double d, double* x);
+  // h[i] = max(z[i], 0). Order-preserving.
+  void (*relu)(size_t n, const double* z, double* h);
+  // max_i(in[i] + mask[i]), starting from init. Max is exact on every ISA.
+  double (*masked_max)(size_t n, const double* in, const double* mask,
+                       double init);
+  // out[i] = exp(in[i] + mask[i] - max_val), or 0 where
+  // in[i] + mask[i] <= neg_inf; returns the sum of out. The SIMD exp is a
+  // polynomial approximation within a few ULP of std::exp, and the sum uses
+  // lane-split accumulation.
+  double (*masked_exp)(size_t n, const double* in, const double* mask,
+                       double max_val, double neg_inf, double* out);
+  const char* name;
+};
+
+// The table for the active ISA. Resolved once on first use: the DACE_KERNELS
+// environment variable ("scalar" | "avx2") wins if set, otherwise the best
+// ISA the CPU supports. Callers should fetch the table once per matrix-level
+// operation rather than per primitive call.
+const Table& Active();
+
+// Current selection (resolves the default if not yet resolved).
+Isa ActiveIsa();
+
+// Overrides the active ISA (tests and benchmarks; not thread-safe against
+// concurrently running kernels). Requesting kAvx2 on a machine without it is
+// a fatal error — use HasAvx2() to guard.
+void SetIsa(Isa isa);
+
+// Direct access to a specific table, for side-by-side equivalence tests.
+// TableFor(kAvx2) is a fatal error when HasAvx2() is false.
+const Table& TableFor(Isa isa);
+
+}  // namespace dace::nn::kernel
+
+#endif  // DACE_NN_KERNELS_H_

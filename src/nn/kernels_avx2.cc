@@ -1,0 +1,221 @@
+// AVX2+FMA kernel table. This translation unit is compiled with
+// -mavx2 -mfma -ffp-contract=off: the explicit contraction switch matters,
+// because the order-preserving kernels (mm_panel, axpy, ...) advertise
+// bit-identical results vs the scalar table, which requires separate
+// multiply and add instructions — the compiler must not fuse them. FMA is
+// used only where the contract already allows different rounding
+// (dot, masked_exp).
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstddef>
+
+#include "nn/kernels.h"
+
+namespace dace::nn::kernel {
+
+namespace {
+
+// y[i] += a * x[i] with vmulpd+vaddpd (NOT fmadd): per-element this is the
+// same mul-then-add rounding as the scalar loop, so results are
+// bit-identical. Two vectors per iteration hide the load latency.
+inline void AxpyAvx2(size_t n, double a, const double* x, double* y) {
+  const __m256d va = _mm256_set1_pd(a);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256d y0 = _mm256_loadu_pd(y + i);
+    __m256d y1 = _mm256_loadu_pd(y + i + 4);
+    y0 = _mm256_add_pd(y0, _mm256_mul_pd(va, _mm256_loadu_pd(x + i)));
+    y1 = _mm256_add_pd(y1, _mm256_mul_pd(va, _mm256_loadu_pd(x + i + 4)));
+    _mm256_storeu_pd(y + i, y0);
+    _mm256_storeu_pd(y + i + 4, y1);
+  }
+  if (i + 4 <= n) {
+    __m256d y0 = _mm256_loadu_pd(y + i);
+    y0 = _mm256_add_pd(y0, _mm256_mul_pd(va, _mm256_loadu_pd(x + i)));
+    _mm256_storeu_pd(y + i, y0);
+    i += 4;
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+void MmPanelAvx2(const double* a, size_t lda, const double* b, size_t ldb,
+                 double* out, size_t ldo, size_t m, size_t pp, size_t pend,
+                 size_t jj, size_t jend) {
+  const size_t width = jend - jj;
+  for (size_t i = 0; i < m; ++i) {
+    const double* arow = a + i * lda;
+    double* orow = out + i * ldo + jj;
+    for (size_t p = pp; p < pend; ++p) {
+      const double av = arow[p];
+      if (av == 0.0) continue;
+      AxpyAvx2(width, av, b + p * ldb + jj, orow);
+    }
+  }
+}
+
+double hsum(__m256d v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d s2 = _mm_add_pd(lo, hi);
+  return _mm_cvtsd_f64(_mm_add_sd(s2, _mm_unpackhi_pd(s2, s2)));
+}
+
+// Split-accumulator FMA dot product: four independent running sums combined
+// at the end, i.e. a different (and typically more accurate) summation order
+// than the scalar left-to-right loop.
+double DotAvx2(size_t n, const double* a, const double* b) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  __m256d acc2 = _mm256_setzero_pd();
+  __m256d acc3 = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 4),
+                           _mm256_loadu_pd(b + i + 4), acc1);
+    acc2 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 8),
+                           _mm256_loadu_pd(b + i + 8), acc2);
+    acc3 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 12),
+                           _mm256_loadu_pd(b + i + 12), acc3);
+  }
+  for (; i + 4 <= n; i += 4) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i),
+                           acc0);
+  }
+  double total =
+      hsum(_mm256_add_pd(_mm256_add_pd(acc0, acc1), _mm256_add_pd(acc2, acc3)));
+  for (; i < n; ++i) total += a[i] * b[i];
+  return total;
+}
+
+void ScaleAvx2(size_t n, double s, double* x) {
+  const __m256d vs = _mm256_set1_pd(s);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(x + i, _mm256_mul_pd(_mm256_loadu_pd(x + i), vs));
+  }
+  for (; i < n; ++i) x[i] *= s;
+}
+
+void DivAvx2(size_t n, double d, double* x) {
+  const __m256d vd = _mm256_set1_pd(d);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(x + i, _mm256_div_pd(_mm256_loadu_pd(x + i), vd));
+  }
+  for (; i < n; ++i) x[i] /= d;
+}
+
+void ReluAvx2(size_t n, const double* z, double* h) {
+  const __m256d zero = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(h + i, _mm256_max_pd(_mm256_loadu_pd(z + i), zero));
+  }
+  for (; i < n; ++i) h[i] = z[i] > 0.0 ? z[i] : 0.0;
+}
+
+double MaskedMaxAvx2(size_t n, const double* in, const double* mask,
+                     double init) {
+  __m256d vmax = _mm256_set1_pd(init);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vmax = _mm256_max_pd(
+        vmax, _mm256_add_pd(_mm256_loadu_pd(in + i), _mm256_loadu_pd(mask + i)));
+  }
+  const __m128d lo = _mm256_castpd256_pd128(vmax);
+  const __m128d hi = _mm256_extractf128_pd(vmax, 1);
+  const __m128d m2 = _mm_max_pd(lo, hi);
+  double max_val = _mm_cvtsd_f64(_mm_max_sd(m2, _mm_unpackhi_pd(m2, m2)));
+  for (; i < n; ++i) {
+    const double v = in[i] + mask[i];
+    if (v > max_val) max_val = v;
+  }
+  return max_val;
+}
+
+// Cephes-style exp for four doubles (the rational approximation from Cephes
+// exp.c, the same scheme most SIMD math libraries use): reduce to
+// exp(x) = 2^k * exp(r) with |r| <= ln(2)/2, evaluate a 2/3-degree rational
+// in r^2, and scale by 2^k through direct exponent-bit arithmetic. Accurate
+// to ~1 ULP over the range softmax feeds it (x <= 0). Inputs below the
+// double-denormal cutoff flush to zero.
+__m256d Exp4(__m256d x) {
+  const __m256d log2e = _mm256_set1_pd(1.4426950408889634073599);
+  const __m256d c1 = _mm256_set1_pd(6.93145751953125e-1);
+  const __m256d c2 = _mm256_set1_pd(1.42860682030941723212e-6);
+  const __m256d underflow = _mm256_set1_pd(-708.0);
+
+  const __m256d ok = _mm256_cmp_pd(x, underflow, _CMP_GT_OQ);
+  // Clamp so the exponent arithmetic below stays in range even for lanes
+  // that will be flushed to zero.
+  x = _mm256_max_pd(x, underflow);
+
+  const __m256d n = _mm256_round_pd(
+      _mm256_mul_pd(x, log2e), _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  // r = x - n*ln2, in two pieces for extra precision.
+  __m256d r = _mm256_sub_pd(x, _mm256_mul_pd(n, c1));
+  r = _mm256_sub_pd(r, _mm256_mul_pd(n, c2));
+  const __m256d rr = _mm256_mul_pd(r, r);
+
+  __m256d p = _mm256_set1_pd(1.26177193074810590878e-4);
+  p = _mm256_fmadd_pd(p, rr, _mm256_set1_pd(3.02994407707441961300e-2));
+  p = _mm256_fmadd_pd(p, rr, _mm256_set1_pd(9.99999999999999999910e-1));
+  p = _mm256_mul_pd(p, r);
+  __m256d q = _mm256_set1_pd(3.00198505138664455042e-6);
+  q = _mm256_fmadd_pd(q, rr, _mm256_set1_pd(2.52448340349684104192e-3));
+  q = _mm256_fmadd_pd(q, rr, _mm256_set1_pd(2.27265548208155028766e-1));
+  q = _mm256_fmadd_pd(q, rr, _mm256_set1_pd(2.00000000000000000005e0));
+  __m256d e = _mm256_div_pd(p, _mm256_sub_pd(q, p));
+  e = _mm256_fmadd_pd(_mm256_set1_pd(2.0), e, _mm256_set1_pd(1.0));
+
+  // e *= 2^n via the exponent field; |n| <= 1022 after the clamp above.
+  const __m256i ni =
+      _mm256_cvtepi32_epi64(_mm256_cvtpd_epi32(n));
+  const __m256i pow2 = _mm256_slli_epi64(
+      _mm256_add_epi64(ni, _mm256_set1_epi64x(1023)), 52);
+  e = _mm256_mul_pd(e, _mm256_castsi256_pd(pow2));
+  return _mm256_and_pd(e, ok);
+}
+
+double MaskedExpAvx2(size_t n, const double* in, const double* mask,
+                     double max_val, double neg_inf, double* out) {
+  const __m256d vmax = _mm256_set1_pd(max_val);
+  const __m256d vneg = _mm256_set1_pd(neg_inf);
+  __m256d vsum = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v =
+        _mm256_add_pd(_mm256_loadu_pd(in + i), _mm256_loadu_pd(mask + i));
+    const __m256d keep = _mm256_cmp_pd(v, vneg, _CMP_GT_OQ);
+    const __m256d e = _mm256_and_pd(Exp4(_mm256_sub_pd(v, vmax)), keep);
+    _mm256_storeu_pd(out + i, e);
+    vsum = _mm256_add_pd(vsum, e);
+  }
+  double sum = hsum(vsum);
+  for (; i < n; ++i) {
+    const double v = in[i] + mask[i];
+    if (v <= neg_inf) {
+      out[i] = 0.0;
+    } else {
+      out[i] = std::exp(v - max_val);
+      sum += out[i];
+    }
+  }
+  return sum;
+}
+
+constexpr Table kAvx2Table = {
+    MmPanelAvx2, AxpyAvx2, DotAvx2,       ScaleAvx2,
+    DivAvx2,     ReluAvx2, MaskedMaxAvx2, MaskedExpAvx2,
+    "avx2",
+};
+
+}  // namespace
+
+const Table& Avx2Table() { return kAvx2Table; }
+
+}  // namespace dace::nn::kernel

@@ -40,12 +40,7 @@ void Linear::AttachLora(size_t rank, Rng* rng) {
 const Matrix& Linear::Forward(const Matrix& x) {
   DACE_CHECK_EQ(x.cols(), in_dim());
   x_cache_ = x;
-  MatMul(x, w_.value, &y_);
-  const double* bias = b_.value.RowPtr(0);
-  for (size_t i = 0; i < y_.rows(); ++i) {
-    double* row = y_.RowPtr(i);
-    for (size_t j = 0; j < y_.cols(); ++j) row[j] += bias[j];
-  }
+  MatMulBias(x, w_.value, b_.value, &y_);
   if (lora_rank_ > 0) {
     MatMul(x, lora_a_.value, &xa_cache_);
     MatMul(xa_cache_, lora_b_.value, &scratch_);
@@ -56,12 +51,7 @@ const Matrix& Linear::Forward(const Matrix& x) {
 
 void Linear::ForwardInference(const Matrix& x, Matrix* y) const {
   DACE_CHECK_EQ(x.cols(), in_dim());
-  MatMul(x, w_.value, y);
-  const double* bias = b_.value.RowPtr(0);
-  for (size_t i = 0; i < y->rows(); ++i) {
-    double* row = y->RowPtr(i);
-    for (size_t j = 0; j < y->cols(); ++j) row[j] += bias[j];
-  }
+  MatMulBias(x, w_.value, b_.value, y);
   if (lora_rank_ > 0) {
     Matrix xa, xab;
     MatMul(x, lora_a_.value, &xa);
@@ -109,17 +99,27 @@ void Linear::ForwardCached(const Matrix& x, ExternalCache* cache,
                            Matrix* y) const {
   DACE_CHECK_EQ(x.cols(), in_dim());
   cache->x = x;
-  MatMul(x, w_.value, y);
-  const double* bias = b_.value.RowPtr(0);
-  for (size_t i = 0; i < y->rows(); ++i) {
-    double* row = y->RowPtr(i);
-    for (size_t j = 0; j < y->cols(); ++j) row[j] += bias[j];
-  }
+  MatMulBias(x, w_.value, b_.value, y);
   if (lora_rank_ > 0) {
     MatMul(x, lora_a_.value, &cache->xa);
     MatMul(cache->xa, lora_b_.value, &cache->xab);
     y->AddScaled(cache->xab, lora_scale_);
   }
+}
+
+void Linear::ForwardReluCached(const Matrix& x, ExternalCache* cache,
+                               Matrix* z, Matrix* h) const {
+  DACE_CHECK_EQ(x.cols(), in_dim());
+  cache->x = x;
+  if (lora_rank_ == 0) {
+    MatMulBiasRelu(x, w_.value, b_.value, z, h);
+    return;
+  }
+  MatMulBias(x, w_.value, b_.value, z);
+  MatMul(x, lora_a_.value, &cache->xa);
+  MatMul(cache->xa, lora_b_.value, &cache->xab);
+  z->AddScaled(cache->xab, lora_scale_);
+  ReluInto(*z, h);
 }
 
 void Linear::InitGradients(Gradients* g) const {
@@ -274,10 +274,7 @@ const Matrix& Relu::Forward(const Matrix& x) {
 }
 
 void Relu::ForwardInference(const Matrix& x, Matrix* y) const {
-  if (!y->SameShape(x)) *y = Matrix(x.rows(), x.cols());
-  const double* src = x.data();
-  double* dst = y->data();
-  for (size_t i = 0; i < x.size(); ++i) dst[i] = src[i] > 0.0 ? src[i] : 0.0;
+  ReluInto(x, y);
 }
 
 void Relu::Backward(const Matrix& dy, Matrix* dx) {

@@ -67,6 +67,13 @@ class Linear {
     Matrix xab;  // (x · A) · B scratch
   };
   void ForwardCached(const Matrix& x, ExternalCache* cache, Matrix* y) const;
+  // Fused forward + ReLU: z = x W + b (+ LoRA), h = relu(z). Without LoRA the
+  // ReLU runs in the matmul epilogue while each output tile is cache-hot;
+  // with LoRA it runs after the adapter contribution lands in z. Both z and h
+  // are needed by callers (z for the ReLU-mask backward, h as the next
+  // layer's input), which is why this lives here rather than a fused layer.
+  void ForwardReluCached(const Matrix& x, ExternalCache* cache, Matrix* z,
+                         Matrix* h) const;
   void BackwardCached(const ExternalCache& cache, const Matrix& dy, Matrix* dx);
 
   // Caller-owned gradient sink, one per concurrent worker: BackwardCached

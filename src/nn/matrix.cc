@@ -6,6 +6,8 @@
 #include <istream>
 #include <ostream>
 
+#include "nn/kernels.h"
+
 namespace dace::nn {
 
 void Matrix::SetZero() { std::fill(data_.begin(), data_.end(), 0.0); }
@@ -20,8 +22,7 @@ void Matrix::FillGaussian(Rng* rng, double stddev) {
 
 void Matrix::AddScaled(const Matrix& other, double scale) {
   DACE_CHECK(SameShape(other));
-  const double* src = other.data();
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += scale * src[i];
+  kernel::Active().axpy(data_.size(), scale, other.data(), data_.data());
 }
 
 void Matrix::MulElementwise(const Matrix& other) {
@@ -31,7 +32,7 @@ void Matrix::MulElementwise(const Matrix& other) {
 }
 
 void Matrix::Scale(double factor) {
-  for (double& v : data_) v *= factor;
+  kernel::Active().scale(data_.size(), factor, data_.data());
 }
 
 double Matrix::SumAbs() const {
@@ -52,32 +53,54 @@ namespace {
 // 16 KB (2048 doubles) — half a typical 32 KB L1d, leaving room for the a/out
 // rows streaming through. Tiling only reorders which (i, j) cells are visited
 // when; for any fixed output cell the k-accumulation still runs in ascending
-// k order, so the blocked kernels are bit-identical to the naive ones.
+// k order, so the blocked kernels are bit-identical to the naive ones (and
+// across the scalar/SIMD dispatch paths).
 constexpr size_t kKc = 32;   // rows of b per tile (k direction)
 constexpr size_t kJc = 64;   // columns of b per tile (j direction)
 constexpr size_t kJb = 16;   // b rows per tile in the dot-product kernel
 
-// Accumulating core of MatMul: out += a[, pp:pend) * b[pp:pend, jj:jend).
-void MatMulPanel(const Matrix& a, const Matrix& b, size_t pp, size_t pend,
-                 size_t jj, size_t jend, Matrix* out) {
-  for (size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.RowPtr(i);
-    double* orow = out->RowPtr(i);
-    for (size_t p = pp; p < pend; ++p) {
-      const double av = arow[p];
-      if (av == 0.0) continue;
-      const double* brow = b.RowPtr(p);
-      for (size_t j = jj; j < jend; ++j) orow[j] += av * brow[j];
-    }
-  }
-}
-
+// Accumulating blocked matmul core: out += a * b through the active ISA's
+// panel kernel. The table is fetched once per matrix-level call so the
+// per-panel cost is a single indirect call.
 void MatMulBlockedInto(const Matrix& a, const Matrix& b, Matrix* out) {
+  const kernel::Table& t = kernel::Active();
   const size_t k = a.cols(), n = b.cols();
   for (size_t jj = 0; jj < n; jj += kJc) {
     const size_t jend = std::min(jj + kJc, n);
     for (size_t pp = 0; pp < k; pp += kKc) {
-      MatMulPanel(a, b, pp, std::min(pp + kKc, k), jj, jend, out);
+      t.mm_panel(a.data(), a.cols(), b.data(), b.cols(), out->data(),
+                 out->cols(), a.rows(), pp, std::min(pp + kKc, k), jj, jend);
+    }
+  }
+}
+
+// Shared implementation of MatMulBias / MatMulBiasRelu: seed every output
+// row with the bias, run the blocked accumulation, and (optionally) apply
+// the ReLU to each j-tile right after its last k-panel, while the tile is
+// still in L1.
+void MatMulBiasImpl(const Matrix& a, const Matrix& b, const Matrix& bias,
+                    Matrix* z, Matrix* h) {
+  DACE_CHECK_EQ(a.cols(), b.rows());
+  DACE_CHECK_EQ(bias.rows(), 1u);
+  DACE_CHECK_EQ(bias.cols(), b.cols());
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  if (z->rows() != m || z->cols() != n) *z = Matrix(m, n);
+  if (h != nullptr && (h->rows() != m || h->cols() != n)) *h = Matrix(m, n);
+  const double* brow = bias.RowPtr(0);
+  for (size_t i = 0; i < m; ++i) {
+    std::memcpy(z->RowPtr(i), brow, n * sizeof(double));
+  }
+  const kernel::Table& t = kernel::Active();
+  for (size_t jj = 0; jj < n; jj += kJc) {
+    const size_t jend = std::min(jj + kJc, n);
+    for (size_t pp = 0; pp < k; pp += kKc) {
+      t.mm_panel(a.data(), a.cols(), b.data(), b.cols(), z->data(), z->cols(),
+                 m, pp, std::min(pp + kKc, k), jj, jend);
+    }
+    if (h != nullptr) {
+      for (size_t i = 0; i < m; ++i) {
+        t.relu(jend - jj, z->RowPtr(i) + jj, h->RowPtr(i) + jj);
+      }
     }
   }
 }
@@ -99,10 +122,22 @@ void MatMulAcc(const Matrix& a, const Matrix& b, Matrix* out) {
   MatMulBlockedInto(a, b, out);
 }
 
+void MatMulBias(const Matrix& a, const Matrix& b, const Matrix& bias,
+                Matrix* out) {
+  MatMulBiasImpl(a, b, bias, out, nullptr);
+}
+
+void MatMulBiasRelu(const Matrix& a, const Matrix& b, const Matrix& bias,
+                    Matrix* z, Matrix* h) {
+  DACE_CHECK(z != h);
+  MatMulBiasImpl(a, b, bias, z, h);
+}
+
 void MatMulTransposedB(const Matrix& a, const Matrix& b, Matrix* out) {
   DACE_CHECK_EQ(a.cols(), b.cols());
   const size_t m = a.rows(), k = a.cols(), n = b.rows();
   if (out->rows() != m || out->cols() != n) *out = Matrix(m, n);
+  const kernel::Table& t = kernel::Active();
   // j-tiled dot products: a kJb-row panel of b (≤16 KB at k = 128) stays in
   // L1 while every row of a streams against it. Attention's (n×n) score and
   // context products hit this kernel with n up to the plan size.
@@ -112,10 +147,7 @@ void MatMulTransposedB(const Matrix& a, const Matrix& b, Matrix* out) {
       const double* arow = a.RowPtr(i);
       double* orow = out->RowPtr(i);
       for (size_t j = jj; j < jend; ++j) {
-        const double* brow = b.RowPtr(j);
-        double acc = 0.0;
-        for (size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-        orow[j] = acc;
+        orow[j] = t.dot(k, arow, b.RowPtr(j));
       }
     }
   }
@@ -134,43 +166,36 @@ void MatMulTransposedAAcc(const Matrix& a, const Matrix& b, Matrix* out) {
   const size_t k = a.rows(), m = a.cols(), n = b.cols();
   DACE_CHECK_EQ(out->rows(), m);
   DACE_CHECK_EQ(out->cols(), n);
+  const kernel::Table& t = kernel::Active();
   for (size_t p = 0; p < k; ++p) {
     const double* arow = a.RowPtr(p);
     const double* brow = b.RowPtr(p);
     for (size_t i = 0; i < m; ++i) {
       const double av = arow[i];
       if (av == 0.0) continue;
-      double* orow = out->RowPtr(i);
-      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      t.axpy(n, av, brow, out->RowPtr(i));
     }
   }
+}
+
+void ReluInto(const Matrix& z, Matrix* h) {
+  if (!h->SameShape(z)) *h = Matrix(z.rows(), z.cols());
+  kernel::Active().relu(z.size(), z.data(), h->data());
 }
 
 void MaskedRowSoftmax(const Matrix& in, const Matrix& mask, Matrix* out) {
   DACE_CHECK(in.SameShape(mask));
   if (!out->SameShape(in)) *out = Matrix(in.rows(), in.cols());
+  const kernel::Table& t = kernel::Active();
   const size_t n = in.cols();
   for (size_t i = 0; i < in.rows(); ++i) {
     const double* irow = in.RowPtr(i);
     const double* mrow = mask.RowPtr(i);
     double* orow = out->RowPtr(i);
-    double max_val = kMaskNegInf;
-    for (size_t j = 0; j < n; ++j) {
-      const double v = irow[j] + mrow[j];
-      if (v > max_val) max_val = v;
-    }
+    const double max_val = t.masked_max(n, irow, mrow, kMaskNegInf);
     DACE_CHECK_GT(max_val, kMaskNegInf) << "softmax row " << i << " fully masked";
-    double denom = 0.0;
-    for (size_t j = 0; j < n; ++j) {
-      const double v = irow[j] + mrow[j];
-      if (v <= kMaskNegInf) {
-        orow[j] = 0.0;
-      } else {
-        orow[j] = std::exp(v - max_val);
-        denom += orow[j];
-      }
-    }
-    for (size_t j = 0; j < n; ++j) orow[j] /= denom;
+    const double denom = t.masked_exp(n, irow, mrow, max_val, kMaskNegInf, orow);
+    t.div(n, denom, orow);
   }
 }
 

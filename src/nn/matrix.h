@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <iosfwd>
+#include <new>
 #include <vector>
 
 #include "util/logging.h"
@@ -11,18 +12,51 @@
 
 namespace dace::nn {
 
+// 64-byte-aligned allocator backing Matrix storage: buffers start on a cache
+// line (and AVX-512-friendly) boundary. The SIMD kernels use unaligned loads
+// and never *require* this — alignment just removes split-line penalties on
+// the leading rows.
+template <typename T>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+  static constexpr std::align_val_t kAlignment{64};
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) {}
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(::operator new(n * sizeof(T), kAlignment));
+  }
+  void deallocate(T* p, size_t) { ::operator delete(p, kAlignment); }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const {
+    return true;
+  }
+};
+
 // Dense row-major matrix of doubles. This is the whole math substrate for
 // the learned models in this repository: the networks are tiny (DACE has
-// ~30k parameters), so a straightforward cache-friendly implementation is
-// plenty and keeps the gradient code easy to audit.
+// ~30k parameters), so the kernels optimize for L1 residency and SIMD width
+// rather than many-core GEMM. The matrix-level entry points below dispatch
+// to the ISA-specific primitive kernels in nn/kernels.h.
 class Matrix {
  public:
+  using Buffer = std::vector<double, AlignedAllocator<double>>;
+
   Matrix() : rows_(0), cols_(0) {}
   Matrix(size_t rows, size_t cols)
       : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
-  Matrix(size_t rows, size_t cols, std::vector<double> data)
-      : rows_(rows), cols_(cols), data_(std::move(data)) {
-    DACE_CHECK_EQ(data_.size(), rows_ * cols_);
+  // Copies `data` (row-major) into aligned storage. Rejects a payload whose
+  // size does not match rows*cols — silently accepting one would smear the
+  // shape mismatch into whichever kernel touches the matrix next.
+  Matrix(size_t rows, size_t cols, const std::vector<double>& data)
+      : rows_(rows), cols_(cols) {
+    DACE_CHECK_EQ(data.size(), rows_ * cols_)
+        << "Matrix payload size does not match shape";
+    data_.assign(data.begin(), data.end());
   }
 
   Matrix(const Matrix&) = default;
@@ -75,13 +109,13 @@ class Matrix {
  private:
   size_t rows_;
   size_t cols_;
-  std::vector<double> data_;
+  Buffer data_;
 };
 
 // out = a * b, shapes (m×k)·(k×n) → (m×n). `out` is overwritten. The kernels
 // are cache-blocked (k/j tiles sized for L1 residency) but accumulate each
-// output cell in ascending-k order, so results are bit-identical to a naive
-// triple loop.
+// output cell in ascending-k order, so results are bit-identical across the
+// scalar and SIMD dispatch paths (see nn/kernels.h for the FP contract).
 void MatMul(const Matrix& a, const Matrix& b, Matrix* out);
 
 // out += a * b. `out` must already have shape (m×n). Used by the gradient
@@ -89,7 +123,21 @@ void MatMul(const Matrix& a, const Matrix& b, Matrix* out);
 // temporary.
 void MatMulAcc(const Matrix& a, const Matrix& b, Matrix* out);
 
-// out = a * b^T, shapes (m×k)·(n×k)^T → (m×n).
+// out = a * b + bias, where bias is (1×n) and broadcast across rows — the
+// Linear-layer forward with the bias folded into the accumulator init
+// instead of a separate pass.
+void MatMulBias(const Matrix& a, const Matrix& b, const Matrix& bias,
+                Matrix* out);
+
+// z = a * b + bias and h = relu(z), with the ReLU applied in the matmul
+// epilogue while the just-finished tile is still cache-hot. z and h must be
+// distinct matrices.
+void MatMulBiasRelu(const Matrix& a, const Matrix& b, const Matrix& bias,
+                    Matrix* z, Matrix* h);
+
+// out = a * b^T, shapes (m×k)·(n×k)^T → (m×n). Row-dot-row kernel; the SIMD
+// path uses split accumulators, so results may differ from scalar by a few
+// ULPs (documented in nn/kernels.h).
 void MatMulTransposedB(const Matrix& a, const Matrix& b, Matrix* out);
 
 // out = a^T * b, shapes (k×m)^T·(k×n) → (m×n).
@@ -97,6 +145,9 @@ void MatMulTransposedA(const Matrix& a, const Matrix& b, Matrix* out);
 
 // out += a^T * b. `out` must already have shape (m×n).
 void MatMulTransposedAAcc(const Matrix& a, const Matrix& b, Matrix* out);
+
+// Elementwise h = max(z, 0) (shapes must match; resizes *h if needed).
+void ReluInto(const Matrix& z, Matrix* h);
 
 // Row-wise softmax with an additive mask applied before normalisation:
 // out(i,j) = softmax_j(in(i,j) + mask(i,j)). Mask entries of -infinity

@@ -1,0 +1,50 @@
+#ifndef DACE_UTIL_HASH_H_
+#define DACE_UTIL_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace dace {
+
+// Streaming 64-bit hash built on the splitmix64 finalizer: each ingested
+// word is mixed into the running state, so the digest depends on both the
+// values and their order. Not cryptographic — used for content fingerprints
+// (e.g. the prediction cache key) where accidental collision resistance is
+// what matters: the avalanche constants give ~2^-64 pairwise collision odds.
+class Hash64 {
+ public:
+  explicit Hash64(uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  void AddU64(uint64_t v) { state_ = Mix(state_ ^ Mix(v)); }
+
+  // Hashes the bit pattern, so -0.0 != +0.0 and every NaN payload is
+  // distinct. Fine for fingerprinting: equal inputs hash equal, and inputs
+  // that differ in any bit are different plans as far as the model's
+  // featurization is concerned.
+  void AddDouble(double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    AddU64(bits);
+  }
+
+  void AddBool(bool v) { AddU64(v ? 1u : 0u); }
+
+  uint64_t digest() const { return state_; }
+
+ private:
+  static uint64_t Mix(uint64_t x) {
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+  }
+
+  uint64_t state_;
+};
+
+}  // namespace dace
+
+#endif  // DACE_UTIL_HASH_H_

@@ -1,0 +1,273 @@
+// SIMD/scalar kernel equivalence (the FP contract of nn/kernels.h): the
+// order-preserving primitives must be bit-identical across ISAs on every
+// shape, including the awkward ones (1×1, 3×5, lengths straddling the
+// 4/8/16-lane boundaries); the reduction/approximation primitives (dot,
+// masked_exp) must stay within their documented tolerance. All AVX2 cases
+// skip cleanly on machines or builds without AVX2+FMA.
+
+#include "nn/kernels.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "nn/matrix.h"
+#include "util/rng.h"
+
+namespace dace::nn {
+namespace {
+
+using kernel::Isa;
+using kernel::Table;
+using kernel::TableFor;
+
+// Lengths probing every tail-handling branch of the vector kernels: below
+// one lane, exact multiples of 4/8/16, and each off-by-one around them.
+const size_t kLengths[] = {0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 33, 64};
+
+class KernelsAvx2Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!kernel::HasAvx2()) {
+      GTEST_SKIP() << "AVX2+FMA unavailable on this machine/build";
+    }
+  }
+};
+
+std::vector<double> RandomVec(size_t n, Rng* rng, double sparsity = 0.0) {
+  std::vector<double> v(n);
+  for (double& x : v) {
+    x = rng->Bernoulli(sparsity) ? 0.0 : rng->Gaussian(0.0, 1.0);
+  }
+  return v;
+}
+
+bool BitEqual(double a, double b) {
+  uint64_t ba, bb;
+  std::memcpy(&ba, &a, sizeof(ba));
+  std::memcpy(&bb, &b, sizeof(bb));
+  return ba == bb;
+}
+
+// ULP distance between doubles of the same sign; used for the documented
+// tolerance of the reduction kernels.
+uint64_t UlpDistance(double a, double b) {
+  if (BitEqual(a, b)) return 0;
+  int64_t ia, ib;
+  std::memcpy(&ia, &a, sizeof(ia));
+  std::memcpy(&ib, &b, sizeof(ib));
+  if ((ia < 0) != (ib < 0)) return UINT64_MAX;
+  return static_cast<uint64_t>(ia > ib ? ia - ib : ib - ia);
+}
+
+TEST_F(KernelsAvx2Test, AxpyBitIdenticalToScalar) {
+  Rng rng(11);
+  const Table& scalar = TableFor(Isa::kScalar);
+  const Table& avx2 = TableFor(Isa::kAvx2);
+  for (size_t n : kLengths) {
+    const std::vector<double> x = RandomVec(n, &rng);
+    std::vector<double> y0 = RandomVec(n, &rng);
+    std::vector<double> y1 = y0;
+    scalar.axpy(n, 1.7, x.data(), y0.data());
+    avx2.axpy(n, 1.7, x.data(), y1.data());
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_TRUE(BitEqual(y0[i], y1[i])) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST_F(KernelsAvx2Test, ScaleDivReluBitIdenticalToScalar) {
+  Rng rng(12);
+  const Table& scalar = TableFor(Isa::kScalar);
+  const Table& avx2 = TableFor(Isa::kAvx2);
+  for (size_t n : kLengths) {
+    const std::vector<double> src = RandomVec(n, &rng);
+    std::vector<double> a = src, b = src;
+    scalar.scale(n, -0.37, a.data());
+    avx2.scale(n, -0.37, b.data());
+    for (size_t i = 0; i < n; ++i) EXPECT_TRUE(BitEqual(a[i], b[i]));
+
+    a = src;
+    b = src;
+    scalar.div(n, 3.1, a.data());
+    avx2.div(n, 3.1, b.data());
+    for (size_t i = 0; i < n; ++i) EXPECT_TRUE(BitEqual(a[i], b[i]));
+
+    std::vector<double> ha(n), hb(n);
+    scalar.relu(n, src.data(), ha.data());
+    avx2.relu(n, src.data(), hb.data());
+    for (size_t i = 0; i < n; ++i) EXPECT_TRUE(BitEqual(ha[i], hb[i]));
+  }
+}
+
+TEST_F(KernelsAvx2Test, MaskedMaxBitIdenticalToScalar) {
+  Rng rng(13);
+  const Table& scalar = TableFor(Isa::kScalar);
+  const Table& avx2 = TableFor(Isa::kAvx2);
+  for (size_t n : kLengths) {
+    const std::vector<double> in = RandomVec(n, &rng);
+    std::vector<double> mask(n, 0.0);
+    for (size_t i = 0; i < n; i += 3) mask[i] = kMaskNegInf;
+    const double a =
+        scalar.masked_max(n, in.data(), mask.data(), kMaskNegInf);
+    const double b = avx2.masked_max(n, in.data(), mask.data(), kMaskNegInf);
+    EXPECT_TRUE(BitEqual(a, b)) << "n=" << n;
+  }
+}
+
+TEST_F(KernelsAvx2Test, MatMulBitIdenticalOnOddShapes) {
+  // mm_panel accumulates in ascending-k order per output cell on both ISAs,
+  // so whole matmuls — including 1×1, 3×5 and non-multiple-of-width shapes —
+  // must agree bit for bit. One-hot-like sparsity exercises the av==0 skip.
+  Rng rng(14);
+  const size_t shapes[][3] = {{1, 1, 1},   {3, 5, 2},   {2, 3, 5},
+                              {5, 4, 3},   {7, 7, 7},   {8, 16, 4},
+                              {13, 9, 11}, {16, 18, 33}, {33, 17, 5}};
+  for (const auto& s : shapes) {
+    const size_t m = s[0], k = s[1], n = s[2];
+    Matrix a(m, k, RandomVec(m * k, &rng, /*sparsity=*/0.5));
+    Matrix b(k, n, RandomVec(k * n, &rng));
+    Matrix out_scalar, out_avx2;
+    kernel::SetIsa(Isa::kScalar);
+    MatMul(a, b, &out_scalar);
+    kernel::SetIsa(Isa::kAvx2);
+    MatMul(a, b, &out_avx2);
+    kernel::SetIsa(kernel::HasAvx2() ? Isa::kAvx2 : Isa::kScalar);
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        EXPECT_TRUE(BitEqual(out_scalar(i, j), out_avx2(i, j)))
+            << m << "x" << k << "x" << n << " at (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST_F(KernelsAvx2Test, MatMulBiasReluBitIdenticalAcrossIsas) {
+  Rng rng(15);
+  const size_t shapes[][3] = {{1, 1, 1}, {3, 5, 2}, {9, 18, 13}, {17, 12, 33}};
+  for (const auto& s : shapes) {
+    const size_t m = s[0], k = s[1], n = s[2];
+    Matrix a(m, k, RandomVec(m * k, &rng));
+    Matrix b(k, n, RandomVec(k * n, &rng));
+    Matrix bias(1, n, RandomVec(n, &rng));
+    Matrix z0, h0, z1, h1;
+    kernel::SetIsa(Isa::kScalar);
+    MatMulBiasRelu(a, b, bias, &z0, &h0);
+    kernel::SetIsa(Isa::kAvx2);
+    MatMulBiasRelu(a, b, bias, &z1, &h1);
+    kernel::SetIsa(kernel::HasAvx2() ? Isa::kAvx2 : Isa::kScalar);
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        EXPECT_TRUE(BitEqual(z0(i, j), z1(i, j)));
+        EXPECT_TRUE(BitEqual(h0(i, j), h1(i, j)));
+        EXPECT_EQ(h1(i, j), std::max(z1(i, j), 0.0));
+      }
+    }
+  }
+}
+
+TEST_F(KernelsAvx2Test, DotWithinDocumentedTolerance) {
+  // dot uses split accumulators + FMA: a DIFFERENT summation order than the
+  // scalar loop, so exact equality is not promised. Both orderings are
+  // (n·eps)-accurate sums, so they agree to near-full precision; the bound
+  // here (1e-13 relative at n<=64) is the documented contract.
+  Rng rng(16);
+  const Table& scalar = TableFor(Isa::kScalar);
+  const Table& avx2 = TableFor(Isa::kAvx2);
+  for (size_t n : kLengths) {
+    const std::vector<double> a = RandomVec(n, &rng);
+    const std::vector<double> b = RandomVec(n, &rng);
+    const double s = scalar.dot(n, a.data(), b.data());
+    const double v = avx2.dot(n, a.data(), b.data());
+    EXPECT_NEAR(s, v, 1e-13 * (std::fabs(s) + 1.0)) << "n=" << n;
+  }
+}
+
+TEST_F(KernelsAvx2Test, MaskedExpWithinDocumentedTolerance) {
+  // The SIMD exp is a Cephes-style rational approximation: documented to a
+  // few ULP of std::exp per element. Masked lanes must be exactly 0.0 on
+  // both paths (so they cannot perturb downstream sums even in the last bit).
+  Rng rng(17);
+  const Table& scalar = TableFor(Isa::kScalar);
+  const Table& avx2 = TableFor(Isa::kAvx2);
+  for (size_t n : kLengths) {
+    if (n == 0) continue;
+    std::vector<double> in = RandomVec(n, &rng);
+    for (double& v : in) v *= 8.0;  // spread across a realistic logit range
+    std::vector<double> mask(n, 0.0);
+    for (size_t i = 1; i < n; i += 4) mask[i] = kMaskNegInf;
+    const double max_val =
+        scalar.masked_max(n, in.data(), mask.data(), kMaskNegInf);
+    std::vector<double> out_s(n), out_v(n);
+    const double sum_s = scalar.masked_exp(n, in.data(), mask.data(), max_val,
+                                           kMaskNegInf, out_s.data());
+    const double sum_v = avx2.masked_exp(n, in.data(), mask.data(), max_val,
+                                         kMaskNegInf, out_v.data());
+    for (size_t i = 0; i < n; ++i) {
+      if (in[i] + mask[i] <= kMaskNegInf) {
+        EXPECT_TRUE(BitEqual(out_s[i], 0.0));
+        EXPECT_TRUE(BitEqual(out_v[i], 0.0));
+      } else {
+        EXPECT_LE(UlpDistance(out_s[i], out_v[i]), 4u)
+            << "n=" << n << " i=" << i << " scalar=" << out_s[i]
+            << " avx2=" << out_v[i];
+      }
+    }
+    EXPECT_NEAR(sum_s, sum_v, 1e-12 * (std::fabs(sum_s) + 1.0));
+  }
+}
+
+TEST_F(KernelsAvx2Test, MaskedRowSoftmaxCloseAcrossIsas) {
+  // End-to-end: softmax rows agree to tight relative tolerance and stay
+  // normalized on both paths.
+  Rng rng(18);
+  const size_t n = 13;
+  Matrix in(n, n, RandomVec(n * n, &rng));
+  Matrix mask(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (j > i + 4) mask(i, j) = kMaskNegInf;  // keep rows partially masked
+    }
+  }
+  Matrix out_s, out_v;
+  kernel::SetIsa(Isa::kScalar);
+  MaskedRowSoftmax(in, mask, &out_s);
+  kernel::SetIsa(Isa::kAvx2);
+  MaskedRowSoftmax(in, mask, &out_v);
+  kernel::SetIsa(kernel::HasAvx2() ? Isa::kAvx2 : Isa::kScalar);
+  for (size_t i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(out_s(i, j), out_v(i, j), 1e-12 * (out_s(i, j) + 1e-300));
+      row_sum += out_v(i, j);
+    }
+    EXPECT_NEAR(row_sum, 1.0, 1e-12);
+  }
+}
+
+TEST(KernelsDispatchTest, ScalarTableAlwaysAvailable) {
+  const Table& t = TableFor(Isa::kScalar);
+  EXPECT_STREQ(t.name, "scalar");
+  double out[3] = {0, 0, 0};
+  const double x[3] = {1, 2, 3};
+  t.axpy(3, 2.0, x, out);
+  EXPECT_EQ(out[0], 2.0);
+  EXPECT_EQ(out[2], 6.0);
+}
+
+TEST(KernelsDispatchTest, SetIsaSwitchesActiveTable) {
+  kernel::SetIsa(Isa::kScalar);
+  EXPECT_EQ(kernel::ActiveIsa(), Isa::kScalar);
+  EXPECT_STREQ(kernel::Active().name, "scalar");
+  if (kernel::HasAvx2()) {
+    kernel::SetIsa(Isa::kAvx2);
+    EXPECT_EQ(kernel::ActiveIsa(), Isa::kAvx2);
+    EXPECT_STREQ(kernel::Active().name, "avx2");
+  }
+  kernel::SetIsa(kernel::HasAvx2() ? Isa::kAvx2 : Isa::kScalar);
+}
+
+}  // namespace
+}  // namespace dace::nn

@@ -295,5 +295,24 @@ TEST_P(MatMulPropertyTest, DistributesOverAddition) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MatMulPropertyTest, ::testing::Range(0, 10));
 
+TEST(MatrixTest, RejectsMismatchedPayloadSize) {
+  const std::vector<double> three = {1.0, 2.0, 3.0};
+  EXPECT_DEATH(Matrix(2, 2, three), "Matrix payload size does not match shape");
+  EXPECT_DEATH(Matrix(1, 4, three), "Matrix payload size does not match shape");
+  // Exact match is fine.
+  Matrix ok(1, 3, three);
+  EXPECT_EQ(ok(0, 2), 3.0);
+}
+
+TEST(MatrixTest, StorageIs64ByteAligned) {
+  // The SIMD kernels rely on Matrix rows starting at the allocation origin of
+  // a 64-byte-aligned buffer (they still use unaligned loads, but alignment
+  // keeps panel rows within minimal cache lines).
+  for (size_t n : {1u, 3u, 7u, 64u, 129u}) {
+    Matrix m(n, n);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(m.data()) % 64, 0u) << n;
+  }
+}
+
 }  // namespace
 }  // namespace dace::nn

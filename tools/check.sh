@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Three-configuration gate for the kernel substrate:
+#
+#   1. native       — default build; AVX2+FMA kernels compiled in and selected
+#                     at runtime when the CPU supports them.
+#   2. scalar       — same binaries, DACE_KERNELS=scalar forces the blocked
+#                     scalar fallback, proving SIMD-off correctness.
+#   3. asan         — separate build tree with -DDACE_SANITIZE=address, run
+#                     in both ISA modes (the AVX2 tail handling and the
+#                     aligned allocator are the interesting targets).
+#
+# Usage: tools/check.sh [-j N]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=$(nproc)
+while getopts "j:" opt; do
+  case "$opt" in
+    j) JOBS="$OPTARG" ;;
+    *) echo "usage: $0 [-j N]" >&2; exit 2 ;;
+  esac
+done
+
+run_ctest() {
+  local dir="$1"; shift
+  (cd "$dir" && "$@" ctest --output-on-failure)
+}
+
+echo "==> [1/3] native build + tests"
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build -j "$JOBS"
+run_ctest build env
+
+echo "==> [2/3] scalar-forced tests (same build, DACE_KERNELS=scalar)"
+run_ctest build env DACE_KERNELS=scalar
+
+echo "==> [3/3] address-sanitizer build + tests (both ISA modes)"
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDACE_SANITIZE=address >/dev/null
+cmake --build build-asan -j "$JOBS"
+run_ctest build-asan env
+run_ctest build-asan env DACE_KERNELS=scalar
+
+echo "==> all three configurations passed"
