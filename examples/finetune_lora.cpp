@@ -6,7 +6,9 @@
 //
 //   ./finetune_lora [--train_dbs=6] [--queries_per_db=120] [--epochs=8]
 
+#include <cmath>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "core/dace_model.h"
@@ -73,8 +75,11 @@ int main(int argc, char** argv) {
   std::printf("fine-tuned on M2:  median q-error %.2f, 95th %.2f\n",
               after.median, after.p95);
 
-  // The adapted model round-trips through serialization.
-  const std::string path = "/tmp/dace_lora_model.bin";
+  // The adapted model round-trips through the checkpoint subsystem: the save
+  // is atomic (temp file + rename) and the load is transactional, so a
+  // failure at either step leaves the estimator untouched and returns a
+  // Status explaining what went wrong.
+  const std::string path = "/tmp/dace_lora_model.ckpt";
   if (auto status = est.SaveToFile(path); !status.ok()) {
     std::fprintf(stderr, "save failed: %s\n", status.ToString().c_str());
     return 1;
@@ -87,5 +92,28 @@ int main(int argc, char** argv) {
   std::printf("saved + reloaded adapted model: prediction drift %.2e ms\n",
               std::fabs(restored.PredictMs(test_m2[0]) -
                         est.PredictMs(test_m2[0])));
+
+  // The reloaded estimator is fully live: keep fine-tuning it where the
+  // original left off (e.g. after shipping the checkpoint to the M2 host).
+  const auto resumed = restored.FineTune(train_m2);
+  const auto after_resume = dace::eval::Evaluate(restored, test_m2);
+  std::printf(
+      "resumed fine-tune on reloaded model (%.0f ms): median q-error %.2f, "
+      "95th %.2f\n",
+      resumed.wall_ms, after_resume.median, after_resume.p95);
+
+  // A checkpoint only loads into an estimator with the identical
+  // architecture fingerprint; anything else is rejected up front instead of
+  // silently mis-shaping the weights.
+  dace::core::DaceConfig other = config;
+  other.hidden1 *= 2;
+  dace::core::DaceEstimator mismatched(other);
+  if (auto status = mismatched.LoadFromFile(path); status.ok()) {
+    std::fprintf(stderr, "cross-config load unexpectedly succeeded\n");
+    return 1;
+  } else {
+    std::printf("cross-config load rejected as expected:\n  %s\n",
+                status.ToString().c_str());
+  }
   return 0;
 }

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <fstream>
 #include <numeric>
+#include <tuple>
+#include <utility>
 
+#include "core/checkpoint.h"
 #include "util/logging.h"
 
 namespace dace::core {
@@ -234,21 +236,125 @@ size_t DaceModel::LoraParameterCount() const {
          fc3_.LoraParameterCount();
 }
 
-void DaceModel::Serialize(std::ostream* os) const {
-  attention_.Serialize(os);
-  fc1_.Serialize(os);
-  fc2_.Serialize(os);
-  fc3_.Serialize(os);
+void DaceModel::Serialize(ByteWriter* w) const {
+  attention_.Serialize(w);
+  fc1_.Serialize(w);
+  fc2_.Serialize(w);
+  fc3_.Serialize(w);
 }
 
-Status DaceModel::Deserialize(std::istream* is) {
-  DACE_RETURN_IF_ERROR(attention_.Deserialize(is));
-  DACE_RETURN_IF_ERROR(fc1_.Deserialize(is));
-  DACE_RETURN_IF_ERROR(fc2_.Deserialize(is));
-  DACE_RETURN_IF_ERROR(fc3_.Deserialize(is));
+Status DaceModel::Deserialize(ByteReader* r) {
+  StagedWeights staged;
+  DACE_RETURN_IF_ERROR(staged.attention.Deserialize(r));
+  DACE_RETURN_IF_ERROR(staged.fc1.Deserialize(r));
+  DACE_RETURN_IF_ERROR(staged.fc2.Deserialize(r));
+  DACE_RETURN_IF_ERROR(staged.fc3.Deserialize(r));
+  if (r->remaining() != 0) {
+    return Status::DataLoss("trailing garbage after the model weights");
+  }
+  DACE_RETURN_IF_ERROR(ValidateStaged(staged));
+  CommitStaged(std::move(staged));
+  return Status::OK();
+}
+
+void DaceModel::AppendSections(CheckpointWriter* w) const {
+  w->BeginSection(kSectionAttention);
+  attention_.Serialize(w->bytes());
+  w->EndSection();
+  const std::pair<uint32_t, const nn::Linear*> linears[] = {
+      {kSectionFc1, &fc1_}, {kSectionFc2, &fc2_}, {kSectionFc3, &fc3_}};
+  for (const auto& [tag, layer] : linears) {
+    w->BeginSection(tag);
+    layer->Serialize(w->bytes());
+    w->EndSection();
+  }
+}
+
+Status DaceModel::LoadSections(CheckpointReader* r) {
+  StagedWeights staged;
+  const auto load = [r](uint32_t tag, auto* layer,
+                        const char* what) -> Status {
+    ByteReader payload;
+    DACE_RETURN_IF_ERROR(r->EnterSection(tag, &payload));
+    DACE_RETURN_IF_ERROR(layer->Deserialize(&payload));
+    if (payload.remaining() != 0) {
+      return Status::DataLoss(std::string(what) +
+                              " section has trailing bytes");
+    }
+    return Status::OK();
+  };
+  DACE_RETURN_IF_ERROR(load(kSectionAttention, &staged.attention, "attention"));
+  DACE_RETURN_IF_ERROR(load(kSectionFc1, &staged.fc1, "fc1"));
+  DACE_RETURN_IF_ERROR(load(kSectionFc2, &staged.fc2, "fc2"));
+  DACE_RETURN_IF_ERROR(load(kSectionFc3, &staged.fc3, "fc3"));
+  DACE_RETURN_IF_ERROR(r->ExpectEnd());
+  DACE_RETURN_IF_ERROR(ValidateStaged(staged));
+  CommitStaged(std::move(staged));
+  return Status::OK();
+}
+
+Status DaceModel::ValidateStaged(const StagedWeights& staged) const {
+  // Loading weights of another architecture would otherwise surface as a
+  // DACE_CHECK abort deep inside the first matmul — or worse, as silently
+  // garbage predictions if the shapes happen to line up.
+  const auto dim_error = [](const char* what, size_t got, int want) {
+    return Status::FailedPrecondition(
+        std::string("checkpoint weights incompatible with this config: ") +
+        what + " is " + std::to_string(got) + ", expected " +
+        std::to_string(want));
+  };
+  const nn::TreeAttention& a = staged.attention;
+  if (a.d_model() != static_cast<size_t>(config_.d_model)) {
+    return dim_error("attention d_model", a.d_model(), config_.d_model);
+  }
+  if (a.d_k() != static_cast<size_t>(config_.d_k)) {
+    return dim_error("attention d_k", a.d_k(), config_.d_k);
+  }
+  if (a.d_v() != static_cast<size_t>(config_.d_v)) {
+    return dim_error("attention d_v", a.d_v(), config_.d_v);
+  }
+  const std::tuple<const nn::Linear*, const char*, int, int> layers[] = {
+      {&staged.fc1, "fc1", config_.d_v, config_.hidden1},
+      {&staged.fc2, "fc2", config_.hidden1, config_.hidden2},
+      {&staged.fc3, "fc3", config_.hidden2, 1}};
+  for (const auto& [layer, name, in, out] : layers) {
+    if (layer->in_dim() != static_cast<size_t>(in)) {
+      return dim_error((std::string(name) + " in_dim").c_str(),
+                       layer->in_dim(), in);
+    }
+    if (layer->out_dim() != static_cast<size_t>(out)) {
+      return dim_error((std::string(name) + " out_dim").c_str(),
+                       layer->out_dim(), out);
+    }
+  }
+  const bool has_lora = staged.fc1.has_lora();
+  if (staged.fc2.has_lora() != has_lora ||
+      staged.fc3.has_lora() != has_lora) {
+    return Status::DataLoss(
+        "LoRA adapters present on some MLP layers but not others");
+  }
+  if (has_lora) {
+    const std::tuple<const nn::Linear*, const char*, int> ranks[] = {
+        {&staged.fc1, "fc1", config_.lora_r1},
+        {&staged.fc2, "fc2", config_.lora_r2},
+        {&staged.fc3, "fc3", config_.lora_r3}};
+    for (const auto& [layer, name, want] : ranks) {
+      if (layer->lora_rank() != static_cast<size_t>(want)) {
+        return dim_error((std::string(name) + " lora_rank").c_str(),
+                         layer->lora_rank(), want);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void DaceModel::CommitStaged(StagedWeights&& staged) {
+  attention_ = std::move(staged.attention);
+  fc1_ = std::move(staged.fc1);
+  fc2_ = std::move(staged.fc2);
+  fc3_ = std::move(staged.fc3);
   lora_attached_ = fc1_.has_lora();
   ++weights_version_;  // loaded weights replace whatever was cached against
-  return Status::OK();
 }
 
 // --------------------------------------------------------- DaceEstimator --
@@ -295,6 +401,9 @@ TrainStats DaceEstimator::FineTune(const std::vector<plan::QueryPlan>& plans) {
 }
 
 double DaceEstimator::PredictMs(const plan::QueryPlan& plan) const {
+  DACE_CHECK(featurizer_.fitted())
+      << "DaceEstimator::PredictMs called before the estimator was trained: "
+         "call Train() or LoadFromFile() first";
   const featurize::FeaturizerConfig fc = FeatConfig();
   const uint64_t version = model_.weights_version();
   const uint64_t fp = featurizer_.Fingerprint(plan, fc);
@@ -310,6 +419,9 @@ std::vector<double> DaceEstimator::PredictBatchMs(
     std::span<const plan::QueryPlan> plans) const {
   std::vector<double> out(plans.size());
   if (plans.empty()) return out;
+  DACE_CHECK(featurizer_.fitted())
+      << "DaceEstimator::PredictBatchMs called before the estimator was "
+         "trained: call Train() or LoadFromFile() first";
   ThreadPool* pool = model_.thread_pool();
   if (batch_scratch_.size() < static_cast<size_t>(pool->num_threads())) {
     batch_scratch_.resize(static_cast<size_t>(pool->num_threads()));
@@ -338,6 +450,9 @@ std::vector<double> DaceEstimator::PredictBatchMs(
 
 std::vector<double> DaceEstimator::PredictSubPlansMs(
     const plan::QueryPlan& plan) const {
+  DACE_CHECK(featurizer_.fitted())
+      << "DaceEstimator::PredictSubPlansMs called before the estimator was "
+         "trained: call Train() or LoadFromFile() first";
   const featurize::PlanFeatures f = featurizer_.Featurize(plan, FeatConfig());
   std::vector<double> scaled = model_.PredictAll(f);
   for (double& v : scaled) v = featurizer_.InverseTransformTime(v);
@@ -345,24 +460,55 @@ std::vector<double> DaceEstimator::PredictSubPlansMs(
 }
 
 std::vector<double> DaceEstimator::Encode(const plan::QueryPlan& plan) const {
+  DACE_CHECK(featurizer_.fitted())
+      << "DaceEstimator::Encode called before the estimator was trained: "
+         "call Train() or LoadFromFile() first";
   const featurize::PlanFeatures f = featurizer_.Featurize(plan, FeatConfig());
   return model_.EncodeRoot(f);
 }
 
 Status DaceEstimator::SaveToFile(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::NotFound("cannot open for write: " + path);
-  featurizer_.Serialize(&out);
-  model_.Serialize(&out);
-  if (!out) return Status::DataLoss("write failed: " + path);
-  return Status::OK();
+  // The whole artifact is built in memory (headers, framed sections, CRC
+  // trailer) and hits the filesystem exactly once, via temp-file + rename:
+  // a reader of `path` can never observe a torn checkpoint, and a failed
+  // write never clobbers the previous one.
+  CheckpointWriter writer(config_);
+  writer.BeginSection(kSectionFeaturizer);
+  featurizer_.Serialize(writer.bytes());
+  writer.EndSection();
+  model_.AppendSections(&writer);
+  return WriteFileAtomic(path, std::move(writer).Finalize());
 }
 
 Status DaceEstimator::LoadFromFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("cannot open for read: " + path);
-  DACE_RETURN_IF_ERROR(featurizer_.Deserialize(&in));
-  DACE_RETURN_IF_ERROR(model_.Deserialize(&in));
+  std::string blob;
+  DACE_RETURN_IF_ERROR(ReadFileToString(path, &blob));
+  featurize::Featurizer staged_featurizer;
+  if (HasCheckpointMagic(blob)) {
+    CheckpointReader reader;
+    DACE_RETURN_IF_ERROR(reader.Init(blob));  // magic/version/endian/checksum
+    DACE_RETURN_IF_ERROR(reader.MatchesConfig(config_));
+    ByteReader section;
+    DACE_RETURN_IF_ERROR(reader.EnterSection(kSectionFeaturizer, &section));
+    DACE_RETURN_IF_ERROR(staged_featurizer.Deserialize(&section));
+    if (section.remaining() != 0) {
+      return Status::DataLoss("featurizer section has trailing bytes");
+    }
+    // Commits the model weights only if every remaining section parses,
+    // validates against config_ and exhausts the file.
+    DACE_RETURN_IF_ERROR(model_.LoadSections(&reader));
+  } else {
+    // Legacy format 0: headerless featurizer + model stream. There is no
+    // checksum to verify, but the same staging discipline applies — a
+    // truncated legacy file cannot leave a half-old/half-new model.
+    ByteReader reader(blob.data(), blob.size());
+    DACE_RETURN_IF_ERROR(staged_featurizer.Deserialize(&reader));
+    DACE_RETURN_IF_ERROR(model_.Deserialize(&reader));
+  }
+  // Past this point nothing can fail: the model already committed (bumping
+  // weights_version_, which invalidates the prediction cache), so the
+  // featurizer must commit too.
+  featurizer_ = std::move(staged_featurizer);
   return Status::OK();
 }
 

@@ -1,7 +1,6 @@
 #ifndef DACE_CORE_DACE_MODEL_H_
 #define DACE_CORE_DACE_MODEL_H_
 
-#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -11,10 +10,14 @@
 #include "featurize/featurize.h"
 #include "nn/layers.h"
 #include "util/rng.h"
+#include "util/serialize.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace dace::core {
+
+class CheckpointReader;
+class CheckpointWriter;
 
 // Hyperparameters (paper Sec. V "Parameters Setting"). The defaults are the
 // published configuration: a single encoder layer, single attention head,
@@ -127,8 +130,25 @@ class DaceModel {
   // mismatch.
   uint64_t weights_version() const { return weights_version_; }
 
-  void Serialize(std::ostream* os) const;
-  Status Deserialize(std::istream* is);
+  // Legacy (checkpoint format 0) body layout: attention, fc1, fc2, fc3
+  // concatenated with no framing. Still the canonical flat weight image —
+  // the determinism tests compare these bytes directly.
+  void Serialize(ByteWriter* w) const;
+
+  // Transactional load of the legacy body: every layer is parsed into
+  // staging, every shape is validated against this model's config (including
+  // LoRA rank consistency), and the reader must be fully consumed — only
+  // then are the weights swapped in and weights_version_ bumped. On any
+  // failure the live weights, LoRA state and version are untouched, so
+  // cached predictions stay exactly as valid as they were.
+  Status Deserialize(ByteReader* r);
+
+  // Checkpoint-format-1 variants: the same payload bytes, one framed section
+  // per component. LoadSections has the same transactional contract as
+  // Deserialize and additionally requires the checkpoint's section table to
+  // end exactly after fc3.
+  void AppendSections(CheckpointWriter* w) const;
+  Status LoadSections(CheckpointReader* r);
 
  private:
   // Forward + backward on one plan through `ws`: backpropagates the
@@ -144,6 +164,15 @@ class DaceModel {
                          bool lora_only);
 
   void SetTrainMode(bool train_base, bool train_lora);
+
+  // Fully-parsed weights awaiting validation; nothing in the live model
+  // changes until CommitStaged.
+  struct StagedWeights {
+    nn::TreeAttention attention;
+    nn::Linear fc1, fc2, fc3;
+  };
+  Status ValidateStaged(const StagedWeights& staged) const;
+  void CommitStaged(StagedWeights&& staged);
 
   DaceConfig config_;
   Rng rng_;

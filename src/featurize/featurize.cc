@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <istream>
-#include <ostream>
 
 #include "util/hash.h"
 #include "util/logging.h"
@@ -40,15 +38,23 @@ double RobustScaler::InverseTransform(double scaled) const {
   return std::expm1(scaled * iqr_ + median_);
 }
 
-void RobustScaler::Serialize(std::ostream* os) const {
-  os->write(reinterpret_cast<const char*>(&median_), sizeof(median_));
-  os->write(reinterpret_cast<const char*>(&iqr_), sizeof(iqr_));
+void RobustScaler::Serialize(ByteWriter* w) const {
+  w->WriteDouble(median_);
+  w->WriteDouble(iqr_);
 }
 
-Status RobustScaler::Deserialize(std::istream* is) {
-  is->read(reinterpret_cast<char*>(&median_), sizeof(median_));
-  is->read(reinterpret_cast<char*>(&iqr_), sizeof(iqr_));
-  if (!*is) return Status::DataLoss("truncated RobustScaler");
+Status RobustScaler::Deserialize(ByteReader* r) {
+  double median = 0.0, iqr = 0.0;
+  DACE_RETURN_IF_ERROR(r->ReadDouble(&median));
+  DACE_RETURN_IF_ERROR(r->ReadDouble(&iqr));
+  if (!std::isfinite(median) || !std::isfinite(iqr)) {
+    return Status::DataLoss("RobustScaler has non-finite median/iqr");
+  }
+  if (iqr <= 0.0) {
+    return Status::DataLoss("RobustScaler iqr must be positive");
+  }
+  median_ = median;
+  iqr_ = iqr;
   return Status::OK();
 }
 
@@ -165,21 +171,26 @@ double Featurizer::InverseTransformTime(double scaled) const {
   return std::clamp(time_scaler_.InverseTransform(scaled), 0.05, 1e9);
 }
 
-void Featurizer::Serialize(std::ostream* os) const {
-  card_scaler_.Serialize(os);
-  cost_scaler_.Serialize(os);
-  time_scaler_.Serialize(os);
-  const uint8_t fitted = fitted_ ? 1 : 0;
-  os->write(reinterpret_cast<const char*>(&fitted), sizeof(fitted));
+void Featurizer::Serialize(ByteWriter* w) const {
+  card_scaler_.Serialize(w);
+  cost_scaler_.Serialize(w);
+  time_scaler_.Serialize(w);
+  w->WriteU8(fitted_ ? 1 : 0);
 }
 
-Status Featurizer::Deserialize(std::istream* is) {
-  DACE_RETURN_IF_ERROR(card_scaler_.Deserialize(is));
-  DACE_RETURN_IF_ERROR(cost_scaler_.Deserialize(is));
-  DACE_RETURN_IF_ERROR(time_scaler_.Deserialize(is));
+Status Featurizer::Deserialize(ByteReader* r) {
+  RobustScaler card, cost, time;
+  DACE_RETURN_IF_ERROR(card.Deserialize(r));
+  DACE_RETURN_IF_ERROR(cost.Deserialize(r));
+  DACE_RETURN_IF_ERROR(time.Deserialize(r));
   uint8_t fitted = 0;
-  is->read(reinterpret_cast<char*>(&fitted), sizeof(fitted));
-  if (!*is) return Status::DataLoss("truncated Featurizer");
+  DACE_RETURN_IF_ERROR(r->ReadU8(&fitted));
+  if (fitted > 1) {
+    return Status::DataLoss("Featurizer fitted flag is not 0/1");
+  }
+  card_scaler_ = card;
+  cost_scaler_ = cost;
+  time_scaler_ = time;
   fitted_ = fitted != 0;
   return Status::OK();
 }

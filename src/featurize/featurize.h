@@ -1,11 +1,11 @@
 #ifndef DACE_FEATURIZE_FEATURIZE_H_
 #define DACE_FEATURIZE_FEATURIZE_H_
 
-#include <iosfwd>
 #include <vector>
 
 #include "nn/matrix.h"
 #include "plan/plan.h"
+#include "util/serialize.h"
 #include "util/status.h"
 
 namespace dace::featurize {
@@ -32,8 +32,12 @@ class RobustScaler {
   double median() const { return median_; }
   double iqr() const { return iqr_; }
 
-  void Serialize(std::ostream* os) const;
-  Status Deserialize(std::istream* is);
+  // Wire layout: median, iqr (two doubles). Deserialize rejects non-finite
+  // values and iqr <= 0 — a scaler like that silently turns every feature
+  // (and InverseTransformTime) into NaN, so it is treated as data loss, not
+  // as a loadable state.
+  void Serialize(ByteWriter* w) const;
+  Status Deserialize(ByteReader* r);
 
  private:
   double median_ = 0.0;
@@ -107,8 +111,11 @@ class Featurizer {
   const RobustScaler& cost_scaler() const { return cost_scaler_; }
   const RobustScaler& time_scaler() const { return time_scaler_; }
 
-  void Serialize(std::ostream* os) const;
-  Status Deserialize(std::istream* is);
+  // Wire layout: card/cost/time scalers, then a one-byte fitted flag (must
+  // be exactly 0 or 1). Deserialize stages into locals and commits only on
+  // full success, so a failure leaves the featurizer untouched.
+  void Serialize(ByteWriter* w) const;
+  Status Deserialize(ByteReader* r);
 
  private:
   RobustScaler card_scaler_;

@@ -1,8 +1,7 @@
 #include "nn/layers.h"
 
 #include <cmath>
-#include <istream>
-#include <ostream>
+#include <utility>
 
 namespace dace::nn {
 
@@ -236,32 +235,53 @@ size_t Linear::LoraParameterCount() const {
   return lora_a_.size() + lora_b_.size();
 }
 
-void Linear::Serialize(std::ostream* os) const {
-  const uint64_t rank = lora_rank_;
-  os->write(reinterpret_cast<const char*>(&rank), sizeof(rank));
-  WriteMatrix(w_.value, os);
-  WriteMatrix(b_.value, os);
+void Linear::Serialize(ByteWriter* w) const {
+  w->WriteU64(lora_rank_);
+  WriteMatrix(w_.value, w);
+  WriteMatrix(b_.value, w);
   if (lora_rank_ > 0) {
-    WriteMatrix(lora_a_.value, os);
-    WriteMatrix(lora_b_.value, os);
+    WriteMatrix(lora_a_.value, w);
+    WriteMatrix(lora_b_.value, w);
   }
 }
 
-Status Linear::Deserialize(std::istream* is) {
+Status Linear::Deserialize(ByteReader* r) {
+  // Parse everything into staging first: committing lora_rank_ (or any
+  // matrix) before the rest of the layer is known-good would leave a torn
+  // layer behind a non-OK Status.
   uint64_t rank = 0;
-  is->read(reinterpret_cast<char*>(&rank), sizeof(rank));
-  if (!*is) return Status::DataLoss("truncated Linear header");
-  DACE_RETURN_IF_ERROR(ReadMatrix(is, &w_.value));
-  DACE_RETURN_IF_ERROR(ReadMatrix(is, &b_.value));
+  DACE_RETURN_IF_ERROR(r->ReadU64(&rank));
+  Matrix w, b, la, lb;
+  DACE_RETURN_IF_ERROR(ReadMatrix(r, &w));
+  DACE_RETURN_IF_ERROR(ReadMatrix(r, &b));
+  if (w.rows() == 0 || w.cols() == 0) {
+    return Status::DataLoss("Linear weight matrix has an empty dimension");
+  }
+  if (b.rows() != 1 || b.cols() != w.cols()) {
+    return Status::DataLoss("Linear bias shape does not match the weight");
+  }
+  if (rank > 0) {
+    DACE_RETURN_IF_ERROR(ReadMatrix(r, &la));
+    DACE_RETURN_IF_ERROR(ReadMatrix(r, &lb));
+    if (la.rows() != w.rows() || la.cols() != rank) {
+      return Status::DataLoss("LoRA A shape inconsistent with rank/in_dim");
+    }
+    if (lb.rows() != rank || lb.cols() != w.cols()) {
+      return Status::DataLoss("LoRA B shape inconsistent with rank/out_dim");
+    }
+  }
+  w_.value = std::move(w);
+  b_.value = std::move(b);
+  w_.ResetGrad();
+  b_.ResetGrad();
   lora_rank_ = rank;
+  lora_scale_ = 1.0;
   if (lora_rank_ > 0) {
-    DACE_RETURN_IF_ERROR(ReadMatrix(is, &lora_a_.value));
-    DACE_RETURN_IF_ERROR(ReadMatrix(is, &lora_b_.value));
+    lora_a_.value = std::move(la);
+    lora_b_.value = std::move(lb);
     lora_a_.ResetGrad();
     lora_b_.ResetGrad();
   }
-  w_.ResetGrad();
-  b_.ResetGrad();
   return Status::OK();
 }
 
@@ -469,16 +489,26 @@ size_t TreeAttention::ParameterCount() const {
   return wq_.size() + wk_.size() + wv_.size();
 }
 
-void TreeAttention::Serialize(std::ostream* os) const {
-  WriteMatrix(wq_.value, os);
-  WriteMatrix(wk_.value, os);
-  WriteMatrix(wv_.value, os);
+void TreeAttention::Serialize(ByteWriter* w) const {
+  WriteMatrix(wq_.value, w);
+  WriteMatrix(wk_.value, w);
+  WriteMatrix(wv_.value, w);
 }
 
-Status TreeAttention::Deserialize(std::istream* is) {
-  DACE_RETURN_IF_ERROR(ReadMatrix(is, &wq_.value));
-  DACE_RETURN_IF_ERROR(ReadMatrix(is, &wk_.value));
-  DACE_RETURN_IF_ERROR(ReadMatrix(is, &wv_.value));
+Status TreeAttention::Deserialize(ByteReader* r) {
+  Matrix wq, wk, wv;
+  DACE_RETURN_IF_ERROR(ReadMatrix(r, &wq));
+  DACE_RETURN_IF_ERROR(ReadMatrix(r, &wk));
+  DACE_RETURN_IF_ERROR(ReadMatrix(r, &wv));
+  if (wq.rows() == 0 || wq.cols() == 0 || wv.cols() == 0) {
+    return Status::DataLoss("TreeAttention weight has an empty dimension");
+  }
+  if (!wk.SameShape(wq) || wv.rows() != wq.rows()) {
+    return Status::DataLoss("TreeAttention Wq/Wk/Wv shapes are inconsistent");
+  }
+  wq_.value = std::move(wq);
+  wk_.value = std::move(wk);
+  wv_.value = std::move(wv);
   wq_.ResetGrad();
   wk_.ResetGrad();
   wv_.ResetGrad();

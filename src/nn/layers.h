@@ -1,12 +1,12 @@
 #ifndef DACE_NN_LAYERS_H_
 #define DACE_NN_LAYERS_H_
 
-#include <iosfwd>
 #include <string>
 #include <vector>
 
 #include "nn/matrix.h"
 #include "util/rng.h"
+#include "util/serialize.h"
 #include "util/status.h"
 
 namespace dace::nn {
@@ -115,8 +115,13 @@ class Linear {
   size_t ParameterCount() const;
   size_t LoraParameterCount() const;
 
-  void Serialize(std::ostream* os) const;
-  Status Deserialize(std::istream* is);
+  // Wire layout: u64 lora_rank, W, b, then (iff rank > 0) lora A and B.
+  void Serialize(ByteWriter* w) const;
+  // Transactional: parses into staging matrices, validates every shape
+  // against the others (b is (1 × out), A is (in × rank), B is (rank × out))
+  // and only then commits — a failure part-way leaves the layer exactly as
+  // it was, including its LoRA state.
+  Status Deserialize(ByteReader* r);
 
  private:
   Parameter w_;     // (in × out)
@@ -198,8 +203,15 @@ class TreeAttention {
   void CollectAllParameters(std::vector<Parameter*>* out);
   size_t ParameterCount() const;
 
-  void Serialize(std::ostream* os) const;
-  Status Deserialize(std::istream* is);
+  size_t d_model() const { return wq_.value.rows(); }
+  size_t d_k() const { return wq_.value.cols(); }
+  size_t d_v() const { return wv_.value.cols(); }
+
+  // Wire layout: Wq, Wk, Wv. Deserialize is transactional: it validates that
+  // Wq/Wk share a shape and Wv shares their input dimension before any
+  // member changes.
+  void Serialize(ByteWriter* w) const;
+  Status Deserialize(ByteReader* r);
 
  private:
   Parameter wq_, wk_, wv_;  // (d_model × d_k/d_k/d_v)

@@ -228,4 +228,32 @@ Status ReadMatrix(std::istream* is, Matrix* m) {
   return Status::OK();
 }
 
+void WriteMatrix(const Matrix& m, ByteWriter* w) {
+  w->WriteU64(m.rows());
+  w->WriteU64(m.cols());
+  w->WriteBytes(m.data(), sizeof(double) * m.size());
+}
+
+Status ReadMatrix(ByteReader* r, Matrix* m) {
+  uint64_t rows = 0, cols = 0;
+  DACE_RETURN_IF_ERROR(r->ReadU64(&rows));
+  DACE_RETURN_IF_ERROR(r->ReadU64(&cols));
+  // Same joint element bound as the stream reader, plus a check against the
+  // reader's own window: a corrupt shape can neither trigger a huge
+  // allocation nor read past the framed section it lives in.
+  constexpr uint64_t kMaxElements = 1ull << 24;
+  if (rows > kMaxElements || cols > kMaxElements ||
+      (rows != 0 && cols > kMaxElements / rows)) {
+    return Status::DataLoss("implausible matrix shape");
+  }
+  const uint64_t payload_bytes = rows * cols * sizeof(double);
+  if (payload_bytes > r->remaining()) {
+    return Status::DataLoss("truncated matrix payload");
+  }
+  Matrix result(rows, cols);
+  DACE_RETURN_IF_ERROR(r->ReadBytes(result.data(), payload_bytes));
+  *m = std::move(result);
+  return Status::OK();
+}
+
 }  // namespace dace::nn

@@ -8,6 +8,7 @@
 
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/serialize.h"
 #include "util/status.h"
 
 namespace dace::nn {
@@ -159,6 +160,12 @@ void MaskedRowSoftmax(const Matrix& in, const Matrix& mask, Matrix* out);
 // Binary serialization (shape + raw doubles).
 void WriteMatrix(const Matrix& m, std::ostream* os);
 Status ReadMatrix(std::istream* is, Matrix* m);
+
+// Bounds-checked variants over the checkpoint byte substrate: same wire
+// layout (u64 rows, u64 cols, row-major doubles), but the reader rejects an
+// implausible shape BEFORE allocating and can never over-read its window.
+void WriteMatrix(const Matrix& m, ByteWriter* w);
+Status ReadMatrix(ByteReader* r, Matrix* m);
 
 }  // namespace dace::nn
 

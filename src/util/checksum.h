@@ -1,0 +1,61 @@
+#ifndef DACE_UTIL_CHECKSUM_H_
+#define DACE_UTIL_CHECKSUM_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace dace {
+
+namespace detail {
+
+constexpr std::array<uint32_t, 256> MakeCrc32Table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<uint32_t, 256> kCrc32Table = MakeCrc32Table();
+
+}  // namespace detail
+
+// Streaming CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) used as the
+// checkpoint integrity trailer. Unlike the splitmix64 fingerprint in
+// util/hash.h — which ingests whole 64-bit words and exists for hash-table
+// keys — this is byte-granular and split-invariant: feeding a buffer in any
+// sequence of chunks yields the same digest, which is what a file checksum
+// needs. CRC-32 guarantees detection of any single-bit flip and any burst
+// error up to 32 bits; it is not cryptographic and does not defend against a
+// deliberate forger, only against torn writes, truncation and bit rot.
+class Crc32 {
+ public:
+  void Update(const void* data, size_t n) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    uint32_t crc = ~state_;
+    for (size_t i = 0; i < n; ++i) {
+      crc = (crc >> 8) ^ detail::kCrc32Table[(crc ^ p[i]) & 0xffu];
+    }
+    state_ = ~crc;
+  }
+
+  uint32_t digest() const { return state_; }
+
+  static uint32_t Of(const void* data, size_t n) {
+    Crc32 crc;
+    crc.Update(data, n);
+    return crc.digest();
+  }
+
+ private:
+  uint32_t state_ = 0;
+};
+
+}  // namespace dace
+
+#endif  // DACE_UTIL_CHECKSUM_H_

@@ -1,0 +1,23 @@
+#include "util/serialize.h"
+
+#include "util/logging.h"
+
+namespace dace {
+
+void ByteWriter::OverwriteU64(size_t offset, uint64_t v) {
+  DACE_CHECK_LE(offset + sizeof(v), buffer_.size());
+  std::memcpy(buffer_.data() + offset, &v, sizeof(v));
+}
+
+Status ByteReader::Slice(size_t n, ByteReader* sub) {
+  if (n > remaining()) {
+    return Status::DataLoss("truncated input: slice of " + std::to_string(n) +
+                            " bytes overruns the remaining " +
+                            std::to_string(remaining()));
+  }
+  *sub = ByteReader(data_ + pos_, n);
+  pos_ += n;
+  return Status::OK();
+}
+
+}  // namespace dace

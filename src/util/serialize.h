@@ -1,0 +1,82 @@
+#ifndef DACE_UTIL_SERIALIZE_H_
+#define DACE_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "util/status.h"
+
+namespace dace {
+
+// In-memory binary writer backing the checkpoint path. Serialization builds
+// the whole artifact in a buffer first — the models here are a few hundred
+// kilobytes — so the only fallible step is the final atomic file write, and a
+// half-written temp file can never masquerade as a checkpoint. Values are
+// stored in native byte order; the checkpoint header carries an endianness
+// marker so a cross-endian load is rejected instead of misread.
+class ByteWriter {
+ public:
+  void WriteU8(uint8_t v) { Append(&v, sizeof(v)); }
+  void WriteU32(uint32_t v) { Append(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { Append(&v, sizeof(v)); }
+  void WriteDouble(double v) { Append(&v, sizeof(v)); }
+  void WriteBytes(const void* data, size_t n) { Append(data, n); }
+
+  // Patches bytes written earlier (section length back-fill). The range
+  // [offset, offset + 8) must already exist.
+  void OverwriteU64(size_t offset, uint64_t v);
+
+  size_t size() const { return buffer_.size(); }
+  const std::string& buffer() const { return buffer_; }
+  std::string TakeBuffer() && { return std::move(buffer_); }
+
+ private:
+  void Append(const void* data, size_t n) {
+    buffer_.append(static_cast<const char*>(data), n);
+  }
+
+  std::string buffer_;
+};
+
+// Bounds-checked binary reader over a caller-owned byte range. Every read is
+// fallible and consumes nothing on failure, so a truncated or corrupt input
+// surfaces as Status::DataLoss at the exact field that overran — never as an
+// out-of-bounds read or a partially-consumed stream.
+class ByteReader {
+ public:
+  ByteReader() : data_(nullptr), size_(0) {}
+  ByteReader(const void* data, size_t size)
+      : data_(static_cast<const char*>(data)), size_(size) {}
+
+  Status ReadU8(uint8_t* v) { return ReadRaw(v, sizeof(*v)); }
+  Status ReadU32(uint32_t* v) { return ReadRaw(v, sizeof(*v)); }
+  Status ReadU64(uint64_t* v) { return ReadRaw(v, sizeof(*v)); }
+  Status ReadDouble(double* v) { return ReadRaw(v, sizeof(*v)); }
+  Status ReadBytes(void* out, size_t n) { return ReadRaw(out, n); }
+
+  // Consumes the next n bytes as a sub-reader bounded to exactly that range.
+  Status Slice(size_t n, ByteReader* sub);
+
+  size_t offset() const { return pos_; }
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  Status ReadRaw(void* out, size_t n) {
+    if (n > remaining()) {
+      return Status::DataLoss("truncated input: wanted " + std::to_string(n) +
+                              " bytes, have " + std::to_string(remaining()));
+    }
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace dace
+
+#endif  // DACE_UTIL_SERIALIZE_H_

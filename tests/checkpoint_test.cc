@@ -1,0 +1,360 @@
+// Corruption fuzz for the transactional checkpoint subsystem: no input to
+// LoadFromFile — truncated at any byte, bit-flipped anywhere, carrying
+// trailing garbage, or saved under a different DaceConfig — may abort the
+// process or leave the target estimator observably changed behind a non-OK
+// Status. "Observably changed" is checked bit-for-bit: cache-bypassing
+// predictions (PredictSubPlansMs) and cache-served predictions (PredictMs,
+// including hit accounting) must match the pre-load baseline exactly.
+
+#include "core/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/dace_model.h"
+#include "engine/corpus.h"
+#include "engine/dataset.h"
+#include "engine/machine.h"
+#include "util/serialize.h"
+
+namespace dace::core {
+namespace {
+
+DaceConfig TinyConfig() {
+  DaceConfig config;  // d_model stays kFeatureDim — fixed by featurization
+  config.d_k = 16;
+  config.d_v = 16;
+  config.hidden1 = 16;
+  config.hidden2 = 8;
+  config.lora_r1 = 4;
+  config.lora_r2 = 3;
+  config.lora_r3 = 2;
+  config.epochs = 1;
+  config.finetune_epochs = 1;
+  return config;
+}
+
+std::vector<plan::QueryPlan> SamplePlans(int count, uint64_t seed) {
+  const engine::Database db = engine::BuildImdbLike(42);
+  return engine::GenerateLabeledPlans(db, engine::MachineM1(),
+                                      engine::WorkloadKind::kComplex, count,
+                                      seed);
+}
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+class CheckpointFuzzTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    plans_ = new std::vector<plan::QueryPlan>(SamplePlans(24, 7));
+    probes_ = new std::vector<plan::QueryPlan>(SamplePlans(5, 1234));
+
+    donor_ = new DaceEstimator(TinyConfig());
+    donor_->Train(*plans_);
+    donor_->FineTune(*plans_);  // checkpoints carry LoRA adapters
+    path_ = new std::string(TempPath("ckpt_fuzz.dace"));
+    ASSERT_TRUE(donor_->SaveToFile(*path_).ok());
+    blob_ = new std::string();
+    ASSERT_TRUE(ReadFileToString(*path_, blob_).ok());
+
+    // The victim is trained on a different seed, so any load that wrongly
+    // "succeeds" moves its predictions detectably.
+    victim_ = new DaceEstimator(TinyConfig());
+    victim_->Train(SamplePlans(24, 99));
+    baseline_sub_ = new std::vector<std::vector<double>>();
+    baseline_ms_ = new std::vector<double>();
+    for (const auto& probe : *probes_) {
+      baseline_sub_->push_back(victim_->PredictSubPlansMs(probe));
+      baseline_ms_->push_back(victim_->PredictMs(probe));  // primes the cache
+    }
+  }
+
+  static void TearDownTestSuite() {
+    std::remove(path_->c_str());
+    delete plans_;
+    delete probes_;
+    delete donor_;
+    delete victim_;
+    delete path_;
+    delete blob_;
+    delete baseline_sub_;
+    delete baseline_ms_;
+  }
+
+  // Loads `bytes` into the shared victim and asserts: non-OK status, no
+  // version bump, bit-identical uncached predictions, and prediction-cache
+  // hits that keep serving the exact pre-load values.
+  static void ExpectRejectedAndUntouched(const std::string& bytes,
+                                         const std::string& what) {
+    const std::string path = TempPath("ckpt_mutated.dace");
+    ASSERT_TRUE(WriteFileAtomic(path, bytes).ok());
+    const uint64_t version_before = victim_->model().weights_version();
+    const Status status = victim_->LoadFromFile(path);
+    std::remove(path.c_str());
+    ASSERT_FALSE(status.ok()) << what;
+    EXPECT_EQ(victim_->model().weights_version(), version_before) << what;
+
+    // Ground truth through the cache-bypassing path: the weights and the
+    // featurizer are byte-for-byte what they were.
+    for (size_t i = 0; i < probes_->size(); ++i) {
+      const std::vector<double> sub =
+          victim_->PredictSubPlansMs((*probes_)[i]);
+      ASSERT_EQ(sub.size(), (*baseline_sub_)[i].size()) << what;
+      for (size_t j = 0; j < sub.size(); ++j) {
+        ASSERT_EQ(sub[j], (*baseline_sub_)[i][j])
+            << what << " probe " << i << " row " << j;
+      }
+    }
+    // Cache path: the entries filled before the failed load are still valid
+    // (same weights version) and still serve the identical values as hits.
+    const auto stats_before = victim_->prediction_cache_stats();
+    for (size_t i = 0; i < probes_->size(); ++i) {
+      ASSERT_EQ(victim_->PredictMs((*probes_)[i]), (*baseline_ms_)[i]) << what;
+    }
+    const auto stats_after = victim_->prediction_cache_stats();
+    EXPECT_EQ(stats_after.hits, stats_before.hits + probes_->size()) << what;
+    EXPECT_EQ(stats_after.misses, stats_before.misses) << what;
+  }
+
+  static std::string LegacyBlob(const DaceEstimator& est) {
+    ByteWriter w;
+    est.featurizer().Serialize(&w);
+    est.model().Serialize(&w);
+    return std::move(w).TakeBuffer();
+  }
+
+  static std::vector<plan::QueryPlan>* plans_;
+  static std::vector<plan::QueryPlan>* probes_;
+  static DaceEstimator* donor_;
+  static DaceEstimator* victim_;
+  static std::string* path_;
+  static std::string* blob_;
+  static std::vector<std::vector<double>>* baseline_sub_;
+  static std::vector<double>* baseline_ms_;
+};
+
+std::vector<plan::QueryPlan>* CheckpointFuzzTest::plans_ = nullptr;
+std::vector<plan::QueryPlan>* CheckpointFuzzTest::probes_ = nullptr;
+DaceEstimator* CheckpointFuzzTest::donor_ = nullptr;
+DaceEstimator* CheckpointFuzzTest::victim_ = nullptr;
+std::string* CheckpointFuzzTest::path_ = nullptr;
+std::string* CheckpointFuzzTest::blob_ = nullptr;
+std::vector<std::vector<double>>* CheckpointFuzzTest::baseline_sub_ = nullptr;
+std::vector<double>* CheckpointFuzzTest::baseline_ms_ = nullptr;
+
+// ------------------------------------------------------------ happy path --
+
+TEST_F(CheckpointFuzzTest, RoundTripIsBitIdentical) {
+  DaceEstimator restored(TinyConfig());
+  ASSERT_TRUE(restored.LoadFromFile(*path_).ok());
+  EXPECT_TRUE(restored.model().lora_attached());
+  for (const auto& probe : *probes_) {
+    const auto want = donor_->PredictSubPlansMs(probe);
+    const auto got = restored.PredictSubPlansMs(probe);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t j = 0; j < got.size(); ++j) EXPECT_EQ(got[j], want[j]);
+  }
+}
+
+TEST_F(CheckpointFuzzTest, HeaderAndSectionsInspectable) {
+  CheckpointHeader header;
+  std::vector<CheckpointSection> sections;
+  ASSERT_TRUE(InspectCheckpoint(*blob_, &header, &sections).ok());
+  EXPECT_EQ(header.format_version, kCheckpointFormatVersion);
+  EXPECT_EQ(header.d_k, 16u);
+  EXPECT_EQ(header.lora_r3, 2u);
+  ASSERT_EQ(sections.size(), 5u);
+  const uint32_t want_tags[] = {kSectionFeaturizer, kSectionAttention,
+                                kSectionFc1, kSectionFc2, kSectionFc3};
+  for (size_t i = 0; i < sections.size(); ++i) {
+    EXPECT_EQ(sections[i].tag, want_tags[i]);
+  }
+}
+
+TEST_F(CheckpointFuzzTest, SaveLeavesNoTempFilesAndOverwritesAtomically) {
+  const std::string path = TempPath("ckpt_overwrite.dace");
+  ASSERT_TRUE(donor_->SaveToFile(path).ok());
+  ASSERT_TRUE(victim_->SaveToFile(path).ok());  // replace donor's bytes
+  DaceEstimator restored(TinyConfig());
+  ASSERT_TRUE(restored.LoadFromFile(path).ok());
+  for (size_t i = 0; i < probes_->size(); ++i) {
+    EXPECT_EQ(restored.PredictSubPlansMs((*probes_)[i])[0],
+              (*baseline_sub_)[i][0]);
+  }
+  std::remove(path.c_str());
+  std::string leftover;
+  EXPECT_FALSE(
+      ReadFileToString(path + ".tmp." + std::to_string(getpid()), &leftover)
+          .ok())
+      << "temp file leaked";
+}
+
+TEST_F(CheckpointFuzzTest, SaveToUnwritablePathFails) {
+  DaceConfig config = TinyConfig();
+  DaceEstimator est(config);
+  EXPECT_FALSE(est.SaveToFile("/nonexistent-dir/sub/ckpt.dace").ok());
+}
+
+// ------------------------------------------------------------ corruption --
+
+TEST_F(CheckpointFuzzTest, TruncationAtSectionBoundariesRejected) {
+  CheckpointHeader header;
+  std::vector<CheckpointSection> sections;
+  ASSERT_TRUE(InspectCheckpoint(*blob_, &header, &sections).ok());
+  std::vector<size_t> cuts = {0, 1, 7, 8, kCheckpointHeaderSize / 2,
+                              kCheckpointHeaderSize};
+  for (const CheckpointSection& s : sections) {
+    cuts.push_back(s.payload_offset - 12);  // frame start
+    cuts.push_back(s.payload_offset - 8);   // mid tag/length
+    cuts.push_back(s.payload_offset);       // payload start
+    cuts.push_back(s.payload_offset + static_cast<size_t>(s.payload_length));
+  }
+  cuts.push_back(blob_->size() - kCheckpointTrailerSize);
+  cuts.push_back(blob_->size() - 4);
+  cuts.push_back(blob_->size() - 1);
+  for (size_t cut : cuts) {
+    ASSERT_LT(cut, blob_->size());
+    ExpectRejectedAndUntouched(blob_->substr(0, cut),
+                               "truncated at boundary " + std::to_string(cut));
+  }
+}
+
+TEST_F(CheckpointFuzzTest, TruncationSweepRejected) {
+  const size_t step = std::max<size_t>(1, blob_->size() / 61);
+  for (size_t cut = 0; cut < blob_->size(); cut += step) {
+    ExpectRejectedAndUntouched(blob_->substr(0, cut),
+                               "truncated at offset " + std::to_string(cut));
+  }
+}
+
+TEST_F(CheckpointFuzzTest, HeaderBitFlipsRejected) {
+  for (size_t off = 0; off < kCheckpointHeaderSize; ++off) {
+    for (uint8_t bit : {uint8_t{0x01}, uint8_t{0x80}}) {
+      std::string mutated = *blob_;
+      mutated[off] = static_cast<char>(mutated[off] ^ bit);
+      ExpectRejectedAndUntouched(
+          mutated, "header bit flip at byte " + std::to_string(off));
+    }
+  }
+}
+
+TEST_F(CheckpointFuzzTest, PayloadAndTrailerBitFlipsRejected) {
+  for (size_t off = kCheckpointHeaderSize; off < blob_->size(); off += 97) {
+    std::string mutated = *blob_;
+    mutated[off] = static_cast<char>(mutated[off] ^ (1u << (off % 8)));
+    ExpectRejectedAndUntouched(mutated,
+                               "payload bit flip at byte " +
+                                   std::to_string(off));
+  }
+  // Every trailer byte individually: tag and stored checksum.
+  for (size_t i = 1; i <= kCheckpointTrailerSize; ++i) {
+    const size_t off = blob_->size() - i;
+    std::string mutated = *blob_;
+    mutated[off] = static_cast<char>(mutated[off] ^ 0x10);
+    ExpectRejectedAndUntouched(
+        mutated, "trailer bit flip at byte " + std::to_string(off));
+  }
+}
+
+TEST_F(CheckpointFuzzTest, TrailingGarbageRejected) {
+  ExpectRejectedAndUntouched(*blob_ + std::string(1, '\0'),
+                             "one trailing zero byte");
+  ExpectRejectedAndUntouched(*blob_ + "GARBAGEGARBAGE", "trailing ascii");
+  ExpectRejectedAndUntouched(*blob_ + *blob_, "checkpoint doubled");
+}
+
+TEST_F(CheckpointFuzzTest, CrossConfigCheckpointRejected) {
+  // An untrained estimator saves cleanly — rejection must come from the
+  // header fingerprint, long before any weight bytes are interpreted.
+  DaceConfig other = TinyConfig();
+  other.d_k = 8;
+  other.hidden1 = 32;
+  DaceEstimator foreign(other);
+  const std::string path = TempPath("ckpt_crossconfig.dace");
+  ASSERT_TRUE(foreign.SaveToFile(path).ok());
+  std::string foreign_blob;
+  ASSERT_TRUE(ReadFileToString(path, &foreign_blob).ok());
+  std::remove(path.c_str());
+  ExpectRejectedAndUntouched(foreign_blob, "cross-config checkpoint");
+
+  // The status itself names the mismatch for the operator.
+  DaceEstimator fresh(TinyConfig());
+  ASSERT_TRUE(WriteFileAtomic(path, foreign_blob).ok());
+  const Status status = fresh.LoadFromFile(path);
+  std::remove(path.c_str());
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("d_k"), std::string::npos);
+  EXPECT_NE(status.message().find("hidden1"), std::string::npos);
+}
+
+TEST_F(CheckpointFuzzTest, LoraRankMismatchRejected) {
+  DaceConfig other = TinyConfig();
+  other.lora_r1 = 8;
+  DaceEstimator foreign(other);
+  const std::string path = TempPath("ckpt_rank.dace");
+  ASSERT_TRUE(foreign.SaveToFile(path).ok());
+  std::string foreign_blob;
+  ASSERT_TRUE(ReadFileToString(path, &foreign_blob).ok());
+  std::remove(path.c_str());
+  ExpectRejectedAndUntouched(foreign_blob, "lora rank mismatch");
+}
+
+// ---------------------------------------------------------- legacy files --
+
+TEST_F(CheckpointFuzzTest, LegacyFormat0StillLoads) {
+  const std::string path = TempPath("ckpt_legacy.dace");
+  ASSERT_TRUE(WriteFileAtomic(path, LegacyBlob(*donor_)).ok());
+  DaceEstimator restored(TinyConfig());
+  ASSERT_TRUE(restored.LoadFromFile(path).ok());
+  std::remove(path.c_str());
+  EXPECT_TRUE(restored.model().lora_attached());
+  for (const auto& probe : *probes_) {
+    const auto want = donor_->PredictSubPlansMs(probe);
+    const auto got = restored.PredictSubPlansMs(probe);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t j = 0; j < got.size(); ++j) EXPECT_EQ(got[j], want[j]);
+  }
+}
+
+TEST_F(CheckpointFuzzTest, LegacyFormat0CorruptionRejectedTransactionally) {
+  const std::string legacy = LegacyBlob(*donor_);
+  const size_t step = std::max<size_t>(1, legacy.size() / 31);
+  for (size_t cut = 0; cut < legacy.size(); cut += step) {
+    ExpectRejectedAndUntouched(
+        legacy.substr(0, cut),
+        "legacy truncated at offset " + std::to_string(cut));
+  }
+  ExpectRejectedAndUntouched(legacy + "x", "legacy trailing garbage");
+  // A legacy stream whose weights were produced under another architecture
+  // still fails shape validation against the live config.
+  DaceConfig other = TinyConfig();
+  other.hidden2 = 4;
+  DaceEstimator foreign(other);
+  foreign.Train(*plans_);
+  ExpectRejectedAndUntouched(LegacyBlob(foreign), "legacy cross-config");
+}
+
+// ------------------------------------------------- API-misuse diagnostics --
+
+using CheckpointDeathTest = CheckpointFuzzTest;
+
+TEST_F(CheckpointDeathTest, PredictBeforeTrainNamesTheMisuse) {
+  DaceEstimator est(TinyConfig());
+  EXPECT_DEATH((void)est.PredictMs((*probes_)[0]),
+               "Train\\(\\) or LoadFromFile\\(\\)");
+  EXPECT_DEATH((void)est.PredictBatchMs(std::span(probes_->data(), 1)),
+               "Train\\(\\) or LoadFromFile\\(\\)");
+}
+
+}  // namespace
+}  // namespace dace::core

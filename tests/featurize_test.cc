@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
-#include <sstream>
+#include <limits>
 
 #include "engine/corpus.h"
 #include "engine/dataset.h"
@@ -61,12 +61,39 @@ TEST(RobustScalerTest, ConstantInputKeepsUnitIqr) {
 TEST(RobustScalerTest, SerializationRoundTrip) {
   RobustScaler scaler;
   scaler.Fit({1, 2, 3, 4, 100});
-  std::stringstream ss;
-  scaler.Serialize(&ss);
+  dace::ByteWriter w;
+  scaler.Serialize(&w);
+  dace::ByteReader r(w.buffer().data(), w.buffer().size());
   RobustScaler restored;
-  ASSERT_TRUE(restored.Deserialize(&ss).ok());
+  ASSERT_TRUE(restored.Deserialize(&r).ok());
   EXPECT_DOUBLE_EQ(restored.median(), scaler.median());
   EXPECT_DOUBLE_EQ(restored.iqr(), scaler.iqr());
+}
+
+// A scaler with non-finite or non-positive parameters later yields NaN
+// features and a NaN InverseTransformTime, so the deserializer must treat
+// those bytes as data loss rather than loadable state.
+TEST(RobustScalerTest, DeserializeRejectsPoisonedParameters) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const struct {
+    double median, iqr;
+  } kBad[] = {{nan, 1.0}, {inf, 1.0},  {-inf, 1.0}, {0.0, nan},
+              {0.0, inf}, {0.0, 0.0},  {0.0, -1.0}, {nan, nan}};
+  for (const auto& bad : kBad) {
+    dace::ByteWriter w;
+    w.WriteDouble(bad.median);
+    w.WriteDouble(bad.iqr);
+    dace::ByteReader r(w.buffer().data(), w.buffer().size());
+    RobustScaler restored;
+    const dace::Status status = restored.Deserialize(&r);
+    EXPECT_FALSE(status.ok())
+        << "median=" << bad.median << " iqr=" << bad.iqr;
+    EXPECT_EQ(status.code(), dace::StatusCode::kDataLoss);
+    // The failed load must not poison the live parameters.
+    EXPECT_DOUBLE_EQ(restored.median(), 0.0);
+    EXPECT_DOUBLE_EQ(restored.iqr(), 1.0);
+  }
 }
 
 // --------------------------------------------------------- Featurizer ----
@@ -196,10 +223,12 @@ TEST_F(FeaturizerTest, LabelsAreScaledLogTimes) {
 }
 
 TEST_F(FeaturizerTest, SerializationRoundTrip) {
-  std::stringstream ss;
-  featurizer_.Serialize(&ss);
+  dace::ByteWriter w;
+  featurizer_.Serialize(&w);
+  dace::ByteReader r(w.buffer().data(), w.buffer().size());
   Featurizer restored;
-  ASSERT_TRUE(restored.Deserialize(&ss).ok());
+  ASSERT_TRUE(restored.Deserialize(&r).ok());
+  EXPECT_EQ(r.remaining(), 0u);
   EXPECT_TRUE(restored.fitted());
   const PlanFeatures a = featurizer_.Featurize(plans_[1], config_);
   const PlanFeatures b = restored.Featurize(plans_[1], config_);
@@ -209,13 +238,15 @@ TEST_F(FeaturizerTest, SerializationRoundTrip) {
 }
 
 TEST_F(FeaturizerTest, DeserializeFailsOnTruncation) {
-  std::stringstream ss;
-  featurizer_.Serialize(&ss);
-  std::string data = ss.str();
-  data.resize(data.size() - 4);
-  std::stringstream truncated(data);
-  Featurizer restored;
-  EXPECT_FALSE(restored.Deserialize(&truncated).ok());
+  dace::ByteWriter w;
+  featurizer_.Serialize(&w);
+  // Every truncation point must fail cleanly and leave the target unfitted.
+  for (size_t len = 0; len < w.buffer().size(); ++len) {
+    dace::ByteReader truncated(w.buffer().data(), len);
+    Featurizer restored;
+    EXPECT_FALSE(restored.Deserialize(&truncated).ok()) << "len=" << len;
+    EXPECT_FALSE(restored.fitted());
+  }
 }
 
 // Property sweep: featurization invariants across many plans.

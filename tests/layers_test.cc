@@ -230,10 +230,12 @@ TEST(LinearTest, SerializationRoundTrip) {
   Matrix y_before;
   layer.ForwardInference(x, &y_before);
 
-  std::stringstream ss;
-  layer.Serialize(&ss);
+  dace::ByteWriter w;
+  layer.Serialize(&w);
+  dace::ByteReader r(w.buffer().data(), w.buffer().size());
   Linear restored;
-  ASSERT_TRUE(restored.Deserialize(&ss).ok());
+  ASSERT_TRUE(restored.Deserialize(&r).ok());
+  EXPECT_EQ(r.remaining(), 0u);
   EXPECT_EQ(restored.lora_rank(), 2u);
   Matrix y_after;
   restored.ForwardInference(x, &y_after);
@@ -408,10 +410,11 @@ TEST(TreeAttentionTest, SerializationRoundTrip) {
   Matrix before;
   attn.ForwardInference(s, mask, &before);
 
-  std::stringstream ss;
-  attn.Serialize(&ss);
+  dace::ByteWriter w;
+  attn.Serialize(&w);
+  dace::ByteReader r(w.buffer().data(), w.buffer().size());
   TreeAttention restored;
-  ASSERT_TRUE(restored.Deserialize(&ss).ok());
+  ASSERT_TRUE(restored.Deserialize(&r).ok());
   Matrix after;
   restored.ForwardInference(s, mask, &after);
   for (size_t i = 0; i < before.size(); ++i) {

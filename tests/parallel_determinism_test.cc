@@ -6,7 +6,6 @@
 
 #include <gtest/gtest.h>
 
-#include <sstream>
 #include <vector>
 
 #include "core/dace_model.h"
@@ -40,9 +39,9 @@ DaceConfig FastConfig() {
 }
 
 std::string SerializedModel(const DaceEstimator& est) {
-  std::stringstream ss;
-  est.model().Serialize(&ss);
-  return ss.str();
+  dace::ByteWriter w;
+  est.model().Serialize(&w);
+  return std::move(w).TakeBuffer();
 }
 
 TEST(ParallelDeterminismTest, TrainedWeightsBitIdenticalAcrossPoolSizes) {

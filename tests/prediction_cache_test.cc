@@ -6,7 +6,6 @@
 
 #include "core/prediction_cache.h"
 
-#include <sstream>
 #include <vector>
 
 #include "core/dace_model.h"
@@ -171,11 +170,12 @@ TEST_F(EstimatorCacheTest, DeserializeInvalidatesCachedPredictions) {
   (void)estimator_->PredictMs(plans_[0]);
 
   // Round-trip the model through serialization: same weights, but Deserialize
-  // must still bump the version (the stream could have held anything).
-  std::stringstream buf;
+  // must still bump the version (the bytes could have held anything).
+  dace::ByteWriter buf;
   estimator_->mutable_model().Serialize(&buf);
+  dace::ByteReader reader(buf.buffer().data(), buf.buffer().size());
   const uint64_t version_before = estimator_->model().weights_version();
-  ASSERT_TRUE(estimator_->mutable_model().Deserialize(&buf).ok());
+  ASSERT_TRUE(estimator_->mutable_model().Deserialize(&reader).ok());
   EXPECT_GT(estimator_->model().weights_version(), version_before);
 
   const auto misses_before = estimator_->prediction_cache_stats().misses;

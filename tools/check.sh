@@ -8,6 +8,10 @@
 #   3. asan         — separate build tree with -DDACE_SANITIZE=address, run
 #                     in both ISA modes (the AVX2 tail handling and the
 #                     aligned allocator are the interesting targets).
+#   4. ckpt-fuzz    — the checkpoint corruption fuzz (truncations, bit flips,
+#                     trailing garbage, cross-config loads) re-run explicitly
+#                     under ASan in both ISA modes: every rejected load must
+#                     be leak- and overflow-clean, not just return non-OK.
 #
 # Usage: tools/check.sh [-j N]
 set -euo pipefail
@@ -26,19 +30,24 @@ run_ctest() {
   (cd "$dir" && "$@" ctest --output-on-failure)
 }
 
-echo "==> [1/3] native build + tests"
+echo "==> [1/4] native build + tests"
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build -j "$JOBS"
 run_ctest build env
 
-echo "==> [2/3] scalar-forced tests (same build, DACE_KERNELS=scalar)"
+echo "==> [2/4] scalar-forced tests (same build, DACE_KERNELS=scalar)"
 run_ctest build env DACE_KERNELS=scalar
 
-echo "==> [3/3] address-sanitizer build + tests (both ISA modes)"
+echo "==> [3/4] address-sanitizer build + tests (both ISA modes)"
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDACE_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$JOBS"
 run_ctest build-asan env
 run_ctest build-asan env DACE_KERNELS=scalar
 
-echo "==> all three configurations passed"
+echo "==> [4/4] checkpoint corruption fuzz under ASan (both ISA modes)"
+(cd build-asan && env ctest --output-on-failure -R 'Checkpoint')
+(cd build-asan && env DACE_KERNELS=scalar \
+  ctest --output-on-failure -R 'Checkpoint')
+
+echo "==> all four configurations passed"
