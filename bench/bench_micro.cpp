@@ -16,6 +16,8 @@
 
 #include "bench/bench_util.h"
 #include "core/dace_model.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "engine/corpus.h"
 #include "engine/dataset.h"
 #include "engine/executor.h"
@@ -413,6 +415,42 @@ void BM_PredictAllIntoWarm(benchmark::State& state) {
 }
 BENCHMARK(BM_PredictAllIntoWarm);
 
+// The same warm forward wrapped in the full observability kit — an enabled
+// trace span plus a registry counter — with tracing ON. The derived record
+// obs_overhead_pct (vs BM_PredictAllIntoWarm) is the enabled-but-idle cost
+// of instrumenting a hot path; the obs budget is <2%. Must also stay at
+// allocs/call = 0: span recording reuses the thread's ring buffer.
+void BM_PredictAllIntoWarmObs(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  featurize::FeaturizerConfig fc;
+  const auto feats = f.featurizer.Featurize(f.plans[0], fc);
+  core::DaceModel::Workspace ws;
+  std::vector<double> preds;
+  obs::Counter* probe =
+      obs::MetricsRegistry::Default()->GetCounter("bench.obs_probe");
+  const bool was_enabled = obs::TraceCollector::enabled();
+  obs::TraceCollector::SetEnabled(true);
+  {
+    // Warm-up: shapes the workspace and creates this thread's trace ring.
+    DACE_TRACE_SPAN("bench.predict_all_into");
+    probe->Add(1);
+    f.estimator.model().PredictAllInto(feats, &ws, &preds);
+  }
+  const size_t allocs_before = g_heap_allocs.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    DACE_TRACE_SPAN("bench.predict_all_into");
+    probe->Add(1);
+    f.estimator.model().PredictAllInto(feats, &ws, &preds);
+    benchmark::DoNotOptimize(preds.data());
+  }
+  const size_t allocs = g_heap_allocs.load(std::memory_order_relaxed) -
+                        allocs_before;
+  obs::TraceCollector::SetEnabled(was_enabled);
+  state.counters["allocs/call"] = benchmark::Counter(
+      static_cast<double>(allocs) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_PredictAllIntoWarmObs);
+
 // Per-iteration real seconds by benchmark name, for the derived ratios.
 std::map<std::string, double>& CapturedSeconds() {
   static auto* m = new std::map<std::string, double>();
@@ -466,21 +504,52 @@ void AddSpeedupRecord(const char* record_name, const char* baseline,
               contender);
 }
 
+// overhead% = (t(instrumented) / t(baseline) - 1) * 100, recorded only when
+// both ran. The obs acceptance budget for span+counter on the warm forward
+// is < 2%.
+void AddOverheadRecord(const char* record_name, const char* baseline,
+                       const char* instrumented) {
+  const auto& secs = CapturedSeconds();
+  const auto b = secs.find(baseline);
+  const auto c = secs.find(instrumented);
+  if (b == secs.end() || c == secs.end() || b->second <= 0.0) return;
+  const double overhead_pct = (c->second / b->second - 1.0) * 100.0;
+  dace::bench::Json()
+      .Add(record_name)
+      .Str("baseline", baseline)
+      .Str("instrumented", instrumented)
+      .Num("overhead_pct", overhead_pct);
+  std::printf("%-32s %+.2f%% (%s vs %s)\n", record_name, overhead_pct,
+              instrumented, baseline);
+}
+
 }  // namespace
 
-// Custom main instead of BENCHMARK_MAIN: peels --json=PATH (everything else
-// goes to google-benchmark), runs with the capturing reporter, then writes
-// BENCH_micro.json (default) with raw runs + derived speedup records.
+// Custom main instead of BENCHMARK_MAIN: peels --json=PATH,
+// --metrics-json=PATH and --trace-json=PATH (everything else goes to
+// google-benchmark), runs with the capturing reporter, then writes
+// BENCH_micro.json (default) with raw runs + derived speedup/overhead
+// records, plus the obs sidecars if requested.
 int main(int argc, char** argv) {
   dace::bench::Json().SetPath("BENCH_micro.json");
+  std::string metrics_json, trace_json;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     if (std::strncmp(argv[i], "--json=", 7) == 0) {
       dace::bench::Json().SetPath(argv[i] + 7);
       continue;
     }
+    if (std::strncmp(argv[i], "--metrics-json=", 15) == 0) {
+      metrics_json = argv[i] + 15;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--trace-json=", 13) == 0) {
+      trace_json = argv[i] + 13;
+      continue;
+    }
     args.push_back(argv[i]);
   }
+  dace::bench::ArmObsSidecars(metrics_json, trace_json);
   int bench_argc = static_cast<int>(args.size());
   benchmark::Initialize(&bench_argc, args.data());
   if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
@@ -492,6 +561,8 @@ int main(int argc, char** argv) {
                    "BM_MatMulSimd/128");
   AddSpeedupRecord("predict_cache_hit_speedup", "BM_PredictBatchCold",
                    "BM_PredictBatchCacheHit");
+  AddOverheadRecord("obs_overhead_pct", "BM_PredictAllIntoWarm",
+                    "BM_PredictAllIntoWarmObs");
   const bool ok = dace::bench::Json().WriteIfRequested();
   benchmark::Shutdown();
   return ok ? 0 : 1;

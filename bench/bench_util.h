@@ -15,101 +15,17 @@
 
 #include "eval/experiments.h"
 #include "eval/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "util/flags.h"
+#include "util/json_emitter.h"
 #include "util/thread_pool.h"
 
 namespace dace::bench {
 
-// Machine-readable results sidecar shared by every bench binary: each bench
-// appends flat records (string/number fields) and writes them as one JSON
-// document — {"records": [{...}, ...]} — so sweeps can be diffed and plotted
-// without scraping stdout. Numbers render with %.17g (round-trip exact);
-// non-finite values render as null (JSON has no NaN/Inf).
-class JsonEmitter {
- public:
-  class Record {
-   public:
-    Record& Num(const std::string& key, double v) {
-      char buf[64];
-      if (std::isfinite(v)) {
-        std::snprintf(buf, sizeof(buf), "%.17g", v);
-        fields_.emplace_back(key, buf);
-      } else {
-        fields_.emplace_back(key, "null");
-      }
-      return *this;
-    }
-    Record& Str(const std::string& key, const std::string& v) {
-      fields_.emplace_back(key, Quote(v));
-      return *this;
-    }
-
-   private:
-    friend class JsonEmitter;
-    static std::string Quote(const std::string& s) {
-      std::string out = "\"";
-      for (char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-              char esc[8];
-              std::snprintf(esc, sizeof(esc), "\\u%04x", c);
-              out += esc;
-            } else {
-              out += c;
-            }
-        }
-      }
-      out += '"';
-      return out;
-    }
-    std::vector<std::pair<std::string, std::string>> fields_;
-  };
-
-  void SetPath(std::string path) { path_ = std::move(path); }
-  const std::string& path() const { return path_; }
-  bool enabled() const { return !path_.empty(); }
-
-  // New record; the returned reference stays valid until the next Add.
-  Record& Add(const std::string& name) {
-    records_.emplace_back();
-    records_.back().Str("name", name);
-    return records_.back();
-  }
-
-  // Writes the document if --json was given. Returns false on IO failure.
-  bool WriteIfRequested() const {
-    if (!enabled()) return true;
-    std::FILE* f = std::fopen(path_.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "cannot open --json path %s\n", path_.c_str());
-      return false;
-    }
-    std::fputs("{\"records\": [\n", f);
-    for (size_t r = 0; r < records_.size(); ++r) {
-      std::fputs("  {", f);
-      const auto& fields = records_[r].fields_;
-      for (size_t i = 0; i < fields.size(); ++i) {
-        std::fprintf(f, "%s\"%s\": %s", i == 0 ? "" : ", ",
-                     fields[i].first.c_str(), fields[i].second.c_str());
-      }
-      std::fprintf(f, "}%s\n", r + 1 == records_.size() ? "" : ",");
-    }
-    std::fputs("]}\n", f);
-    const bool ok = std::ferror(f) == 0;
-    std::fclose(f);
-    if (ok) std::printf("wrote %s\n", path_.c_str());
-    return ok;
-  }
-
- private:
-  std::string path_;
-  std::vector<Record> records_;
-};
+// The results sidecar itself now lives in util/json_emitter.h (the obs run
+// report shares it); the bench-facing name is unchanged.
+using ::dace::JsonEmitter;
 
 // Process-wide emitter the bench binaries share.
 inline JsonEmitter& Json() {
@@ -117,11 +33,52 @@ inline JsonEmitter& Json() {
   return emitter;
 }
 
+// Observability sidecar paths armed by --metrics-json / --trace-json and
+// written by an atexit hook (so every bench gains the flags without each
+// main having to remember a write call).
+inline std::string& MetricsJsonPath() {
+  static std::string* path = new std::string();
+  return *path;
+}
+
+inline std::string& TraceJsonPath() {
+  static std::string* path = new std::string();
+  return *path;
+}
+
+inline void WriteObsSidecarsAtExit() {
+  if (!MetricsJsonPath().empty()) {
+    obs::WriteMetricsReport(MetricsJsonPath());
+  }
+  if (!TraceJsonPath().empty()) {
+    obs::TraceCollector::Default()->WriteChromeJson(TraceJsonPath());
+  }
+}
+
+// Arms the observability sidecars: remembers the paths and registers the
+// atexit writer (once). --trace-json also flips tracing on.
+inline void ArmObsSidecars(const std::string& metrics_path,
+                           const std::string& trace_path) {
+  static bool registered = false;
+  if (!registered) {
+    std::atexit(WriteObsSidecarsAtExit);
+    registered = true;
+  }
+  if (!metrics_path.empty()) MetricsJsonPath() = metrics_path;
+  if (!trace_path.empty()) {
+    TraceJsonPath() = trace_path;
+    obs::TraceCollector::SetEnabled(true);
+  }
+}
+
 // Parses flags and applies the harness-wide ones: --threads=N resizes the
 // process-default thread pool that training, batched inference and workload
-// generation fan out on (0 or absent = hardware_concurrency()), and
-// --json=PATH arms the shared JsonEmitter (benches call
-// Json().WriteIfRequested() before exiting).
+// generation fan out on (0 or absent = hardware_concurrency()), --json=PATH
+// arms the shared JsonEmitter (benches call Json().WriteIfRequested()
+// before exiting), --metrics-json=PATH writes a run report (registry
+// snapshot: training epochs, latency histograms, cache hit rates, pool
+// stats) at exit, and --trace-json=PATH enables span tracing and writes
+// Chrome trace_event JSON at exit (load it in chrome://tracing or Perfetto).
 inline Flags ParseFlagsOrDie(int argc, char** argv) {
   auto flags = Flags::Parse(argc, argv);
   if (!flags.ok()) {
@@ -134,6 +91,8 @@ inline Flags ParseFlagsOrDie(int argc, char** argv) {
   if (flags->Has("json")) {
     Json().SetPath(flags->GetString("json", ""));
   }
+  ArmObsSidecars(flags->GetString("metrics-json", ""),
+                 flags->GetString("trace-json", ""));
   return *std::move(flags);
 }
 

@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "core/checkpoint.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace dace::core {
@@ -16,6 +18,74 @@ namespace {
 
 using featurize::PlanFeatures;
 using nn::Matrix;
+
+// Training metrics, written at epoch granularity (never inside the batch
+// loop). Handles resolve once per process.
+obs::Counter* TrainEpochsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default()->GetCounter("train.epochs");
+  return c;
+}
+
+obs::Counter* TrainMinibatchesCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default()->GetCounter("train.minibatches");
+  return c;
+}
+
+obs::Gauge* TrainEpochLossGauge() {
+  static obs::Gauge* g =
+      obs::MetricsRegistry::Default()->GetGauge("train.epoch_loss");
+  return g;
+}
+
+obs::Gauge* TrainGradNormGauge() {
+  static obs::Gauge* g =
+      obs::MetricsRegistry::Default()->GetGauge("train.grad_norm");
+  return g;
+}
+
+obs::Histogram* TrainEpochMsHistogram() {
+  static obs::Histogram* h = [] {
+    const std::vector<double> bounds = obs::ExponentialBuckets(0.1, 2.0, 24);
+    return obs::MetricsRegistry::Default()->GetHistogram("train.epoch_ms",
+                                                         bounds);
+  }();
+  return h;
+}
+
+// Inference latency, observed per prediction (cache hits included — the
+// histogram tracks what a caller of PredictMs/PredictBatchMs experienced).
+obs::Histogram* PredictLatencyUsHistogram() {
+  static obs::Histogram* h = obs::MetricsRegistry::Default()->GetHistogram(
+      "predict.latency_us", obs::LatencyBucketsUs());
+  return h;
+}
+
+obs::Counter* PredictionsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default()->GetCounter("predict.predictions");
+  return c;
+}
+
+uint64_t LatencyNowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// L2 norm of every accumulated parameter gradient — the per-epoch training
+// health signal (measured on the last minibatch of the epoch, just before
+// Adam consumes the gradients).
+double GradientNorm(const std::vector<nn::Parameter*>& params) {
+  double sum_sq = 0.0;
+  for (const nn::Parameter* p : params) {
+    const double* g = p->grad.data();
+    for (size_t i = 0; i < p->grad.size(); ++i) sum_sq += g[i] * g[i];
+  }
+  return std::sqrt(sum_sq);
+}
 
 // Huber loss and derivative (delta = 1) on the scaled-log-time residual:
 // quadratic near zero for smooth convergence, linear in the tails so outlier
@@ -134,6 +204,10 @@ TrainStats DaceModel::RunTraining(const std::vector<PlanFeatures>& data,
   const int epochs = lora_only ? config_.finetune_epochs : config_.epochs;
   double epoch_loss = 0.0;
   for (int epoch = 0; epoch < epochs; ++epoch) {
+    DACE_TRACE_SPAN("train.epoch");
+    const double epoch_start_ms = NowMs();
+    double grad_norm = 0.0;
+    size_t minibatches = 0;
     rng_.Shuffle(&order);
     epoch_loss = 0.0;
     for (size_t base = 0; base < order.size(); base += batch_size) {
@@ -160,9 +234,22 @@ TrainStats DaceModel::RunTraining(const std::vector<PlanFeatures>& data,
         fc2_.AccumulateGradients(&chunks[c].fc2_g);
         fc3_.AccumulateGradients(&chunks[c].fc3_g);
       }
+      ++minibatches;
+      if (batch_end == order.size()) grad_norm = GradientNorm(params);
       adam.Step();
     }
     epoch_loss /= static_cast<double>(data.size());
+
+    const double epoch_ms = NowMs() - epoch_start_ms;
+    TrainEpochsCounter()->Add(1);
+    TrainMinibatchesCounter()->Add(minibatches);
+    TrainEpochLossGauge()->Set(epoch_loss);
+    TrainGradNormGauge()->Set(grad_norm);
+    TrainEpochMsHistogram()->Observe(epoch_ms);
+    DACE_LOG(INFO) << (lora_only ? "finetune" : "train") << " epoch "
+                   << epoch + 1 << "/" << epochs << " loss=" << epoch_loss
+                   << " grad_norm=" << grad_norm << " batches=" << minibatches
+                   << " wall_ms=" << epoch_ms;
   }
 
   TrainStats stats;
@@ -404,14 +491,36 @@ double DaceEstimator::PredictMs(const plan::QueryPlan& plan) const {
   DACE_CHECK(featurizer_.fitted())
       << "DaceEstimator::PredictMs called before the estimator was trained: "
          "call Train() or LoadFromFile() first";
+  DACE_TRACE_SPAN("predict");
+  const uint64_t t0_us = LatencyNowUs();
   const featurize::FeaturizerConfig fc = FeatConfig();
   const uint64_t version = model_.weights_version();
   const uint64_t fp = featurizer_.Fingerprint(plan, fc);
   double ms = 0.0;
-  if (prediction_cache_->Lookup(version, fp, &ms)) return ms;
-  const featurize::PlanFeatures f = featurizer_.Featurize(plan, fc);
-  ms = featurizer_.InverseTransformTime(model_.PredictRoot(f));
+  if (prediction_cache_->Lookup(version, fp, &ms)) {
+    PredictionsCounter()->Add(1);
+    PredictLatencyUsHistogram()->Observe(
+        static_cast<double>(LatencyNowUs() - t0_us));
+    return ms;
+  }
+  featurize::PlanFeatures f;
+  {
+    DACE_TRACE_SPAN("predict.featurize");
+    f = featurizer_.Featurize(plan, fc);
+  }
+  double scaled = 0.0;
+  {
+    DACE_TRACE_SPAN("predict.forward");
+    scaled = model_.PredictRoot(f);
+  }
+  {
+    DACE_TRACE_SPAN("predict.inverse_transform");
+    ms = featurizer_.InverseTransformTime(scaled);
+  }
   prediction_cache_->Insert(version, fp, ms);
+  PredictionsCounter()->Add(1);
+  PredictLatencyUsHistogram()->Observe(
+      static_cast<double>(LatencyNowUs() - t0_us));
   return ms;
 }
 
@@ -426,6 +535,7 @@ std::vector<double> DaceEstimator::PredictBatchMs(
   if (batch_scratch_.size() < static_cast<size_t>(pool->num_threads())) {
     batch_scratch_.resize(static_cast<size_t>(pool->num_threads()));
   }
+  DACE_TRACE_SPAN("predict.batch");
   const featurize::FeaturizerConfig fc = FeatConfig();
   const uint64_t version = model_.weights_version();
   // out[i] depends only on plan i and the weights, so results are identical
@@ -433,17 +543,30 @@ std::vector<double> DaceEstimator::PredictBatchMs(
   // reuse. The prediction cache preserves that: a hit returns the exact
   // double a cold run would have produced under the same weights.
   pool->ParallelForWorker(0, plans.size(), [&](int slot, size_t i) {
+    const uint64_t t0_us = LatencyNowUs();
     const uint64_t fp = featurizer_.Fingerprint(plans[i], fc);
     double ms = 0.0;
     if (prediction_cache_->Lookup(version, fp, &ms)) {
       out[i] = ms;
-      return;
+    } else {
+      BatchScratch& s = batch_scratch_[static_cast<size_t>(slot)];
+      {
+        DACE_TRACE_SPAN("predict.featurize");
+        featurizer_.FeaturizeInto(plans[i], fc, &s.feats);
+      }
+      {
+        DACE_TRACE_SPAN("predict.forward");
+        model_.PredictAllInto(s.feats, &s.ws, &s.preds);
+      }
+      {
+        DACE_TRACE_SPAN("predict.inverse_transform");
+        out[i] = featurizer_.InverseTransformTime(s.preds[0]);
+      }
+      prediction_cache_->Insert(version, fp, out[i]);
     }
-    BatchScratch& s = batch_scratch_[static_cast<size_t>(slot)];
-    featurizer_.FeaturizeInto(plans[i], fc, &s.feats);
-    model_.PredictAllInto(s.feats, &s.ws, &s.preds);
-    out[i] = featurizer_.InverseTransformTime(s.preds[0]);
-    prediction_cache_->Insert(version, fp, out[i]);
+    PredictionsCounter()->Add(1);
+    PredictLatencyUsHistogram()->Observe(
+        static_cast<double>(LatencyNowUs() - t0_us));
   });
   return out;
 }

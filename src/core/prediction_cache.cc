@@ -2,6 +2,15 @@
 
 namespace dace::core {
 
+PredictionCache::PredictionCache(size_t capacity)
+    : capacity_(capacity),
+      agg_hits_(obs::MetricsRegistry::Default()->GetCounter(
+          "predict.cache.hits")),
+      agg_misses_(obs::MetricsRegistry::Default()->GetCounter(
+          "predict.cache.misses")),
+      agg_evictions_(obs::MetricsRegistry::Default()->GetCounter(
+          "predict.cache.evictions")) {}
+
 void PredictionCache::FlushIfStaleLocked(uint64_t version) {
   if (version == version_) return;
   lru_.clear();
@@ -13,18 +22,21 @@ bool PredictionCache::Lookup(uint64_t version, uint64_t fingerprint,
                              double* ms_out) {
   std::lock_guard<std::mutex> lock(mu_);
   if (capacity_ == 0) {
-    ++misses_;
+    misses_.Add(1);
+    agg_misses_->Add(1);
     return false;
   }
   FlushIfStaleLocked(version);
   auto it = index_.find(fingerprint);
   if (it == index_.end()) {
-    ++misses_;
+    misses_.Add(1);
+    agg_misses_->Add(1);
     return false;
   }
   lru_.splice(lru_.begin(), lru_, it->second);
   *ms_out = it->second->ms;
-  ++hits_;
+  hits_.Add(1);
+  agg_hits_->Add(1);
   return true;
 }
 
@@ -44,7 +56,8 @@ void PredictionCache::Insert(uint64_t version, uint64_t fingerprint,
   if (lru_.size() >= capacity_) {
     index_.erase(lru_.back().fingerprint);
     lru_.pop_back();
-    ++evictions_;
+    evictions_.Add(1);
+    agg_evictions_->Add(1);
   }
   lru_.push_front(Entry{fingerprint, ms});
   index_[fingerprint] = lru_.begin();
@@ -61,15 +74,17 @@ void PredictionCache::Reset(size_t capacity) {
   lru_.clear();
   index_.clear();
   capacity_ = capacity;
-  hits_ = misses_ = evictions_ = 0;
+  hits_.Reset();
+  misses_.Reset();
+  evictions_.Reset();
 }
 
 PredictionCache::Stats PredictionCache::GetStats() const {
   std::lock_guard<std::mutex> lock(mu_);
   Stats s;
-  s.hits = hits_;
-  s.misses = misses_;
-  s.evictions = evictions_;
+  s.hits = hits_.Value();
+  s.misses = misses_.Value();
+  s.evictions = evictions_.Value();
   s.size = lru_.size();
   s.capacity = capacity_;
   return s;

@@ -6,6 +6,8 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+
 namespace dace::core {
 
 // Bounded LRU cache from plan fingerprint to predicted runtime, shared by
@@ -24,6 +26,13 @@ namespace dace::core {
 // workers hit the cache concurrently; the critical sections are a hash
 // probe + list splice, orders of magnitude cheaper than the ~100µs forward
 // pass a hit avoids.
+//
+// Observability: hit/miss/eviction counts live in obs::Counter instances —
+// per-instance ones backing GetStats() (exact per-cache, resettable), plus
+// process-wide "predict.cache.{hits,misses,evictions}" registry counters
+// aggregated across every cache so run reports (--metrics-json) show cache
+// behaviour without bespoke plumbing. The registry counters are monotone:
+// Reset() clears only the per-instance view.
 class PredictionCache {
  public:
   struct Stats {
@@ -34,7 +43,7 @@ class PredictionCache {
     size_t capacity = 0;
   };
 
-  explicit PredictionCache(size_t capacity) : capacity_(capacity) {}
+  explicit PredictionCache(size_t capacity);
 
   PredictionCache(const PredictionCache&) = delete;
   PredictionCache& operator=(const PredictionCache&) = delete;
@@ -70,9 +79,13 @@ class PredictionCache {
   uint64_t version_ = 0;  // weights_version the current contents belong to
   std::list<Entry> lru_;  // front = most recent
   std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
+  obs::Counter hits_;
+  obs::Counter misses_;
+  obs::Counter evictions_;
+  // Registry aggregates (shared across caches, never reset).
+  obs::Counter* agg_hits_;
+  obs::Counter* agg_misses_;
+  obs::Counter* agg_evictions_;
 };
 
 }  // namespace dace::core

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "engine/cost_model.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -13,6 +15,29 @@ namespace {
 using plan::OperatorType;
 using plan::PlanNode;
 using plan::QueryPlan;
+
+obs::Counter* PlansExecutedCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default()->GetCounter("engine.plans_executed");
+  return c;
+}
+
+// Per-operator simulated own-cost totals (µs, pre-noise children excluded):
+// one registry counter per OperatorType, resolved once into a dense array so
+// the per-node accounting is an index plus a relaxed add.
+obs::Counter* OpCostCounter(OperatorType type) {
+  static obs::Counter** counters = [] {
+    auto** arr = new obs::Counter*[plan::kNumOperatorTypes];
+    for (int t = 0; t < plan::kNumOperatorTypes; ++t) {
+      const std::string name =
+          std::string("engine.sim_cost_us.") +
+          plan::OperatorTypeName(static_cast<OperatorType>(t));
+      arr[t] = obs::MetricsRegistry::Default()->GetCounter(name);
+    }
+    return arr;
+  }();
+  return counters[static_cast<int>(type)];
+}
 
 // Recursive post-order walk: returns the inclusive time of `node_id`.
 double Simulate(const Database& db, const MachineProfile& machine,
@@ -55,6 +80,8 @@ double Simulate(const Database& db, const MachineProfile& machine,
   const double noise =
       std::exp(machine.noise_sigma * HashGaussian(key));
   node.actual_time_ms = own * noise + children_time;
+  OpCostCounter(node.type)->Add(
+      static_cast<uint64_t>(own * noise * 1000.0));
   return node.actual_time_ms;
 }
 
@@ -63,7 +90,9 @@ double Simulate(const Database& db, const MachineProfile& machine,
 void SimulateExecution(const Database& db, const MachineProfile& machine,
                        uint64_t noise_seed, QueryPlan* plan) {
   DACE_CHECK_GE(plan->root(), 0);
+  DACE_TRACE_SPAN("engine.simulate_execution");
   Simulate(db, machine, noise_seed, plan, plan->root());
+  PlansExecutedCounter()->Add(1);
 }
 
 }  // namespace dace::engine

@@ -4,10 +4,24 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
 namespace dace::eval {
+
+namespace {
+
+// Every q-error computed by an evaluation run, in log-space buckets — the
+// run-report view of estimator accuracy (q-error >= 1 by construction).
+obs::Histogram* QerrorHistogram() {
+  static obs::Histogram* h = obs::MetricsRegistry::Default()->GetHistogram(
+      "eval.qerror", obs::QErrorBuckets());
+  return h;
+}
+
+}  // namespace
 
 double Qerror(double est, double act) {
   // Clamp into a sane range for execution times in ms so the ratio stays
@@ -45,12 +59,14 @@ std::vector<double> QerrorsOf(const core::CostEstimator& estimator,
   // One batched-inference call: estimators with a parallel hot path (DACE)
   // fan the forward passes across the thread pool; the rest fall back to the
   // interface's sequential default.
+  DACE_TRACE_SPAN("eval.qerrors_of");
   const std::vector<double> predictions = estimator.PredictBatchMs(test);
   std::vector<double> qerrors;
   qerrors.reserve(test.size());
   for (size_t i = 0; i < test.size(); ++i) {
     qerrors.push_back(
         Qerror(predictions[i], test[i].node(test[i].root()).actual_time_ms));
+    QerrorHistogram()->Observe(qerrors.back());
   }
   return qerrors;
 }

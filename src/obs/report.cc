@@ -1,0 +1,68 @@
+#include "obs/report.h"
+
+#include <cstdio>
+
+namespace dace::obs {
+
+namespace {
+
+// Compact CSV rendering for bucket vectors: %.17g doubles / decimal uint64s
+// joined by commas. Keeps histogram records flat (JsonEmitter has no array
+// type) while staying trivially machine-parseable.
+std::string JoinDoubles(const std::vector<double>& v) {
+  std::string out;
+  char buf[64];
+  for (size_t i = 0; i < v.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%.17g", v[i]);
+    if (i != 0) out += ',';
+    out += buf;
+  }
+  return out;
+}
+
+std::string JoinCounts(const std::vector<uint64_t>& v) {
+  std::string out;
+  char buf[32];
+  for (size_t i = 0; i < v.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v[i]));
+    if (i != 0) out += ',';
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace
+
+void AppendMetricsRecords(const MetricsRegistry::Snapshot& snap,
+                          JsonEmitter* out) {
+  for (const auto& c : snap.counters) {
+    out->Add(c.name)
+        .Str("kind", "counter")
+        .Num("value", static_cast<double>(c.value));
+  }
+  for (const auto& g : snap.gauges) {
+    out->Add(g.name).Str("kind", "gauge").Num("value", g.value);
+  }
+  for (const auto& h : snap.histograms) {
+    out->Add(h.name)
+        .Str("kind", "histogram")
+        .Num("count", static_cast<double>(h.hist.count))
+        .Num("sum", h.hist.sum)
+        .Num("mean", h.hist.Mean())
+        .Num("p50", h.hist.Quantile(0.50))
+        .Num("p90", h.hist.Quantile(0.90))
+        .Num("p99", h.hist.Quantile(0.99))
+        .Str("bounds", JoinDoubles(h.hist.upper_bounds))
+        .Str("counts", JoinCounts(h.hist.counts));
+  }
+}
+
+bool WriteMetricsReport(const std::string& path) {
+  JsonEmitter emitter;
+  emitter.SetPath(path);
+  AppendMetricsRecords(MetricsRegistry::Default()->TakeSnapshot(), &emitter);
+  return emitter.WriteIfRequested();
+}
+
+}  // namespace dace::obs

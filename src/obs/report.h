@@ -1,0 +1,30 @@
+#ifndef DACE_OBS_REPORT_H_
+#define DACE_OBS_REPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/json_emitter.h"
+
+namespace dace::obs {
+
+// Renders a registry snapshot as flat JsonEmitter records, one per metric:
+//   counters:   {"name": N, "kind": "counter", "value": V}
+//   gauges:     {"name": N, "kind": "gauge", "value": V}
+//   histograms: {"name": N, "kind": "histogram", "count", "sum", "mean",
+//                "p50", "p90", "p99", "bounds": "1,2,4,...",
+//                "counts": "0,3,..."} (counts has one trailing overflow
+//                bucket beyond bounds)
+// Record order is deterministic: counters, gauges, histograms, each sorted
+// by metric name.
+void AppendMetricsRecords(const MetricsRegistry::Snapshot& snap,
+                          JsonEmitter* out);
+
+// Snapshots MetricsRegistry::Default() and writes the records document to
+// `path` ({"records": [...]}). Returns false on IO failure. This is what
+// the bench binaries' --metrics-json flag drives.
+bool WriteMetricsReport(const std::string& path);
+
+}  // namespace dace::obs
+
+#endif  // DACE_OBS_REPORT_H_

@@ -1,0 +1,121 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace dace::obs {
+
+namespace internal {
+
+uint64_t TraceNowUs() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+}  // namespace internal
+
+void TraceBuffer::AppendTo(std::vector<TraceEvent>* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t live = head_ < kCapacity ? head_ : kCapacity;
+  const uint64_t first = head_ - live;  // oldest retained event
+  for (uint64_t i = first; i < head_; ++i) {
+    out->push_back(events_[i % kCapacity]);
+  }
+}
+
+uint64_t TraceBuffer::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return head_;
+}
+
+void TraceBuffer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  head_ = 0;
+}
+
+TraceCollector* TraceCollector::Default() {
+  static TraceCollector* collector = new TraceCollector();
+  return collector;
+}
+
+std::atomic<bool>& TraceCollector::enabled_state() {
+  static std::atomic<bool>* state = [] {
+    const char* env = std::getenv("DACE_TRACE");
+    const bool on =
+        env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+    return new std::atomic<bool>(on);
+  }();
+  return *state;
+}
+
+TraceBuffer* TraceCollector::BufferForThisThread() {
+  thread_local TraceBuffer* buffer = nullptr;
+  // A thread that outlives one collector use never re-registers; the pointer
+  // is process-lifetime (buffers_ never shrinks).
+  if (buffer == nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(
+        std::make_unique<TraceBuffer>(static_cast<uint32_t>(buffers_.size())));
+    buffer = buffers_.back().get();
+  }
+  return buffer;
+}
+
+std::vector<TraceEvent> TraceCollector::SnapshotEvents() const {
+  std::vector<TraceEvent> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buf : buffers_) buf->AppendTo(&out);
+  return out;
+}
+
+uint64_t TraceCollector::TotalRecorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& buf : buffers_) total += buf->total_recorded();
+  return total;
+}
+
+std::string TraceCollector::ExportChromeJson() const {
+  const std::vector<TraceEvent> events = SnapshotEvents();
+  std::string out = "{\"traceEvents\":[\n";
+  char line[256];
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    std::snprintf(line, sizeof(line),
+                  "{\"name\":\"%s\",\"cat\":\"dace\",\"ph\":\"X\","
+                  "\"ts\":%llu,\"dur\":%llu,\"pid\":1,\"tid\":%u}%s\n",
+                  e.name, static_cast<unsigned long long>(e.ts_us),
+                  static_cast<unsigned long long>(e.dur_us), e.tid,
+                  i + 1 == events.size() ? "" : ",");
+    out += line;
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool TraceCollector::WriteChromeJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open trace path %s\n", path.c_str());
+    return false;
+  }
+  const std::string json = ExportChromeJson();
+  std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (ok) std::printf("wrote %s\n", path.c_str());
+  return ok;
+}
+
+void TraceCollector::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buf : buffers_) buf->Clear();
+}
+
+}  // namespace dace::obs

@@ -1,0 +1,158 @@
+#ifndef DACE_OBS_TRACE_H_
+#define DACE_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dace::obs {
+
+// One completed span. `name` must be a string literal (or otherwise outlive
+// the collector) — spans store the pointer, never a copy, so recording stays
+// allocation-free.
+struct TraceEvent {
+  const char* name = nullptr;
+  uint64_t ts_us = 0;   // begin, µs since the process trace epoch
+  uint64_t dur_us = 0;  // end - begin
+  uint32_t tid = 0;     // small per-thread id (0 = first tracing thread)
+  uint32_t depth = 0;   // span nesting depth at begin (0 = outermost)
+};
+
+// Fixed-capacity per-thread ring of completed spans: the newest kCapacity
+// events win, older ones are overwritten. Each buffer is written only by its
+// owning thread; the mutex exists for the (rare, cold) export/clear paths —
+// uncontended lock/unlock on record keeps the hot path tens of nanoseconds
+// while staying TSan-clean against a concurrent export.
+class TraceBuffer {
+ public:
+  static constexpr size_t kCapacity = 8192;
+
+  explicit TraceBuffer(uint32_t tid) : tid_(tid) {}
+
+  void Record(const char* name, uint64_t ts_us, uint64_t dur_us,
+              uint32_t depth) {
+    std::lock_guard<std::mutex> lock(mu_);
+    TraceEvent& e = events_[head_ % kCapacity];
+    e.name = name;
+    e.ts_us = ts_us;
+    e.dur_us = dur_us;
+    e.tid = tid_;
+    e.depth = depth;
+    ++head_;
+  }
+
+  // Oldest-to-newest copy of the retained events.
+  void AppendTo(std::vector<TraceEvent>* out) const;
+  // Total spans ever recorded (>= retained count once wrapped).
+  uint64_t total_recorded() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  uint32_t tid_;
+  uint64_t head_ = 0;  // next slot; min(head_, kCapacity) events are live
+  TraceEvent events_[kCapacity];
+};
+
+// Owns every thread's ring buffer and renders them as Chrome trace_event
+// JSON (chrome://tracing / Perfetto "traceEvents" format, "X" complete
+// events). Buffers are created lazily on a thread's first span and live for
+// the process lifetime, so events from exited pool threads still export.
+class TraceCollector {
+ public:
+  // Leaky singleton: safe from atexit hooks.
+  static TraceCollector* Default();
+
+  // Tracing master switch. Off (the default) makes a span cost one relaxed
+  // load. First query also honours the DACE_TRACE env var (any value except
+  // "", "0" enables).
+  static bool enabled() {
+    return enabled_state().load(std::memory_order_relaxed);
+  }
+  static void SetEnabled(bool on) {
+    enabled_state().store(on, std::memory_order_relaxed);
+  }
+
+  // The calling thread's buffer, created on first use.
+  TraceBuffer* BufferForThisThread();
+
+  // All retained events, every thread, oldest-to-newest per thread.
+  std::vector<TraceEvent> SnapshotEvents() const;
+  uint64_t TotalRecorded() const;
+
+  // {"traceEvents":[...]} — loads in chrome://tracing and Perfetto.
+  std::string ExportChromeJson() const;
+  bool WriteChromeJson(const std::string& path) const;
+
+  // Drops every retained event (buffers stay registered). Test helper.
+  void Clear();
+
+ private:
+  static std::atomic<bool>& enabled_state();
+
+  mutable std::mutex mu_;  // guards buffers_ registration/iteration
+  std::vector<std::unique_ptr<TraceBuffer>> buffers_;
+};
+
+namespace internal {
+
+uint64_t TraceNowUs();  // µs since the process trace epoch (steady clock)
+
+// Per-thread span nesting depth; maintained only while tracing is enabled,
+// which is fine: depth is a debugging aid, not a correctness invariant.
+inline uint32_t& SpanDepth() {
+  thread_local uint32_t depth = 0;
+  return depth;
+}
+
+}  // namespace internal
+
+// RAII span: stamps begin at construction and records one TraceEvent into
+// the calling thread's ring at destruction. When tracing is disabled the
+// whole object is one relaxed load. Use via DACE_TRACE_SPAN.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (!TraceCollector::enabled()) return;
+    name_ = name;
+    begin_us_ = internal::TraceNowUs();
+    depth_ = internal::SpanDepth()++;
+  }
+
+  ~TraceSpan() {
+    if (name_ == nullptr) return;
+    --internal::SpanDepth();
+    TraceCollector::Default()->BufferForThisThread()->Record(
+        name_, begin_us_, internal::TraceNowUs() - begin_us_, depth_);
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;  // null = tracing was off at construction
+  uint64_t begin_us_ = 0;
+  uint32_t depth_ = 0;
+};
+
+}  // namespace dace::obs
+
+// DACE_TRACE_SPAN("literal") — scoped span covering the rest of the
+// enclosing block. Compiles to nothing under DACE_OBS_DISABLED so the
+// zero-alloc inference path carries no instrumentation in opted-out builds.
+#define DACE_OBS_CONCAT_INNER(a, b) a##b
+#define DACE_OBS_CONCAT(a, b) DACE_OBS_CONCAT_INNER(a, b)
+
+#ifdef DACE_OBS_DISABLED
+#define DACE_TRACE_SPAN(name) \
+  do {                        \
+  } while (false)
+#else
+#define DACE_TRACE_SPAN(name) \
+  ::dace::obs::TraceSpan DACE_OBS_CONCAT(dace_trace_span_, __LINE__)(name)
+#endif
+
+#endif  // DACE_OBS_TRACE_H_

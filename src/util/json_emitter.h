@@ -1,0 +1,107 @@
+#ifndef DACE_UTIL_JSON_EMITTER_H_
+#define DACE_UTIL_JSON_EMITTER_H_
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dace {
+
+// Machine-readable results sidecar shared by the bench binaries and the
+// observability run report: callers append flat records (string/number
+// fields) and write them as one JSON document — {"records": [{...}, ...]} —
+// so sweeps can be diffed and plotted without scraping stdout. Numbers
+// render with %.17g (round-trip exact); non-finite values render as null
+// (JSON has no NaN/Inf). Lived in bench/bench_util.h until the obs
+// subsystem needed it below the bench layer.
+class JsonEmitter {
+ public:
+  class Record {
+   public:
+    Record& Num(const std::string& key, double v) {
+      char buf[64];
+      if (std::isfinite(v)) {
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        fields_.emplace_back(key, buf);
+      } else {
+        fields_.emplace_back(key, "null");
+      }
+      return *this;
+    }
+    Record& Str(const std::string& key, const std::string& v) {
+      fields_.emplace_back(key, Quote(v));
+      return *this;
+    }
+
+   private:
+    friend class JsonEmitter;
+    static std::string Quote(const std::string& s) {
+      std::string out = "\"";
+      for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+              char esc[8];
+              std::snprintf(esc, sizeof(esc), "\\u%04x", c);
+              out += esc;
+            } else {
+              out += c;
+            }
+        }
+      }
+      out += '"';
+      return out;
+    }
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  void SetPath(std::string path) { path_ = std::move(path); }
+  const std::string& path() const { return path_; }
+  bool enabled() const { return !path_.empty(); }
+
+  // New record; the returned reference stays valid until the next Add.
+  Record& Add(const std::string& name) {
+    records_.emplace_back();
+    records_.back().Str("name", name);
+    return records_.back();
+  }
+
+  // Writes the document if a path was set. Returns false on IO failure.
+  bool WriteIfRequested() const {
+    if (!enabled()) return true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open --json path %s\n", path_.c_str());
+      return false;
+    }
+    std::fputs("{\"records\": [\n", f);
+    for (size_t r = 0; r < records_.size(); ++r) {
+      std::fputs("  {", f);
+      const auto& fields = records_[r].fields_;
+      for (size_t i = 0; i < fields.size(); ++i) {
+        std::fprintf(f, "%s\"%s\": %s", i == 0 ? "" : ", ",
+                     fields[i].first.c_str(), fields[i].second.c_str());
+      }
+      std::fprintf(f, "}%s\n", r + 1 == records_.size() ? "" : ",");
+    }
+    std::fputs("]}\n", f);
+    const bool ok = std::ferror(f) == 0;
+    std::fclose(f);
+    if (ok) std::printf("wrote %s\n", path_.c_str());
+    return ok;
+  }
+
+ private:
+  std::string path_;
+  std::vector<Record> records_;
+};
+
+}  // namespace dace
+
+#endif  // DACE_UTIL_JSON_EMITTER_H_

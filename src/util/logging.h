@@ -1,12 +1,20 @@
 #ifndef DACE_UTIL_LOGGING_H_
 #define DACE_UTIL_LOGGING_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <sstream>
 #include <string>
 
 namespace dace {
+
+// Leveled logging severities, ordered so "at least this severe" is a simple
+// integer compare. kOff is a threshold only — nothing logs at it.
+enum class LogLevel : int { kInfo = 0, kWarn = 1, kError = 2, kOff = 3 };
+
 namespace internal {
 
 // Collects a message via operator<< and aborts on destruction. Used by the
@@ -33,8 +41,100 @@ class CheckFailureStream {
   std::ostringstream stream_;
 };
 
+// ------------------------------------------------------------- logging ----
+
+inline LogLevel ParseLogLevel(const char* s, LogLevel fallback) {
+  if (s == nullptr || s[0] == '\0') return fallback;
+  if (std::strcmp(s, "INFO") == 0 || std::strcmp(s, "0") == 0)
+    return LogLevel::kInfo;
+  if (std::strcmp(s, "WARN") == 0 || std::strcmp(s, "1") == 0)
+    return LogLevel::kWarn;
+  if (std::strcmp(s, "ERROR") == 0 || std::strcmp(s, "2") == 0)
+    return LogLevel::kError;
+  if (std::strcmp(s, "OFF") == 0 || std::strcmp(s, "3") == 0)
+    return LogLevel::kOff;
+  return fallback;
+}
+
+// Minimum severity that logs, initialized once from the DACE_LOG_LEVEL env
+// var (INFO | WARN | ERROR | OFF, default WARN so test and bench output
+// stays quiet) and overridable at runtime for tests.
+inline std::atomic<int>& MinLogLevelState() {
+  static std::atomic<int>* level = new std::atomic<int>(static_cast<int>(
+      ParseLogLevel(std::getenv("DACE_LOG_LEVEL"), LogLevel::kWarn)));
+  return *level;
+}
+
+inline bool LogEnabled(LogLevel severity) {
+  return static_cast<int>(severity) >=
+         MinLogLevelState().load(std::memory_order_relaxed);
+}
+
+inline void SetMinLogLevel(LogLevel level) {
+  MinLogLevelState().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+// Seconds since the first log line, for compact relative timestamps.
+inline double LogElapsedSeconds() {
+  static const std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// Small dense id for the calling thread (0 = first logging thread).
+inline int LogThreadId() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+// One log line, buffered in full and flushed to stderr with a single
+// fwrite in the destructor: concurrent pool workers interleave whole lines,
+// never characters, with no lock shared across call sites (TSan-clean —
+// fwrite itself locks the FILE).
+class LogMessage {
+ public:
+  LogMessage(const char* file, int line, LogLevel severity) {
+    const char* base = std::strrchr(file, '/');
+    char prefix[128];
+    std::snprintf(prefix, sizeof(prefix), "[%c %.3f t%d %s:%d] ",
+                  "IWE"[static_cast<int>(severity)], LogElapsedSeconds(),
+                  LogThreadId(), base != nullptr ? base + 1 : file, line);
+    stream_ << prefix;
+  }
+
+  ~LogMessage() {
+    stream_ << '\n';
+    const std::string line = stream_.str();
+    std::fwrite(line.data(), 1, line.size(), stderr);
+  }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+inline constexpr LogLevel kLogSeverityINFO = LogLevel::kInfo;
+inline constexpr LogLevel kLogSeverityWARN = LogLevel::kWarn;
+inline constexpr LogLevel kLogSeverityERROR = LogLevel::kError;
+
 }  // namespace internal
 }  // namespace dace
+
+// Structured leveled logging: DACE_LOG(INFO) << "epoch " << e << " done".
+// The stream expression is not evaluated when the severity is below the
+// threshold (DACE_LOG_LEVEL env var, default WARN), so log sites in hot
+// loops cost one relaxed load when silent.
+#define DACE_LOG(severity)                                       \
+  if (!::dace::internal::LogEnabled(                             \
+          ::dace::internal::kLogSeverity##severity)) {           \
+  } else                                                         \
+    ::dace::internal::LogMessage(                                \
+        __FILE__, __LINE__, ::dace::internal::kLogSeverity##severity) \
+        .stream()
 
 // Fatal assertion: always on (benchmark-critical inner loops use
 // DACE_DCHECK instead, which compiles out in NDEBUG builds).
@@ -43,7 +143,7 @@ class CheckFailureStream {
   ::dace::internal::CheckFailureStream(__FILE__, __LINE__, #condition)
 
 #define DACE_CHECK_EQ(a, b) DACE_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
-#define DACE_CHECK_NE(a, b) DACE_CHECK((a) != (b))
+#define DACE_CHECK_NE(a, b) DACE_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
 #define DACE_CHECK_LT(a, b) DACE_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
 #define DACE_CHECK_LE(a, b) DACE_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
 #define DACE_CHECK_GT(a, b) DACE_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "

@@ -1,10 +1,49 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.h"
 
 namespace dace {
 
 namespace {
+
+// Pool-wide metrics (all pools aggregate into the same registry entries:
+// the signals that matter for serving — total work executed, peak fan-out,
+// aggregate busy time — are process-level). Handles resolve once.
+obs::Counter* TasksExecutedCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default()->GetCounter("threadpool.tasks_executed");
+  return c;
+}
+
+obs::Counter* ParallelForCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default()->GetCounter("threadpool.parallel_fors");
+  return c;
+}
+
+obs::Counter* BusyUsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default()->GetCounter("threadpool.busy_us");
+  return c;
+}
+
+// High-water mark of items submitted to one ParallelFor — the deepest the
+// work queue ever got.
+obs::Gauge* QueueDepthHighWater() {
+  static obs::Gauge* g = obs::MetricsRegistry::Default()->GetGauge(
+      "threadpool.queue_depth_high_water");
+  return g;
+}
+
+uint64_t BusyNowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 // Set while a thread executes pool work; nested ParallelFor calls detect it
 // and run inline instead of re-entering the (single-job) pool.
@@ -53,6 +92,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::RunChunks(Job* job, int slot) {
   ScopedPoolWork scope;
+  const uint64_t busy_start = BusyNowUs();
   for (;;) {
     const size_t start = job->next.fetch_add(job->chunk);
     if (start >= job->end) break;
@@ -72,6 +112,7 @@ void ThreadPool::RunChunks(Job* job, int slot) {
     }
     job->pending.fetch_sub(retired);
   }
+  BusyUsCounter()->Add(BusyNowUs() - busy_start);
 }
 
 void ThreadPool::WorkerLoop(int slot) {
@@ -106,11 +147,16 @@ void ThreadPool::ParallelForWorker(size_t begin, size_t end,
                                    const std::function<void(int, size_t)>& fn) {
   if (end <= begin) return;
   const size_t count = end - begin;
+  ParallelForCounter()->Add(1);
+  TasksExecutedCounter()->Add(count);
+  QueueDepthHighWater()->SetMax(static_cast<double>(count));
   // Run inline when there is nothing to fan out to, when the range is a
   // single item, or when this is a nested call from inside pool work.
   if (workers_.empty() || count == 1 || t_in_pool_work) {
     ScopedPoolWork scope;
+    const uint64_t busy_start = BusyNowUs();
     for (size_t i = begin; i < end; ++i) fn(0, i);
+    BusyUsCounter()->Add(BusyNowUs() - busy_start);
     return;
   }
 

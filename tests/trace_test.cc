@@ -1,0 +1,173 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace dace::obs {
+namespace {
+
+// The collector is process-wide; every test starts from a clean, enabled
+// slate and restores the prior switch state so ordering cannot leak.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = TraceCollector::enabled();
+    TraceCollector::SetEnabled(true);
+    TraceCollector::Default()->Clear();
+  }
+  void TearDown() override {
+    TraceCollector::Default()->Clear();
+    TraceCollector::SetEnabled(was_enabled_);
+  }
+
+ private:
+  bool was_enabled_ = false;
+};
+
+#ifndef DACE_OBS_DISABLED
+
+TEST_F(TraceTest, SpanRecordsNameAndDuration) {
+  { DACE_TRACE_SPAN("unit_span"); }
+  const std::vector<TraceEvent> events =
+      TraceCollector::Default()->SnapshotEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "unit_span");
+  EXPECT_EQ(events[0].depth, 0u);
+}
+
+TEST_F(TraceTest, NestedSpansTrackDepthAndContainment) {
+  {
+    DACE_TRACE_SPAN("outer");
+    {
+      DACE_TRACE_SPAN("middle");
+      { DACE_TRACE_SPAN("inner"); }
+    }
+  }
+  const std::vector<TraceEvent> events =
+      TraceCollector::Default()->SnapshotEvents();
+  ASSERT_EQ(events.size(), 3u);
+  // Destructors fire innermost-first, so the ring holds inner → outer.
+  EXPECT_STREQ(events[0].name, "inner");
+  EXPECT_STREQ(events[1].name, "middle");
+  EXPECT_STREQ(events[2].name, "outer");
+  EXPECT_EQ(events[0].depth, 2u);
+  EXPECT_EQ(events[1].depth, 1u);
+  EXPECT_EQ(events[2].depth, 0u);
+  // Child intervals sit inside the parent interval.
+  for (int child = 0; child < 2; ++child) {
+    const TraceEvent& c = events[child];
+    const TraceEvent& p = events[child + 1];
+    EXPECT_GE(c.ts_us, p.ts_us);
+    EXPECT_LE(c.ts_us + c.dur_us, p.ts_us + p.dur_us);
+  }
+  // Depth unwound fully; a sibling span starts back at depth 0.
+  { DACE_TRACE_SPAN("sibling"); }
+  const std::vector<TraceEvent> after =
+      TraceCollector::Default()->SnapshotEvents();
+  ASSERT_EQ(after.size(), 4u);
+  EXPECT_EQ(after[3].depth, 0u);
+}
+
+TEST_F(TraceTest, RingBufferWrapsKeepingNewest) {
+  constexpr size_t kOverflow = 100;
+  for (size_t i = 0; i < TraceBuffer::kCapacity + kOverflow; ++i) {
+    DACE_TRACE_SPAN("wrap");
+  }
+  EXPECT_EQ(TraceCollector::Default()->TotalRecorded(),
+            TraceBuffer::kCapacity + kOverflow);
+  // Retention is capped at kCapacity; the oldest kOverflow were overwritten.
+  EXPECT_EQ(TraceCollector::Default()->SnapshotEvents().size(),
+            TraceBuffer::kCapacity);
+}
+
+TEST_F(TraceTest, DisabledSpansCostNothingAndRecordNothing) {
+  TraceCollector::SetEnabled(false);
+  { DACE_TRACE_SPAN("invisible"); }
+  EXPECT_TRUE(TraceCollector::Default()->SnapshotEvents().empty());
+  // Re-enabling resumes recording on the same buffers.
+  TraceCollector::SetEnabled(true);
+  { DACE_TRACE_SPAN("visible"); }
+  const std::vector<TraceEvent> events =
+      TraceCollector::Default()->SnapshotEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "visible");
+}
+
+TEST_F(TraceTest, ExportIsStructurallyValidChromeTraceJson) {
+  {
+    DACE_TRACE_SPAN("export_outer");
+    { DACE_TRACE_SPAN("export_inner"); }
+  }
+  const std::string json = TraceCollector::Default()->ExportChromeJson();
+  // Top-level shape: {"traceEvents":[ ... ]}.
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_EQ(json.find("]}"), json.size() - 3);  // "]}\n" tail
+  // One complete-event object per recorded span, each carrying the required
+  // trace_event keys.
+  size_t events = 0;
+  for (size_t pos = 0; (pos = json.find("\"ph\":\"X\"", pos)) != std::string::npos;
+       ++pos) {
+    ++events;
+  }
+  EXPECT_EQ(events, 2u);
+  EXPECT_NE(json.find("\"name\":\"export_inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"export_outer\""), std::string::npos);
+  for (const char* key : {"\"cat\":", "\"ts\":", "\"dur\":", "\"pid\":",
+                          "\"tid\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  // Braces and brackets balance (a cheap structural-validity proxy given the
+  // emitter never writes them inside strings).
+  int braces = 0;
+  int brackets = 0;
+  for (char ch : json) {
+    braces += (ch == '{') - (ch == '}');
+    brackets += (ch == '[') - (ch == ']');
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  // No trailing comma before the closing bracket.
+  EXPECT_EQ(json.find(",]"), std::string::npos);
+  EXPECT_EQ(json.find(",\n]"), std::string::npos);
+}
+
+TEST_F(TraceTest, EmptyExportIsStillValid) {
+  const std::string json = TraceCollector::Default()->ExportChromeJson();
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_EQ(json.find("\"ph\""), std::string::npos);
+  EXPECT_EQ(json.find(",]"), std::string::npos);
+}
+
+TEST_F(TraceTest, EventsFromMultipleThreadsCarryDistinctTids) {
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 2; ++t) {
+    workers.emplace_back([] { DACE_TRACE_SPAN("worker_span"); });
+  }
+  for (auto& w : workers) w.join();
+  const std::vector<TraceEvent> events =
+      TraceCollector::Default()->SnapshotEvents();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].tid, events[1].tid);
+}
+
+#else  // DACE_OBS_DISABLED
+
+TEST_F(TraceTest, SpanMacroCompilesToNoOp) {
+  // The macro must remain usable as a statement and record nothing, keeping
+  // opted-out builds instrumentation-free.
+  if (true) DACE_TRACE_SPAN("disabled");
+  {
+    DACE_TRACE_SPAN("disabled_outer");
+    DACE_TRACE_SPAN("disabled_inner");
+  }
+  EXPECT_TRUE(TraceCollector::Default()->SnapshotEvents().empty());
+  EXPECT_EQ(TraceCollector::Default()->TotalRecorded(), 0u);
+}
+
+#endif  // DACE_OBS_DISABLED
+
+}  // namespace
+}  // namespace dace::obs

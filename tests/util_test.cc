@@ -4,6 +4,7 @@
 #include <set>
 
 #include "util/flags.h"
+#include "util/logging.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/strings.h"
@@ -303,6 +304,107 @@ TEST(HashTest, HashGaussianMoments) {
   }
   EXPECT_NEAR(sum / n, 0.0, 0.05);
   EXPECT_NEAR(sum2 / n, 1.0, 0.06);
+}
+
+// ---------------------------------------------------- Checks & logging ----
+
+TEST(CheckDeathTest, CheckNeReportsBothOperands) {
+  // Regression: DACE_CHECK_NE used to omit the "(a vs b)" operand detail the
+  // other comparison checks print, leaving the failure message without the
+  // offending values.
+  const int kDupe = 3;
+  EXPECT_DEATH(DACE_CHECK_NE(kDupe, 3) << "dupe id",
+               "CHECK failed: \\(kDupe\\) != \\(3\\) \\(3 vs 3\\) dupe id");
+}
+
+TEST(CheckDeathTest, CheckEqReportsBothOperands) {
+  EXPECT_DEATH(DACE_CHECK_EQ(2 + 2, 5), "\\(4 vs 5\\)");
+}
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  DACE_CHECK(true);
+  DACE_CHECK_NE(1, 2);
+  DACE_CHECK_EQ(4, 4);
+  DACE_CHECK_OK(Status::OK());
+}
+
+// Swaps the log threshold for one test and restores the old one after.
+class ScopedLogLevel {
+ public:
+  explicit ScopedLogLevel(LogLevel level)
+      : saved_(static_cast<LogLevel>(
+            internal::MinLogLevelState().load(std::memory_order_relaxed))) {
+    internal::SetMinLogLevel(level);
+  }
+  ~ScopedLogLevel() { internal::SetMinLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LoggingTest, SeverityThresholdFilters) {
+  ScopedLogLevel scoped(LogLevel::kWarn);
+  testing::internal::CaptureStderr();
+  DACE_LOG(INFO) << "below threshold";
+  DACE_LOG(WARN) << "warn line";
+  DACE_LOG(ERROR) << "error line";
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("below threshold"), std::string::npos);
+  EXPECT_NE(out.find("warn line"), std::string::npos);
+  EXPECT_NE(out.find("error line"), std::string::npos);
+}
+
+TEST(LoggingTest, OffSilencesEverything) {
+  ScopedLogLevel scoped(LogLevel::kOff);
+  testing::internal::CaptureStderr();
+  DACE_LOG(ERROR) << "even errors";
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST(LoggingTest, LineCarriesSeverityTagAndCallSite) {
+  ScopedLogLevel scoped(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  DACE_LOG(INFO) << "hello";
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.rfind("[I ", 0), 0u);  // severity initial leads the prefix
+  EXPECT_NE(out.find("util_test.cc:"), std::string::npos);
+  EXPECT_NE(out.find("] hello\n"), std::string::npos);
+}
+
+TEST(LoggingTest, BelowThresholdDoesNotEvaluateStream) {
+  ScopedLogLevel scoped(LogLevel::kError);
+  int evaluations = 0;
+  const auto touch = [&]() {
+    ++evaluations;
+    return "side effect";
+  };
+  testing::internal::CaptureStderr();
+  DACE_LOG(INFO) << touch();
+  testing::internal::GetCapturedStderr();
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(LoggingTest, MacroBindsInDanglingElse) {
+  ScopedLogLevel scoped(LogLevel::kOff);
+  // Must compile and take the sane branch when used unbraced inside if/else.
+  bool reached_else = false;
+  if (false)
+    DACE_LOG(INFO) << "never";
+  else
+    reached_else = true;
+  EXPECT_TRUE(reached_else);
+}
+
+TEST(LoggingTest, ParseLogLevelAcceptsNamesAndDigits) {
+  using internal::ParseLogLevel;
+  EXPECT_EQ(ParseLogLevel("INFO", LogLevel::kOff), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("WARN", LogLevel::kOff), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("ERROR", LogLevel::kOff), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("OFF", LogLevel::kInfo), LogLevel::kOff);
+  EXPECT_EQ(ParseLogLevel("2", LogLevel::kOff), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel(nullptr, LogLevel::kWarn), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("", LogLevel::kError), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("bogus", LogLevel::kWarn), LogLevel::kWarn);
 }
 
 // Property sweep: UniformInt stays in bounds for many random ranges.

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Three-configuration gate for the kernel substrate:
+# Multi-configuration gate for the kernel substrate and observability layer:
 #
 #   1. native       — default build; AVX2+FMA kernels compiled in and selected
 #                     at runtime when the CPU supports them.
@@ -12,6 +12,13 @@
 #                     trailing garbage, cross-config loads) re-run explicitly
 #                     under ASan in both ISA modes: every rejected load must
 #                     be leak- and overflow-clean, not just return non-OK.
+#   5. tsan-obs     — separate build tree with -DDACE_SANITIZE=thread, run
+#                     with logging at INFO and tracing enabled so the metrics
+#                     registry, trace ring buffers, and log lines are
+#                     exercised concurrently under TSan.
+#   6. obs-off      — separate build tree with -DDACE_OBS=OFF proving the
+#                     DACE_TRACE_SPAN no-op macro compiles everywhere and the
+#                     suite still passes without span instrumentation.
 #
 # Usage: tools/check.sh [-j N]
 set -euo pipefail
@@ -30,24 +37,36 @@ run_ctest() {
   (cd "$dir" && "$@" ctest --output-on-failure)
 }
 
-echo "==> [1/4] native build + tests"
+echo "==> [1/6] native build + tests"
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build -j "$JOBS"
 run_ctest build env
 
-echo "==> [2/4] scalar-forced tests (same build, DACE_KERNELS=scalar)"
+echo "==> [2/6] scalar-forced tests (same build, DACE_KERNELS=scalar)"
 run_ctest build env DACE_KERNELS=scalar
 
-echo "==> [3/4] address-sanitizer build + tests (both ISA modes)"
+echo "==> [3/6] address-sanitizer build + tests (both ISA modes)"
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDACE_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$JOBS"
 run_ctest build-asan env
 run_ctest build-asan env DACE_KERNELS=scalar
 
-echo "==> [4/4] checkpoint corruption fuzz under ASan (both ISA modes)"
+echo "==> [4/6] checkpoint corruption fuzz under ASan (both ISA modes)"
 (cd build-asan && env ctest --output-on-failure -R 'Checkpoint')
 (cd build-asan && env DACE_KERNELS=scalar \
   ctest --output-on-failure -R 'Checkpoint')
 
-echo "==> all four configurations passed"
+echo "==> [5/6] thread-sanitizer build + tests (logging INFO, tracing on)"
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDACE_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS"
+run_ctest build-tsan env DACE_LOG_LEVEL=INFO DACE_TRACE=1
+
+echo "==> [6/6] observability-disabled build + tests (-DDACE_OBS=OFF)"
+cmake -B build-obs-off -S . -DCMAKE_BUILD_TYPE=Release \
+  -DDACE_OBS=OFF >/dev/null
+cmake --build build-obs-off -j "$JOBS"
+run_ctest build-obs-off env
+
+echo "==> all six configurations passed"
