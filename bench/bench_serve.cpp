@@ -1,0 +1,209 @@
+// Closed-loop load generator for the serving layer: N client threads ×
+// T tenants drive EstimatorService (coalescing scheduler over per-tenant
+// snapshots) while an optional swapper hot-swaps checkpoints mid-run.
+// Reports client-observed latency percentiles, throughput, the serve.*
+// outcome counters, and the realized coalescing (batches / mean batch
+// size). Not a paper table — this benchmarks the PR-5 serving layer that
+// fronts the estimator.
+//
+//   ./bench_serve [--tenants=3] [--clients=8] [--requests=2000]
+//                 [--plans=64] [--epochs=1] [--max-batch=64]
+//                 [--max-wait-us=200] [--queue-cap=1024] [--deadline-us=0]
+//                 [--swaps=4] [--threads=N]
+//                 [--json=out.json] [--metrics-json=m.json]
+//                 [--trace-json=t.json]
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/dace_model.h"
+#include "engine/corpus.h"
+#include "engine/dataset.h"
+#include "engine/machine.h"
+#include "obs/metrics.h"
+#include "serve/model_registry.h"
+#include "serve/service.h"
+
+namespace {
+
+using namespace dace;
+
+double Percentile(std::vector<double>* sorted, double p) {
+  if (sorted->empty()) return 0.0;
+  const size_t idx = std::min(
+      sorted->size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted->size() - 1)));
+  return (*sorted)[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags = bench::ParseFlagsOrDie(argc, argv);
+  const int tenants = static_cast<int>(flags.GetInt("tenants", 3));
+  const int clients = static_cast<int>(flags.GetInt("clients", 8));
+  const int requests = static_cast<int>(flags.GetInt("requests", 2000));
+  const int plan_count = static_cast<int>(flags.GetInt("plans", 64));
+  const int epochs = static_cast<int>(flags.GetInt("epochs", 1));
+  const int swaps = static_cast<int>(flags.GetInt("swaps", 4));
+  const int64_t deadline_us = flags.GetInt("deadline-us", 0);
+
+  serve::ServiceConfig service_config;
+  service_config.max_batch =
+      static_cast<size_t>(flags.GetInt("max-batch", 64));
+  service_config.max_wait_us = flags.GetInt("max-wait-us", 200);
+  service_config.queue_capacity =
+      static_cast<size_t>(flags.GetInt("queue-cap", 1024));
+
+  bench::PrintHeader("serving layer: coalescing + hot swap under load",
+                     "serving micro-benchmark (no paper table)");
+
+  const engine::Database db = engine::BuildTpchLike(42);
+  const auto plans = engine::GenerateLabeledPlans(
+      db, engine::MachineM1(), engine::WorkloadKind::kComplex, plan_count, 9);
+
+  core::DaceConfig model_config;
+  model_config.epochs = epochs;
+  core::DaceEstimator base(model_config);
+  base.set_name("bench-serve");
+  {
+    bench::WallTimer timer;
+    base.Train(plans);
+    std::printf("trained base model in %.0f ms (%d epochs, %zu plans)\n",
+                timer.ElapsedMs(), epochs, plans.size());
+  }
+  const std::string ckpt = "/tmp/bench_serve_ckpt.dace";
+  if (const auto s = base.SaveToFile(ckpt); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  serve::ModelRegistry registry;
+  for (int t = 0; t < tenants; ++t) {
+    auto est = std::make_shared<core::DaceEstimator>(model_config);
+    est->set_name("bench-serve");
+    if (const auto s = est->LoadFromFile(ckpt); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    (void)registry.Register("tenant-" + std::to_string(t), est);
+  }
+
+  serve::EstimatorService service(&registry, service_config);
+
+  std::atomic<uint64_t> ok{0}, rejected{0}, missed{0};
+  std::vector<std::vector<double>> latencies(static_cast<size_t>(clients));
+  std::atomic<bool> stop_swapper{false};
+  std::atomic<int> swaps_done{0};
+
+  std::thread swapper;
+  if (swaps > 0) {
+    swapper = std::thread([&] {
+      for (int i = 0; i < swaps && !stop_swapper.load(); ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        for (int t = 0; t < tenants; ++t) {
+          if (registry.SwapFromFile("tenant-" + std::to_string(t), ckpt).ok()) {
+            swaps_done.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+
+  bench::WallTimer run_timer;
+  std::vector<std::thread> workers;
+  for (int c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      auto& lat = latencies[static_cast<size_t>(c)];
+      lat.reserve(static_cast<size_t>(requests));
+      for (int i = 0; i < requests; ++i) {
+        const std::string tenant =
+            "tenant-" + std::to_string((c + i) % tenants);
+        const auto& plan =
+            plans[static_cast<size_t>(c * 131 + i) % plans.size()];
+        bench::WallTimer timer;
+        const auto result = service.Estimate(tenant, plan, deadline_us);
+        if (result.ok()) {
+          ok.fetch_add(1, std::memory_order_relaxed);
+          lat.push_back(timer.ElapsedMs() * 1000.0);  // us
+        } else if (result.status().code() == StatusCode::kDeadlineExceeded) {
+          missed.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          rejected.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double wall_ms = run_timer.ElapsedMs();
+  stop_swapper.store(true);
+  if (swapper.joinable()) swapper.join();
+
+  std::vector<double> all;
+  for (const auto& lat : latencies) all.insert(all.end(), lat.begin(), lat.end());
+  std::sort(all.begin(), all.end());
+  double sum = 0.0;
+  for (double v : all) sum += v;
+  const double mean_us = all.empty() ? 0.0 : sum / static_cast<double>(all.size());
+  const double p50 = Percentile(&all, 0.50);
+  const double p95 = Percentile(&all, 0.95);
+  const double p99 = Percentile(&all, 0.99);
+  const double qps =
+      static_cast<double>(ok.load()) / (wall_ms / 1000.0);
+
+  obs::MetricsRegistry* metrics = obs::MetricsRegistry::Default();
+  const uint64_t batches = metrics->GetCounter("serve.batches")->Value();
+  const uint64_t issued = metrics->GetCounter("serve.requests")->Value();
+  const double mean_batch =
+      batches > 0 ? static_cast<double>(ok.load()) /
+                        static_cast<double>(batches)
+                  : 0.0;
+
+  std::printf("\nclients=%d tenants=%d requests/client=%d "
+              "max_batch=%zu max_wait_us=%lld queue_cap=%zu\n",
+              clients, tenants, requests, service_config.max_batch,
+              static_cast<long long>(service_config.max_wait_us),
+              service_config.queue_capacity);
+  std::printf("outcomes: ok=%llu rejected=%llu deadline_missed=%llu "
+              "(issued=%llu)\n",
+              static_cast<unsigned long long>(ok.load()),
+              static_cast<unsigned long long>(rejected.load()),
+              static_cast<unsigned long long>(missed.load()),
+              static_cast<unsigned long long>(issued));
+  std::printf("throughput: %.0f ok-req/s over %.0f ms wall\n", qps, wall_ms);
+  std::printf("latency us: mean=%.1f p50=%.1f p95=%.1f p99=%.1f\n", mean_us,
+              p50, p95, p99);
+  std::printf("coalescing: %llu batches, %.2f requests/batch; swaps=%d\n",
+              static_cast<unsigned long long>(batches), mean_batch,
+              swaps_done.load());
+
+  bench::Json()
+      .Add("serve_load")
+      .Num("clients", clients)
+      .Num("tenants", tenants)
+      .Num("requests_per_client", requests)
+      .Num("max_batch", static_cast<double>(service_config.max_batch))
+      .Num("max_wait_us", static_cast<double>(service_config.max_wait_us))
+      .Num("queue_capacity", static_cast<double>(service_config.queue_capacity))
+      .Num("deadline_us", static_cast<double>(deadline_us))
+      .Num("ok", static_cast<double>(ok.load()))
+      .Num("rejected", static_cast<double>(rejected.load()))
+      .Num("deadline_missed", static_cast<double>(missed.load()))
+      .Num("throughput_qps", qps)
+      .Num("latency_mean_us", mean_us)
+      .Num("latency_p50_us", p50)
+      .Num("latency_p95_us", p95)
+      .Num("latency_p99_us", p99)
+      .Num("batches", static_cast<double>(batches))
+      .Num("mean_batch_size", mean_batch)
+      .Num("swaps", swaps_done.load());
+  if (!bench::Json().WriteIfRequested()) return 1;
+  std::remove(ckpt.c_str());
+  return 0;
+}

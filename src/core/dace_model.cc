@@ -526,6 +526,14 @@ double DaceEstimator::PredictMs(const plan::QueryPlan& plan) const {
 
 std::vector<double> DaceEstimator::PredictBatchMs(
     std::span<const plan::QueryPlan> plans) const {
+  std::vector<const plan::QueryPlan*> ptrs;
+  ptrs.reserve(plans.size());
+  for (const plan::QueryPlan& plan : plans) ptrs.push_back(&plan);
+  return PredictBatchMs(ptrs);
+}
+
+std::vector<double> DaceEstimator::PredictBatchMs(
+    std::span<const plan::QueryPlan* const> plans) const {
   std::vector<double> out(plans.size());
   if (plans.empty()) return out;
   DACE_CHECK(featurizer_.fitted())
@@ -544,7 +552,7 @@ std::vector<double> DaceEstimator::PredictBatchMs(
   // double a cold run would have produced under the same weights.
   pool->ParallelForWorker(0, plans.size(), [&](int slot, size_t i) {
     const uint64_t t0_us = LatencyNowUs();
-    const uint64_t fp = featurizer_.Fingerprint(plans[i], fc);
+    const uint64_t fp = featurizer_.Fingerprint(*plans[i], fc);
     double ms = 0.0;
     if (prediction_cache_->Lookup(version, fp, &ms)) {
       out[i] = ms;
@@ -552,7 +560,7 @@ std::vector<double> DaceEstimator::PredictBatchMs(
       BatchScratch& s = batch_scratch_[static_cast<size_t>(slot)];
       {
         DACE_TRACE_SPAN("predict.featurize");
-        featurizer_.FeaturizeInto(plans[i], fc, &s.feats);
+        featurizer_.FeaturizeInto(*plans[i], fc, &s.feats);
       }
       {
         DACE_TRACE_SPAN("predict.forward");

@@ -213,6 +213,15 @@ class DaceEstimator : public CostEstimator {
   std::vector<double> PredictBatchMs(
       std::span<const plan::QueryPlan> plans) const override;
 
+  // Scatter-gather variant of the batch hot path for the serving layer: the
+  // plans of one coalesced micro-batch live on different callers' stacks, so
+  // the batch is described by pointers instead of a contiguous array. Same
+  // math, same cache, same determinism guarantees as the span-of-values
+  // overload (which delegates here); results are bit-identical to per-plan
+  // PredictMs. Pointers must stay valid for the duration of the call.
+  std::vector<double> PredictBatchMs(
+      std::span<const plan::QueryPlan* const> plans) const;
+
   // Pool used for training featurization and PredictBatchMs; nullptr =
   // process default. Also forwarded to the model.
   void set_thread_pool(ThreadPool* pool);

@@ -1,6 +1,7 @@
 #include "plan/plan.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 
 #include "util/logging.h"
@@ -235,26 +236,50 @@ StatusOr<QueryPlan> ParsePlanText(std::string_view text) {
     if (close == std::string_view::npos) {
       return Status::InvalidArgument("unterminated metrics");
     }
-    // Metrics: rows=.. cost=.. arows=.. ams=..
+    // Metrics: rows=.. cost=.. arows=.. ams=..  Every value must be finite
+    // (NaN/Inf would silently poison the featurizer's log-space scalers) and
+    // every key may appear at most once — a duplicate means the producer is
+    // confused or the bytes were corrupted, so the plan is rejected rather
+    // than letting the later value win.
+    uint32_t seen_metrics = 0;
     for (std::string_view tok :
          StrSplit(line.substr(paren + 2, close - paren - 2), ' ')) {
       const size_t eq = tok.find('=');
       if (eq == std::string_view::npos) continue;
       const std::string_view key = tok.substr(0, eq);
       DACE_ASSIGN_OR_RETURN(const double value, ParseDouble(tok.substr(eq + 1)));
+      if (!std::isfinite(value)) {
+        return Status::InvalidArgument("non-finite metric: " + std::string(tok));
+      }
+      uint32_t bit = 0;
       if (key == "rows") {
+        bit = 1u << 0;
         node.est_cardinality = value;
       } else if (key == "cost") {
+        bit = 1u << 1;
         node.est_cost = value;
       } else if (key == "arows") {
+        bit = 1u << 2;
         node.actual_cardinality = value;
       } else if (key == "ams") {
+        bit = 1u << 3;
         node.actual_time_ms = value;
       } else {
         return Status::InvalidArgument("unknown metric: " + std::string(key));
       }
+      if ((seen_metrics & bit) != 0) {
+        return Status::InvalidArgument("duplicate metric: " + std::string(key));
+      }
+      seen_metrics |= bit;
     }
-    // Annotations after the metrics.
+    // Annotations after the metrics. The single-valued ones (table, trows,
+    // join) may appear at most once; only filter= legitimately repeats.
+    uint32_t seen_annotations = 0;
+    const auto claim_annotation = [&](uint32_t bit) -> bool {
+      if ((seen_annotations & bit) != 0) return false;
+      seen_annotations |= bit;
+      return true;
+    };
     for (std::string_view tok : StrSplit(line.substr(close + 1), ' ')) {
       if (tok.empty()) continue;
       const size_t eq = tok.find('=');
@@ -264,11 +289,24 @@ StatusOr<QueryPlan> ParsePlanText(std::string_view text) {
       const std::string_view key = tok.substr(0, eq);
       const std::string_view value = tok.substr(eq + 1);
       if (key == "table") {
+        if (!claim_annotation(1u << 0)) {
+          return Status::InvalidArgument("duplicate annotation: table");
+        }
         DACE_ASSIGN_OR_RETURN(const int64_t id, ParseInt64(value));
         node.annotation.table_id = static_cast<int32_t>(id);
       } else if (key == "trows") {
+        if (!claim_annotation(1u << 1)) {
+          return Status::InvalidArgument("duplicate annotation: trows");
+        }
         DACE_ASSIGN_OR_RETURN(node.annotation.table_rows, ParseDouble(value));
+        if (!std::isfinite(node.annotation.table_rows)) {
+          return Status::InvalidArgument("non-finite annotation: " +
+                                         std::string(tok));
+        }
       } else if (key == "join") {
+        if (!claim_annotation(1u << 2)) {
+          return Status::InvalidArgument("duplicate annotation: join");
+        }
         // l.lc=r.rc
         const auto sides = StrSplit(value, '=');
         if (sides.size() != 2) return Status::InvalidArgument("bad join");
@@ -294,6 +332,10 @@ StatusOr<QueryPlan> ParsePlanText(std::string_view text) {
         DACE_ASSIGN_OR_RETURN(f.op, CompareOpFromName(parts[1]));
         DACE_ASSIGN_OR_RETURN(f.literal, ParseDouble(parts[2]));
         DACE_ASSIGN_OR_RETURN(f.est_selectivity, ParseDouble(parts[3]));
+        if (!std::isfinite(f.literal) || !std::isfinite(f.est_selectivity)) {
+          return Status::InvalidArgument("non-finite filter: " +
+                                         std::string(tok));
+        }
         node.annotation.filters.push_back(f);
       } else {
         return Status::InvalidArgument("unknown annotation: " +

@@ -1,0 +1,109 @@
+#include "serve/model_registry.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace dace::serve {
+
+namespace {
+
+obs::Counter* SwapOkCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default()->GetCounter("serve.swap.ok");
+  return c;
+}
+
+obs::Counter* SwapFailedCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default()->GetCounter("serve.swap.failed");
+  return c;
+}
+
+}  // namespace
+
+Status ModelRegistry::Register(std::string_view tenant,
+                               std::shared_ptr<core::DaceEstimator> estimator) {
+  if (tenant.empty()) return Status::InvalidArgument("empty tenant key");
+  if (estimator == nullptr) {
+    return Status::InvalidArgument("null estimator for tenant: " +
+                                   std::string(tenant));
+  }
+  if (!estimator->featurizer().fitted()) {
+    return Status::FailedPrecondition(
+        "estimator for tenant '" + std::string(tenant) +
+        "' is untrained: call Train() or LoadFromFile() before Register");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[std::string(tenant)];
+  entry.estimator = std::move(estimator);
+  ++entry.generation;
+  return Status::OK();
+}
+
+StatusOr<ModelRegistry::Snapshot> ModelRegistry::Get(
+    std::string_view tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(tenant);
+  if (it == entries_.end()) {
+    return Status::NotFound("unknown tenant: " + std::string(tenant));
+  }
+  return Snapshot(it->second.estimator);
+}
+
+Status ModelRegistry::SwapFromFile(std::string_view tenant,
+                                   const std::string& path) {
+  DACE_TRACE_SPAN("serve.swap");
+  std::shared_ptr<core::DaceEstimator> current;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(tenant);
+    if (it == entries_.end()) {
+      SwapFailedCounter()->Add(1);
+      return Status::NotFound("unknown tenant: " + std::string(tenant));
+    }
+    current = it->second.estimator;
+  }
+  // Stage entirely off the serving path: the checkpoint loader verifies the
+  // checksum before parsing a payload byte, rejects config mismatches, and
+  // validates every weight shape before committing into the staged
+  // estimator. The published snapshot keeps serving throughout.
+  auto staged = std::make_shared<core::DaceEstimator>(current->model().config());
+  staged->set_name(current->Name());
+  staged->set_prediction_cache_capacity(
+      current->prediction_cache_stats().capacity);
+  if (const Status status = staged->LoadFromFile(path); !status.ok()) {
+    SwapFailedCounter()->Add(1);
+    DACE_LOG(WARN) << "hot swap of tenant '" << std::string(tenant) << "' from "
+                   << path << " rejected: " << status.ToString();
+    return status;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry& entry = entries_[std::string(tenant)];
+    entry.estimator = std::move(staged);
+    ++entry.generation;
+  }
+  SwapOkCounter()->Add(1);
+  DACE_LOG(INFO) << "hot-swapped tenant '" << std::string(tenant) << "' from "
+                 << path;
+  return Status::OK();
+}
+
+uint64_t ModelRegistry::Generation(std::string_view tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(tenant);
+  return it == entries_.end() ? 0 : it->second.generation;
+}
+
+std::vector<std::string> ModelRegistry::Tenants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [tenant, entry] : entries_) out.push_back(tenant);
+  return out;
+}
+
+}  // namespace dace::serve

@@ -1,0 +1,75 @@
+#ifndef DACE_SERVE_MODEL_REGISTRY_H_
+#define DACE_SERVE_MODEL_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/dace_model.h"
+#include "util/status.h"
+
+namespace dace::serve {
+
+// Thread-safe map from tenant key (a database/hardware profile the serving
+// layer prices plans for) to the tenant's current estimator snapshot.
+//
+// Snapshots are immutable-by-contract: once published, an estimator is only
+// ever read through const methods (PredictMs / PredictBatchMs), never
+// retrained or reloaded in place. Rolling new weights therefore never
+// mutates a live model — SwapFromFile stages a FRESH estimator, runs the
+// transactional checkpoint loader on it off the serving path (checksum,
+// config fingerprint and every weight shape are validated before anything
+// commits; the load itself bumps the staged model's weights_version_, so
+// its prediction cache can never serve a pre-load value), and only then
+// atomically publishes the new shared_ptr. In-flight requests that resolved
+// the old snapshot finish on it — the shared_ptr keeps the old weights and
+// their still-valid prediction-cache entries alive until the last reader
+// drops them.
+class ModelRegistry {
+ public:
+  using Snapshot = std::shared_ptr<const core::DaceEstimator>;
+
+  ModelRegistry() = default;
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  // Publishes `estimator` as the tenant's current snapshot (upsert: an
+  // existing tenant is swapped, which is the pre-built-model analogue of
+  // SwapFromFile). The estimator must be trained — an unfitted featurizer
+  // is rejected here rather than crashing a drainer thread later.
+  Status Register(std::string_view tenant,
+                  std::shared_ptr<core::DaceEstimator> estimator);
+
+  // The tenant's current snapshot; kNotFound for unknown tenants.
+  StatusOr<Snapshot> Get(std::string_view tenant) const;
+
+  // Hot swap: loads the checkpoint at `path` into a staged estimator built
+  // from the current snapshot's config (carrying over its name and
+  // prediction-cache capacity), and publishes it only if the load fully
+  // validates. On any failure the registry is untouched and the published
+  // snapshot keeps serving. Counts serve.swap.ok / serve.swap.failed.
+  Status SwapFromFile(std::string_view tenant, const std::string& path);
+
+  // Times the tenant's snapshot has been (re)published: 1 after Register,
+  // +1 per successful swap. 0 for unknown tenants.
+  uint64_t Generation(std::string_view tenant) const;
+
+  // Registered tenant keys, sorted.
+  std::vector<std::string> Tenants() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<core::DaceEstimator> estimator;
+    uint64_t generation = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+}  // namespace dace::serve
+
+#endif  // DACE_SERVE_MODEL_REGISTRY_H_

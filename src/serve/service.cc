@@ -1,0 +1,331 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace dace::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedUs(Clock::time_point since) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - since)
+      .count();
+}
+
+// Handles into the process-wide registry, resolved once. All accounting for
+// one request happens in TenantQueue::Submit, so by construction
+//   serve.ok + serve.admission.rejected + serve.deadline.missed
+//     == serve.requests
+// once callers are quiescent — the reconciliation the soak test asserts.
+struct ServeMetrics {
+  obs::Counter* issued;
+  obs::Counter* ok;
+  obs::Counter* rejected;
+  obs::Counter* deadline_missed;
+  obs::Counter* batches;
+  obs::Histogram* batch_size;
+  obs::Histogram* batch_us;
+  obs::Histogram* request_us;
+  obs::Gauge* queue_depth_hw;
+};
+
+ServeMetrics* Metrics() {
+  static ServeMetrics* metrics = [] {
+    static const double kBatchSizeBounds[] = {1,  2,  4,   8,   16,  32,
+                                              64, 128, 256, 512, 1024};
+    obs::MetricsRegistry* r = obs::MetricsRegistry::Default();
+    auto* m = new ServeMetrics();
+    m->issued = r->GetCounter("serve.requests");
+    m->ok = r->GetCounter("serve.ok");
+    m->rejected = r->GetCounter("serve.admission.rejected");
+    m->deadline_missed = r->GetCounter("serve.deadline.missed");
+    m->batches = r->GetCounter("serve.batches");
+    m->batch_size = r->GetHistogram("serve.batch.size", kBatchSizeBounds);
+    m->batch_us =
+        r->GetHistogram("serve.batch.latency_us", obs::LatencyBucketsUs());
+    m->request_us =
+        r->GetHistogram("serve.request.latency_us", obs::LatencyBucketsUs());
+    m->queue_depth_hw = r->GetGauge("serve.queue.depth.high_water");
+    return m;
+  }();
+  return metrics;
+}
+
+}  // namespace
+
+// One in-flight request. Lives on the submitting caller's stack: the caller
+// never returns from Submit until `done` (or until it removed itself from
+// the pending queue under the lock), so the drainer's pointer is always
+// valid. `claimed`/`done` are only written under the queue mutex.
+struct EstimatorService::Request {
+  const plan::QueryPlan* plan = nullptr;
+  Clock::time_point deadline{};
+  bool has_deadline = false;
+  bool claimed = false;  // owned by a drainer batch; a result is coming
+  bool done = false;
+  double ms = 0.0;
+  Status status;
+};
+
+// Bounded admission queue + coalescing drainer for one tenant. The drainer
+// thread claims micro-batches (flush on max-batch or max-wait) and prices
+// each with a single PredictBatchMs call on the tenant's current snapshot;
+// that call fans the batch out across the process thread pool. Serializing
+// batches per tenant is also what makes PredictBatchMs safe here — the
+// estimator's batch scratch is per-estimator, and exactly one drainer
+// touches a tenant's snapshot at a time (snapshots retired by a hot swap
+// finish their last batch on the old object, which the new drainer batches
+// never touch).
+class EstimatorService::TenantQueue {
+ public:
+  TenantQueue(std::string tenant, ModelRegistry* registry,
+              const ServiceConfig& config)
+      : tenant_(std::move(tenant)), registry_(registry), config_(config) {
+    drainer_ = std::thread([this] { DrainLoop(); });
+  }
+
+  ~TenantQueue() {
+    Shutdown();
+    drainer_.join();
+  }
+
+  void Shutdown() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    drain_cv_.notify_all();
+    client_cv_.notify_all();
+  }
+
+  StatusOr<double> Submit(const plan::QueryPlan& plan, int64_t deadline_us) {
+    ServeMetrics* m = Metrics();
+    m->issued->Add(1);
+    const Clock::time_point start = Clock::now();
+    Request req;
+    req.plan = &plan;
+    req.has_deadline = deadline_us > 0;
+    if (req.has_deadline) {
+      req.deadline = start + std::chrono::microseconds(deadline_us);
+    }
+    const Status outcome = EnqueueAndWait(&req, start);
+    if (outcome.ok()) {
+      m->ok->Add(1);
+      m->request_us->Observe(ElapsedUs(start));
+      return req.ms;
+    }
+    if (outcome.code() == StatusCode::kDeadlineExceeded) {
+      m->deadline_missed->Add(1);
+    } else {
+      m->rejected->Add(1);
+    }
+    return outcome;
+  }
+
+ private:
+  Status EnqueueAndWait(Request* req, Clock::time_point start) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stop_) return Status::Unavailable("service is shut down");
+    if (pending_.size() >= config_.queue_capacity) {
+      return Status::Unavailable(StrFormat(
+          "tenant '%s' admission queue full (%zu pending)", tenant_.c_str(),
+          pending_.size()));
+    }
+    if (req->has_deadline && Clock::now() >= req->deadline) {
+      return Status::DeadlineExceeded("deadline expired before admission");
+    }
+    if (pending_.empty()) window_open_ = start;
+    pending_.push_back(req);
+    Metrics()->queue_depth_hw->SetMax(static_cast<double>(pending_.size()));
+    drain_cv_.notify_one();
+
+    while (!req->done) {
+      if (req->has_deadline && !req->claimed) {
+        client_cv_.wait_until(lock, req->deadline);
+        if (!req->done && !req->claimed && Clock::now() >= req->deadline) {
+          // Still queued: abandon the slot. The drainer can no longer reach
+          // this request, so returning (and unwinding the stack slot) is
+          // safe.
+          pending_.erase(std::find(pending_.begin(), pending_.end(), req));
+          return Status::DeadlineExceeded(
+              "deadline expired before batch dispatch");
+        }
+      } else {
+        client_cv_.wait(lock);
+      }
+    }
+    if (!req->status.ok()) return req->status;
+    if (req->has_deadline && Clock::now() > req->deadline) {
+      return Status::DeadlineExceeded("batch completed after the deadline");
+    }
+    return Status::OK();
+  }
+
+  void DrainLoop() {
+    for (;;) {
+      std::vector<Request*> batch;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        drain_cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
+        if (pending_.empty()) {
+          if (stop_) return;  // shut down with nothing left to drain
+          continue;
+        }
+        // Coalescing window: dispatch when the batch is full or the oldest
+        // pending request has waited max_wait_us (immediately on shutdown —
+        // admitted requests still complete).
+        const Clock::time_point flush_at =
+            window_open_ + std::chrono::microseconds(config_.max_wait_us);
+        while (!stop_ && pending_.size() < config_.max_batch &&
+               Clock::now() < flush_at) {
+          drain_cv_.wait_until(lock, flush_at);
+        }
+        const size_t n = std::min(pending_.size(), config_.max_batch);
+        const auto split = pending_.begin() + static_cast<ptrdiff_t>(n);
+        batch.assign(pending_.begin(), split);
+        pending_.erase(pending_.begin(), split);
+        // Requests left behind by a full batch open a fresh window.
+        if (!pending_.empty()) window_open_ = Clock::now();
+        const Clock::time_point now = Clock::now();
+        size_t live = 0;
+        for (Request* r : batch) {
+          r->claimed = true;
+          if (r->has_deadline && now >= r->deadline) {
+            // Expired while queued: fail it now instead of spending forward-
+            // pass work on a result the caller already gave up on.
+            r->status =
+                Status::DeadlineExceeded("deadline expired while queued");
+            r->done = true;
+          } else {
+            batch[live++] = r;
+          }
+        }
+        if (live < batch.size()) {
+          batch.resize(live);
+          client_cv_.notify_all();
+        }
+      }
+      ExecuteBatch(std::move(batch));
+    }
+  }
+
+  void ExecuteBatch(std::vector<Request*> batch) {
+    if (batch.empty()) return;
+    ServeMetrics* m = Metrics();
+    Status failure;
+    std::vector<double> results;
+    auto snapshot_or = registry_->Get(tenant_);
+    if (!snapshot_or.ok()) {
+      failure = snapshot_or.status();
+    } else {
+      const ModelRegistry::Snapshot snapshot = *std::move(snapshot_or);
+      std::vector<const plan::QueryPlan*> plans;
+      plans.reserve(batch.size());
+      for (const Request* r : batch) plans.push_back(r->plan);
+      DACE_TRACE_SPAN("serve.batch");
+      const Clock::time_point t0 = Clock::now();
+      results = snapshot->PredictBatchMs(plans);
+      m->batches->Add(1);
+      m->batch_size->Observe(static_cast<double>(batch.size()));
+      m->batch_us->Observe(ElapsedUs(t0));
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (size_t i = 0; i < batch.size(); ++i) {
+        if (failure.ok()) {
+          batch[i]->ms = results[i];
+        } else {
+          batch[i]->status = failure;
+        }
+        batch[i]->done = true;
+      }
+    }
+    client_cv_.notify_all();
+  }
+
+  const std::string tenant_;
+  ModelRegistry* const registry_;
+  const ServiceConfig config_;
+
+  std::mutex mu_;
+  std::condition_variable drain_cv_;   // drainer waits for work / flush
+  std::condition_variable client_cv_;  // submitters wait for their result
+  std::deque<Request*> pending_;
+  Clock::time_point window_open_{};  // enqueue time of the oldest pending
+  bool stop_ = false;
+  std::thread drainer_;
+};
+
+EstimatorService::EstimatorService(ModelRegistry* registry,
+                                   const ServiceConfig& config)
+    : registry_(registry), config_(config) {
+  DACE_CHECK(registry != nullptr);
+  DACE_CHECK(config.max_batch >= 1);
+  DACE_CHECK(config.queue_capacity >= 1);
+  DACE_CHECK(config.max_wait_us >= 0);
+}
+
+EstimatorService::~EstimatorService() {
+  Shutdown();
+  // TenantQueue destructors join the drainers.
+}
+
+void EstimatorService::Shutdown() {
+  std::vector<TenantQueue*> queues;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    queues.reserve(queues_.size());
+    for (const auto& [tenant, queue] : queues_) queues.push_back(queue.get());
+  }
+  for (TenantQueue* queue : queues) queue->Shutdown();
+}
+
+StatusOr<double> EstimatorService::Estimate(std::string_view tenant,
+                                            const plan::QueryPlan& plan,
+                                            int64_t deadline_us) {
+  {
+    // Unknown tenants are refused before admission (and before any serve.*
+    // accounting): there is no queue to put them on.
+    auto snapshot = registry_->Get(tenant);
+    if (!snapshot.ok()) return snapshot.status();
+  }
+  TenantQueue* queue = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      auto it = queues_.find(tenant);
+      if (it == queues_.end()) {
+        // Never served this tenant and no longer admitting: refuse without
+        // spawning a drainer that would outlive the shutdown.
+        return Status::Unavailable("service is shut down");
+      }
+      queue = it->second.get();  // Submit will refuse, with accounting
+    } else {
+      auto it = queues_.find(tenant);
+      if (it == queues_.end()) {
+        it = queues_
+                 .emplace(std::string(tenant),
+                          std::make_unique<TenantQueue>(std::string(tenant),
+                                                        registry_, config_))
+                 .first;
+      }
+      queue = it->second.get();
+    }
+  }
+  return queue->Submit(plan, deadline_us);
+}
+
+}  // namespace dace::serve

@@ -1,0 +1,100 @@
+#ifndef DACE_SERVE_SERVICE_H_
+#define DACE_SERVE_SERVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "plan/plan.h"
+#include "serve/model_registry.h"
+#include "util/status.h"
+
+namespace dace::serve {
+
+// Tunables of the coalescing scheduler. The defaults favour latency on an
+// idle service (a lone request waits at most max_wait_us) while letting a
+// loaded service amortize the transformer forward across max_batch plans.
+struct ServiceConfig {
+  // Micro-batch flush triggers: a tenant's batch dispatches as soon as
+  // max_batch requests are pending, or as soon as the oldest pending request
+  // has waited max_wait_us microseconds, whichever comes first.
+  size_t max_batch = 64;
+  int64_t max_wait_us = 200;
+  // Admission bound per tenant: Estimate returns kUnavailable (backpressure)
+  // when this many requests are already queued, so overload degrades into
+  // fast typed rejections instead of unbounded queueing.
+  size_t queue_capacity = 1024;
+};
+
+// Thread-safe multi-tenant front end over the estimator stack — the piece
+// that turns "every caller owns a DaceEstimator" into a service. Concurrent
+// single-plan Estimate calls enqueue into a bounded per-tenant admission
+// queue; a per-tenant drainer coalesces them into micro-batches and prices
+// each batch with one PredictBatchMs call (which fans out across the
+// process thread pool), so DACE's batched-inference property pays off
+// across callers, not just within one caller's batch.
+//
+// Results are bit-identical to direct PredictMs / PredictBatchMs calls on
+// the snapshot: coalescing only changes who computes, never what is
+// computed (serve_differential_test.cc holds this under both kernel ISAs,
+// cache on and off).
+//
+// Error taxonomy (every request resolves to exactly one):
+//   OK                 — priced; the double is the estimator's prediction.
+//   kNotFound          — unknown tenant (refused before admission).
+//   kUnavailable       — backpressure: admission queue full, or the service
+//                        is shut down. Safe to retry later.
+//   kDeadlineExceeded  — the request's deadline elapsed before dispatch,
+//                        while queued, or before its batch completed.
+//
+// Observability: serve.requests / serve.ok / serve.admission.rejected /
+// serve.deadline.missed counters reconcile exactly (every admitted request
+// increments serve.requests and exactly one outcome counter), plus
+// serve.batches, serve.batch.size and serve.batch.latency_us /
+// serve.request.latency_us histograms, a serve.queue.depth.high_water
+// gauge, and a DACE_TRACE_SPAN("serve.batch") per dispatched batch.
+//
+// Hot swap: each batch resolves the tenant's snapshot at dispatch time, so
+// a ModelRegistry::SwapFromFile takes effect on the next batch; batches
+// already executing finish on the old snapshot, whose shared_ptr keeps its
+// weights and prediction cache alive and valid.
+class EstimatorService {
+ public:
+  explicit EstimatorService(ModelRegistry* registry,
+                            const ServiceConfig& config = ServiceConfig());
+  ~EstimatorService();  // Shutdown() and joins every drainer.
+
+  EstimatorService(const EstimatorService&) = delete;
+  EstimatorService& operator=(const EstimatorService&) = delete;
+
+  // Predicted runtime of `plan` in milliseconds, via the tenant's coalesced
+  // batch path. Blocks until the request resolves (at most roughly
+  // max_wait_us + one batch execution, or the deadline). deadline_us is a
+  // per-request budget relative to the call; <= 0 means no deadline.
+  StatusOr<double> Estimate(std::string_view tenant,
+                            const plan::QueryPlan& plan,
+                            int64_t deadline_us = 0);
+
+  // Stops admitting new requests (they get kUnavailable); already-admitted
+  // requests are drained to completion. Idempotent; the destructor calls it.
+  void Shutdown();
+
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  struct Request;
+  class TenantQueue;
+
+  ModelRegistry* const registry_;
+  const ServiceConfig config_;
+  std::mutex mu_;  // guards queues_ / shutdown_
+  bool shutdown_ = false;
+  std::map<std::string, std::unique_ptr<TenantQueue>, std::less<>> queues_;
+};
+
+}  // namespace dace::serve
+
+#endif  // DACE_SERVE_SERVICE_H_

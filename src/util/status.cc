@@ -23,6 +23,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "UNIMPLEMENTED";
     case StatusCode::kDataLoss:
       return "DATA_LOSS";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }

@@ -19,6 +19,8 @@ enum class StatusCode {
   kInternal = 5,
   kUnimplemented = 6,
   kDataLoss = 7,
+  kUnavailable = 8,
+  kDeadlineExceeded = 9,
 };
 
 // Returns a short human-readable name ("OK", "INVALID_ARGUMENT", ...).
@@ -58,6 +60,13 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  // Transient refusal (backpressure, shutdown): the caller may retry later.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,359 @@
+// Seeded mutation fuzzing for the plan text parser (the serving layer's
+// untrusted input surface). Every mutant in the corpus is constructed so
+// that it is PROVABLY invalid — the assertion is that the parser rejects
+// 100% of them with a typed non-OK Status (never a crash, hang, or silent
+// acceptance). Run under ASan in check.sh, the same corpus also proves the
+// parser never reads out of bounds on corrupted bytes.
+//
+// Mutation classes and why each is guaranteed invalid:
+//   truncate   — cut mid-token inside a line, strictly after its indent and
+//                at or before its ')': the final line keeps at least one
+//                op-name byte but loses " (" or the closing ')'. (Cutting at
+//                a line boundary is deliberately excluded: a preorder prefix
+//                of a plan is itself a valid plan.)
+//   bitflip    — flip one bit of an op-name byte, the " (" delimiter, or
+//                ')'. No single-bit flip of any operator-name byte yields
+//                another valid operator name, a space, or an earlier " ("
+//                (checked against the kOperatorNames table), so the line
+//                fails on unknown-operator / missing-metrics / unterminated.
+//   nestbomb   — a 2000-deep single-child chain ending in an indentation
+//                jump (or odd indent). Exercises that parsing is iterative:
+//                the bomb must be *rejected*, not overflow the stack.
+//   dupfield   — duplicate a metrics key or a single-valued annotation
+//                (table/trows/join); the parser rejects duplicates instead
+//                of letting the later value win.
+//   unknown    — unknown metric / annotation keys, unknown filter compare
+//                op, and non-finite ("nan") values.
+//   splice     — insert a "---" corpus separator at an interior line
+//                boundary: every non-first line of a plan has depth >= 1,
+//                so the second block starts indented and cannot be a root.
+//   garbage    — inject a line of junk bytes (no '(' in the charset, so it
+//                can never look like metrics).
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/corpus.h"
+#include "engine/dataset.h"
+#include "engine/machine.h"
+#include "engine/plan_io.h"
+#include "gtest/gtest.h"
+#include "plan/plan.h"
+#include "util/rng.h"
+
+namespace dace::engine {
+namespace {
+
+struct Mutant {
+  std::string label;
+  std::string text;
+};
+
+struct LineSpan {
+  size_t begin = 0;   // absolute offset of first byte of the line
+  size_t indent = 0;  // leading spaces
+  size_t paren = std::string::npos;  // relative offset of " ("
+  size_t close = std::string::npos;  // relative offset of ')'
+  size_t length = 0;                 // excluding '\n'
+};
+
+std::vector<LineSpan> ScanLines(const std::string& text) {
+  std::vector<LineSpan> lines;
+  size_t begin = 0;
+  while (begin < text.size()) {
+    size_t end = text.find('\n', begin);
+    if (end == std::string::npos) end = text.size();
+    const std::string_view line(text.data() + begin, end - begin);
+    if (!line.empty()) {
+      LineSpan span;
+      span.begin = begin;
+      span.length = line.size();
+      while (span.indent < line.size() && line[span.indent] == ' ') {
+        ++span.indent;
+      }
+      span.paren = line.find(" (");
+      span.close = line.find(')');
+      lines.push_back(span);
+    }
+    begin = end + 1;
+  }
+  return lines;
+}
+
+std::string ReplaceFirst(std::string text, std::string_view from,
+                         std::string_view to) {
+  const size_t pos = text.find(from);
+  EXPECT_NE(pos, std::string::npos) << "pattern not found: " << from;
+  if (pos != std::string::npos) text.replace(pos, from.size(), to);
+  return text;
+}
+
+// Appends annotations to the end of line `k` (before its '\n').
+std::string AppendToLine(const std::string& text, const LineSpan& line,
+                         std::string_view suffix) {
+  std::string out = text;
+  out.insert(line.begin + line.length, suffix);
+  return out;
+}
+
+class PlanIoFuzzTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const Database db = BuildTpchLike(42);
+    const auto plans =
+        GenerateLabeledPlans(db, MachineM1(), WorkloadKind::kComplex, 8, 11);
+    for (const auto& plan : plans) texts_.push_back(plan.ToText());
+  }
+
+  void AddMutant(std::vector<Mutant>* out, std::string label,
+                 std::string text) {
+    out->push_back(Mutant{std::move(label), std::move(text)});
+  }
+
+  // The acceptance gate: every mutant must come back non-OK.
+  void ExpectAllRejected(const std::vector<Mutant>& mutants) {
+    size_t accepted = 0;
+    for (const Mutant& m : mutants) {
+      ASSERT_FALSE(StripWhitespaceCopy(m.text).empty())
+          << m.label << ": degenerate mutant (whitespace-only)";
+      const auto parsed = PlansFromText(m.text);
+      if (parsed.ok()) {
+        ++accepted;
+        ADD_FAILURE() << m.label << " was accepted by the parser:\n"
+                      << m.text.substr(0, 400);
+      }
+    }
+    EXPECT_EQ(accepted, 0u) << accepted << " of " << mutants.size()
+                            << " mutants were wrongly accepted";
+  }
+
+  static std::string StripWhitespaceCopy(std::string_view s) {
+    std::string out;
+    for (char c : s) {
+      if (c != ' ' && c != '\n' && c != '\t' && c != '\r') out.push_back(c);
+    }
+    return out;
+  }
+
+  std::vector<std::string> texts_;
+};
+
+TEST_F(PlanIoFuzzTest, TruncationMutantsAllRejected) {
+  Rng rng(0xdace0001);
+  std::vector<Mutant> mutants;
+  for (size_t p = 0; p < texts_.size(); ++p) {
+    const std::string& text = texts_[p];
+    const auto lines = ScanLines(text);
+    for (int i = 0; i < 24; ++i) {
+      const LineSpan& line = lines[static_cast<size_t>(rng.UniformInt(
+          0, static_cast<int64_t>(lines.size()) - 1))];
+      if (line.close == std::string::npos) continue;
+      // Cut in (begin+indent, begin+close]: keeps >= 1 op-name byte and
+      // drops ')' (and possibly " ("), so the cut line cannot parse.
+      const size_t cut = static_cast<size_t>(
+          rng.UniformInt(static_cast<int64_t>(line.begin + line.indent + 1),
+                         static_cast<int64_t>(line.begin + line.close)));
+      AddMutant(&mutants,
+                "truncate[plan=" + std::to_string(p) +
+                    " cut=" + std::to_string(cut) + "]",
+                text.substr(0, cut));
+    }
+  }
+  ASSERT_GT(mutants.size(), 100u);
+  ExpectAllRejected(mutants);
+}
+
+TEST_F(PlanIoFuzzTest, BitFlipMutantsAllRejected) {
+  Rng rng(0xdace0002);
+  std::vector<Mutant> mutants;
+  for (size_t p = 0; p < texts_.size(); ++p) {
+    const std::string& text = texts_[p];
+    const auto lines = ScanLines(text);
+    for (int i = 0; i < 32; ++i) {
+      const LineSpan& line = lines[static_cast<size_t>(rng.UniformInt(
+          0, static_cast<int64_t>(lines.size()) - 1))];
+      if (line.paren == std::string::npos || line.close == std::string::npos) {
+        continue;
+      }
+      // Flippable bytes: the operator name, the " (" delimiter, or ')'.
+      // (Digits are excluded on purpose — flipping a digit often yields a
+      // different but still-valid number, which would not be a guaranteed
+      // rejection.)
+      std::vector<size_t> positions;
+      for (size_t r = line.indent; r < line.paren; ++r) {
+        positions.push_back(line.begin + r);
+      }
+      positions.push_back(line.begin + line.paren);      // the space
+      positions.push_back(line.begin + line.paren + 1);  // '('
+      positions.push_back(line.begin + line.close);      // ')'
+      const size_t pos = positions[static_cast<size_t>(rng.UniformInt(
+          0, static_cast<int64_t>(positions.size()) - 1))];
+      const int bit = static_cast<int>(rng.UniformInt(0, 7));
+      std::string mutated = text;
+      mutated[pos] = static_cast<char>(
+          static_cast<unsigned char>(mutated[pos]) ^ (1u << bit));
+      AddMutant(&mutants,
+                "bitflip[plan=" + std::to_string(p) +
+                    " pos=" + std::to_string(pos) +
+                    " bit=" + std::to_string(bit) + "]",
+                std::move(mutated));
+    }
+  }
+  ASSERT_GT(mutants.size(), 150u);
+  ExpectAllRejected(mutants);
+}
+
+TEST_F(PlanIoFuzzTest, NestingBombsRejectedWithoutStackOverflow) {
+  constexpr int kDepth = 2000;
+  std::string chain;
+  for (int d = 0; d < kDepth; ++d) {
+    chain.append(static_cast<size_t>(d) * 2, ' ');
+    chain += "Seq Scan (rows=1 cost=1 arows=1 ams=1)\n";
+  }
+
+  // Control: the deep-but-well-formed chain itself must PARSE (iteratively),
+  // proving the rejections below come from validation, not stack exhaustion.
+  const auto control = plan::ParsePlanText(chain);
+  ASSERT_TRUE(control.ok()) << control.status().ToString();
+  EXPECT_EQ(control->size(), static_cast<size_t>(kDepth));
+
+  std::vector<Mutant> mutants;
+  std::string jump = chain;
+  jump.append(static_cast<size_t>(kDepth + 1) * 2, ' ');
+  jump += "Seq Scan (rows=1 cost=1 arows=1 ams=1)\n";
+  AddMutant(&mutants, "nestbomb[indent-jump]", std::move(jump));
+
+  std::string odd = chain;
+  odd.append(static_cast<size_t>(kDepth) * 2 + 1, ' ');
+  odd += "Seq Scan (rows=1 cost=1 arows=1 ams=1)\n";
+  AddMutant(&mutants, "nestbomb[odd-indent]", std::move(odd));
+
+  std::string second_root = chain;
+  second_root += "Seq Scan (rows=1 cost=1 arows=1 ams=1)\n";
+  AddMutant(&mutants, "nestbomb[second-root]", std::move(second_root));
+
+  ExpectAllRejected(mutants);
+}
+
+TEST_F(PlanIoFuzzTest, DuplicateFieldMutantsAllRejected) {
+  std::vector<Mutant> mutants;
+  for (size_t p = 0; p < texts_.size(); ++p) {
+    const std::string& text = texts_[p];
+    const auto lines = ScanLines(text);
+    const std::string tag = "[plan=" + std::to_string(p) + "]";
+    AddMutant(&mutants, "dupfield:rows" + tag,
+              ReplaceFirst(text, "(rows=", "(rows=1 rows="));
+    AddMutant(&mutants, "dupfield:ams" + tag,
+              ReplaceFirst(text, " ams=", " ams=1 ams="));
+    // Appended annotation pairs fail whether or not the line already had
+    // one: the second of the pair is always a duplicate.
+    AddMutant(&mutants, "dupfield:table" + tag,
+              AppendToLine(text, lines[0], " table=1 table=1"));
+    AddMutant(&mutants, "dupfield:trows" + tag,
+              AppendToLine(text, lines[0], " trows=5 trows=5"));
+    AddMutant(&mutants, "dupfield:join" + tag,
+              AppendToLine(text, lines[0], " join=0.0=1.1 join=0.0=1.1"));
+  }
+  ExpectAllRejected(mutants);
+}
+
+TEST_F(PlanIoFuzzTest, UnknownFieldMutantsAllRejected) {
+  std::vector<Mutant> mutants;
+  for (size_t p = 0; p < texts_.size(); ++p) {
+    const std::string& text = texts_[p];
+    const auto lines = ScanLines(text);
+    const std::string tag = "[plan=" + std::to_string(p) + "]";
+    AddMutant(&mutants, "unknown:metric" + tag,
+              ReplaceFirst(text, "(rows=", "(rowz="));
+    AddMutant(&mutants, "unknown:annotation" + tag,
+              AppendToLine(text, lines[0], " wat=1"));
+    AddMutant(&mutants, "unknown:compare-op" + tag,
+              AppendToLine(text, lines[0], " filter=0,?,1,0.5"));
+    AddMutant(&mutants, "nonfinite:metric" + tag,
+              ReplaceFirst(text, "(rows=", "(rows=nan ignored_rows_was="));
+    AddMutant(&mutants, "nonfinite:filter" + tag,
+              AppendToLine(text, lines[0], " filter=0,=,inf,0.5"));
+    // Fails as non-finite if line 0 had no trows, as a duplicate if it did.
+    AddMutant(&mutants, "nonfinite-or-dup:trows" + tag,
+              AppendToLine(text, lines[0], " trows=nan"));
+  }
+  ExpectAllRejected(mutants);
+}
+
+TEST_F(PlanIoFuzzTest, SeparatorSpliceMutantsAllRejected) {
+  std::vector<Mutant> mutants;
+  for (size_t p = 0; p < texts_.size(); ++p) {
+    const std::string& text = texts_[p];
+    const auto lines = ScanLines(text);
+    if (lines.size() < 2) continue;
+    // Splice "---" after every interior line: the second block then starts
+    // at depth >= 1 and cannot be a root.
+    for (size_t k = 0; k + 1 < lines.size(); ++k) {
+      std::string spliced = text;
+      spliced.insert(lines[k].begin + lines[k].length + 1, "---\n");
+      AddMutant(&mutants,
+                "splice[plan=" + std::to_string(p) +
+                    " line=" + std::to_string(k) + "]",
+                std::move(spliced));
+    }
+  }
+  ASSERT_GT(mutants.size(), 20u);
+  ExpectAllRejected(mutants);
+}
+
+TEST_F(PlanIoFuzzTest, GarbageInjectionMutantsAllRejected) {
+  Rng rng(0xdace0003);
+  // No '(' in the charset: a junk line can never grow a metrics section.
+  constexpr std::string_view kJunk = "@#$%&*!~;:^|0123456789abcXYZ";
+  std::vector<Mutant> mutants;
+  for (size_t p = 0; p < texts_.size(); ++p) {
+    const std::string& text = texts_[p];
+    const auto lines = ScanLines(text);
+    for (int i = 0; i < 8; ++i) {
+      std::string junk;
+      const int len = static_cast<int>(rng.UniformInt(1, 40));
+      for (int j = 0; j < len; ++j) {
+        junk += kJunk[static_cast<size_t>(rng.UniformInt(
+            0, static_cast<int64_t>(kJunk.size()) - 1))];
+      }
+      junk += '\n';
+      const LineSpan& line = lines[static_cast<size_t>(rng.UniformInt(
+          0, static_cast<int64_t>(lines.size()) - 1))];
+      std::string mutated = text;
+      mutated.insert(line.begin, junk);
+      AddMutant(&mutants,
+                "garbage[plan=" + std::to_string(p) + " i=" +
+                    std::to_string(i) + "]",
+                std::move(mutated));
+    }
+  }
+  ExpectAllRejected(mutants);
+}
+
+// The file path must reject mutants too (LoadPlansFromFile is how untrusted
+// corpora actually enter the system).
+TEST_F(PlanIoFuzzTest, FileLoadRejectsMutants) {
+  const std::string path = ::testing::TempDir() + "/fuzz_mutant.txt";
+  const std::vector<std::string> file_mutants = {
+      texts_[0].substr(0, texts_[0].find(')')),           // truncation
+      ReplaceFirst(texts_[1], "(rows=", "(rows=1 rows="), // duplicate
+      ReplaceFirst(texts_[2], "(rows=", "(rowz="),        // unknown key
+      "@#$%&*\n",                                         // pure garbage
+  };
+  for (size_t i = 0; i < file_mutants.size(); ++i) {
+    {
+      std::ofstream out(path);
+      ASSERT_TRUE(out.good());
+      out << file_mutants[i];
+    }
+    const auto loaded = LoadPlansFromFile(path);
+    EXPECT_FALSE(loaded.ok()) << "file mutant " << i << " was accepted";
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dace::engine

@@ -6,6 +6,8 @@
 
 #include "core/prediction_cache.h"
 
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "core/dace_model.h"
@@ -14,6 +16,7 @@
 #include "engine/machine.h"
 #include "featurize/featurize.h"
 #include "gtest/gtest.h"
+#include "serve/model_registry.h"
 
 namespace dace::core {
 namespace {
@@ -181,6 +184,76 @@ TEST_F(EstimatorCacheTest, DeserializeInvalidatesCachedPredictions) {
   const auto misses_before = estimator_->prediction_cache_stats().misses;
   (void)estimator_->PredictMs(plans_[0]);
   EXPECT_EQ(estimator_->prediction_cache_stats().misses, misses_before + 1);
+}
+
+// Hot swap through the serving registry: the swapped-in snapshot is a fresh
+// object whose LoadFromFile bumped its weights_version past a fresh model's,
+// so no cache entry can survive the swap; the retired snapshot's cache keeps
+// serving bit-identical hits to readers that still hold it.
+TEST_F(EstimatorCacheTest, RegistrySwapCannotServeStaleCacheEntries) {
+  estimator_->set_prediction_cache_capacity(256);
+  estimator_->set_name("cache-swap");
+
+  // A fine-tuned checkpoint whose predictions genuinely differ.
+  const std::string path = ::testing::TempDir() + "/cache_swap.dace";
+  {
+    DaceConfig config;
+    config.epochs = 1;
+    DaceEstimator tuned(config);
+    tuned.set_name("cache-swap");
+    tuned.Train(plans_);
+    tuned.FineTune(plans_);
+    ASSERT_TRUE(tuned.SaveToFile(path).ok());
+  }
+
+  serve::ModelRegistry registry;
+  std::shared_ptr<DaceEstimator> original = std::move(estimator_);
+  ASSERT_TRUE(registry.Register("tenant", original).ok());
+
+  // Warm the original snapshot's cache.
+  auto old_snapshot_or = registry.Get("tenant");
+  ASSERT_TRUE(old_snapshot_or.ok());
+  const serve::ModelRegistry::Snapshot old_snapshot = *old_snapshot_or;
+  std::vector<double> warm;
+  for (const auto& plan : plans_) warm.push_back(old_snapshot->PredictMs(plan));
+  const auto old_stats = old_snapshot->prediction_cache_stats();
+  EXPECT_EQ(old_stats.misses, plans_.size());
+
+  ASSERT_TRUE(registry.SwapFromFile("tenant", path).ok());
+  auto new_snapshot_or = registry.Get("tenant");
+  ASSERT_TRUE(new_snapshot_or.ok());
+  const serve::ModelRegistry::Snapshot new_snapshot = *new_snapshot_or;
+
+  // The swap published a distinct object with a bumped weights version: the
+  // commit of LoadFromFile advanced it past a freshly constructed model's,
+  // so entries keyed to any pre-load version cannot hit.
+  EXPECT_NE(new_snapshot.get(), old_snapshot.get());
+  const uint64_t fresh_version =
+      DaceEstimator(original->model().config()).model().weights_version();
+  EXPECT_GT(new_snapshot->model().weights_version(), fresh_version);
+
+  // New snapshot: first pass is all misses (its cache starts empty — no
+  // cross-version reuse), and the fine-tuned weights move predictions.
+  std::vector<double> swapped;
+  for (const auto& plan : plans_) {
+    swapped.push_back(new_snapshot->PredictMs(plan));
+  }
+  const auto new_stats = new_snapshot->prediction_cache_stats();
+  EXPECT_EQ(new_stats.misses, plans_.size());
+  EXPECT_EQ(new_stats.hits, 0u);
+  bool any_changed = false;
+  for (size_t i = 0; i < plans_.size(); ++i) {
+    if (swapped[i] != warm[i]) any_changed = true;
+  }
+  EXPECT_TRUE(any_changed) << "swap to fine-tuned weights changed nothing";
+
+  // Old snapshot, still held by this "in-flight reader": every repeat is a
+  // cache hit and bit-identical to the pre-swap value.
+  for (size_t i = 0; i < plans_.size(); ++i) {
+    EXPECT_EQ(old_snapshot->PredictMs(plans_[i]), warm[i]) << i;
+  }
+  EXPECT_EQ(old_snapshot->prediction_cache_stats().hits,
+            old_stats.hits + plans_.size());
 }
 
 TEST_F(EstimatorCacheTest, DistinctPlansGetDistinctFingerprints) {

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Multi-configuration gate for the kernel substrate and observability layer:
+# Multi-configuration gate for the kernel substrate, observability layer,
+# and serving layer:
 #
 #   1. native       — default build; AVX2+FMA kernels compiled in and selected
 #                     at runtime when the CPU supports them.
@@ -8,17 +9,28 @@
 #   3. asan         — separate build tree with -DDACE_SANITIZE=address, run
 #                     in both ISA modes (the AVX2 tail handling and the
 #                     aligned allocator are the interesting targets).
-#   4. ckpt-fuzz    — the checkpoint corruption fuzz (truncations, bit flips,
-#                     trailing garbage, cross-config loads) re-run explicitly
-#                     under ASan in both ISA modes: every rejected load must
-#                     be leak- and overflow-clean, not just return non-OK.
+#   4. input-fuzz   — the checkpoint corruption fuzz AND the plan-text
+#                     mutation fuzz (truncations, bit flips, nesting bombs,
+#                     duplicate/unknown fields, separator splices) re-run
+#                     explicitly under ASan in both ISA modes: every rejected
+#                     input must be leak- and overflow-clean, not just return
+#                     non-OK.
 #   5. tsan-obs     — separate build tree with -DDACE_SANITIZE=thread, run
 #                     with logging at INFO and tracing enabled so the metrics
 #                     registry, trace ring buffers, and log lines are
 #                     exercised concurrently under TSan.
-#   6. obs-off      — separate build tree with -DDACE_OBS=OFF proving the
+#   6. tsan-serve   — the serving-layer suites (coalescing scheduler, hot
+#                     swap, soak with concurrent swappers, differential
+#                     bit-identity) re-run explicitly under TSan with tracing
+#                     and INFO logging on: the admission queue, drainer
+#                     threads and snapshot publication must be race-free, not
+#                     just produce correct numbers.
+#   7. obs-off      — separate build tree with -DDACE_OBS=OFF proving the
 #                     DACE_TRACE_SPAN no-op macro compiles everywhere and the
 #                     suite still passes without span instrumentation.
+#   8. bench-serve  — the closed-loop serving load generator; writes
+#                     BENCH_serve.json as the committed throughput/latency
+#                     record for the coalescing scheduler.
 #
 # Usage: tools/check.sh [-j N]
 set -euo pipefail
@@ -37,36 +49,43 @@ run_ctest() {
   (cd "$dir" && "$@" ctest --output-on-failure)
 }
 
-echo "==> [1/6] native build + tests"
+echo "==> [1/8] native build + tests"
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build -j "$JOBS"
 run_ctest build env
 
-echo "==> [2/6] scalar-forced tests (same build, DACE_KERNELS=scalar)"
+echo "==> [2/8] scalar-forced tests (same build, DACE_KERNELS=scalar)"
 run_ctest build env DACE_KERNELS=scalar
 
-echo "==> [3/6] address-sanitizer build + tests (both ISA modes)"
+echo "==> [3/8] address-sanitizer build + tests (both ISA modes)"
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDACE_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$JOBS"
 run_ctest build-asan env
 run_ctest build-asan env DACE_KERNELS=scalar
 
-echo "==> [4/6] checkpoint corruption fuzz under ASan (both ISA modes)"
-(cd build-asan && env ctest --output-on-failure -R 'Checkpoint')
+echo "==> [4/8] checkpoint + plan-text fuzz under ASan (both ISA modes)"
+(cd build-asan && env ctest --output-on-failure -R 'Checkpoint|PlanIoFuzz')
 (cd build-asan && env DACE_KERNELS=scalar \
-  ctest --output-on-failure -R 'Checkpoint')
+  ctest --output-on-failure -R 'Checkpoint|PlanIoFuzz')
 
-echo "==> [5/6] thread-sanitizer build + tests (logging INFO, tracing on)"
+echo "==> [5/8] thread-sanitizer build + tests (logging INFO, tracing on)"
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDACE_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS"
 run_ctest build-tsan env DACE_LOG_LEVEL=INFO DACE_TRACE=1
 
-echo "==> [6/6] observability-disabled build + tests (-DDACE_OBS=OFF)"
+echo "==> [6/8] serving-layer suites under TSan (soak, swap, differential)"
+(cd build-tsan && env DACE_LOG_LEVEL=INFO DACE_TRACE=1 \
+  ctest --output-on-failure -R 'Serve|RegistrySwap')
+
+echo "==> [7/8] observability-disabled build + tests (-DDACE_OBS=OFF)"
 cmake -B build-obs-off -S . -DCMAKE_BUILD_TYPE=Release \
   -DDACE_OBS=OFF >/dev/null
 cmake --build build-obs-off -j "$JOBS"
 run_ctest build-obs-off env
 
-echo "==> all six configurations passed"
+echo "==> [8/8] serving load generator (writes BENCH_serve.json)"
+./build/bench/bench_serve --json=BENCH_serve.json
+
+echo "==> all eight configurations passed"
