@@ -354,21 +354,71 @@ BENCHMARK(BM_PredictBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
 // Serving path with the prediction cache disabled: every call pays
-// fingerprint + featurization + forward. The baseline for
-// predict_cache_hit_speedup.
+// fingerprint + featurization + forward. Pinned to the per-plan path — this
+// is the seed reference the packed records are measured against, and also
+// the baseline for predict_cache_hit_speedup.
 void BM_PredictBatchCold(benchmark::State& state) {
   Fixture& f = GetFixture();
   ThreadPool pool(1);
   f.estimator.set_thread_pool(&pool);
   f.estimator.set_prediction_cache_capacity(0);
+  f.estimator.set_packed_inference(core::DaceEstimator::PackedMode::kOff);
   for (auto _ : state) {
     benchmark::DoNotOptimize(f.estimator.PredictBatchMs(f.plans));
   }
+  f.estimator.set_packed_inference(core::DaceEstimator::DefaultPackedMode());
   f.estimator.set_thread_pool(nullptr);
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(f.plans.size()));
 }
 BENCHMARK(BM_PredictBatchCold)->Unit(benchmark::kMillisecond);
+
+// RAII pin for the inference precision, mirroring ScopedIsa above.
+struct ScopedPrecision {
+  explicit ScopedPrecision(nn::kernel::Precision p)
+      : prev(nn::kernel::ActivePrecision()) {
+    nn::kernel::SetPrecision(p);
+  }
+  ~ScopedPrecision() { nn::kernel::SetPrecision(prev); }
+  nn::kernel::Precision prev;
+};
+
+// The packed tentpole path at a given precision: same workload, pool and
+// cache setup as BM_PredictBatchCold, with packing forced on, so the derived
+// records are pure path ratios.
+void PredictBatchPacked(benchmark::State& state, nn::kernel::Precision prec) {
+  Fixture& f = GetFixture();
+  ScopedPrecision pin(prec);
+  ThreadPool pool(1);
+  f.estimator.set_thread_pool(&pool);
+  f.estimator.set_prediction_cache_capacity(0);
+  f.estimator.set_packed_inference(core::DaceEstimator::PackedMode::kOn);
+  benchmark::DoNotOptimize(f.estimator.PredictBatchMs(f.plans));  // warm-up
+  const size_t allocs_before = g_heap_allocs.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.estimator.PredictBatchMs(f.plans));
+  }
+  const size_t allocs = g_heap_allocs.load(std::memory_order_relaxed) -
+                        allocs_before;
+  f.estimator.set_packed_inference(core::DaceEstimator::DefaultPackedMode());
+  f.estimator.set_thread_pool(nullptr);
+  state.counters["allocs/plan"] = benchmark::Counter(
+      static_cast<double>(allocs) /
+      (static_cast<double>(state.iterations()) *
+       static_cast<double>(f.plans.size())));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.plans.size()));
+}
+
+void BM_PredictBatchPackedF64(benchmark::State& state) {
+  PredictBatchPacked(state, nn::kernel::Precision::kF64);
+}
+BENCHMARK(BM_PredictBatchPackedF64)->Unit(benchmark::kMillisecond);
+
+void BM_PredictBatchPackedF32(benchmark::State& state) {
+  PredictBatchPacked(state, nn::kernel::Precision::kF32);
+}
+BENCHMARK(BM_PredictBatchPackedF32)->Unit(benchmark::kMillisecond);
 
 // Serving path with every plan already cached: fingerprint + LRU lookup
 // only. The warm-up batch fills the cache; the hit_fraction counter proves
@@ -561,6 +611,12 @@ int main(int argc, char** argv) {
                    "BM_MatMulSimd/128");
   AddSpeedupRecord("predict_cache_hit_speedup", "BM_PredictBatchCold",
                    "BM_PredictBatchCacheHit");
+  AddSpeedupRecord("packed_vs_perplan_speedup", "BM_PredictBatchCold",
+                   "BM_PredictBatchPackedF64");
+  AddSpeedupRecord("f32_vs_f64_speedup", "BM_PredictBatchPackedF64",
+                   "BM_PredictBatchPackedF32");
+  AddSpeedupRecord("packed_f32_vs_perplan_speedup", "BM_PredictBatchCold",
+                   "BM_PredictBatchPackedF32");
   AddOverheadRecord("obs_overhead_pct", "BM_PredictAllIntoWarm",
                     "BM_PredictAllIntoWarmObs");
   const bool ok = dace::bench::Json().WriteIfRequested();

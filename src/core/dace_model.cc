@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <numeric>
 #include <tuple>
 #include <utility>
@@ -68,6 +70,50 @@ obs::Counter* PredictionsCounter() {
   return c;
 }
 
+// Packed-path instrumentation. "Rows" are DFS rows (plan nodes): valid rows
+// are the tightly packed activation rows a pack actually computes, padded
+// rows the score-tile slack N·max_nodes − Σn[b] that shape dispersion costs.
+// Occupancy = valid / (valid + padded), per pack.
+obs::Counter* PackPacksCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default()->GetCounter("predict.pack.packs");
+  return c;
+}
+
+obs::Counter* PackPlansCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default()->GetCounter("predict.pack.plans");
+  return c;
+}
+
+obs::Counter* PackRowsValidCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default()->GetCounter("predict.pack.rows.valid");
+  return c;
+}
+
+obs::Counter* PackRowsPaddedCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default()->GetCounter("predict.pack.rows.padded");
+  return c;
+}
+
+obs::Histogram* PackOccupancyHistogram() {
+  static obs::Histogram* h = [] {
+    const std::vector<double> bounds = {0.1, 0.2, 0.3, 0.4, 0.5,
+                                        0.6, 0.7, 0.8, 0.9, 1.0};
+    return obs::MetricsRegistry::Default()->GetHistogram(
+        "predict.pack.occupancy", bounds);
+  }();
+  return h;
+}
+
+obs::Counter* ScratchShrinksCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default()->GetCounter("predict.scratch.shrinks");
+  return c;
+}
+
 uint64_t LatencyNowUs() {
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
@@ -110,6 +156,12 @@ double NowMs() {
 // and the batch schedule, never of the pool size or thread timing. Small
 // enough that a default 64-plan batch yields 16 chunks for load balancing.
 constexpr size_t kGradChunkPlans = 4;
+
+// Plans per pack on the packed inference path. Large enough that the fused
+// MLP matmuls run at GEMM-friendly row counts (a 64-plan pack of ~15-node
+// plans is ~1000 rows), small enough that several packs fan out across the
+// pool for one serving-sized batch.
+constexpr size_t kPackMaxPlans = 64;
 
 }  // namespace
 
@@ -297,6 +349,201 @@ double DaceModel::PredictRoot(const PlanFeatures& f) const {
   return PredictAll(f)[0];
 }
 
+void DaceModel::PredictPackedInto(
+    std::span<const PlanFeatures* const> feats, PackedWorkspace* ws,
+    std::vector<double>* roots) const {
+  roots->resize(feats.size());
+  if (feats.empty()) return;
+  ws->layout.Clear();
+  ws->masks.clear();
+  for (const PlanFeatures* f : feats) {
+    ws->layout.Add(f->node_features.rows());
+    ws->masks.push_back(&f->attention_mask);
+  }
+  if (nn::kernel::ActivePrecision() == nn::kernel::Precision::kF32) {
+    ForwardPackedF32(feats, ws, roots);
+  } else {
+    ForwardPackedF64(feats, ws, roots);
+  }
+}
+
+void DaceModel::ForwardPackedF64(std::span<const PlanFeatures* const> feats,
+                                 PackedWorkspace* ws,
+                                 std::vector<double>* roots) const {
+  const nn::PackLayout& layout = ws->layout;
+  const size_t rows = layout.total_rows;
+  const size_t dm = static_cast<size_t>(config_.d_model);
+  if (ws->s.rows() != rows || ws->s.cols() != dm) ws->s = Matrix(rows, dm);
+  for (size_t b = 0; b < feats.size(); ++b) {
+    const Matrix& nf = feats[b]->node_features;
+    std::memcpy(ws->s.RowPtr(layout.offset[b]), nf.data(),
+                nf.size() * sizeof(double));
+  }
+  attention_.ForwardPackedCached(ws->s, layout, ws->masks.data(), &ws->attn_c,
+                                 &ws->attn);
+  fc1_.ForwardPackedCached(ws->attn, &ws->fc1_c, &ws->z1, &ws->h1);
+  fc2_.ForwardPackedCached(ws->h1, &ws->fc2_c, &ws->z2, &ws->h2);
+  fc3_.ForwardPackedCached(ws->h2, &ws->fc3_c, &ws->pred, nullptr);
+  for (size_t b = 0; b < feats.size(); ++b) {
+    (*roots)[b] = ws->pred(layout.offset[b], 0);
+  }
+}
+
+void DaceModel::EnsureF32Weights() const {
+  if (f32_.version == weights_version_) return;
+  const auto narrow = [](const Matrix& m, F32Weights::FloatBuffer* out) {
+    out->resize(m.size());
+    const double* src = m.data();
+    for (size_t i = 0; i < m.size(); ++i) {
+      (*out)[i] = static_cast<float>(src[i]);
+    }
+  };
+  // Fold W_eff = W + scale·A·B in double (bit-identical to what the f64
+  // forward applies factored), then narrow once — the adapter never exists
+  // as a separate f32 factor, so the packed f32 MLP is plain dense GEMMs.
+  const auto fold = [&narrow](const nn::Linear& fc, F32Weights::FloatBuffer* w,
+                              F32Weights::FloatBuffer* b) {
+    if (fc.has_lora()) {
+      Matrix ab;
+      nn::MatMul(fc.lora_a(), fc.lora_b(), &ab);
+      Matrix eff = fc.weight();
+      eff.AddScaled(ab, fc.lora_scale());
+      narrow(eff, w);
+    } else {
+      narrow(fc.weight(), w);
+    }
+    narrow(fc.bias(), b);
+  };
+  narrow(attention_.wq(), &f32_.wq);
+  narrow(attention_.wk(), &f32_.wk);
+  narrow(attention_.wv(), &f32_.wv);
+  fold(fc1_, &f32_.w1, &f32_.b1);
+  fold(fc2_, &f32_.w2, &f32_.b2);
+  fold(fc3_, &f32_.w3, &f32_.b3);
+  f32_.inv_sqrt_dk = static_cast<float>(attention_.inv_sqrt_dk());
+  f32_.version = weights_version_;
+}
+
+void DaceModel::ForwardPackedF32(std::span<const PlanFeatures* const> feats,
+                                 PackedWorkspace* ws,
+                                 std::vector<double>* roots) const {
+  DACE_CHECK_EQ(f32_.version, weights_version_)
+      << "f32 packed inference with stale folded weights: EnsureF32Weights "
+         "must run after every weight mutation";
+  const nn::kernel::TableF32& t = nn::kernel::ActiveF32();
+  const nn::PackLayout& layout = ws->layout;
+  const size_t count = feats.size();
+  const size_t rows = layout.total_rows;
+  const size_t maxn = layout.max_nodes;
+  const size_t dm = static_cast<size_t>(config_.d_model);
+  const size_t dk = static_cast<size_t>(config_.d_k);
+  const size_t dv = static_cast<size_t>(config_.d_v);
+  const size_t n1 = static_cast<size_t>(config_.hidden1);
+  const size_t n2 = static_cast<size_t>(config_.hidden2);
+
+  // Only the ROOT prediction of each block leaves this function, and the MLP
+  // is row-wise, so everything downstream of K/V runs on one row per plan:
+  // Q, scores, softmax and context for the root row only, then a
+  // (count × ·) MLP instead of a (total_rows × ·) one. K and V are the only
+  // full-pack tensors — every packed row is a softmax candidate for its
+  // block's root. (The f64 path prices all rows to stay bit-identical to
+  // PredictAllInto; this path's contract is the DESIGN §13 error budget, not
+  // bit-identity, so it is free to skip rows nobody reads.)
+
+  // Packed feature tile, narrowed from the featurizer's doubles (linear in
+  // the input; a rounding error far below the kernel error budget).
+  ws->s32.resize(rows * dm);
+  for (size_t b = 0; b < count; ++b) {
+    const size_t off = layout.offset[b];
+    const size_t nb = layout.n[b];
+    const double* src = feats[b]->node_features.data();
+    float* dst = ws->s32.data() + off * dm;
+    for (size_t i = 0; i < nb * dm; ++i) dst[i] = static_cast<float>(src[i]);
+  }
+  // Root-row additive mask, one row per block, column-padded to maxn.
+  ws->mask32.resize(count * maxn);
+  for (size_t b = 0; b < count; ++b) {
+    const size_t nb = layout.n[b];
+    const double* mrow = feats[b]->attention_mask.RowPtr(0);
+    float* mdst = ws->mask32.data() + b * maxn;
+    for (size_t j = 0; j < nb; ++j) mdst[j] = static_cast<float>(mrow[j]);
+  }
+
+  // K/V over the whole pack, Q for the root rows only. Feature rows are
+  // sparse (one-hot node type + two scalars), so the zero-skipping panel
+  // kernel beats a dense GEMM on all three projections.
+  ws->k32.assign(rows * dk, 0.0f);
+  ws->v32.assign(rows * dv, 0.0f);
+  ws->q32.assign(count * dk, 0.0f);
+  t.mm_panel(ws->s32.data(), dm, f32_.wk.data(), dk, ws->k32.data(), dk, rows,
+             0, dm, 0, dk);
+  t.mm_panel(ws->s32.data(), dm, f32_.wv.data(), dv, ws->v32.data(), dv, rows,
+             0, dm, 0, dv);
+  for (size_t b = 0; b < count; ++b) {
+    t.mm_panel(ws->s32.data() + layout.offset[b] * dm, dm, f32_.wq.data(), dk,
+               ws->q32.data() + b * dk, dk, 1, 0, dm, 0, dk);
+  }
+
+  // Root-row scores + fused masked softmax, one row per block. kMaskNegInf
+  // (-1e30) is exactly representable in float and the additive mask values
+  // are 0/-1e30, so the f32 masking semantics match the f64 path exactly.
+  const float neg_inf = static_cast<float>(nn::kMaskNegInf);
+  ws->scores32.resize(count * maxn);
+  ws->probs32.resize(count * maxn);
+  for (size_t b = 0; b < count; ++b) {
+    const size_t off = layout.offset[b];
+    const size_t nb = layout.n[b];
+    float* srow = ws->scores32.data() + b * maxn;
+    const float* qrow = ws->q32.data() + b * dk;
+    for (size_t j = 0; j < nb; ++j) {
+      srow[j] = t.dot(dk, qrow, ws->k32.data() + (off + j) * dk);
+    }
+    t.scale(nb, f32_.inv_sqrt_dk, srow);
+    const float* mrow = ws->mask32.data() + b * maxn;
+    float* prow = ws->probs32.data() + b * maxn;
+    const float max_val = t.masked_max(nb, srow, mrow, neg_inf);
+    DACE_CHECK_GT(max_val, neg_inf)
+        << "packed softmax root row of block " << b << " fully masked";
+    const float denom = t.masked_exp(nb, srow, mrow, max_val, neg_inf, prow);
+    t.div(nb, denom, prow);
+  }
+
+  // Root context rows: probs_root · V_block. Masked probabilities are
+  // exactly 0.0f, so the zero-skip kernel prices only the root's unmasked
+  // ancestor set.
+  ws->attn32.assign(count * dv, 0.0f);
+  for (size_t b = 0; b < count; ++b) {
+    t.mm_panel(ws->probs32.data() + b * maxn, maxn,
+               ws->v32.data() + layout.offset[b] * dv, dv,
+               ws->attn32.data() + b * dv, dv, 1, 0, layout.n[b], 0, dv);
+  }
+
+  // Root MLP across the pack: bias-seeded dense GEMM + in-place ReLU
+  // epilogue, count rows tall. This is where the register-blocked f32 GEMM
+  // earns its keep — every plan in the pack shares the instruction stream.
+  ws->z132.resize(count * n1);
+  for (size_t i = 0; i < count; ++i) {
+    std::memcpy(ws->z132.data() + i * n1, f32_.b1.data(), n1 * sizeof(float));
+  }
+  t.gemm(ws->attn32.data(), dv, f32_.w1.data(), n1, ws->z132.data(), n1,
+         count, dv, n1);
+  t.relu(count * n1, ws->z132.data(), ws->z132.data());
+  ws->z232.resize(count * n2);
+  for (size_t i = 0; i < count; ++i) {
+    std::memcpy(ws->z232.data() + i * n2, f32_.b2.data(), n2 * sizeof(float));
+  }
+  t.gemm(ws->z132.data(), n1, f32_.w2.data(), n2, ws->z232.data(), n2, count,
+         n1, n2);
+  t.relu(count * n2, ws->z232.data(), ws->z232.data());
+
+  // Head: one dot per plan.
+  const float b3 = f32_.b3[0];
+  for (size_t b = 0; b < count; ++b) {
+    const float* hrow = ws->z232.data() + b * n2;
+    (*roots)[b] = static_cast<double>(b3 + t.dot(n2, hrow, f32_.w3.data()));
+  }
+}
+
 std::vector<double> DaceModel::EncodeRoot(const PlanFeatures& f) const {
   Matrix attn, z1, h1, z2, h2;
   attention_.ForwardInference(f.node_features, f.attention_mask, &attn);
@@ -460,7 +707,23 @@ featurize::FeaturizerConfig DaceEstimator::FeatConfig() const {
 void DaceEstimator::set_thread_pool(ThreadPool* pool) {
   pool_ = pool;
   model_.set_thread_pool(pool);
-  batch_scratch_.clear();  // re-sized for the new pool on next batch call
+  // Worker scratch is re-sized for the new pool on the next batch call.
+  batch_scratch_.clear();
+  pack_scratch_.clear();
+}
+
+DaceEstimator::PackedMode DaceEstimator::DefaultPackedMode() {
+  static const PackedMode mode = [] {
+    const char* env = std::getenv("DACE_PACKED");
+    if (env == nullptr || env[0] == '\0') return PackedMode::kAuto;
+    if (std::strcmp(env, "auto") == 0) return PackedMode::kAuto;
+    if (std::strcmp(env, "on") == 0) return PackedMode::kOn;
+    if (std::strcmp(env, "off") == 0) return PackedMode::kOff;
+    DACE_CHECK(false) << "unknown DACE_PACKED value '" << env
+                      << "' (expected 'auto', 'on' or 'off')";
+    return PackedMode::kAuto;
+  }();
+  return mode;
 }
 
 std::vector<featurize::PlanFeatures> DaceEstimator::FeaturizeAll(
@@ -547,36 +810,174 @@ std::vector<double> DaceEstimator::PredictBatchMs(
   const featurize::FeaturizerConfig fc = FeatConfig();
   const uint64_t version = model_.weights_version();
   // out[i] depends only on plan i and the weights, so results are identical
-  // for every pool size; the worker slot only selects which scratch to
-  // reuse. The prediction cache preserves that: a hit returns the exact
-  // double a cold run would have produced under the same weights.
-  pool->ParallelForWorker(0, plans.size(), [&](int slot, size_t i) {
+  // for every pool size; worker slots only select which scratch to reuse.
+  // The prediction cache preserves that: a hit returns the exact double a
+  // cold run would have produced under the same weights.
+  //
+  // Pass 1 — fingerprint every plan and resolve cache hits. Misses fall
+  // through to either the packed path (one forward per pack of plans) or the
+  // per-plan reference path; both price a miss identically at f64.
+  std::vector<uint64_t> fps(plans.size());
+  std::vector<uint8_t> hit(plans.size(), 0);
+  pool->ParallelFor(0, plans.size(), [&](size_t i) {
     const uint64_t t0_us = LatencyNowUs();
-    const uint64_t fp = featurizer_.Fingerprint(*plans[i], fc);
+    fps[i] = featurizer_.Fingerprint(*plans[i], fc);
     double ms = 0.0;
-    if (prediction_cache_->Lookup(version, fp, &ms)) {
+    if (prediction_cache_->Lookup(version, fps[i], &ms)) {
       out[i] = ms;
-    } else {
-      BatchScratch& s = batch_scratch_[static_cast<size_t>(slot)];
-      {
-        DACE_TRACE_SPAN("predict.featurize");
-        featurizer_.FeaturizeInto(*plans[i], fc, &s.feats);
-      }
-      {
-        DACE_TRACE_SPAN("predict.forward");
-        model_.PredictAllInto(s.feats, &s.ws, &s.preds);
-      }
-      {
-        DACE_TRACE_SPAN("predict.inverse_transform");
-        out[i] = featurizer_.InverseTransformTime(s.preds[0]);
-      }
-      prediction_cache_->Insert(version, fp, out[i]);
+      hit[i] = 1;
+      PredictionsCounter()->Add(1);
+      PredictLatencyUsHistogram()->Observe(
+          static_cast<double>(LatencyNowUs() - t0_us));
     }
-    PredictionsCounter()->Add(1);
-    PredictLatencyUsHistogram()->Observe(
-        static_cast<double>(LatencyNowUs() - t0_us));
   });
+  std::vector<size_t> misses;
+  misses.reserve(plans.size());
+  for (size_t i = 0; i < plans.size(); ++i) {
+    if (hit[i] == 0) misses.push_back(i);
+  }
+  if (!misses.empty()) {
+    const bool use_packed =
+        packed_mode_ == PackedMode::kOn ||
+        (packed_mode_ == PackedMode::kAuto && misses.size() >= 2);
+    if (use_packed) {
+      PredictPackedBatch(plans, misses, fps, version, fc, &out);
+    } else {
+      pool->ParallelForWorker(0, misses.size(), [&](int slot, size_t mi) {
+        const size_t i = misses[mi];
+        const uint64_t t0_us = LatencyNowUs();
+        BatchScratch& s = batch_scratch_[static_cast<size_t>(slot)];
+        {
+          DACE_TRACE_SPAN("predict.featurize");
+          featurizer_.FeaturizeInto(*plans[i], fc, &s.feats);
+        }
+        {
+          DACE_TRACE_SPAN("predict.forward");
+          model_.PredictAllInto(s.feats, &s.ws, &s.preds);
+        }
+        {
+          DACE_TRACE_SPAN("predict.inverse_transform");
+          out[i] = featurizer_.InverseTransformTime(s.preds[0]);
+        }
+        prediction_cache_->Insert(version, fps[i], out[i]);
+        const size_t n = plans[i]->size();
+        s.used_nodes = std::max(s.used_nodes, n);
+        s.alloc_nodes = std::max(s.alloc_nodes, n);
+        PredictionsCounter()->Add(1);
+        PredictLatencyUsHistogram()->Observe(
+            static_cast<double>(LatencyNowUs() - t0_us));
+      });
+    }
+  }
+  GovernScratch();
   return out;
+}
+
+void DaceEstimator::PredictPackedBatch(
+    std::span<const plan::QueryPlan* const> plans,
+    const std::vector<size_t>& misses, const std::vector<uint64_t>& fps,
+    uint64_t version, const featurize::FeaturizerConfig& fc,
+    std::vector<double>* out) const {
+  ThreadPool* pool = model_.thread_pool();
+  if (pack_scratch_.size() < static_cast<size_t>(pool->num_threads())) {
+    pack_scratch_.resize(static_cast<size_t>(pool->num_threads()));
+  }
+  if (nn::kernel::ActivePrecision() == nn::kernel::Precision::kF32) {
+    // Fold once on the coordinator; the packs only read the image.
+    model_.EnsureF32Weights();
+  }
+  // Sort misses by descending node count so each pack holds similarly sized
+  // plans: the score tiles are column-padded to the pack's max_nodes, so
+  // mixing one deep plan with many shallow ones is what craters occupancy.
+  std::vector<size_t> order = misses;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return plans[a]->size() > plans[b]->size();
+  });
+  const size_t num_packs = (order.size() + kPackMaxPlans - 1) / kPackMaxPlans;
+  pool->ParallelForWorker(0, num_packs, [&](int slot, size_t p) {
+    DACE_TRACE_SPAN("predict.pack");
+    const uint64_t t0_us = LatencyNowUs();
+    PackScratch& s = pack_scratch_[static_cast<size_t>(slot)];
+    const size_t lo = p * kPackMaxPlans;
+    const size_t hi = std::min(lo + kPackMaxPlans, order.size());
+    const size_t count = hi - lo;
+    if (s.feats.size() < count) s.feats.resize(count);
+    s.feat_ptrs.clear();
+    {
+      DACE_TRACE_SPAN("predict.featurize");
+      for (size_t j = 0; j < count; ++j) {
+        featurizer_.FeaturizeInto(*plans[order[lo + j]], fc, &s.feats[j]);
+        s.feat_ptrs.push_back(&s.feats[j]);
+      }
+    }
+    {
+      DACE_TRACE_SPAN("predict.forward");
+      model_.PredictPackedInto(s.feat_ptrs, &s.ws, &s.roots);
+    }
+    for (size_t j = 0; j < count; ++j) {
+      const size_t idx = order[lo + j];
+      const double ms = featurizer_.InverseTransformTime(s.roots[j]);
+      (*out)[idx] = ms;
+      prediction_cache_->Insert(version, fps[idx], ms);
+    }
+    const nn::PackLayout& layout = s.ws.layout;
+    s.used_nodes = std::max(s.used_nodes, layout.max_nodes);
+    s.alloc_nodes = std::max(s.alloc_nodes, layout.max_nodes);
+    PackPacksCounter()->Add(1);
+    PackPlansCounter()->Add(count);
+    PackRowsValidCounter()->Add(layout.total_rows);
+    const size_t cells = count * layout.max_nodes;
+    PackRowsPaddedCounter()->Add(cells - layout.total_rows);
+    PackOccupancyHistogram()->Observe(
+        cells > 0 ? static_cast<double>(layout.total_rows) /
+                        static_cast<double>(cells)
+                  : 1.0);
+    // Per-plan latency on the packed path is the pack's wall time: that is
+    // what each caller of the coalesced batch experienced for its plan.
+    const double elapsed = static_cast<double>(LatencyNowUs() - t0_us);
+    PredictionsCounter()->Add(count);
+    for (size_t j = 0; j < count; ++j) {
+      PredictLatencyUsHistogram()->Observe(elapsed);
+    }
+  });
+}
+
+void DaceEstimator::GovernScratch() const {
+  for (BatchScratch& s : batch_scratch_) {
+    if (s.governor.Observe(s.used_nodes, s.alloc_nodes)) {
+      // Drop the whole scratch: the monotone buffers (featurization
+      // matrices, workspace activation tiles, cached copies) re-warm to the
+      // current workload's sizes on the next miss.
+      s.feats = featurize::PlanFeatures();
+      s.ws = DaceModel::Workspace();
+      s.preds = std::vector<double>();
+      s.alloc_nodes = 0;
+      ScratchShrinksCounter()->Add(1);
+    }
+    s.used_nodes = 0;
+  }
+  for (PackScratch& s : pack_scratch_) {
+    if (s.governor.Observe(s.used_nodes, s.alloc_nodes)) {
+      s.feats = std::vector<featurize::PlanFeatures>();
+      s.feat_ptrs = std::vector<const featurize::PlanFeatures*>();
+      s.ws = DaceModel::PackedWorkspace();
+      s.roots = std::vector<double>();
+      s.alloc_nodes = 0;
+      ScratchShrinksCounter()->Add(1);
+    }
+    s.used_nodes = 0;
+  }
+}
+
+size_t DaceEstimator::InferenceScratchPeakNodes() const {
+  size_t peak = 0;
+  for (const BatchScratch& s : batch_scratch_) {
+    peak = std::max(peak, s.alloc_nodes);
+  }
+  for (const PackScratch& s : pack_scratch_) {
+    peak = std::max(peak, s.alloc_nodes);
+  }
+  return peak;
 }
 
 std::vector<double> DaceEstimator::PredictSubPlansMs(

@@ -1,13 +1,16 @@
 #ifndef DACE_CORE_DACE_MODEL_H_
 #define DACE_CORE_DACE_MODEL_H_
 
+#include <algorithm>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/estimator.h"
 #include "core/prediction_cache.h"
 #include "featurize/featurize.h"
+#include "nn/kernels_f32.h"
 #include "nn/layers.h"
 #include "util/rng.h"
 #include "util/serialize.h"
@@ -113,6 +116,41 @@ class DaceModel {
   void PredictAllInto(const featurize::PlanFeatures& features, Workspace* ws,
                       std::vector<double>* out) const;
 
+  // Per-worker state for the packed multi-plan inference path: the pack
+  // layout, the f64 packed activation tiles, and (when the f32 precision is
+  // active) the float twins. Reused across packs; buffers reallocate only
+  // when the pack shape grows past what the workspace has seen.
+  struct PackedWorkspace {
+    using FloatBuffer = std::vector<float, nn::AlignedAllocator<float>>;
+    nn::PackLayout layout;
+    std::vector<const nn::Matrix*> masks;
+    // f64 path.
+    nn::TreeAttention::PackedCache attn_c;
+    nn::Linear::ExternalCache fc1_c, fc2_c, fc3_c;
+    nn::Matrix s, attn, z1, h1, z2, h2, pred;
+    // f32 path (sized lazily; empty unless f32 inference ran).
+    FloatBuffer s32, mask32, q32, k32, v32, scores32, probs32, attn32, z132,
+        z232;
+  };
+
+  // Packed batched inference (tentpole): prices every plan of `feats` in ONE
+  // forward pass over a tightly packed tile set, writing each plan's root
+  // scaled-log-time into (*roots)[b]. Dispatches on kernel::ActivePrecision:
+  //   - kF64 runs the packed tile schedule through the same kernels as
+  //     PredictAllInto, bit-identical per plan to the per-plan path;
+  //   - kF32 runs the folded single-precision weight image (EnsureF32Weights
+  //     must have been called since the last weight mutation) through the
+  //     f32 kernel table, within the documented q-error budget (DESIGN §13).
+  // Const on the weights — concurrent callers bring their own workspace.
+  void PredictPackedInto(std::span<const featurize::PlanFeatures* const> feats,
+                         PackedWorkspace* ws, std::vector<double>* roots) const;
+
+  // Rebuilds the cached single-precision inference weights (LoRA adapters
+  // folded into the base matrices, everything narrowed to float) if they are
+  // stale with respect to weights_version(). NOT thread-safe: call on the
+  // coordinating thread before fanning out f32 packed workers.
+  void EnsureF32Weights() const;
+
   // Pre-trained-encoder API: the root row of the second hidden layer
   // (h2, 64-dim), the w_E of Eq. (9).
   std::vector<double> EncodeRoot(const featurize::PlanFeatures& features) const;
@@ -165,6 +203,26 @@ class DaceModel {
 
   void SetTrainMode(bool train_base, bool train_lora);
 
+  // Folded single-precision inference weights: W_eff = W + scale·A·B for the
+  // MLP layers, raw narrowed projections for attention. `version` stamps the
+  // weights_version_ the image was folded from; 0 = never built.
+  struct F32Weights {
+    using FloatBuffer = std::vector<float, nn::AlignedAllocator<float>>;
+    uint64_t version = 0;
+    FloatBuffer wq, wk, wv;          // (d_model × d_k/d_k/d_v)
+    FloatBuffer w1, b1, w2, b2, w3, b3;  // LoRA-folded MLP
+    float inv_sqrt_dk = 1.0f;
+  };
+
+  // f64 / f32 bodies behind PredictPackedInto, after the layout and the
+  // packed feature tiles are assembled.
+  void ForwardPackedF64(
+      std::span<const featurize::PlanFeatures* const> feats,
+      PackedWorkspace* ws, std::vector<double>* roots) const;
+  void ForwardPackedF32(
+      std::span<const featurize::PlanFeatures* const> feats,
+      PackedWorkspace* ws, std::vector<double>* roots) const;
+
   // Fully-parsed weights awaiting validation; nothing in the live model
   // changes until CommitStaged.
   struct StagedWeights {
@@ -182,6 +240,7 @@ class DaceModel {
   bool lora_attached_ = false;
   uint64_t weights_version_ = 1;
   ThreadPool* pool_ = nullptr;
+  mutable F32Weights f32_;  // rebuilt by EnsureF32Weights on version change
 };
 
 // Plan-level facade implementing the CostEstimator interface: owns the
@@ -219,8 +278,33 @@ class DaceEstimator : public CostEstimator {
   // math, same cache, same determinism guarantees as the span-of-values
   // overload (which delegates here); results are bit-identical to per-plan
   // PredictMs. Pointers must stay valid for the duration of the call.
+  //
+  // Cache misses are priced through the packed multi-plan path by default
+  // (see PackedMode): misses are sorted by node count, packed into tile sets
+  // of up to 64 plans, and each pack runs ONE forward pass. At the default
+  // f64 precision the packed results are bit-identical to the per-plan path,
+  // so this is purely a throughput change; DACE_PRECISION=f32 additionally
+  // switches the packs to the single-precision kernel table (documented
+  // accuracy budget, no bit-identity).
   std::vector<double> PredictBatchMs(
       std::span<const plan::QueryPlan* const> plans) const;
+
+  // Packed-path dispatch policy for PredictBatchMs cache misses:
+  //   kAuto (default) — packed when a batch has >= 2 misses, per-plan
+  //                     otherwise (a single miss gains nothing from packing);
+  //   kOn             — packed whenever there is at least one miss (tests);
+  //   kOff            — always the per-plan reference path.
+  // Process default is kAuto, overridable by DACE_PACKED=auto|on|off
+  // (resolved once); this setter overrides per estimator.
+  enum class PackedMode { kAuto = 0, kOn = 1, kOff = 2 };
+  static PackedMode DefaultPackedMode();
+  void set_packed_inference(PackedMode mode) { packed_mode_ = mode; }
+  PackedMode packed_inference() const { return packed_mode_; }
+
+  // Largest plan (node count) any live inference scratch buffer is currently
+  // sized for — the observable the shrink-to-high-watermark policy governs
+  // (see ScratchGovernor; asserted by packed_inference_test).
+  size_t InferenceScratchPeakNodes() const;
 
   // Pool used for training featurization and PredictBatchMs; nullptr =
   // process default. Also forwarded to the model.
@@ -260,13 +344,69 @@ class DaceEstimator : public CostEstimator {
  private:
   featurize::FeaturizerConfig FeatConfig() const;
 
+  // Shrink-to-high-watermark policy for per-worker inference scratch. The
+  // reusable buffers are sized for the largest plan a worker ever touched;
+  // without a release valve one pathological deep plan pins megabytes per
+  // worker for the process lifetime. The governor watches one scratch: when
+  // the allocated watermark is >= kMinShrinkNodes AND at least kSlackFactor×
+  // the recent peak use for kPatience consecutive batch calls, the scratch
+  // is dropped back to empty (it re-warms to the CURRENT workload's sizes on
+  // the next miss). Ordinary scratches (< kMinShrinkNodes) never shrink, so
+  // the steady-state zero-allocation property is untouched.
+  struct ScratchGovernor {
+    static constexpr size_t kMinShrinkNodes = 256;
+    static constexpr size_t kSlackFactor = 4;
+    static constexpr int kPatience = 16;
+    int oversized_streak = 0;
+    bool Observe(size_t used_nodes, size_t allocated_nodes) {
+      if (allocated_nodes >= kMinShrinkNodes &&
+          allocated_nodes / kSlackFactor >= std::max<size_t>(used_nodes, 1)) {
+        if (++oversized_streak >= kPatience) {
+          oversized_streak = 0;
+          return true;
+        }
+      } else {
+        oversized_streak = 0;
+      }
+      return false;
+    }
+  };
+
   // One per pool worker, lazily sized; reused across PredictBatchMs calls so
   // the steady-state batch path performs no per-plan allocation.
+  // `used_nodes` tracks the peak plan size since the governor last looked,
+  // `alloc_nodes` the high-watermark the buffers are sized for.
   struct BatchScratch {
     featurize::PlanFeatures feats;
     DaceModel::Workspace ws;
     std::vector<double> preds;
+    size_t used_nodes = 0;
+    size_t alloc_nodes = 0;
+    ScratchGovernor governor;
   };
+
+  // Per-worker scratch of the packed path: up to kPackMaxPlans featurized
+  // plans plus the packed workspace. Same governor policy as BatchScratch.
+  struct PackScratch {
+    std::vector<featurize::PlanFeatures> feats;
+    std::vector<const featurize::PlanFeatures*> feat_ptrs;
+    DaceModel::PackedWorkspace ws;
+    std::vector<double> roots;
+    size_t used_nodes = 0;
+    size_t alloc_nodes = 0;
+    ScratchGovernor governor;
+  };
+
+  // Prices `misses` (indices into `plans`) through the packed path, writing
+  // results/cache inserts exactly as the per-plan path would.
+  void PredictPackedBatch(std::span<const plan::QueryPlan* const> plans,
+                          const std::vector<size_t>& misses,
+                          const std::vector<uint64_t>& fps, uint64_t version,
+                          const featurize::FeaturizerConfig& fc,
+                          std::vector<double>* out) const;
+
+  // Runs the governor over every worker scratch after a batch call.
+  void GovernScratch() const;
 
   std::vector<featurize::PlanFeatures> FeaturizeAll(
       const std::vector<plan::QueryPlan>& plans) const;
@@ -277,7 +417,9 @@ class DaceEstimator : public CostEstimator {
   DaceModel model_;
   TrainStats last_train_stats_;
   ThreadPool* pool_ = nullptr;
+  PackedMode packed_mode_ = DefaultPackedMode();
   mutable std::vector<BatchScratch> batch_scratch_;
+  mutable std::vector<PackScratch> pack_scratch_;
   // unique_ptr keeps the estimator movable (the cache holds a mutex).
   mutable std::unique_ptr<PredictionCache> prediction_cache_ =
       std::make_unique<PredictionCache>(kDefaultPredictionCacheCapacity);

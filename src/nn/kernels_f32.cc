@@ -1,0 +1,160 @@
+#include "nn/kernels_f32.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace dace::nn::kernel {
+
+namespace {
+
+// ----------------------------------------------------------------- scalar --
+// Portable float fallback. Plain loops, float accumulation throughout: this
+// is the numeric reference the AVX2 f32 kernels are tolerance-tested
+// against (there is no bit-identity contract at f32 — see kernels_f32.h).
+
+void GemmScalarF32(const float* a, size_t lda, const float* b, size_t ldb,
+                   float* c, size_t ldc, size_t m, size_t k, size_t n) {
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * lda;
+    float* crow = c + i * ldc;
+    for (size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      const float* brow = b + p * ldb;
+      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void MmPanelScalarF32(const float* a, size_t lda, const float* b, size_t ldb,
+                      float* out, size_t ldo, size_t m, size_t pp, size_t pend,
+                      size_t jj, size_t jend) {
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * lda;
+    float* orow = out + i * ldo;
+    for (size_t p = pp; p < pend; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * ldb;
+      for (size_t j = jj; j < jend; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void AxpyScalarF32(size_t n, float a, const float* x, float* y) {
+  for (size_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+float DotScalarF32(size_t n, const float* a, const float* b) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void ScaleScalarF32(size_t n, float s, float* x) {
+  for (size_t i = 0; i < n; ++i) x[i] *= s;
+}
+
+void DivScalarF32(size_t n, float d, float* x) {
+  for (size_t i = 0; i < n; ++i) x[i] /= d;
+}
+
+void ReluScalarF32(size_t n, const float* z, float* h) {
+  for (size_t i = 0; i < n; ++i) h[i] = z[i] > 0.0f ? z[i] : 0.0f;
+}
+
+float MaskedMaxScalarF32(size_t n, const float* in, const float* mask,
+                         float init) {
+  float max_val = init;
+  for (size_t i = 0; i < n; ++i) {
+    const float v = in[i] + mask[i];
+    if (v > max_val) max_val = v;
+  }
+  return max_val;
+}
+
+float MaskedExpScalarF32(size_t n, const float* in, const float* mask,
+                         float max_val, float neg_inf, float* out) {
+  float sum = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    const float v = in[i] + mask[i];
+    if (v <= neg_inf) {
+      out[i] = 0.0f;
+    } else {
+      out[i] = std::exp(v - max_val);
+      sum += out[i];
+    }
+  }
+  return sum;
+}
+
+constexpr TableF32 kScalarTableF32 = {
+    GemmScalarF32,   MmPanelScalarF32,   AxpyScalarF32,
+    DotScalarF32,    ScaleScalarF32,     DivScalarF32,
+    ReluScalarF32,   MaskedMaxScalarF32, MaskedExpScalarF32,
+    "scalar-f32",
+};
+
+// --------------------------------------------------------------- dispatch --
+
+Precision ResolveDefaultPrecision() {
+  if (const char* env = std::getenv("DACE_PRECISION")) {
+    if (std::strcmp(env, "f64") == 0) return Precision::kF64;
+    if (std::strcmp(env, "f32") == 0) return Precision::kF32;
+    DACE_CHECK(false) << "unknown DACE_PRECISION value '" << env
+                      << "' (expected 'f64' or 'f32')";
+  }
+  return Precision::kF64;
+}
+
+// -1 = unresolved; otherwise the Precision value.
+std::atomic<int> g_precision{-1};
+
+}  // namespace
+
+#if defined(DACE_HAVE_AVX2_KERNELS)
+// Defined in kernels_f32_avx2.cc (compiled with -mavx2 -mfma).
+const TableF32& Avx2TableF32();
+#endif
+
+const char* PrecisionName(Precision p) {
+  switch (p) {
+    case Precision::kF64:
+      return "f64";
+    case Precision::kF32:
+      return "f32";
+  }
+  return "unknown";
+}
+
+Precision ActivePrecision() {
+  int p = g_precision.load(std::memory_order_acquire);
+  if (p < 0) {
+    // Benign race: concurrent first calls resolve the same env value.
+    p = static_cast<int>(ResolveDefaultPrecision());
+    g_precision.store(p, std::memory_order_release);
+  }
+  return static_cast<Precision>(p);
+}
+
+void SetPrecision(Precision p) {
+  g_precision.store(static_cast<int>(p), std::memory_order_release);
+}
+
+const TableF32& F32TableFor(Isa isa) {
+  if (isa == Isa::kScalar) return kScalarTableF32;
+#if defined(DACE_HAVE_AVX2_KERNELS)
+  DACE_CHECK(HasAvx2()) << "AVX2 kernels requested on a CPU without AVX2+FMA";
+  return Avx2TableF32();
+#else
+  DACE_CHECK(false) << "AVX2 kernels are not compiled into this build";
+  return kScalarTableF32;  // unreachable
+#endif
+}
+
+const TableF32& ActiveF32() { return F32TableFor(ActiveIsa()); }
+
+}  // namespace dace::nn::kernel

@@ -1,0 +1,81 @@
+#ifndef DACE_NN_KERNELS_F32_H_
+#define DACE_NN_KERNELS_F32_H_
+
+#include <cstddef>
+
+#include "nn/kernels.h"
+
+namespace dace::nn::kernel {
+
+// Inference numeric precision. kF64 is the training/reference precision and
+// the process default: every f64 result is bit-identical across the scalar
+// and AVX2 dispatch paths (see nn/kernels.h). kF32 selects the single-
+// precision inference kernels below — roughly 2× the SIMD lane width plus a
+// register-blocked FMA GEMM, at the cost of a small, documented relative
+// error vs the f64 reference (see DESIGN.md §13 for the error budget and
+// packed_inference_test.cc for the asserted bound).
+enum class Precision {
+  kF64 = 0,
+  kF32 = 1,
+};
+
+const char* PrecisionName(Precision p);
+
+// The precision the inference dispatcher should use. Resolved once on first
+// use: the DACE_PRECISION environment variable ("f64" | "f32") wins if set,
+// otherwise kF64. Training paths never consult this — they are always f64.
+Precision ActivePrecision();
+
+// Overrides the active precision (tests and benchmarks; not thread-safe
+// against concurrently running inference).
+void SetPrecision(Precision p);
+
+// Single-precision primitive kernels. Unlike the f64 Table, the f32 table
+// makes NO bit-identity promise between the scalar and AVX2 entries: the
+// AVX2 GEMM uses FMA contraction and register-blocked accumulation order,
+// and the vector exp is a polynomial approximation. All entries stay within
+// a small relative tolerance of the scalar reference (kernels_f32_test.cc).
+struct TableF32 {
+  // Dense register-blocked GEMM: c[i][j] += sum_p a[i][p] * b[p][j] over
+  // row-major storage with leading dimensions lda/ldb/ldc. No zero skipping
+  // — use for dense inputs (the MLP matmuls), where the AVX2 path runs a
+  // 6×16 FMA micro-tile near machine peak.
+  void (*gemm)(const float* a, size_t lda, const float* b, size_t ldb,
+               float* c, size_t ldc, size_t m, size_t k, size_t n);
+  // Accumulating panel matmul with a[i][p] == 0 skipped — the f32 twin of
+  // Table::mm_panel. Use for sparse inputs: one-hot feature rows (QKV
+  // projections) and masked attention probabilities (context product).
+  void (*mm_panel)(const float* a, size_t lda, const float* b, size_t ldb,
+                   float* out, size_t ldo, size_t m, size_t pp, size_t pend,
+                   size_t jj, size_t jend);
+  // y[i] += a * x[i].
+  void (*axpy)(size_t n, float a, const float* x, float* y);
+  // sum_i a[i] * b[i] (float accumulation; AVX2 uses split FMA accumulators).
+  float (*dot)(size_t n, const float* a, const float* b);
+  // x[i] *= s.
+  void (*scale)(size_t n, float s, float* x);
+  // x[i] /= d.
+  void (*div)(size_t n, float d, float* x);
+  // h[i] = max(z[i], 0).
+  void (*relu)(size_t n, const float* z, float* h);
+  // max_i(in[i] + mask[i]), starting from init.
+  float (*masked_max)(size_t n, const float* in, const float* mask,
+                      float init);
+  // out[i] = exp(in[i] + mask[i] - max_val), or 0 where
+  // in[i] + mask[i] <= neg_inf; returns the sum of out.
+  float (*masked_exp)(size_t n, const float* in, const float* mask,
+                      float max_val, float neg_inf, float* out);
+  const char* name;
+};
+
+// f32 table for the active ISA — follows the same DACE_KERNELS / SetIsa
+// selection as the f64 Table, so "scalar" forces both precisions scalar.
+const TableF32& ActiveF32();
+
+// Direct access for side-by-side equivalence tests. F32TableFor(kAvx2) is a
+// fatal error when HasAvx2() is false.
+const TableF32& F32TableFor(Isa isa);
+
+}  // namespace dace::nn::kernel
+
+#endif  // DACE_NN_KERNELS_F32_H_

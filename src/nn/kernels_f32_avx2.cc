@@ -1,0 +1,293 @@
+// AVX2+FMA single-precision kernel table. Unlike kernels_avx2.cc this TU has
+// no bit-identity obligation to its scalar twin (the f32 contract is a
+// relative tolerance, see kernels_f32.h), so every kernel is free to use FMA
+// contraction and whatever accumulation order runs fastest. The centerpiece
+// is GemmAvx2F32: a register-blocked 6×16 micro-tile GEMM that keeps twelve
+// ymm accumulators live and issues two FMAs per loaded B vector, which is
+// what lets the packed f32 inference path approach machine peak on the MLP
+// matmuls instead of the ~8 GFLOP/s the memory-bound f64 path sustains.
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstddef>
+
+#include "nn/kernels_f32.h"
+
+namespace dace::nn::kernel {
+
+namespace {
+
+// ------------------------------------------------------------------ GEMM --
+
+// One row-panel of C (MR rows × full N) accumulated over all K. For each
+// 16-wide column strip the MR×16 output tile lives entirely in registers:
+// 2*MR accumulators + 2 B vectors + 1 broadcast A value stays within the 16
+// ymm registers for MR <= 6. Per k step the tile issues 2*MR FMAs against 2
+// B loads + MR broadcasts, so at MR = 6 the loop is FMA-throughput-bound
+// rather than load-bound.
+template <int MR>
+void GemmRowPanelF32(const float* a, size_t lda, const float* b, size_t ldb,
+                     float* c, size_t ldc, size_t k, size_t n) {
+  size_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    __m256 acc0[MR], acc1[MR];
+    for (int r = 0; r < MR; ++r) {
+      acc0[r] = _mm256_loadu_ps(c + r * ldc + j);
+      acc1[r] = _mm256_loadu_ps(c + r * ldc + j + 8);
+    }
+    for (size_t p = 0; p < k; ++p) {
+      const __m256 b0 = _mm256_loadu_ps(b + p * ldb + j);
+      const __m256 b1 = _mm256_loadu_ps(b + p * ldb + j + 8);
+      for (int r = 0; r < MR; ++r) {
+        const __m256 av = _mm256_broadcast_ss(a + r * lda + p);
+        acc0[r] = _mm256_fmadd_ps(av, b0, acc0[r]);
+        acc1[r] = _mm256_fmadd_ps(av, b1, acc1[r]);
+      }
+    }
+    for (int r = 0; r < MR; ++r) {
+      _mm256_storeu_ps(c + r * ldc + j, acc0[r]);
+      _mm256_storeu_ps(c + r * ldc + j + 8, acc1[r]);
+    }
+  }
+  if (j + 8 <= n) {
+    __m256 acc[MR];
+    for (int r = 0; r < MR; ++r) acc[r] = _mm256_loadu_ps(c + r * ldc + j);
+    for (size_t p = 0; p < k; ++p) {
+      const __m256 b0 = _mm256_loadu_ps(b + p * ldb + j);
+      for (int r = 0; r < MR; ++r) {
+        acc[r] = _mm256_fmadd_ps(_mm256_broadcast_ss(a + r * lda + p), b0,
+                                 acc[r]);
+      }
+    }
+    for (int r = 0; r < MR; ++r) _mm256_storeu_ps(c + r * ldc + j, acc[r]);
+    j += 8;
+  }
+  for (; j < n; ++j) {
+    for (int r = 0; r < MR; ++r) {
+      float s = c[r * ldc + j];
+      const float* arow = a + r * lda;
+      for (size_t p = 0; p < k; ++p) s += arow[p] * b[p * ldb + j];
+      c[r * ldc + j] = s;
+    }
+  }
+}
+
+void GemmAvx2F32(const float* a, size_t lda, const float* b, size_t ldb,
+                 float* c, size_t ldc, size_t m, size_t k, size_t n) {
+  size_t i = 0;
+  for (; i + 6 <= m; i += 6) {
+    GemmRowPanelF32<6>(a + i * lda, lda, b, ldb, c + i * ldc, ldc, k, n);
+  }
+  switch (m - i) {
+    case 5:
+      GemmRowPanelF32<5>(a + i * lda, lda, b, ldb, c + i * ldc, ldc, k, n);
+      break;
+    case 4:
+      GemmRowPanelF32<4>(a + i * lda, lda, b, ldb, c + i * ldc, ldc, k, n);
+      break;
+    case 3:
+      GemmRowPanelF32<3>(a + i * lda, lda, b, ldb, c + i * ldc, ldc, k, n);
+      break;
+    case 2:
+      GemmRowPanelF32<2>(a + i * lda, lda, b, ldb, c + i * ldc, ldc, k, n);
+      break;
+    case 1:
+      GemmRowPanelF32<1>(a + i * lda, lda, b, ldb, c + i * ldc, ldc, k, n);
+      break;
+    default:
+      break;
+  }
+}
+
+// ---------------------------------------------------------------- vectors --
+
+inline void AxpyAvx2F32(size_t n, float a, const float* x, float* y) {
+  const __m256 va = _mm256_set1_ps(a);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m256 y0 = _mm256_loadu_ps(y + i);
+    __m256 y1 = _mm256_loadu_ps(y + i + 8);
+    y0 = _mm256_fmadd_ps(va, _mm256_loadu_ps(x + i), y0);
+    y1 = _mm256_fmadd_ps(va, _mm256_loadu_ps(x + i + 8), y1);
+    _mm256_storeu_ps(y + i, y0);
+    _mm256_storeu_ps(y + i + 8, y1);
+  }
+  if (i + 8 <= n) {
+    __m256 y0 = _mm256_loadu_ps(y + i);
+    y0 = _mm256_fmadd_ps(va, _mm256_loadu_ps(x + i), y0);
+    _mm256_storeu_ps(y + i, y0);
+    i += 8;
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+void MmPanelAvx2F32(const float* a, size_t lda, const float* b, size_t ldb,
+                    float* out, size_t ldo, size_t m, size_t pp, size_t pend,
+                    size_t jj, size_t jend) {
+  const size_t width = jend - jj;
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * lda;
+    float* orow = out + i * ldo + jj;
+    for (size_t p = pp; p < pend; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      AxpyAvx2F32(width, av, b + p * ldb + jj, orow);
+    }
+  }
+}
+
+float hsum(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 s = _mm_add_ps(lo, hi);
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x55));
+  return _mm_cvtss_f32(s);
+}
+
+float DotAvx2F32(size_t n, const float* a, const float* b) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8),
+                           _mm256_loadu_ps(b + i + 8), acc1);
+  }
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+  }
+  float total = hsum(_mm256_add_ps(acc0, acc1));
+  for (; i < n; ++i) total += a[i] * b[i];
+  return total;
+}
+
+void ScaleAvx2F32(size_t n, float s, float* x) {
+  const __m256 vs = _mm256_set1_ps(s);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(x + i, _mm256_mul_ps(_mm256_loadu_ps(x + i), vs));
+  }
+  for (; i < n; ++i) x[i] *= s;
+}
+
+void DivAvx2F32(size_t n, float d, float* x) {
+  const __m256 vd = _mm256_set1_ps(d);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(x + i, _mm256_div_ps(_mm256_loadu_ps(x + i), vd));
+  }
+  for (; i < n; ++i) x[i] /= d;
+}
+
+void ReluAvx2F32(size_t n, const float* z, float* h) {
+  const __m256 zero = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(h + i, _mm256_max_ps(_mm256_loadu_ps(z + i), zero));
+  }
+  for (; i < n; ++i) h[i] = z[i] > 0.0f ? z[i] : 0.0f;
+}
+
+float MaskedMaxAvx2F32(size_t n, const float* in, const float* mask,
+                       float init) {
+  __m256 vmax = _mm256_set1_ps(init);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    vmax = _mm256_max_ps(
+        vmax,
+        _mm256_add_ps(_mm256_loadu_ps(in + i), _mm256_loadu_ps(mask + i)));
+  }
+  const __m128 lo = _mm256_castps256_ps128(vmax);
+  const __m128 hi = _mm256_extractf128_ps(vmax, 1);
+  __m128 m2 = _mm_max_ps(lo, hi);
+  m2 = _mm_max_ps(m2, _mm_movehl_ps(m2, m2));
+  float max_val =
+      _mm_cvtss_f32(_mm_max_ss(m2, _mm_shuffle_ps(m2, m2, 0x55)));
+  for (; i < n; ++i) {
+    const float v = in[i] + mask[i];
+    if (v > max_val) max_val = v;
+  }
+  return max_val;
+}
+
+// Cephes-style expf for eight floats: reduce to exp(x) = 2^k * exp(r) with
+// |r| <= ln(2)/2, degree-5 polynomial in r, scale via exponent-bit
+// arithmetic. A few ULP over the softmax input range (x <= 0); inputs below
+// the float-exp underflow cutoff flush to zero, which for a softmax is
+// exactly the mask semantics.
+__m256 Exp8(__m256 x) {
+  const __m256 log2e = _mm256_set1_ps(1.44269504088896341f);
+  const __m256 c1 = _mm256_set1_ps(0.693359375f);
+  const __m256 c2 = _mm256_set1_ps(-2.12194440e-4f);
+  const __m256 underflow = _mm256_set1_ps(-87.0f);
+
+  const __m256 ok = _mm256_cmp_ps(x, underflow, _CMP_GT_OQ);
+  x = _mm256_max_ps(x, underflow);
+
+  const __m256 nf = _mm256_round_ps(
+      _mm256_mul_ps(x, log2e), _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  // r = x - n*ln2, ln2 split in two pieces for extra precision.
+  __m256 r = _mm256_fnmadd_ps(nf, c1, x);
+  r = _mm256_fnmadd_ps(nf, c2, r);
+
+  __m256 p = _mm256_set1_ps(1.9875691500e-4f);
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(1.3981999507e-3f));
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(8.3334519073e-3f));
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(4.1665795894e-2f));
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(1.6666665459e-1f));
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(5.0000001201e-1f));
+  const __m256 rr = _mm256_mul_ps(r, r);
+  __m256 e = _mm256_fmadd_ps(p, rr, r);
+  e = _mm256_add_ps(e, _mm256_set1_ps(1.0f));
+
+  // e *= 2^n via the exponent field; |n| <= 126 after the clamp above.
+  const __m256i ni = _mm256_cvtps_epi32(nf);
+  const __m256i pow2 =
+      _mm256_slli_epi32(_mm256_add_epi32(ni, _mm256_set1_epi32(127)), 23);
+  e = _mm256_mul_ps(e, _mm256_castsi256_ps(pow2));
+  return _mm256_and_ps(e, ok);
+}
+
+float MaskedExpAvx2F32(size_t n, const float* in, const float* mask,
+                       float max_val, float neg_inf, float* out) {
+  const __m256 vmax = _mm256_set1_ps(max_val);
+  const __m256 vneg = _mm256_set1_ps(neg_inf);
+  __m256 vsum = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v =
+        _mm256_add_ps(_mm256_loadu_ps(in + i), _mm256_loadu_ps(mask + i));
+    const __m256 keep = _mm256_cmp_ps(v, vneg, _CMP_GT_OQ);
+    const __m256 e = _mm256_and_ps(Exp8(_mm256_sub_ps(v, vmax)), keep);
+    _mm256_storeu_ps(out + i, e);
+    vsum = _mm256_add_ps(vsum, e);
+  }
+  float sum = hsum(vsum);
+  for (; i < n; ++i) {
+    const float v = in[i] + mask[i];
+    if (v <= neg_inf) {
+      out[i] = 0.0f;
+    } else {
+      out[i] = std::exp(v - max_val);
+      sum += out[i];
+    }
+  }
+  return sum;
+}
+
+constexpr TableF32 kAvx2TableF32 = {
+    GemmAvx2F32,   MmPanelAvx2F32,   AxpyAvx2F32,
+    DotAvx2F32,    ScaleAvx2F32,     DivAvx2F32,
+    ReluAvx2F32,   MaskedMaxAvx2F32, MaskedExpAvx2F32,
+    "avx2-f32",
+};
+
+}  // namespace
+
+const TableF32& Avx2TableF32() { return kAvx2TableF32; }
+
+}  // namespace dace::nn::kernel

@@ -24,6 +24,37 @@ struct Parameter {
   size_t size() const { return value.size(); }
 };
 
+// Row layout of a pack: N featurized plans laid out back-to-back in one
+// tile set, plan b occupying rows [offset[b], offset[b] + n[b]) of every
+// packed activation matrix. Rows are packed TIGHTLY (total_rows = Σ n[b], no
+// padding rows — dense GEMMs cannot skip padding, so row padding would burn
+// the throughput the pack exists to win); only the per-plan score/probs
+// tiles are column-padded to a shared max_nodes stride so every block's
+// softmax rows start at a fixed pitch. See DESIGN.md §13.
+struct PackLayout {
+  std::vector<size_t> n;       // valid rows (plan nodes) per block
+  std::vector<size_t> offset;  // first packed row of each block
+  size_t total_rows = 0;       // Σ n[b]
+  size_t max_nodes = 0;        // max n[b]; column stride of score tiles
+
+  void Clear() {
+    n.clear();
+    offset.clear();
+    total_rows = 0;
+    max_nodes = 0;
+  }
+  // Appends a block of `nodes` rows and returns its row offset.
+  size_t Add(size_t nodes) {
+    const size_t off = total_rows;
+    n.push_back(nodes);
+    offset.push_back(off);
+    total_rows += nodes;
+    if (nodes > max_nodes) max_nodes = nodes;
+    return off;
+  }
+  size_t num_plans() const { return n.size(); }
+};
+
 // Fully connected layer y = x W + b with an optional LoRA adapter
 // y += (x A) B * (lora_alpha / rank). Training can address either the base
 // weights (pre-training) or only the adapter (fine-tuning), reproducing the
@@ -74,6 +105,15 @@ class Linear {
   // layer's input), which is why this lives here rather than a fused layer.
   void ForwardReluCached(const Matrix& x, ExternalCache* cache, Matrix* z,
                          Matrix* h) const;
+  // Packed-inference forward: identical math to ForwardReluCached (h
+  // non-null) or ForwardCached (h null, no ReLU epilogue), but `x` holds a
+  // whole pack of plans (rows are plan-independent, so one fused
+  // bias+ReLU-epilogue matmul prices every block at once) and the input is
+  // NOT copied into the cache — there is no backward pass on this path, the
+  // cache serves only as LoRA scratch. Bit-identical per row to the
+  // per-plan cached forwards for any pack shape.
+  void ForwardPackedCached(const Matrix& x, ExternalCache* cache, Matrix* z,
+                           Matrix* h) const;
   void BackwardCached(const ExternalCache& cache, const Matrix& dy, Matrix* dx);
 
   // Caller-owned gradient sink, one per concurrent worker: BackwardCached
@@ -111,6 +151,15 @@ class Linear {
   size_t out_dim() const { return w_.value.cols(); }
   bool has_lora() const { return lora_rank_ > 0; }
   size_t lora_rank() const { return lora_rank_; }
+
+  // Read-only weight access for precision-converted inference tables (the
+  // f32 path folds W + scale·A·B into a flat float image once per weights
+  // version; see core/dace_model.cc).
+  const Matrix& weight() const { return w_.value; }
+  const Matrix& bias() const { return b_.value; }
+  const Matrix& lora_a() const { return lora_a_.value; }
+  const Matrix& lora_b() const { return lora_b_.value; }
+  double lora_scale() const { return lora_scale_; }
 
   size_t ParameterCount() const;
   size_t LoraParameterCount() const;
@@ -192,6 +241,23 @@ class TreeAttention {
   };
   void ForwardCached(const Matrix& s, const Matrix& mask, Cache* cache,
                      Matrix* out) const;
+  // Packed batched inference over a whole micro-batch of plans: `s` holds
+  // layout.total_rows tightly-packed feature rows, masks[b] is plan b's own
+  // (n[b] × n[b]) additive ancestor mask, and the score/probs tiles are
+  // column-padded to a shared layout.max_nodes stride. The QKV projections
+  // and the per-block context products run through the same tiled kernels as
+  // ForwardCached, and each block's fused masked-softmax sees exactly the
+  // per-plan row values — so at f64 the packed output rows are bit-identical
+  // to running ForwardCached per plan (asserted by layers_test and
+  // serve_differential_test). Inference-only: nothing is kept for backward.
+  struct PackedCache {
+    Matrix q, k, v;      // (total_rows × d_k/d_k/d_v) projections
+    Matrix scores;       // (total_rows × max_nodes) column-padded logits
+    Matrix probs;        // (total_rows × max_nodes) post-softmax attention
+  };
+  void ForwardPackedCached(const Matrix& s, const PackLayout& layout,
+                           const Matrix* const* masks, PackedCache* cache,
+                           Matrix* out) const;
   void InitGradients(Gradients* g) const;
   void BackwardCached(const Cache& cache, const Matrix& dy, Gradients* g,
                       Matrix* ds) const;
@@ -206,6 +272,12 @@ class TreeAttention {
   size_t d_model() const { return wq_.value.rows(); }
   size_t d_k() const { return wq_.value.cols(); }
   size_t d_v() const { return wv_.value.cols(); }
+
+  // Read-only weight access for precision-converted inference tables.
+  const Matrix& wq() const { return wq_.value; }
+  const Matrix& wk() const { return wk_.value; }
+  const Matrix& wv() const { return wv_.value; }
+  double inv_sqrt_dk() const { return inv_sqrt_dk_; }
 
   // Wire layout: Wq, Wk, Wv. Deserialize is transactional: it validates that
   // Wq/Wk share a shape and Wv shares their input dimension before any

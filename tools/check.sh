@@ -6,31 +6,44 @@
 #                     at runtime when the CPU supports them.
 #   2. scalar       — same binaries, DACE_KERNELS=scalar forces the blocked
 #                     scalar fallback, proving SIMD-off correctness.
-#   3. asan         — separate build tree with -DDACE_SANITIZE=address, run
+#   3. precision    — the kernel/layer/packed/differential suites under every
+#                     DACE_KERNELS={scalar,avx2} x DACE_PRECISION={f64,f32}
+#                     combination (avx2 columns skipped on machines without
+#                     AVX2+FMA). Suites asserting f64 bit-identity pin their
+#                     precision internally, so a green run here proves both
+#                     that the env resolution works and that no suite
+#                     accidentally depends on the ambient default.
+#   4. asan         — separate build tree with -DDACE_SANITIZE=address, run
 #                     in both ISA modes (the AVX2 tail handling and the
 #                     aligned allocator are the interesting targets).
-#   4. input-fuzz   — the checkpoint corruption fuzz AND the plan-text
+#   5. input-fuzz   — the checkpoint corruption fuzz AND the plan-text
 #                     mutation fuzz (truncations, bit flips, nesting bombs,
 #                     duplicate/unknown fields, separator splices) re-run
 #                     explicitly under ASan in both ISA modes: every rejected
 #                     input must be leak- and overflow-clean, not just return
 #                     non-OK.
-#   5. tsan-obs     — separate build tree with -DDACE_SANITIZE=thread, run
+#   6. tsan-obs     — separate build tree with -DDACE_SANITIZE=thread, run
 #                     with logging at INFO and tracing enabled so the metrics
 #                     registry, trace ring buffers, and log lines are
 #                     exercised concurrently under TSan.
-#   6. tsan-serve   — the serving-layer suites (coalescing scheduler, hot
+#   7. tsan-serve   — the serving-layer suites (coalescing scheduler, hot
 #                     swap, soak with concurrent swappers, differential
-#                     bit-identity) re-run explicitly under TSan with tracing
-#                     and INFO logging on: the admission queue, drainer
-#                     threads and snapshot publication must be race-free, not
-#                     just produce correct numbers.
-#   7. obs-off      — separate build tree with -DDACE_OBS=OFF proving the
+#                     bit-identity — including the PackedForced* variants
+#                     that pin the packed multi-plan path on for every miss)
+#                     re-run explicitly under TSan with tracing and INFO
+#                     logging on: the admission queue, drainer threads,
+#                     packed fan-out and snapshot publication must be
+#                     race-free, not just produce correct numbers.
+#   8. obs-off      — separate build tree with -DDACE_OBS=OFF proving the
 #                     DACE_TRACE_SPAN no-op macro compiles everywhere and the
 #                     suite still passes without span instrumentation.
-#   8. bench-serve  — the closed-loop serving load generator; writes
+#   9. bench-serve  — the closed-loop serving load generator; writes
 #                     BENCH_serve.json as the committed throughput/latency
 #                     record for the coalescing scheduler.
+#  10. bench-micro  — kernel/inference microbenchmarks; writes
+#                     BENCH_micro.json and gates on the derived records:
+#                     the packed f64 path must not be slower than the
+#                     per-plan path (packed_vs_perplan_speedup >= 1.0).
 #
 # Usage: tools/check.sh [-j N]
 set -euo pipefail
@@ -49,43 +62,88 @@ run_ctest() {
   (cd "$dir" && "$@" ctest --output-on-failure)
 }
 
-echo "==> [1/8] native build + tests"
+echo "==> [1/10] native build + tests"
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build -j "$JOBS"
 run_ctest build env
 
-echo "==> [2/8] scalar-forced tests (same build, DACE_KERNELS=scalar)"
+echo "==> [2/10] scalar-forced tests (same build, DACE_KERNELS=scalar)"
 run_ctest build env DACE_KERNELS=scalar
 
-echo "==> [3/8] address-sanitizer build + tests (both ISA modes)"
+echo "==> [3/10] kernels x precision matrix (targeted suites, 4 combos)"
+PRECISION_SUITES='Kernels|Matrix|Layers|PackedInference|ServeDifferential'
+ISAS="scalar"
+if grep -qw avx2 /proc/cpuinfo 2>/dev/null; then ISAS="scalar avx2"; fi
+for isa in $ISAS; do
+  for prec in f64 f32; do
+    echo "    -- DACE_KERNELS=$isa DACE_PRECISION=$prec"
+    (cd build && env DACE_KERNELS="$isa" DACE_PRECISION="$prec" \
+      ctest --output-on-failure -R "$PRECISION_SUITES")
+  done
+done
+
+echo "==> [4/10] address-sanitizer build + tests (both ISA modes)"
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDACE_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$JOBS"
 run_ctest build-asan env
 run_ctest build-asan env DACE_KERNELS=scalar
 
-echo "==> [4/8] checkpoint + plan-text fuzz under ASan (both ISA modes)"
+echo "==> [5/10] checkpoint + plan-text fuzz under ASan (both ISA modes)"
 (cd build-asan && env ctest --output-on-failure -R 'Checkpoint|PlanIoFuzz')
 (cd build-asan && env DACE_KERNELS=scalar \
   ctest --output-on-failure -R 'Checkpoint|PlanIoFuzz')
 
-echo "==> [5/8] thread-sanitizer build + tests (logging INFO, tracing on)"
+echo "==> [6/10] thread-sanitizer build + tests (logging INFO, tracing on)"
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDACE_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS"
 run_ctest build-tsan env DACE_LOG_LEVEL=INFO DACE_TRACE=1
 
-echo "==> [6/8] serving-layer suites under TSan (soak, swap, differential)"
+echo "==> [7/10] serving-layer suites under TSan (soak, swap, differential"
+echo "           incl. PackedForced* packed-path variants)"
 (cd build-tsan && env DACE_LOG_LEVEL=INFO DACE_TRACE=1 \
   ctest --output-on-failure -R 'Serve|RegistrySwap')
 
-echo "==> [7/8] observability-disabled build + tests (-DDACE_OBS=OFF)"
+echo "==> [8/10] observability-disabled build + tests (-DDACE_OBS=OFF)"
 cmake -B build-obs-off -S . -DCMAKE_BUILD_TYPE=Release \
   -DDACE_OBS=OFF >/dev/null
 cmake --build build-obs-off -j "$JOBS"
 run_ctest build-obs-off env
 
-echo "==> [8/8] serving load generator (writes BENCH_serve.json)"
+echo "==> [9/10] serving load generator (writes BENCH_serve.json)"
 ./build/bench/bench_serve --json=BENCH_serve.json
 
-echo "==> all eight configurations passed"
+echo "==> [10/10] microbenchmarks + packed-speedup gate (writes BENCH_micro.json)"
+./build/bench/bench_micro --json=BENCH_micro.json --benchmark_min_time=0.5
+python3 - <<'EOF'
+import json, sys
+
+records = {r["name"]: r for r in json.load(open("BENCH_micro.json"))["records"]}
+failures = []
+
+# The packed f64 path is the default for multi-miss serving batches; it is
+# allowed to be a wash on small models but must never be a regression.
+packed = records.get("packed_vs_perplan_speedup")
+if packed is None:
+    failures.append("packed_vs_perplan_speedup record missing from BENCH_micro.json")
+elif packed["speedup"] < 1.0:
+    failures.append(
+        f"packed f64 path slower than per-plan reference: "
+        f"{packed['speedup']:.3f}x < 1.0x")
+
+for name in ("f32_vs_f64_speedup", "packed_f32_vs_perplan_speedup"):
+    if name not in records:
+        failures.append(f"{name} record missing from BENCH_micro.json")
+
+if failures:
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    sys.exit(1)
+
+print(f"    packed_vs_perplan_speedup        {packed['speedup']:.2f}x")
+print(f"    f32_vs_f64_speedup               {records['f32_vs_f64_speedup']['speedup']:.2f}x")
+print(f"    packed_f32_vs_perplan_speedup    {records['packed_f32_vs_perplan_speedup']['speedup']:.2f}x")
+EOF
+
+echo "==> all ten configurations passed"
