@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
@@ -90,6 +91,12 @@ struct Fixture {
     config.epochs = 2;
     estimator = core::DaceEstimator(config);
     estimator.Train(plans);
+    estimator.Distill(plans);
+    // The fixture is distilled so the student-tier benches have a student to
+    // serve, but every TEACHER bench below must pin kTeacherOnly — under the
+    // default kAuto the gate would silently route most plans to the student
+    // and the teacher timings would measure the wrong path.
+    estimator.set_tier_mode(core::DaceEstimator::TierMode::kTeacherOnly);
     // The shared estimator cycles a 64-plan corpus, so the default-on
     // prediction cache would turn every bench below into a hit benchmark.
     // Keep it off here; the cache benchmarks opt in (and restore this).
@@ -327,18 +334,24 @@ void BM_TrainEpoch(benchmark::State& state) {
 BENCHMARK(BM_TrainEpoch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
-// Batched inference over the fixture corpus; Arg = pool size. Reports
-// allocs/plan measured after a warm-up batch: the model forward is
-// allocation-free, the remaining allocations come from featurization's
-// plan-tree derivations (DfsOrder/Heights/AncestorClosure vectors).
+// Batched inference over the fixture corpus; Arg = pool size. Runs through
+// the caller-owned-output PredictBatchMsInto so the warm path is measured
+// under its strict zero-allocation contract: per-plan scratch (featurization
+// matrices, workspaces, student buffers) lives in per-worker BatchScratch,
+// per-call index buffers in the estimator's CallScratch, and the output
+// vector is reused — allocs/plan must report exactly 0.
 void BM_PredictBatch(benchmark::State& state) {
   Fixture& f = GetFixture();
   ThreadPool pool(static_cast<int>(state.range(0)));
   f.estimator.set_thread_pool(&pool);
-  benchmark::DoNotOptimize(f.estimator.PredictBatchMs(f.plans));  // warm-up
+  std::vector<const plan::QueryPlan*> ptrs;
+  for (const auto& p : f.plans) ptrs.push_back(&p);
+  std::vector<double> out;
+  f.estimator.PredictBatchMsInto(ptrs, &out);  // warm-up
   const size_t allocs_before = g_heap_allocs.load(std::memory_order_relaxed);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(f.estimator.PredictBatchMs(f.plans));
+    f.estimator.PredictBatchMsInto(ptrs, &out);
+    benchmark::DoNotOptimize(out.data());
   }
   const size_t allocs = g_heap_allocs.load(std::memory_order_relaxed) -
                         allocs_before;
@@ -419,6 +432,85 @@ void BM_PredictBatchPackedF32(benchmark::State& state) {
   PredictBatchPacked(state, nn::kernel::Precision::kF32);
 }
 BENCHMARK(BM_PredictBatchPackedF32)->Unit(benchmark::kMillisecond);
+
+// RAII pin for the serving tier, mirroring ScopedPrecision.
+struct ScopedTier {
+  explicit ScopedTier(core::DaceEstimator* est,
+                      core::DaceEstimator::TierMode mode)
+      : estimator(est), prev(est->tier_mode()) {
+    est->set_tier_mode(mode);
+  }
+  ~ScopedTier() { estimator->set_tier_mode(prev); }
+  core::DaceEstimator* estimator;
+  core::DaceEstimator::TierMode prev;
+};
+
+// The microsecond serving tier: every plan answered by the distilled student
+// through the int8 kernel path, no gate, no teacher. Same workload, pool and
+// cache setup as the packed teacher benches, so student_vs_teacher_speedup
+// is a pure path ratio against BM_PredictBatchPackedF32. Warm path must also
+// be allocation-free.
+void BM_PredictBatchStudentI8(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  ScopedPrecision pin(nn::kernel::Precision::kI8);
+  ScopedTier tier(&f.estimator, core::DaceEstimator::TierMode::kStudentOnly);
+  ThreadPool pool(1);
+  f.estimator.set_thread_pool(&pool);
+  f.estimator.set_prediction_cache_capacity(0);
+  std::vector<const plan::QueryPlan*> ptrs;
+  for (const auto& p : f.plans) ptrs.push_back(&p);
+  std::vector<double> out;
+  f.estimator.PredictBatchMsInto(ptrs, &out);  // warm-up
+  const size_t allocs_before = g_heap_allocs.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    f.estimator.PredictBatchMsInto(ptrs, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  const size_t allocs = g_heap_allocs.load(std::memory_order_relaxed) -
+                        allocs_before;
+  f.estimator.set_thread_pool(nullptr);
+  state.counters["allocs/plan"] = benchmark::Counter(
+      static_cast<double>(allocs) /
+      (static_cast<double>(state.iterations()) *
+       static_cast<double>(f.plans.size())));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.plans.size()));
+}
+BENCHMARK(BM_PredictBatchStudentI8)->Unit(benchmark::kMillisecond);
+
+// The gated tier as deployed (kAuto at i8): student answers, teacher catches
+// the escalations. Reports the escalated fraction alongside the timing.
+void BM_PredictBatchTieredAuto(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  ScopedPrecision pin(nn::kernel::Precision::kI8);
+  ScopedTier tier(&f.estimator, core::DaceEstimator::TierMode::kAuto);
+  ThreadPool pool(1);
+  f.estimator.set_thread_pool(&pool);
+  f.estimator.set_prediction_cache_capacity(0);
+  std::vector<const plan::QueryPlan*> ptrs;
+  for (const auto& p : f.plans) ptrs.push_back(&p);
+  std::vector<double> out;
+  obs::MetricsRegistry* reg = obs::MetricsRegistry::Default();
+  f.estimator.PredictBatchMsInto(ptrs, &out);  // warm-up
+  const uint64_t req0 = reg->GetCounter("predict.tier.requests")->Value();
+  const uint64_t esc0 = reg->GetCounter("predict.tier.escalated")->Value();
+  for (auto _ : state) {
+    f.estimator.PredictBatchMsInto(ptrs, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  const uint64_t requests =
+      reg->GetCounter("predict.tier.requests")->Value() - req0;
+  const uint64_t escalated =
+      reg->GetCounter("predict.tier.escalated")->Value() - esc0;
+  f.estimator.set_thread_pool(nullptr);
+  state.counters["escalated_fraction"] = benchmark::Counter(
+      requests > 0 ? static_cast<double>(escalated) /
+                         static_cast<double>(requests)
+                   : 0.0);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.plans.size()));
+}
+BENCHMARK(BM_PredictBatchTieredAuto)->Unit(benchmark::kMillisecond);
 
 // Serving path with every plan already cached: fingerprint + LRU lookup
 // only. The warm-up batch fills the cache; the hit_fraction counter proves
@@ -554,6 +646,44 @@ void AddSpeedupRecord(const char* record_name, const char* baseline,
               contender);
 }
 
+// Accuracy side of the tiered-serving acceptance: median q-error of gated
+// tiered serving (kAuto at i8) against actual runtimes, as a ratio over
+// teacher-only serving on the same fig05-style workload. The budget is 1.05
+// — the gate must escalate enough that distillation error stays invisible at
+// the median. Gated separately from the timing records because it is a
+// correctness property, not a speed one.
+void AddTieredQErrorRecord() {
+  Fixture& f = GetFixture();
+  using TierMode = core::DaceEstimator::TierMode;
+  ScopedPrecision pin(nn::kernel::Precision::kI8);
+  f.estimator.set_prediction_cache_capacity(0);
+  const auto median_q = [&f](TierMode mode) {
+    ScopedTier tier(&f.estimator, mode);
+    f.estimator.set_prediction_cache_capacity(0);
+    const std::vector<double> preds = f.estimator.PredictBatchMs(f.plans);
+    std::vector<double> q;
+    for (size_t i = 0; i < f.plans.size(); ++i) {
+      const double actual =
+          f.plans[i].node(f.plans[i].root()).actual_time_ms;
+      if (actual <= 0.0 || preds[i] <= 0.0) continue;
+      q.push_back(std::max(preds[i] / actual, actual / preds[i]));
+    }
+    std::sort(q.begin(), q.end());
+    return q[q.size() / 2];
+  };
+  const double teacher_q = median_q(TierMode::kTeacherOnly);
+  const double tiered_q = median_q(TierMode::kAuto);
+  const double ratio = tiered_q / teacher_q;
+  dace::bench::Json()
+      .Add("tiered_qerror_budget")
+      .Num("teacher_median_qerror", teacher_q)
+      .Num("tiered_median_qerror", tiered_q)
+      .Num("ratio", ratio)
+      .Num("budget", 1.05);
+  std::printf("%-32s %.4f (tiered %.3f / teacher %.3f, budget 1.05)\n",
+              "tiered_qerror_budget", ratio, tiered_q, teacher_q);
+}
+
 // overhead% = (t(instrumented) / t(baseline) - 1) * 100, recorded only when
 // both ran. The obs acceptance budget for span+counter on the warm forward
 // is < 2%.
@@ -617,6 +747,11 @@ int main(int argc, char** argv) {
                    "BM_PredictBatchPackedF32");
   AddSpeedupRecord("packed_f32_vs_perplan_speedup", "BM_PredictBatchCold",
                    "BM_PredictBatchPackedF32");
+  AddSpeedupRecord("student_vs_teacher_speedup", "BM_PredictBatchPackedF32",
+                   "BM_PredictBatchStudentI8");
+  AddSpeedupRecord("student_vs_perplan_speedup", "BM_PredictBatchCold",
+                   "BM_PredictBatchStudentI8");
+  AddTieredQErrorRecord();
   AddOverheadRecord("obs_overhead_pct", "BM_PredictAllIntoWarm",
                     "BM_PredictAllIntoWarmObs");
   const bool ok = dace::bench::Json().WriteIfRequested();

@@ -9,9 +9,13 @@
 //   ./bench_serve [--tenants=3] [--clients=8] [--requests=2000]
 //                 [--plans=64] [--epochs=1] [--max-batch=64]
 //                 [--max-wait-us=200] [--queue-cap=1024] [--deadline-us=0]
-//                 [--swaps=4] [--threads=N]
+//                 [--swaps=4] [--threads=N] [--precision=i8|f32|f64]
 //                 [--json=out.json] [--metrics-json=m.json]
 //                 [--trace-json=t.json]
+//
+// The base model is distilled before registration, so every tenant serves
+// through the tiered path (student first, agreement-gated escalation) and
+// the run reports the realized tier fallback rate.
 
 #include <algorithm>
 #include <atomic>
@@ -26,6 +30,7 @@
 #include "engine/corpus.h"
 #include "engine/dataset.h"
 #include "engine/machine.h"
+#include "nn/kernels_f32.h"
 #include "obs/metrics.h"
 #include "serve/model_registry.h"
 #include "serve/service.h"
@@ -53,6 +58,19 @@ int main(int argc, char** argv) {
   const int epochs = static_cast<int>(flags.GetInt("epochs", 1));
   const int swaps = static_cast<int>(flags.GetInt("swaps", 4));
   const int64_t deadline_us = flags.GetInt("deadline-us", 0);
+  // The serving-tier default is int8 (the student's kernel path); the flag
+  // overrides both the flag default and any DACE_PRECISION in the env.
+  const std::string precision = flags.GetString("precision", "i8");
+  if (precision == "i8") {
+    nn::kernel::SetPrecision(nn::kernel::Precision::kI8);
+  } else if (precision == "f32") {
+    nn::kernel::SetPrecision(nn::kernel::Precision::kF32);
+  } else if (precision == "f64") {
+    nn::kernel::SetPrecision(nn::kernel::Precision::kF64);
+  } else {
+    std::fprintf(stderr, "unknown --precision value '%s'\n", precision.c_str());
+    return 1;
+  }
 
   serve::ServiceConfig service_config;
   service_config.max_batch =
@@ -77,6 +95,11 @@ int main(int argc, char** argv) {
     base.Train(plans);
     std::printf("trained base model in %.0f ms (%d epochs, %zu plans)\n",
                 timer.ElapsedMs(), epochs, plans.size());
+  }
+  {
+    bench::WallTimer timer;
+    base.Distill(plans);
+    std::printf("distilled student tier in %.0f ms\n", timer.ElapsedMs());
   }
   const std::string ckpt = "/tmp/bench_serve_ckpt.dace";
   if (const auto s = base.SaveToFile(ckpt); !s.ok()) {
@@ -164,6 +187,18 @@ int main(int argc, char** argv) {
       batches > 0 ? static_cast<double>(ok.load()) /
                         static_cast<double>(batches)
                   : 0.0;
+  // Tier fallback: the fraction of gate-eligible requests the student's
+  // agreement gate escalated to the teacher (aggregated across tenants).
+  const uint64_t tier_requests =
+      metrics->GetCounter("predict.tier.requests")->Value();
+  const uint64_t tier_student =
+      metrics->GetCounter("predict.tier.student")->Value();
+  const uint64_t tier_escalated =
+      metrics->GetCounter("predict.tier.escalated")->Value();
+  const double tier_fallback_rate =
+      tier_requests > 0 ? static_cast<double>(tier_escalated) /
+                              static_cast<double>(tier_requests)
+                        : 0.0;
 
   std::printf("\nclients=%d tenants=%d requests/client=%d "
               "max_batch=%zu max_wait_us=%lld queue_cap=%zu\n",
@@ -182,6 +217,13 @@ int main(int argc, char** argv) {
   std::printf("coalescing: %llu batches, %.2f requests/batch; swaps=%d\n",
               static_cast<unsigned long long>(batches), mean_batch,
               swaps_done.load());
+  std::printf("tier (%s): requests=%llu student=%llu escalated=%llu "
+              "fallback_rate=%.4f\n",
+              precision.c_str(),
+              static_cast<unsigned long long>(tier_requests),
+              static_cast<unsigned long long>(tier_student),
+              static_cast<unsigned long long>(tier_escalated),
+              tier_fallback_rate);
 
   bench::Json()
       .Add("serve_load")
@@ -203,6 +245,13 @@ int main(int argc, char** argv) {
       .Num("batches", static_cast<double>(batches))
       .Num("mean_batch_size", mean_batch)
       .Num("swaps", swaps_done.load());
+  bench::Json()
+      .Add("serve_tier_fallback")
+      .Str("precision", precision)
+      .Num("tier_requests", static_cast<double>(tier_requests))
+      .Num("tier_student", static_cast<double>(tier_student))
+      .Num("tier_escalated", static_cast<double>(tier_escalated))
+      .Num("tier_fallback_rate", tier_fallback_rate);
   if (!bench::Json().WriteIfRequested()) return 1;
   std::remove(ckpt.c_str());
   return 0;

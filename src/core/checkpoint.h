@@ -25,7 +25,8 @@ struct DaceConfig;
 //                  hidden1, hidden2, lora_r1, lora_r2, lora_r3
 //   sections (in fixed order)
 //     u32 tag, u64 payload length, payload bytes — one frame per component:
-//     featurizer, attention, fc1, fc2, fc3
+//     featurizer, attention, fc1, fc2, fc3, then optionally the distilled
+//     student (present iff the model was distilled when saved)
 //   trailer (8 bytes, always the last 8 bytes of the file)
 //     u32 trailer tag (0), u32 CRC-32 over every preceding byte
 //
@@ -43,12 +44,16 @@ inline constexpr uint32_t kEndiannessMarker = 0x01020304u;
 inline constexpr size_t kCheckpointHeaderSize = 8 + 4 + 4 + 8 * 4;
 inline constexpr size_t kCheckpointTrailerSize = 4 + 4;
 
-// Section tags, in the order SaveToFile emits them.
+// Section tags, in the order SaveToFile emits them. kSectionStudent is
+// OPTIONAL and trailing: checkpoints written before distillation (or by older
+// builds) simply end after fc3, and readers probe for it with AtEnd() —
+// which is what keeps pre-student checkpoints loadable unchanged.
 inline constexpr uint32_t kSectionFeaturizer = 1;
 inline constexpr uint32_t kSectionAttention = 2;
 inline constexpr uint32_t kSectionFc1 = 3;
 inline constexpr uint32_t kSectionFc2 = 4;
 inline constexpr uint32_t kSectionFc3 = 5;
+inline constexpr uint32_t kSectionStudent = 6;
 inline constexpr uint32_t kTrailerTag = 0;
 
 // The decoded header: format version plus the DaceConfig dimensions the
@@ -112,6 +117,11 @@ class CheckpointReader {
 
   // DataLoss unless every section byte up to the trailer was consumed.
   Status ExpectEnd() const;
+
+  // True once every section byte has been consumed — i.e. the next thing in
+  // the file is the trailer. Lets loaders probe for optional trailing
+  // sections (kSectionStudent) without attempting a read that would fail.
+  bool AtEnd() const { return cursor_ >= sections_end_; }
 
  private:
   std::string_view blob_;

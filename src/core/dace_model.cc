@@ -114,6 +114,69 @@ obs::Counter* ScratchShrinksCounter() {
   return c;
 }
 
+// Tiered-serving instrumentation (DESIGN.md §14). The counters reconcile
+// exactly: every miss that enters the tiered gate bumps `requests` and then
+// exactly one of `student` (gate kept the student's answer) or `escalated`
+// (re-priced by the teacher), so student + escalated == requests always.
+// Misses served while no student is eligible bump `teacher` instead.
+obs::Counter* TierRequestsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default()->GetCounter("predict.tier.requests");
+  return c;
+}
+
+obs::Counter* TierStudentCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default()->GetCounter("predict.tier.student");
+  return c;
+}
+
+obs::Counter* TierEscalatedCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default()->GetCounter("predict.tier.escalated");
+  return c;
+}
+
+obs::Counter* TierTeacherCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default()->GetCounter("predict.tier.teacher");
+  return c;
+}
+
+obs::Histogram* TierStudentLatencyHistogram() {
+  static obs::Histogram* h = obs::MetricsRegistry::Default()->GetHistogram(
+      "serve.tier.student.latency_us", obs::LatencyBucketsUs());
+  return h;
+}
+
+obs::Histogram* TierEscalatedLatencyHistogram() {
+  static obs::Histogram* h = obs::MetricsRegistry::Default()->GetHistogram(
+      "serve.tier.escalated.latency_us", obs::LatencyBucketsUs());
+  return h;
+}
+
+obs::Histogram* TierEscalatedFractionHistogram() {
+  static obs::Histogram* h = [] {
+    const std::vector<double> bounds = {0.0, 0.05, 0.1, 0.2, 0.3, 0.4,
+                                        0.5,  0.6,  0.7, 0.8, 0.9, 1.0};
+    return obs::MetricsRegistry::Default()->GetHistogram(
+        "serve.tier.escalated_fraction", bounds);
+  }();
+  return h;
+}
+
+obs::Gauge* TierGateThresholdGauge() {
+  static obs::Gauge* g =
+      obs::MetricsRegistry::Default()->GetGauge("serve.tier.gate.threshold");
+  return g;
+}
+
+obs::Gauge* TierGateQBoundGauge() {
+  static obs::Gauge* g =
+      obs::MetricsRegistry::Default()->GetGauge("serve.tier.gate.q_bound");
+  return g;
+}
+
 uint64_t LatencyNowUs() {
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
@@ -310,6 +373,9 @@ TrainStats DaceModel::RunTraining(const std::vector<PlanFeatures>& data,
   stats.num_plans = data.size();
   stats.wall_ms = NowMs() - start_ms;
   ++weights_version_;  // every cached prediction is now stale
+  // The student was distilled from the weights that just changed; serving a
+  // stale student would silently answer for a teacher that no longer exists.
+  student_.reset();
   return stats;
 }
 
@@ -325,6 +391,78 @@ TrainStats DaceModel::FineTuneLora(const std::vector<PlanFeatures>& data) {
     lora_attached_ = true;
   }
   return RunTraining(data, /*lora_only=*/true);
+}
+
+StudentTrainStats DaceModel::DistillStudent(
+    const std::vector<PlanFeatures>& data, const Matrix& inputs) {
+  DACE_CHECK(!data.empty());
+  DACE_CHECK_EQ(inputs.rows(), data.size())
+      << "one student input row per teacher plan";
+  ThreadPool* pool = thread_pool();
+  const int workers = pool->num_threads();
+
+  // Teacher targets: the frozen teacher's root prediction per plan. Slot
+  // workspaces are reuse-only — targets[i] depends on plan i alone, so the
+  // result is pool-size independent.
+  std::vector<double> targets(data.size());
+  std::vector<Workspace> wss(static_cast<size_t>(workers));
+  std::vector<std::vector<double>> preds(static_cast<size_t>(workers));
+  pool->ParallelForWorker(0, data.size(), [&](int slot, size_t i) {
+    const size_t w = static_cast<size_t>(slot);
+    PredictAllInto(data[i], &wss[w], &preds[w]);
+    targets[i] = preds[w][0];
+  });
+
+  auto student = std::make_unique<StudentModel>(
+      config_.student_hidden1, config_.student_hidden2,
+      HashMix(config_.seed + 0x5d111ed));
+  StudentModel::TrainConfig tc;
+  tc.learning_rate = config_.distill_learning_rate;
+  tc.epochs = config_.distill_epochs;
+  tc.batch_size = config_.distill_batch_size;
+  const StudentTrainStats stats = student->Train(inputs, targets, tc, pool);
+
+  // Gate calibration. q_bound is the empirical max |ŷ_i8 − ŷ_f64| over the
+  // distillation set — the quantization slack the gate must assume whenever
+  // the i8 image answers. τ is the escalation_quantile quantile of
+  // (r̂ + q_bound): plans whose predicted residual clears it re-price on the
+  // teacher.
+  const size_t n = data.size();
+  std::vector<double> rhat(n);
+  std::vector<StudentModel::I8Scratch> i8s(static_cast<size_t>(workers));
+  std::vector<double> qmax(static_cast<size_t>(workers), 0.0);
+  pool->ParallelForWorker(0, n, [&](int slot, size_t i) {
+    const size_t w = static_cast<size_t>(slot);
+    float in[featurize::kStudentFeatureDim];
+    const double* src = inputs.RowPtr(i);
+    for (int j = 0; j < featurize::kStudentFeatureDim; ++j) {
+      in[j] = static_cast<float>(src[j]);
+    }
+    double y64 = 0.0, r64 = 0.0;
+    student->PredictF64(in, &y64, &r64);
+    float yi8 = 0.0f, ri8 = 0.0f;
+    student->PredictI8(in, &i8s[w], &yi8, &ri8);
+    qmax[w] = std::max(qmax[w], std::abs(static_cast<double>(yi8) - y64));
+    rhat[i] = r64;
+  });
+  double q_bound = 0.0;
+  for (double q : qmax) q_bound = std::max(q_bound, q);
+  std::sort(rhat.begin(), rhat.end());
+  const size_t k = std::min(
+      n - 1, static_cast<size_t>(config_.escalation_quantile *
+                                 static_cast<double>(n)));
+  student->set_gate(/*threshold=*/rhat[k] + q_bound, q_bound);
+
+  student_ = std::move(student);
+  // The servable function set changed (student answers now mix into the
+  // batched path), so predictions cached before distillation must flush.
+  ++weights_version_;
+  DACE_LOG(INFO) << "distill: rows=" << stats.num_rows
+                 << " loss=" << stats.final_loss
+                 << " tau=" << student_->gate_threshold()
+                 << " q_bound=" << student_->gate_q_bound()
+                 << " wall_ms=" << stats.wall_ms;
+  return stats;
 }
 
 void DaceModel::PredictAllInto(const PlanFeatures& f, Workspace* ws,
@@ -360,7 +498,9 @@ void DaceModel::PredictPackedInto(
     ws->layout.Add(f->node_features.rows());
     ws->masks.push_back(&f->attention_mask);
   }
-  if (nn::kernel::ActivePrecision() == nn::kernel::Precision::kF32) {
+  // kI8 selects the student-tier kernels; the teacher has no int8 image, so
+  // it serves its fastest path (the folded f32 weights) under kI8 too.
+  if (nn::kernel::ActivePrecision() != nn::kernel::Precision::kF64) {
     ForwardPackedF32(feats, ws, roots);
   } else {
     ForwardPackedF64(feats, ws, roots);
@@ -544,6 +684,148 @@ void DaceModel::ForwardPackedF32(std::span<const PlanFeatures* const> feats,
   }
 }
 
+void DaceModel::PredictPackedAllInto(
+    std::span<const PlanFeatures* const> feats, PackedWorkspace* ws,
+    std::vector<std::vector<double>>* rows) const {
+  rows->resize(feats.size());
+  if (feats.empty()) return;
+  ws->layout.Clear();
+  ws->masks.clear();
+  for (const PlanFeatures* f : feats) {
+    ws->layout.Add(f->node_features.rows());
+    ws->masks.push_back(&f->attention_mask);
+  }
+  if (nn::kernel::ActivePrecision() != nn::kernel::Precision::kF64) {
+    ForwardPackedAllF32(feats, ws, rows);
+    return;
+  }
+  // The packed f64 body already prices EVERY row (that is what keeps it
+  // bit-identical to PredictAllInto) — all-rows extraction is free.
+  ws->roots_scratch.resize(feats.size());
+  ForwardPackedF64(feats, ws, &ws->roots_scratch);
+  for (size_t b = 0; b < feats.size(); ++b) {
+    const size_t off = ws->layout.offset[b];
+    const size_t nb = ws->layout.n[b];
+    std::vector<double>& r = (*rows)[b];
+    r.resize(nb);
+    for (size_t j = 0; j < nb; ++j) r[j] = ws->pred(off + j, 0);
+  }
+}
+
+void DaceModel::ForwardPackedAllF32(
+    std::span<const PlanFeatures* const> feats, PackedWorkspace* ws,
+    std::vector<std::vector<double>>* rows) const {
+  DACE_CHECK_EQ(f32_.version, weights_version_)
+      << "f32 packed inference with stale folded weights: EnsureF32Weights "
+         "must run after every weight mutation";
+  const nn::kernel::TableF32& t = nn::kernel::ActiveF32();
+  const nn::PackLayout& layout = ws->layout;
+  const size_t count = feats.size();
+  const size_t nrows = layout.total_rows;
+  const size_t maxn = layout.max_nodes;
+  const size_t dm = static_cast<size_t>(config_.d_model);
+  const size_t dk = static_cast<size_t>(config_.d_k);
+  const size_t dv = static_cast<size_t>(config_.d_v);
+  const size_t n1 = static_cast<size_t>(config_.hidden1);
+  const size_t n2 = static_cast<size_t>(config_.hidden2);
+
+  // All-rows twin of ForwardPackedF32: every packed row is both a softmax
+  // candidate AND a softmax query, so Q/scores/softmax/context/MLP all run
+  // at total_rows height instead of one row per plan.
+  ws->s32.resize(nrows * dm);
+  for (size_t b = 0; b < count; ++b) {
+    const size_t off = layout.offset[b];
+    const size_t nb = layout.n[b];
+    const double* src = feats[b]->node_features.data();
+    float* dst = ws->s32.data() + off * dm;
+    for (size_t i = 0; i < nb * dm; ++i) dst[i] = static_cast<float>(src[i]);
+  }
+  // Full additive masks, each block's rows column-padded to maxn.
+  ws->mask32.resize(nrows * maxn);
+  for (size_t b = 0; b < count; ++b) {
+    const size_t off = layout.offset[b];
+    const size_t nb = layout.n[b];
+    for (size_t i = 0; i < nb; ++i) {
+      const double* mrow = feats[b]->attention_mask.RowPtr(i);
+      float* mdst = ws->mask32.data() + (off + i) * maxn;
+      for (size_t j = 0; j < nb; ++j) mdst[j] = static_cast<float>(mrow[j]);
+    }
+  }
+
+  ws->q32.assign(nrows * dk, 0.0f);
+  ws->k32.assign(nrows * dk, 0.0f);
+  ws->v32.assign(nrows * dv, 0.0f);
+  t.mm_panel(ws->s32.data(), dm, f32_.wq.data(), dk, ws->q32.data(), dk,
+             nrows, 0, dm, 0, dk);
+  t.mm_panel(ws->s32.data(), dm, f32_.wk.data(), dk, ws->k32.data(), dk,
+             nrows, 0, dm, 0, dk);
+  t.mm_panel(ws->s32.data(), dm, f32_.wv.data(), dv, ws->v32.data(), dv,
+             nrows, 0, dm, 0, dv);
+
+  const float neg_inf = static_cast<float>(nn::kMaskNegInf);
+  ws->scores32.resize(nrows * maxn);
+  ws->probs32.resize(nrows * maxn);
+  for (size_t b = 0; b < count; ++b) {
+    const size_t off = layout.offset[b];
+    const size_t nb = layout.n[b];
+    for (size_t i = 0; i < nb; ++i) {
+      float* srow = ws->scores32.data() + (off + i) * maxn;
+      const float* qrow = ws->q32.data() + (off + i) * dk;
+      for (size_t j = 0; j < nb; ++j) {
+        srow[j] = t.dot(dk, qrow, ws->k32.data() + (off + j) * dk);
+      }
+      t.scale(nb, f32_.inv_sqrt_dk, srow);
+      const float* mrow = ws->mask32.data() + (off + i) * maxn;
+      float* prow = ws->probs32.data() + (off + i) * maxn;
+      const float max_val = t.masked_max(nb, srow, mrow, neg_inf);
+      DACE_CHECK_GT(max_val, neg_inf)
+          << "packed softmax row " << i << " of block " << b
+          << " fully masked";
+      const float denom =
+          t.masked_exp(nb, srow, mrow, max_val, neg_inf, prow);
+      t.div(nb, denom, prow);
+    }
+  }
+
+  // Per-block context: probs_block (nb × maxn-strided) · V_block (nb × dv).
+  ws->attn32.assign(nrows * dv, 0.0f);
+  for (size_t b = 0; b < count; ++b) {
+    const size_t off = layout.offset[b];
+    const size_t nb = layout.n[b];
+    t.mm_panel(ws->probs32.data() + off * maxn, maxn,
+               ws->v32.data() + off * dv, dv, ws->attn32.data() + off * dv,
+               dv, nb, 0, nb, 0, dv);
+  }
+
+  // MLP over every packed row.
+  ws->z132.resize(nrows * n1);
+  for (size_t i = 0; i < nrows; ++i) {
+    std::memcpy(ws->z132.data() + i * n1, f32_.b1.data(), n1 * sizeof(float));
+  }
+  t.gemm(ws->attn32.data(), dv, f32_.w1.data(), n1, ws->z132.data(), n1,
+         nrows, dv, n1);
+  t.relu(nrows * n1, ws->z132.data(), ws->z132.data());
+  ws->z232.resize(nrows * n2);
+  for (size_t i = 0; i < nrows; ++i) {
+    std::memcpy(ws->z232.data() + i * n2, f32_.b2.data(), n2 * sizeof(float));
+  }
+  t.gemm(ws->z132.data(), n1, f32_.w2.data(), n2, ws->z232.data(), n2, nrows,
+         n1, n2);
+  t.relu(nrows * n2, ws->z232.data(), ws->z232.data());
+
+  const float b3 = f32_.b3[0];
+  for (size_t b = 0; b < count; ++b) {
+    const size_t off = layout.offset[b];
+    const size_t nb = layout.n[b];
+    std::vector<double>& r = (*rows)[b];
+    r.resize(nb);
+    for (size_t j = 0; j < nb; ++j) {
+      const float* hrow = ws->z232.data() + (off + j) * n2;
+      r[j] = static_cast<double>(b3 + t.dot(n2, hrow, f32_.w3.data()));
+    }
+  }
+}
+
 std::vector<double> DaceModel::EncodeRoot(const PlanFeatures& f) const {
   Matrix attn, z1, h1, z2, h2;
   attention_.ForwardInference(f.node_features, f.attention_mask, &attn);
@@ -602,6 +884,13 @@ void DaceModel::AppendSections(CheckpointWriter* w) const {
     layer->Serialize(w->bytes());
     w->EndSection();
   }
+  // The student is an optional trailing section: pre-distillation saves emit
+  // nothing, so their byte layout (and old readers of it) is unchanged.
+  if (student_ != nullptr) {
+    w->BeginSection(kSectionStudent);
+    student_->Serialize(w->bytes());
+    w->EndSection();
+  }
 }
 
 Status DaceModel::LoadSections(CheckpointReader* r) {
@@ -621,6 +910,15 @@ Status DaceModel::LoadSections(CheckpointReader* r) {
   DACE_RETURN_IF_ERROR(load(kSectionFc1, &staged.fc1, "fc1"));
   DACE_RETURN_IF_ERROR(load(kSectionFc2, &staged.fc2, "fc2"));
   DACE_RETURN_IF_ERROR(load(kSectionFc3, &staged.fc3, "fc3"));
+  if (!r->AtEnd()) {
+    // Optional trailing student section. The staged student is constructed
+    // with the config dims and then overwritten by Deserialize; ValidateStaged
+    // rejects a checkpoint student of another architecture.
+    staged.student = std::make_unique<StudentModel>(
+        config_.student_hidden1, config_.student_hidden2, /*seed=*/0);
+    DACE_RETURN_IF_ERROR(load(kSectionStudent, staged.student.get(),
+                              "student"));
+  }
   DACE_RETURN_IF_ERROR(r->ExpectEnd());
   DACE_RETURN_IF_ERROR(ValidateStaged(staged));
   CommitStaged(std::move(staged));
@@ -679,6 +977,18 @@ Status DaceModel::ValidateStaged(const StagedWeights& staged) const {
       }
     }
   }
+  if (staged.student != nullptr) {
+    if (staged.student->hidden1() != config_.student_hidden1) {
+      return dim_error("student hidden1",
+                       static_cast<size_t>(staged.student->hidden1()),
+                       config_.student_hidden1);
+    }
+    if (staged.student->hidden2() != config_.student_hidden2) {
+      return dim_error("student hidden2",
+                       static_cast<size_t>(staged.student->hidden2()),
+                       config_.student_hidden2);
+    }
+  }
   return Status::OK();
 }
 
@@ -688,6 +998,9 @@ void DaceModel::CommitStaged(StagedWeights&& staged) {
   fc2_ = std::move(staged.fc2);
   fc3_ = std::move(staged.fc3);
   lora_attached_ = fc1_.has_lora();
+  // The student follows the teacher wholesale: a checkpoint without a
+  // student section drops any live student (it answered for other weights).
+  student_ = std::move(staged.student);
   ++weights_version_;  // loaded weights replace whatever was cached against
 }
 
@@ -726,6 +1039,20 @@ DaceEstimator::PackedMode DaceEstimator::DefaultPackedMode() {
   return mode;
 }
 
+DaceEstimator::TierMode DaceEstimator::DefaultTierMode() {
+  static const TierMode mode = [] {
+    const char* env = std::getenv("DACE_TIER");
+    if (env == nullptr || env[0] == '\0') return TierMode::kAuto;
+    if (std::strcmp(env, "auto") == 0) return TierMode::kAuto;
+    if (std::strcmp(env, "teacher") == 0) return TierMode::kTeacherOnly;
+    if (std::strcmp(env, "student") == 0) return TierMode::kStudentOnly;
+    DACE_CHECK(false) << "unknown DACE_TIER value '" << env
+                      << "' (expected 'auto', 'teacher' or 'student')";
+    return TierMode::kAuto;
+  }();
+  return mode;
+}
+
 std::vector<featurize::PlanFeatures> DaceEstimator::FeaturizeAll(
     const std::vector<plan::QueryPlan>& plans) const {
   // Featurize the whole corpus once, up front and in parallel; slot i
@@ -748,6 +1075,32 @@ TrainStats DaceEstimator::FineTune(const std::vector<plan::QueryPlan>& plans) {
   DACE_CHECK(featurizer_.fitted()) << "FineTune requires a pre-trained model";
   last_train_stats_ = model_.FineTuneLora(FeaturizeAll(plans));
   return last_train_stats_;
+}
+
+StudentTrainStats DaceEstimator::Distill(
+    const std::vector<plan::QueryPlan>& plans) {
+  DACE_CHECK(featurizer_.fitted())
+      << "Distill requires a trained teacher: call Train() first";
+  DACE_CHECK(!plans.empty());
+  const std::vector<featurize::PlanFeatures> data = FeaturizeAll(plans);
+  const featurize::FeaturizerConfig fc = FeatConfig();
+  // Student inputs are the float serving features widened to double: the
+  // trainer sees bit-for-bit what StudentFeaturizeInto will produce at serve
+  // time (floats widen exactly).
+  nn::Matrix inputs(plans.size(),
+                    static_cast<size_t>(featurize::kStudentFeatureDim));
+  model_.thread_pool()->ParallelFor(0, plans.size(), [&](size_t i) {
+    float row[featurize::kStudentFeatureDim];
+    featurizer_.StudentFeaturizeInto(plans[i], fc, row);
+    double* dst = inputs.RowPtr(i);
+    for (int j = 0; j < featurize::kStudentFeatureDim; ++j) {
+      dst[j] = static_cast<double>(row[j]);
+    }
+  });
+  const StudentTrainStats stats = model_.DistillStudent(data, inputs);
+  TierGateThresholdGauge()->Set(model_.student()->gate_threshold());
+  TierGateQBoundGauge()->Set(model_.student()->gate_q_bound());
+  return stats;
 }
 
 double DaceEstimator::PredictMs(const plan::QueryPlan& plan) const {
@@ -789,16 +1142,85 @@ double DaceEstimator::PredictMs(const plan::QueryPlan& plan) const {
 
 std::vector<double> DaceEstimator::PredictBatchMs(
     std::span<const plan::QueryPlan> plans) const {
-  std::vector<const plan::QueryPlan*> ptrs;
+  std::vector<const plan::QueryPlan*>& ptrs = call_scratch_.ptrs;
+  ptrs.clear();
   ptrs.reserve(plans.size());
   for (const plan::QueryPlan& plan : plans) ptrs.push_back(&plan);
-  return PredictBatchMs(ptrs);
+  std::vector<double> out;
+  PredictBatchMsInto(ptrs, &out);
+  return out;
 }
 
 std::vector<double> DaceEstimator::PredictBatchMs(
     std::span<const plan::QueryPlan* const> plans) const {
-  std::vector<double> out(plans.size());
-  if (plans.empty()) return out;
+  std::vector<double> out;
+  PredictBatchMsInto(plans, &out);
+  return out;
+}
+
+void DaceEstimator::ServeStudentTier(
+    std::span<const plan::QueryPlan* const> plans, const StudentModel& student,
+    uint64_t version, const featurize::FeaturizerConfig& fc, bool cache_on,
+    std::vector<double>* out) const {
+  CallScratch& cs = call_scratch_;
+  ThreadPool* pool = model_.thread_pool();
+  const size_t m = cs.misses.size();
+  TierRequestsCounter()->Add(m);
+  cs.served.assign(m, 0);
+  const bool keep_all = tier_mode_ == TierMode::kStudentOnly;
+  const double tau = student.gate_threshold();
+  const double q_bound = student.gate_q_bound();
+  const bool i8 =
+      nn::kernel::ActivePrecision() == nn::kernel::Precision::kI8;
+  pool->ParallelForWorker(0, m, [&](int slot, size_t mi) {
+    const size_t i = cs.misses[mi];
+    const uint64_t t0_us = LatencyNowUs();
+    BatchScratch& s = batch_scratch_[static_cast<size_t>(slot)];
+    featurizer_.StudentFeaturizeInto(*plans[i], fc, s.student_input);
+    double y = 0.0, r = 0.0;
+    if (i8) {
+      float yf = 0.0f, rf = 0.0f;
+      student.PredictI8(s.student_input, &s.i8, &yf, &rf);
+      y = static_cast<double>(yf);
+      r = static_cast<double>(rf);
+    } else {
+      student.PredictF64(s.student_input, &y, &r);
+    }
+    // Agreement gate: keep the student's answer only when its own predicted
+    // residual plus the quantization bound stays inside the calibrated
+    // threshold. The decision reads nothing thread- or ISA-dependent (the
+    // i8 forward is bit-identical across ISAs), so the escalated set is
+    // deterministic.
+    if (keep_all || r + q_bound <= tau) {
+      const double ms = featurizer_.InverseTransformTime(y);
+      (*out)[i] = ms;
+      // With the cache off Insert is a no-op behind a mutex — skip the lock
+      // entirely on this microsecond-scale path.
+      if (cache_on) prediction_cache_->Insert(version, cs.fps[i], ms);
+      cs.served[mi] = 1;
+      PredictionsCounter()->Add(1);
+      const double elapsed = static_cast<double>(LatencyNowUs() - t0_us);
+      PredictLatencyUsHistogram()->Observe(elapsed);
+      TierStudentLatencyHistogram()->Observe(elapsed);
+    }
+  });
+  cs.escalated.clear();
+  for (size_t mi = 0; mi < m; ++mi) {
+    if (cs.served[mi] == 0) cs.escalated.push_back(cs.misses[mi]);
+  }
+  TierStudentCounter()->Add(m - cs.escalated.size());
+  TierEscalatedCounter()->Add(cs.escalated.size());
+  if (m > 0) {
+    TierEscalatedFractionHistogram()->Observe(
+        static_cast<double>(cs.escalated.size()) / static_cast<double>(m));
+  }
+}
+
+void DaceEstimator::PredictBatchMsInto(
+    std::span<const plan::QueryPlan* const> plans,
+    std::vector<double>* out) const {
+  out->resize(plans.size());
+  if (plans.empty()) return;
   DACE_CHECK(featurizer_.fitted())
       << "DaceEstimator::PredictBatchMs called before the estimator was "
          "trained: call Train() or LoadFromFile() first";
@@ -807,6 +1229,7 @@ std::vector<double> DaceEstimator::PredictBatchMs(
     batch_scratch_.resize(static_cast<size_t>(pool->num_threads()));
   }
   DACE_TRACE_SPAN("predict.batch");
+  CallScratch& cs = call_scratch_;
   const featurize::FeaturizerConfig fc = FeatConfig();
   const uint64_t version = model_.weights_version();
   // out[i] depends only on plan i and the weights, so results are identical
@@ -814,63 +1237,90 @@ std::vector<double> DaceEstimator::PredictBatchMs(
   // The prediction cache preserves that: a hit returns the exact double a
   // cold run would have produced under the same weights.
   //
-  // Pass 1 — fingerprint every plan and resolve cache hits. Misses fall
-  // through to either the packed path (one forward per pack of plans) or the
-  // per-plan reference path; both price a miss identically at f64.
-  std::vector<uint64_t> fps(plans.size());
-  std::vector<uint8_t> hit(plans.size(), 0);
-  pool->ParallelFor(0, plans.size(), [&](size_t i) {
-    const uint64_t t0_us = LatencyNowUs();
-    fps[i] = featurizer_.Fingerprint(*plans[i], fc);
-    double ms = 0.0;
-    if (prediction_cache_->Lookup(version, fps[i], &ms)) {
-      out[i] = ms;
-      hit[i] = 1;
-      PredictionsCounter()->Add(1);
-      PredictLatencyUsHistogram()->Observe(
-          static_cast<double>(LatencyNowUs() - t0_us));
-    }
-  });
-  std::vector<size_t> misses;
-  misses.reserve(plans.size());
-  for (size_t i = 0; i < plans.size(); ++i) {
-    if (hit[i] == 0) misses.push_back(i);
-  }
-  if (!misses.empty()) {
-    const bool use_packed =
-        packed_mode_ == PackedMode::kOn ||
-        (packed_mode_ == PackedMode::kAuto && misses.size() >= 2);
-    if (use_packed) {
-      PredictPackedBatch(plans, misses, fps, version, fc, &out);
-    } else {
-      pool->ParallelForWorker(0, misses.size(), [&](int slot, size_t mi) {
-        const size_t i = misses[mi];
-        const uint64_t t0_us = LatencyNowUs();
-        BatchScratch& s = batch_scratch_[static_cast<size_t>(slot)];
-        {
-          DACE_TRACE_SPAN("predict.featurize");
-          featurizer_.FeaturizeInto(*plans[i], fc, &s.feats);
-        }
-        {
-          DACE_TRACE_SPAN("predict.forward");
-          model_.PredictAllInto(s.feats, &s.ws, &s.preds);
-        }
-        {
-          DACE_TRACE_SPAN("predict.inverse_transform");
-          out[i] = featurizer_.InverseTransformTime(s.preds[0]);
-        }
-        prediction_cache_->Insert(version, fps[i], out[i]);
-        const size_t n = plans[i]->size();
-        s.used_nodes = std::max(s.used_nodes, n);
-        s.alloc_nodes = std::max(s.alloc_nodes, n);
+  // Pass 1 — fingerprint every plan and resolve cache hits. With the cache
+  // disabled (capacity 0) every Lookup would miss and every Insert is a
+  // no-op, so the fingerprint pass is skipped entirely — that removes the
+  // whole hashing walk from cache-less serving tiers and benches.
+  const bool cache_on = prediction_cache_->GetStats().capacity > 0;
+  cs.fps.assign(plans.size(), 0);
+  cs.hit.assign(plans.size(), 0);
+  if (cache_on) {
+    pool->ParallelForWorker(0, plans.size(), [&](int slot, size_t i) {
+      const uint64_t t0_us = LatencyNowUs();
+      BatchScratch& s = batch_scratch_[static_cast<size_t>(slot)];
+      cs.fps[i] = featurizer_.Fingerprint(*plans[i], fc, &s.fscratch);
+      double ms = 0.0;
+      if (prediction_cache_->Lookup(version, cs.fps[i], &ms)) {
+        (*out)[i] = ms;
+        cs.hit[i] = 1;
         PredictionsCounter()->Add(1);
         PredictLatencyUsHistogram()->Observe(
             static_cast<double>(LatencyNowUs() - t0_us));
-      });
+      }
+    });
+  }
+  cs.misses.clear();
+  for (size_t i = 0; i < plans.size(); ++i) {
+    if (cs.hit[i] == 0) cs.misses.push_back(i);
+  }
+  if (!cs.misses.empty()) {
+    // Tier dispatch: the student answers misses first when eligible; plans
+    // its agreement gate rejects escalate to the packed teacher.
+    const StudentModel* student =
+        tier_mode_ == TierMode::kTeacherOnly ? nullptr : model_.student();
+    const std::vector<size_t>* to_teacher = &cs.misses;
+    if (student != nullptr) {
+      ServeStudentTier(plans, *student, version, fc, cache_on, out);
+      to_teacher = &cs.escalated;
+    } else {
+      TierTeacherCounter()->Add(cs.misses.size());
+    }
+    if (!to_teacher->empty()) {
+      const uint64_t tier_t0_us = LatencyNowUs();
+      const bool use_packed =
+          packed_mode_ == PackedMode::kOn ||
+          (packed_mode_ == PackedMode::kAuto && to_teacher->size() >= 2);
+      if (use_packed) {
+        PredictPackedBatch(plans, *to_teacher, cs.fps, version, fc, out);
+      } else {
+        pool->ParallelForWorker(0, to_teacher->size(), [&](int slot,
+                                                           size_t mi) {
+          const size_t i = (*to_teacher)[mi];
+          const uint64_t t0_us = LatencyNowUs();
+          BatchScratch& s = batch_scratch_[static_cast<size_t>(slot)];
+          {
+            DACE_TRACE_SPAN("predict.featurize");
+            featurizer_.FeaturizeInto(*plans[i], fc, &s.feats, &s.fscratch);
+          }
+          {
+            DACE_TRACE_SPAN("predict.forward");
+            model_.PredictAllInto(s.feats, &s.ws, &s.preds);
+          }
+          {
+            DACE_TRACE_SPAN("predict.inverse_transform");
+            (*out)[i] = featurizer_.InverseTransformTime(s.preds[0]);
+          }
+          prediction_cache_->Insert(version, cs.fps[i], (*out)[i]);
+          const size_t n = plans[i]->size();
+          s.used_nodes = std::max(s.used_nodes, n);
+          s.alloc_nodes = std::max(s.alloc_nodes, n);
+          PredictionsCounter()->Add(1);
+          PredictLatencyUsHistogram()->Observe(
+              static_cast<double>(LatencyNowUs() - t0_us));
+        });
+      }
+      if (student != nullptr) {
+        // Escalated plans experienced the whole teacher phase on top of
+        // their student pass.
+        const double elapsed =
+            static_cast<double>(LatencyNowUs() - tier_t0_us);
+        for (size_t j = 0; j < to_teacher->size(); ++j) {
+          TierEscalatedLatencyHistogram()->Observe(elapsed);
+        }
+      }
     }
   }
   GovernScratch();
-  return out;
 }
 
 void DaceEstimator::PredictPackedBatch(
@@ -882,16 +1332,23 @@ void DaceEstimator::PredictPackedBatch(
   if (pack_scratch_.size() < static_cast<size_t>(pool->num_threads())) {
     pack_scratch_.resize(static_cast<size_t>(pool->num_threads()));
   }
-  if (nn::kernel::ActivePrecision() == nn::kernel::Precision::kF32) {
-    // Fold once on the coordinator; the packs only read the image.
+  if (nn::kernel::ActivePrecision() != nn::kernel::Precision::kF64) {
+    // Fold once on the coordinator; the packs only read the image. (kI8 is
+    // a student-tier precision — the teacher serves its f32 image there.)
     model_.EnsureF32Weights();
   }
   // Sort misses by descending node count so each pack holds similarly sized
   // plans: the score tiles are column-padded to the pack's max_nodes, so
   // mixing one deep plan with many shallow ones is what craters occupancy.
-  std::vector<size_t> order = misses;
-  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    return plans[a]->size() > plans[b]->size();
+  // Plain sort with an index tie-break — same order a stable_sort would
+  // produce, without stable_sort's temporary buffer allocation.
+  std::vector<size_t>& order = call_scratch_.order;
+  order.assign(misses.begin(), misses.end());
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const size_t na = plans[a]->size();
+    const size_t nb = plans[b]->size();
+    if (na != nb) return na > nb;
+    return a < b;
   });
   const size_t num_packs = (order.size() + kPackMaxPlans - 1) / kPackMaxPlans;
   pool->ParallelForWorker(0, num_packs, [&](int slot, size_t p) {
@@ -906,7 +1363,8 @@ void DaceEstimator::PredictPackedBatch(
     {
       DACE_TRACE_SPAN("predict.featurize");
       for (size_t j = 0; j < count; ++j) {
-        featurizer_.FeaturizeInto(*plans[order[lo + j]], fc, &s.feats[j]);
+        featurizer_.FeaturizeInto(*plans[order[lo + j]], fc, &s.feats[j],
+                                  &s.fscratch);
         s.feat_ptrs.push_back(&s.feats[j]);
       }
     }
@@ -991,6 +1449,94 @@ std::vector<double> DaceEstimator::PredictSubPlansMs(
   return scaled;
 }
 
+std::vector<std::vector<double>> DaceEstimator::PredictSubPlansBatchMs(
+    std::span<const plan::QueryPlan* const> plans) const {
+  std::vector<std::vector<double>> out(plans.size());
+  if (plans.empty()) return out;
+  DACE_CHECK(featurizer_.fitted())
+      << "DaceEstimator::PredictSubPlansBatchMs called before the estimator "
+         "was trained: call Train() or LoadFromFile() first";
+  ThreadPool* pool = model_.thread_pool();
+  const featurize::FeaturizerConfig fc = FeatConfig();
+  const bool use_packed =
+      packed_mode_ == PackedMode::kOn ||
+      (packed_mode_ == PackedMode::kAuto && plans.size() >= 2);
+  if (!use_packed) {
+    if (batch_scratch_.size() < static_cast<size_t>(pool->num_threads())) {
+      batch_scratch_.resize(static_cast<size_t>(pool->num_threads()));
+    }
+    pool->ParallelForWorker(0, plans.size(), [&](int slot, size_t i) {
+      BatchScratch& s = batch_scratch_[static_cast<size_t>(slot)];
+      featurizer_.FeaturizeInto(*plans[i], fc, &s.feats, &s.fscratch);
+      model_.PredictAllInto(s.feats, &s.ws, &s.preds);
+      std::vector<double>& r = out[i];
+      r.resize(s.preds.size());
+      for (size_t j = 0; j < s.preds.size(); ++j) {
+        r[j] = featurizer_.InverseTransformTime(s.preds[j]);
+      }
+      const size_t n = plans[i]->size();
+      s.used_nodes = std::max(s.used_nodes, n);
+      s.alloc_nodes = std::max(s.alloc_nodes, n);
+    });
+    GovernScratch();
+    return out;
+  }
+  if (pack_scratch_.size() < static_cast<size_t>(pool->num_threads())) {
+    pack_scratch_.resize(static_cast<size_t>(pool->num_threads()));
+  }
+  if (nn::kernel::ActivePrecision() != nn::kernel::Precision::kF64) {
+    model_.EnsureF32Weights();
+  }
+  // Same size-sorted packing as the root-only path (PredictPackedBatch).
+  std::vector<size_t>& order = call_scratch_.order;
+  order.resize(plans.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const size_t na = plans[a]->size();
+    const size_t nb = plans[b]->size();
+    if (na != nb) return na > nb;
+    return a < b;
+  });
+  const size_t num_packs = (order.size() + kPackMaxPlans - 1) / kPackMaxPlans;
+  pool->ParallelForWorker(0, num_packs, [&](int slot, size_t p) {
+    DACE_TRACE_SPAN("predict.pack");
+    PackScratch& s = pack_scratch_[static_cast<size_t>(slot)];
+    const size_t lo = p * kPackMaxPlans;
+    const size_t hi = std::min(lo + kPackMaxPlans, order.size());
+    const size_t count = hi - lo;
+    if (s.feats.size() < count) s.feats.resize(count);
+    s.feat_ptrs.clear();
+    for (size_t j = 0; j < count; ++j) {
+      featurizer_.FeaturizeInto(*plans[order[lo + j]], fc, &s.feats[j],
+                                &s.fscratch);
+      s.feat_ptrs.push_back(&s.feats[j]);
+    }
+    model_.PredictPackedAllInto(s.feat_ptrs, &s.ws, &s.rows);
+    for (size_t j = 0; j < count; ++j) {
+      const size_t idx = order[lo + j];
+      std::vector<double>& r = out[idx];
+      r.resize(s.rows[j].size());
+      for (size_t v = 0; v < s.rows[j].size(); ++v) {
+        r[v] = featurizer_.InverseTransformTime(s.rows[j][v]);
+      }
+    }
+    const nn::PackLayout& layout = s.ws.layout;
+    s.used_nodes = std::max(s.used_nodes, layout.max_nodes);
+    s.alloc_nodes = std::max(s.alloc_nodes, layout.max_nodes);
+    PackPacksCounter()->Add(1);
+    PackPlansCounter()->Add(count);
+    PackRowsValidCounter()->Add(layout.total_rows);
+    const size_t cells = count * layout.max_nodes;
+    PackRowsPaddedCounter()->Add(cells - layout.total_rows);
+    PackOccupancyHistogram()->Observe(
+        cells > 0 ? static_cast<double>(layout.total_rows) /
+                        static_cast<double>(cells)
+                  : 1.0);
+  });
+  GovernScratch();
+  return out;
+}
+
 std::vector<double> DaceEstimator::Encode(const plan::QueryPlan& plan) const {
   DACE_CHECK(featurizer_.fitted())
       << "DaceEstimator::Encode called before the estimator was trained: "
@@ -1041,6 +1587,10 @@ Status DaceEstimator::LoadFromFile(const std::string& path) {
   // weights_version_, which invalidates the prediction cache), so the
   // featurizer must commit too.
   featurizer_ = std::move(staged_featurizer);
+  if (model_.has_student()) {
+    TierGateThresholdGauge()->Set(model_.student()->gate_threshold());
+    TierGateQBoundGauge()->Set(model_.student()->gate_q_bound());
+  }
   return Status::OK();
 }
 

@@ -9,6 +9,7 @@
 
 #include "core/estimator.h"
 #include "core/prediction_cache.h"
+#include "core/student.h"
 #include "featurize/featurize.h"
 #include "nn/kernels_f32.h"
 #include "nn/layers.h"
@@ -53,6 +54,20 @@ struct DaceConfig {
   int finetune_epochs = 40;
   int batch_size = 64;  // plans per Adam step
   uint64_t seed = 7;
+
+  // Distilled student tier (DESIGN.md §14). The student is a small MLP
+  // (kStudentFeatureDim → student_hidden1 → student_hidden2 → 2) trained on
+  // the frozen teacher's predictions by Distill().
+  int student_hidden1 = 32;
+  int student_hidden2 = 16;
+  int distill_epochs = 60;
+  int distill_batch_size = 256;
+  double distill_learning_rate = 2e-3;
+  // Gate calibration: the escalation threshold τ is the
+  // `escalation_quantile` quantile of (r̂ + q_bound) over the distillation
+  // set, so roughly (1 - escalation_quantile) of in-distribution plans
+  // escalate to the teacher.
+  double escalation_quantile = 0.9;
 };
 
 // Summary of one training run.
@@ -104,6 +119,26 @@ class DaceModel {
   // base weights, and updates only the adapters.
   TrainStats FineTuneLora(const std::vector<featurize::PlanFeatures>& data);
 
+  // Distills the student tier (DESIGN.md §14): computes the frozen teacher's
+  // root prediction for every plan of `data` in parallel, trains a fresh
+  // StudentModel on (inputs row i → teacher prediction i), then calibrates
+  // the serving gate — q_bound = max |ŷ_i8 − ŷ_f64| over the set, τ = the
+  // config's escalation_quantile quantile of (r̂ + q_bound). `inputs` must
+  // hold one StudentFeaturizeInto row per plan (floats widened to double, so
+  // training sees bit-for-bit the serving input). Deterministic for any pool
+  // size. Bumps weights_version(): the set of servable functions changed, so
+  // cached predictions from before the student existed must not mix with
+  // tiered ones.
+  StudentTrainStats DistillStudent(
+      const std::vector<featurize::PlanFeatures>& data,
+      const nn::Matrix& inputs);
+
+  // The distilled student, or nullptr before Distill / after any teacher
+  // weight mutation (Train and FineTuneLora drop the student — its targets
+  // went stale with the teacher).
+  const StudentModel* student() const { return student_.get(); }
+  bool has_student() const { return student_ != nullptr; }
+
   // Predicted scaled-log-time of the root (row 0).
   double PredictRoot(const featurize::PlanFeatures& features) const;
 
@@ -131,6 +166,9 @@ class DaceModel {
     // f32 path (sized lazily; empty unless f32 inference ran).
     FloatBuffer s32, mask32, q32, k32, v32, scores32, probs32, attn32, z132,
         z232;
+    // All-rows extension: root sink for PredictPackedAllInto's f64 body
+    // (the f32 all-rows head writes straight into the caller's rows).
+    std::vector<double> roots_scratch;
   };
 
   // Packed batched inference (tentpole): prices every plan of `feats` in ONE
@@ -144,6 +182,16 @@ class DaceModel {
   // Const on the weights — concurrent callers bring their own workspace.
   void PredictPackedInto(std::span<const featurize::PlanFeatures* const> feats,
                          PackedWorkspace* ws, std::vector<double>* roots) const;
+
+  // All-rows packed inference: like PredictPackedInto, but (*rows)[b] gets
+  // every DFS row's scaled-log-time for plan b (sub-plan predictions, index
+  // 0 = root). At kF64 this is free — the packed f64 body already prices
+  // every row — and bit-identical per row to PredictAllInto; the f32 path
+  // runs an all-rows variant of the packed float schedule under the same
+  // accuracy budget as the root-only path.
+  void PredictPackedAllInto(
+      std::span<const featurize::PlanFeatures* const> feats,
+      PackedWorkspace* ws, std::vector<std::vector<double>>* rows) const;
 
   // Rebuilds the cached single-precision inference weights (LoRA adapters
   // folded into the base matrices, everything narrowed to float) if they are
@@ -182,9 +230,10 @@ class DaceModel {
   Status Deserialize(ByteReader* r);
 
   // Checkpoint-format-1 variants: the same payload bytes, one framed section
-  // per component. LoadSections has the same transactional contract as
+  // per component (plus, when the model is distilled, a trailing student
+  // section). LoadSections has the same transactional contract as
   // Deserialize and additionally requires the checkpoint's section table to
-  // end exactly after fc3.
+  // end exactly after fc3 — or after the optional student section.
   void AppendSections(CheckpointWriter* w) const;
   Status LoadSections(CheckpointReader* r);
 
@@ -222,12 +271,18 @@ class DaceModel {
   void ForwardPackedF32(
       std::span<const featurize::PlanFeatures* const> feats,
       PackedWorkspace* ws, std::vector<double>* roots) const;
+  // All-rows twin of ForwardPackedF32: Q/scores/softmax/context run for
+  // every packed row instead of one row per plan.
+  void ForwardPackedAllF32(
+      std::span<const featurize::PlanFeatures* const> feats,
+      PackedWorkspace* ws, std::vector<std::vector<double>>* rows) const;
 
   // Fully-parsed weights awaiting validation; nothing in the live model
   // changes until CommitStaged.
   struct StagedWeights {
     nn::TreeAttention attention;
     nn::Linear fc1, fc2, fc3;
+    std::unique_ptr<StudentModel> student;  // optional trailing section
   };
   Status ValidateStaged(const StagedWeights& staged) const;
   void CommitStaged(StagedWeights&& staged);
@@ -241,6 +296,7 @@ class DaceModel {
   uint64_t weights_version_ = 1;
   ThreadPool* pool_ = nullptr;
   mutable F32Weights f32_;  // rebuilt by EnsureF32Weights on version change
+  std::unique_ptr<StudentModel> student_;  // distilled tier; often null
 };
 
 // Plan-level facade implementing the CostEstimator interface: owns the
@@ -260,6 +316,13 @@ class DaceEstimator : public CostEstimator {
   // LoRA fine-tuning on a new workload (across-more / instance adaptation).
   // Reuses the already-fitted featurizer; requires Train first.
   TrainStats FineTune(const std::vector<plan::QueryPlan>& plans);
+
+  // Distills the student serving tier from the current (frozen) teacher on
+  // `plans` (typically the training or fine-tuning corpus) and calibrates
+  // the escalation gate. Requires Train first. After this call the batched
+  // serving path answers from the student whenever the gate allows (see
+  // TierMode below).
+  StudentTrainStats Distill(const std::vector<plan::QueryPlan>& plans);
 
   double PredictMs(const plan::QueryPlan& plan) const override;
 
@@ -287,6 +350,41 @@ class DaceEstimator : public CostEstimator {
   // switches the packs to the single-precision kernel table (documented
   // accuracy budget, no bit-identity).
   std::vector<double> PredictBatchMs(
+      std::span<const plan::QueryPlan* const> plans) const;
+
+  // Allocation-free twin of the pointer-span overload: results land in *out
+  // (resized to plans.size()). This is the actual implementation — both
+  // returning overloads delegate here — and the zero-allocation serving
+  // contract is measured against it: with a warm estimator, a batch whose
+  // plan shapes have been seen before performs no heap allocation end to
+  // end (asserted by BM_PredictBatch's allocs/plan counter).
+  void PredictBatchMsInto(std::span<const plan::QueryPlan* const> plans,
+                          std::vector<double>* out) const;
+
+  // Serving-tier dispatch for batched cache misses:
+  //   kAuto (default)  — if a distilled student exists, it answers first and
+  //                      the agreement gate (r̂ + q_bound ≤ τ) decides per
+  //                      plan whether to keep the student's answer or
+  //                      escalate to the packed teacher; without a student,
+  //                      teacher-only.
+  //   kTeacherOnly     — ignore the student (reference behaviour; benches
+  //                      that measure the teacher pin this).
+  //   kStudentOnly     — never escalate (gate forced open; tests/benches).
+  // Process default is kAuto, overridable by DACE_TIER=auto|teacher|student
+  // (resolved once); this setter overrides per estimator. PredictMs (the
+  // single-plan path) is always teacher-only: tier routing is a property of
+  // the batched serving path.
+  enum class TierMode { kAuto = 0, kTeacherOnly = 1, kStudentOnly = 2 };
+  static TierMode DefaultTierMode();
+  void set_tier_mode(TierMode mode) { tier_mode_ = mode; }
+  TierMode tier_mode() const { return tier_mode_; }
+
+  // Batched all-sub-plan predictions (ms, DFS order per plan) through the
+  // packed multi-plan path — the batched twin of PredictSubPlansMs. Teacher
+  // only (sub-plan rows are a training/analysis surface, not the microsecond
+  // serving tier) and uncached (the prediction cache stores root costs).
+  // At f64 each row is bit-identical to PredictSubPlansMs.
+  std::vector<std::vector<double>> PredictSubPlansBatchMs(
       std::span<const plan::QueryPlan* const> plans) const;
 
   // Packed-path dispatch policy for PredictBatchMs cache misses:
@@ -378,8 +476,13 @@ class DaceEstimator : public CostEstimator {
   // `alloc_nodes` the high-watermark the buffers are sized for.
   struct BatchScratch {
     featurize::PlanFeatures feats;
+    featurize::FeatureScratch fscratch;
     DaceModel::Workspace ws;
     std::vector<double> preds;
+    // Student-tier scratch: the pooled input row and the i8 activation
+    // buffers (tiny, so never governed).
+    float student_input[featurize::kStudentFeatureDim] = {};
+    StudentModel::I8Scratch i8;
     size_t used_nodes = 0;
     size_t alloc_nodes = 0;
     ScratchGovernor governor;
@@ -389,12 +492,27 @@ class DaceEstimator : public CostEstimator {
   // plans plus the packed workspace. Same governor policy as BatchScratch.
   struct PackScratch {
     std::vector<featurize::PlanFeatures> feats;
+    featurize::FeatureScratch fscratch;
     std::vector<const featurize::PlanFeatures*> feat_ptrs;
     DaceModel::PackedWorkspace ws;
     std::vector<double> roots;
+    std::vector<std::vector<double>> rows;  // all-rows packed output
     size_t used_nodes = 0;
     size_t alloc_nodes = 0;
     ScratchGovernor governor;
+  };
+
+  // Per-call index/flag buffers of the batch path, reused across calls so a
+  // warm PredictBatchMsInto allocates nothing. Not per-worker: only the
+  // coordinating thread touches these.
+  struct CallScratch {
+    std::vector<const plan::QueryPlan*> ptrs;  // span-of-values adapter
+    std::vector<uint64_t> fps;                 // per-plan fingerprints
+    std::vector<uint8_t> hit;                  // cache-hit flags
+    std::vector<size_t> misses;                // indices needing inference
+    std::vector<uint8_t> served;               // student kept flags (per miss)
+    std::vector<size_t> escalated;             // tier-escalated subset
+    std::vector<size_t> order;                 // packed-path sort buffer
   };
 
   // Prices `misses` (indices into `plans`) through the packed path, writing
@@ -411,6 +529,14 @@ class DaceEstimator : public CostEstimator {
   std::vector<featurize::PlanFeatures> FeaturizeAll(
       const std::vector<plan::QueryPlan>& plans) const;
 
+  // Student-first pass of the tiered miss flow: serves every gate-passing
+  // miss, marks it in call_scratch_.served, and fills `escalated` with the
+  // rest. Updates the predict.tier.* counters and serve.tier.* metrics.
+  void ServeStudentTier(std::span<const plan::QueryPlan* const> plans,
+                        const StudentModel& student, uint64_t version,
+                        const featurize::FeaturizerConfig& fc, bool cache_on,
+                        std::vector<double>* out) const;
+
   std::string name_ = "DACE";
   DaceConfig config_;
   featurize::Featurizer featurizer_;
@@ -418,8 +544,10 @@ class DaceEstimator : public CostEstimator {
   TrainStats last_train_stats_;
   ThreadPool* pool_ = nullptr;
   PackedMode packed_mode_ = DefaultPackedMode();
+  TierMode tier_mode_ = DefaultTierMode();
   mutable std::vector<BatchScratch> batch_scratch_;
   mutable std::vector<PackScratch> pack_scratch_;
+  mutable CallScratch call_scratch_;
   // unique_ptr keeps the estimator movable (the cache holds a mutex).
   mutable std::unique_ptr<PredictionCache> prediction_cache_ =
       std::make_unique<PredictionCache>(kDefaultPredictionCacheCapacity);

@@ -1,0 +1,135 @@
+#ifndef DACE_CORE_STUDENT_H_
+#define DACE_CORE_STUDENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "featurize/featurize.h"
+#include "nn/kernels_i8.h"
+#include "nn/layers.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace dace::core {
+
+// Summary of one distillation run (mirrors TrainStats, duplicated here so
+// student.h never depends on dace_model.h).
+struct StudentTrainStats {
+  double final_loss = 0.0;
+  int epochs = 0;
+  size_t num_rows = 0;
+  double wall_ms = 0.0;
+};
+
+// The distilled student tier (DESIGN.md §14): a small MLP over the pooled
+// student featurization (featurize::kStudentFeatureDim inputs, no
+// attention), trained on the frozen teacher's root predictions. Two heads
+// share the trunk: ŷ, the predicted scaled-log-time, and r̂, a predicted
+// residual |teacher − student| the serving gate compares against its
+// calibrated threshold to decide escalation.
+//
+// The float-precision trained weights are the source of truth; FinalizeI8
+// derives the int8 serving image (symmetric per-output-row weight scales,
+// kernels_i8.h scheme) from them. Weight mutation invalidates the image;
+// Train and Deserialize rebuild it before returning, so a committed student
+// is always servable at i8.
+class StudentModel {
+ public:
+  // Architecture: kStudentFeatureDim → hidden1 → hidden2 → 2 (ŷ, r̂).
+  StudentModel(int hidden1, int hidden2, uint64_t seed);
+
+  int hidden1() const { return hidden1_; }
+  int hidden2() const { return hidden2_; }
+  size_t ParameterCount() const;
+
+  struct TrainConfig {
+    double learning_rate = 2e-3;
+    int epochs = 40;
+    int batch_size = 256;
+    // Weight of the residual head's Huber loss; its target |ŷ − t| is
+    // detached (treated as a constant), so the r̂ head never drags ŷ.
+    double residual_weight = 0.5;
+  };
+
+  // Deterministic data-parallel distillation on (inputs, targets): inputs is
+  // (N × kStudentFeatureDim), targets the teacher's scaled-log-time per row.
+  // Reuses the chunked-reduction scheme of DaceModel::RunTraining — gradient
+  // chunks are keyed by batch position and reduced in chunk order, so the
+  // result is bit-identical for any pool size. Rebuilds the i8 image.
+  StudentTrainStats Train(const nn::Matrix& inputs,
+                          const std::vector<double>& targets,
+                          const TrainConfig& cfg, ThreadPool* pool);
+
+  // Reference forward: plain scalar loops over the f64 weights (input floats
+  // widened). ISA- and thread-independent by construction. Writes ŷ and r̂.
+  void PredictF64(const float* input, double* y, double* r) const;
+
+  // int8 forward through the active i8 kernel table (bit-identical across
+  // ISAs, see nn/kernels_i8.h). FinalizeI8 must have run since the last
+  // weight mutation — Train/Deserialize guarantee it. Concurrent callers
+  // each bring their own scratch; warm scratch performs no allocation.
+  struct I8Scratch {
+    std::vector<int8_t> xq;  // quantized activation vector (max layer input)
+    std::vector<float> h1, h2;  // f32 activations
+    float out[2] = {0.0f, 0.0f};
+  };
+  void PredictI8(const float* input, I8Scratch* scratch, float* y,
+                 float* r) const;
+
+  // Rebuilds the int8 serving image from the current f64 weights.
+  void FinalizeI8();
+  bool i8_ready() const { return !i8_[0].wq.empty(); }
+
+  // Largest |ŷ_i8 − ŷ_f64| the i8 image produced over the calibration set —
+  // the quantization half of the serving gate. Set during distillation.
+  double gate_q_bound() const { return q_bound_; }
+  // Escalation threshold: a plan escalates to the teacher iff
+  // r̂ + gate_q_bound() > gate_threshold(). Calibrated as a quantile of the
+  // distillation set's (r̂ + q_bound) distribution.
+  double gate_threshold() const { return tau_; }
+  void set_gate(double threshold, double q_bound) {
+    tau_ = threshold;
+    q_bound_ = q_bound;
+  }
+
+  // Wire layout (checkpoint section kSectionStudent): u32 input_dim, u32
+  // hidden1, u32 hidden2, gate threshold + q_bound doubles, then the three
+  // Linear layers. Deserialize is transactional (stages, validates every
+  // dimension and the gate for finiteness, then commits) and rebuilds the
+  // i8 image on success.
+  void Serialize(ByteWriter* w) const;
+  Status Deserialize(ByteReader* r);
+
+ private:
+  struct Workspace;  // per-chunk training state (defined in student.cc)
+
+  // Quantized image of one Linear: weights transposed to (out × in) int8
+  // rows with per-row scales, bias narrowed to f32. Rows are zero-padded to
+  // lda (in rounded up to 32) so the serving gemv runs only full 32-byte
+  // steps; zero products leave the exact integer sums — and therefore every
+  // output bit — unchanged.
+  struct I8Layer {
+    std::vector<int8_t> wq;
+    std::vector<float> sw;
+    std::vector<float> bias;
+    size_t in = 0;
+    size_t out = 0;
+    size_t lda = 0;
+  };
+  void QuantizeLayer(const nn::Linear& fc, I8Layer* out) const;
+
+  int hidden1_;
+  int hidden2_;
+  Rng rng_;
+  nn::Linear fc1_, fc2_, fc3_;
+  double tau_ = 0.0;      // gate threshold; 0 escalates everything
+  double q_bound_ = 0.0;  // calibrated max quantization error
+  I8Layer i8_[3];
+};
+
+}  // namespace dace::core
+
+#endif  // DACE_CORE_STUDENT_H_

@@ -83,18 +83,21 @@ PlanFeatures Featurizer::Featurize(const plan::QueryPlan& plan,
 void Featurizer::FeaturizeInto(const plan::QueryPlan& plan,
                                const FeaturizerConfig& config,
                                PlanFeatures* out) const {
+  FeatureScratch scratch;
+  FeaturizeInto(plan, config, out, &scratch);
+}
+
+void Featurizer::FeaturizeInto(const plan::QueryPlan& plan,
+                               const FeaturizerConfig& config,
+                               PlanFeatures* out,
+                               FeatureScratch* scratch) const {
   DACE_CHECK(fitted_) << "Featurizer::Fit must run before Featurize";
-  out->dfs = plan.DfsOrder();
+  plan.DfsOrderInto(&out->dfs, &scratch->stack);
   const size_t n = out->dfs.size();
   DACE_CHECK_GT(n, 0u);
 
-  if (out->node_features.rows() != n ||
-      out->node_features.cols() != static_cast<size_t>(kFeatureDim)) {
-    out->node_features = nn::Matrix(n, kFeatureDim);
-  } else {
-    out->node_features.SetZero();  // one-hot writes only the set entries
-  }
-  const std::vector<int32_t> heights = plan.Heights();
+  out->node_features.Resize(n, kFeatureDim);
+  plan.HeightsInto(&scratch->heights, &scratch->stack);
   out->loss_weights.resize(n);
   out->labels.resize(n);
   for (size_t i = 0; i < n; ++i) {
@@ -109,7 +112,7 @@ void Featurizer::FeaturizeInto(const plan::QueryPlan& plan,
     out->node_features(i, kNumNodeTypes + 1) =
         cost_scaler_.Transform(node.est_cost);
 
-    const int32_t h = heights[static_cast<size_t>(out->dfs[i])];
+    const int32_t h = scratch->heights[static_cast<size_t>(out->dfs[i])];
     // alpha^h with the 0^0 == 1 convention so the root always has weight 1.
     out->loss_weights[i] =
         (config.alpha == 0.0) ? (h == 0 ? 1.0 : 0.0)
@@ -117,13 +120,10 @@ void Featurizer::FeaturizeInto(const plan::QueryPlan& plan,
     out->labels[i] = TransformTime(node.actual_time_ms);
   }
 
-  if (out->attention_mask.rows() != n || out->attention_mask.cols() != n) {
-    out->attention_mask = nn::Matrix(n, n);
-  } else {
-    out->attention_mask.SetZero();
-  }
+  out->attention_mask.Resize(n, n);
   if (config.tree_attention) {
-    const std::vector<uint8_t> closure = plan.AncestorClosure();
+    plan.AncestorClosureInto(out->dfs, &scratch->closure, &scratch->subtree);
+    const std::vector<uint8_t>& closure = scratch->closure;
     for (size_t i = 0; i < n; ++i) {
       for (size_t j = 0; j < n; ++j) {
         out->attention_mask(i, j) = closure[i * n + j] ? 0.0 : nn::kMaskNegInf;
@@ -132,8 +132,66 @@ void Featurizer::FeaturizeInto(const plan::QueryPlan& plan,
   }
 }
 
+void Featurizer::StudentFeaturizeInto(const plan::QueryPlan& plan,
+                                      const FeaturizerConfig& config,
+                                      float* out) const {
+  DACE_CHECK(fitted_) << "Featurizer::Fit must run before StudentFeaturize";
+  const size_t n = plan.size();
+  DACE_CHECK_GT(n, 0u);
+  // One arena-order pass: pooling is order-independent in value, and the
+  // fixed summation order keeps the bits deterministic too. The one-hot
+  // dimensions are pooled as counts instead of dense rows — adding 0.0 is
+  // the identity, so count-accumulation produces the same sum bits as the
+  // dense row loop, the mean is the same product, and max over {0, 1}
+  // occupancy is 1.0 exactly when the type appears. Only the two scaled
+  // dimensions need real running sum/max state.
+  double type_count[kNumNodeTypes] = {0.0};
+  double card_sum = 0.0, cost_sum = 0.0;
+  double card_max = -HUGE_VAL, cost_max = -HUGE_VAL;
+  for (const plan::PlanNode& node : plan.nodes()) {
+    const int type_idx = static_cast<int>(node.type);
+    DACE_DCHECK(type_idx >= 0 && type_idx < kNumNodeTypes);
+    type_count[type_idx] += 1.0;
+    const double card = config.use_actual_cardinality ? node.actual_cardinality
+                                                      : node.est_cardinality;
+    const double c = card_scaler_.Transform(card);
+    const double e = cost_scaler_.Transform(node.est_cost);
+    card_sum += c;
+    if (c > card_max) card_max = c;
+    cost_sum += e;
+    if (e > cost_max) cost_max = e;
+  }
+  const plan::PlanNode& root = plan.node(plan.root());
+  const double root_card = config.use_actual_cardinality
+                               ? root.actual_cardinality
+                               : root.est_cardinality;
+  for (int d = 0; d < kNumNodeTypes; ++d) out[d] = 0.0f;
+  out[static_cast<int>(root.type)] = 1.0f;
+  out[kNumNodeTypes] = static_cast<float>(card_scaler_.Transform(root_card));
+  out[kNumNodeTypes + 1] =
+      static_cast<float>(cost_scaler_.Transform(root.est_cost));
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (int d = 0; d < kNumNodeTypes; ++d) {
+    out[kFeatureDim + d] = static_cast<float>(type_count[d] * inv_n);
+    out[2 * kFeatureDim + d] = type_count[d] > 0.0 ? 1.0f : 0.0f;
+  }
+  out[kFeatureDim + kNumNodeTypes] = static_cast<float>(card_sum * inv_n);
+  out[kFeatureDim + kNumNodeTypes + 1] = static_cast<float>(cost_sum * inv_n);
+  out[2 * kFeatureDim + kNumNodeTypes] = static_cast<float>(card_max);
+  out[2 * kFeatureDim + kNumNodeTypes + 1] = static_cast<float>(cost_max);
+  out[3 * kFeatureDim] =
+      static_cast<float>(std::log1p(static_cast<double>(n)));
+}
+
 uint64_t Featurizer::Fingerprint(const plan::QueryPlan& plan,
                                  const FeaturizerConfig& config) const {
+  FeatureScratch scratch;
+  return Fingerprint(plan, config, &scratch);
+}
+
+uint64_t Featurizer::Fingerprint(const plan::QueryPlan& plan,
+                                 const FeaturizerConfig& config,
+                                 FeatureScratch* scratch) const {
   DACE_CHECK(fitted_) << "Featurizer::Fit must run before Fingerprint";
   Hash64 h;
   // Scaler state: a re-fitted featurizer produces different features (and a
@@ -146,7 +204,8 @@ uint64_t Featurizer::Fingerprint(const plan::QueryPlan& plan,
   h.AddDouble(time_scaler_.iqr());
   h.AddBool(config.use_actual_cardinality);
   h.AddBool(config.tree_attention);
-  const std::vector<int32_t> dfs = plan.DfsOrder();
+  plan.DfsOrderInto(&scratch->dfs, &scratch->stack);
+  const std::vector<int32_t>& dfs = scratch->dfs;
   h.AddU64(dfs.size());
   for (int32_t idx : dfs) {
     const plan::PlanNode& node = plan.node(idx);

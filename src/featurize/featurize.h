@@ -67,6 +67,27 @@ struct PlanFeatures {
   std::vector<int32_t> dfs;          // row -> plan node index
 };
 
+// Traversal scratch for the allocation-free featurize paths. One instance
+// per worker; contents are meaningless between calls, the buffers just keep
+// their capacity so a warm worker stops allocating entirely.
+struct FeatureScratch {
+  std::vector<int32_t> dfs;       // Fingerprint's preorder walk
+  std::vector<int32_t> stack;     // DFS/height traversal stack
+  std::vector<int32_t> heights;   // per-node heights
+  std::vector<size_t> subtree;    // AncestorClosureInto subtree sizes
+  std::vector<uint8_t> closure;   // n×n ancestor closure
+};
+
+// Input layout of the distilled student tier (DESIGN.md §14): an
+// order-independent pooling of the per-node feature rows, computable in one
+// pass over the node arena with no DFS, no heights and no n×n closure —
+// that is what makes the student featurization ~n× cheaper than the full
+// one. Layout: root feature row (kFeatureDim), per-dim mean over all nodes
+// (kFeatureDim), per-dim max over all nodes (kFeatureDim), log1p(node
+// count). For the one-hot dims the mean is the operator-type histogram and
+// the max a presence flag.
+inline constexpr int kStudentFeatureDim = 3 * kFeatureDim + 1;
+
 // Fits the scalers on training plans and converts plans into PlanFeatures.
 // The same fitted featurizer must be used at train and inference time; it is
 // saved alongside the model.
@@ -88,6 +109,20 @@ class Featurizer {
   void FeaturizeInto(const plan::QueryPlan& plan,
                      const FeaturizerConfig& config, PlanFeatures* out) const;
 
+  // Fully allocation-free variant: every traversal buffer comes from
+  // *scratch and matrix shapes reuse capacity, so a warm (worker-pinned)
+  // caller performs zero heap allocations per plan. Results are identical
+  // to FeaturizeInto above.
+  void FeaturizeInto(const plan::QueryPlan& plan,
+                     const FeaturizerConfig& config, PlanFeatures* out,
+                     FeatureScratch* scratch) const;
+
+  // Student-tier input (kStudentFeatureDim floats, layout above). Computed
+  // in doubles and narrowed once, with a fixed arena-order reduction, so the
+  // output bits never depend on ISA, thread count or precision mode.
+  void StudentFeaturizeInto(const plan::QueryPlan& plan,
+                            const FeaturizerConfig& config, float* out) const;
+
   // Stable 64-bit content fingerprint of everything that determines this
   // featurizer's *inference-time* output for `plan`: the fitted scaler
   // parameters, the config switches that change features
@@ -101,6 +136,11 @@ class Featurizer {
   // prediction-cache key (see core/prediction_cache.h).
   uint64_t Fingerprint(const plan::QueryPlan& plan,
                        const FeaturizerConfig& config) const;
+
+  // Allocation-free twin (the preorder walk reuses scratch->dfs/stack).
+  uint64_t Fingerprint(const plan::QueryPlan& plan,
+                       const FeaturizerConfig& config,
+                       FeatureScratch* scratch) const;
 
   // Label transform: scaled log-milliseconds.
   double TransformTime(double ms) const;

@@ -104,8 +104,9 @@ Precision ResolveDefaultPrecision() {
   if (const char* env = std::getenv("DACE_PRECISION")) {
     if (std::strcmp(env, "f64") == 0) return Precision::kF64;
     if (std::strcmp(env, "f32") == 0) return Precision::kF32;
+    if (std::strcmp(env, "i8") == 0) return Precision::kI8;
     DACE_CHECK(false) << "unknown DACE_PRECISION value '" << env
-                      << "' (expected 'f64' or 'f32')";
+                      << "' (expected 'f64', 'f32' or 'i8')";
   }
   return Precision::kF64;
 }
@@ -126,6 +127,8 @@ const char* PrecisionName(Precision p) {
       return "f64";
     case Precision::kF32:
       return "f32";
+    case Precision::kI8:
+      return "i8";
   }
   return "unknown";
 }

@@ -13,17 +13,22 @@ namespace dace::nn::kernel {
 // precision inference kernels below — roughly 2× the SIMD lane width plus a
 // register-blocked FMA GEMM, at the cost of a small, documented relative
 // error vs the f64 reference (see DESIGN.md §13 for the error budget and
-// packed_inference_test.cc for the asserted bound).
+// packed_inference_test.cc for the asserted bound). kI8 selects the int8
+// student-tier kernels (nn/kernels_i8.h) for the distilled student forward;
+// the teacher paths treat kI8 like kF32 (the fastest teacher image) so a
+// single env var tiers the whole serving stack.
 enum class Precision {
   kF64 = 0,
   kF32 = 1,
+  kI8 = 2,
 };
 
 const char* PrecisionName(Precision p);
 
 // The precision the inference dispatcher should use. Resolved once on first
-// use: the DACE_PRECISION environment variable ("f64" | "f32") wins if set,
-// otherwise kF64. Training paths never consult this — they are always f64.
+// use: the DACE_PRECISION environment variable ("f64" | "f32" | "i8") wins
+// if set, otherwise kF64. Training paths never consult this — they are
+// always f64.
 Precision ActivePrecision();
 
 // Overrides the active precision (tests and benchmarks; not thread-safe

@@ -1,0 +1,81 @@
+#include "nn/kernels_i8.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace dace::nn::kernel {
+
+namespace {
+
+// ----------------------------------------------------------------- scalar --
+// Reference implementation of the bit-identity contract in kernels_i8.h.
+// This TU is compiled with -ffp-contract=off so the dequant epilogue is the
+// same mul-then-add sequence the AVX2 TU emits.
+
+float QuantizeScalarI8(size_t n, const float* x, int8_t* out) {
+  float maxabs = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    const float a = std::fabs(x[i]);
+    if (a > maxabs) maxabs = a;
+  }
+  if (maxabs == 0.0f) {
+    std::memset(out, 0, n);
+    return 0.0f;
+  }
+  const float inv = 127.0f / maxabs;
+  for (size_t i = 0; i < n; ++i) {
+    int q = static_cast<int>(std::nearbyintf(x[i] * inv));
+    if (q > 127) q = 127;
+    if (q < -127) q = -127;
+    out[i] = static_cast<int8_t>(q);
+  }
+  return maxabs / 127.0f;
+}
+
+void GemvScalarI8(const int8_t* wq, size_t lda, const float* sw,
+                  const float* bias, const int8_t* xq, float sx, size_t in,
+                  size_t out, float* y) {
+  for (size_t o = 0; o < out; ++o) {
+    const int8_t* wrow = wq + o * lda;
+    int32_t acc = 0;
+    for (size_t i = 0; i < in; ++i) {
+      acc += static_cast<int32_t>(wrow[i]) * static_cast<int32_t>(xq[i]);
+    }
+    y[o] = bias[o] + (sx * sw[o]) * static_cast<float>(acc);
+  }
+}
+
+void ReluScalarI8(size_t n, float* x) {
+  for (size_t i = 0; i < n; ++i) x[i] = x[i] > 0.0f ? x[i] : 0.0f;
+}
+
+constexpr TableI8 kScalarTableI8 = {
+    QuantizeScalarI8,
+    GemvScalarI8,
+    ReluScalarI8,
+    "scalar-i8",
+};
+
+}  // namespace
+
+#if defined(DACE_HAVE_AVX2_KERNELS)
+// Defined in kernels_i8_avx2.cc (compiled with -mavx2 -mfma -ffp-contract=off).
+const TableI8& Avx2TableI8();
+#endif
+
+const TableI8& I8TableFor(Isa isa) {
+  if (isa == Isa::kScalar) return kScalarTableI8;
+#if defined(DACE_HAVE_AVX2_KERNELS)
+  DACE_CHECK(HasAvx2()) << "AVX2 kernels requested on a CPU without AVX2+FMA";
+  return Avx2TableI8();
+#else
+  DACE_CHECK(false) << "AVX2 kernels are not compiled into this build";
+  return kScalarTableI8;  // unreachable
+#endif
+}
+
+const TableI8& ActiveI8() { return I8TableFor(ActiveIsa()); }
+
+}  // namespace dace::nn::kernel

@@ -1,0 +1,62 @@
+#ifndef DACE_NN_KERNELS_I8_H_
+#define DACE_NN_KERNELS_I8_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "nn/kernels.h"
+
+namespace dace::nn::kernel {
+
+// int8 inference kernels for the distilled student tier (DESIGN.md §14).
+//
+// Quantization scheme (symmetric, zero-point-free):
+//   weights     — per-output-row scale sw[o] = maxabs(W[o,:]) / 127; rows
+//                 stored transposed (out × in, row-major) as int8 so a GEMV
+//                 row is one contiguous dot product.
+//   activations — one dynamic per-vector scale sx = maxabs(x) / 127,
+//                 computed fresh for every input (quantize below).
+//   accumulate  — exact int32 (i8·i8 products widened to i16/i32), then a
+//                 single f32 dequant per output:
+//                     y[o] = bias[o] + (sx * sw[o]) * (float)acc.
+//
+// Bit-identity contract: unlike the f32 table, the i8 table IS bit-identical
+// between the scalar and AVX2 entries (tolerance = 0 ULP, asserted by
+// kernels_i8_test.cc over odd shapes):
+//   - the integer accumulation is exact, so reduction order cannot matter;
+//   - maxabs is a max-reduction (associative/commutative for finite floats);
+//   - rounding uses round-to-nearest-even in both paths (std::nearbyintf vs
+//     _mm256_cvtps_epi32 under the default rounding mode);
+//   - the float epilogue is elementwise mul/add with fp contraction disabled
+//     in both TUs (-ffp-contract=off, see src/nn/CMakeLists.txt).
+// This is what lets the tiered serving path promise student-tier answers
+// that do not depend on DACE_KERNELS / the host ISA.
+struct TableI8 {
+  // Quantizes x[0..n) into out[0..n) and returns the scale
+  // sx = maxabs(x) / 127. When x is all zeros the scale is 0, out is zeroed
+  // and a following gemv yields bias-only outputs. Values round to nearest
+  // even and are clamped to [-127, 127] (the -128 code is never produced,
+  // keeping the scheme symmetric).
+  float (*quantize)(size_t n, const float* x, int8_t* out);
+  // Quantized GEMV over a transposed weight image:
+  //   y[o] = bias[o] + (sx * sw[o]) * sum_i wq[o*lda + i] * xq[i]
+  // for o in [0, out), i in [0, in). lda >= in is the row stride of wq.
+  void (*gemv)(const int8_t* wq, size_t lda, const float* sw,
+               const float* bias, const int8_t* xq, float sx, size_t in,
+               size_t out, float* y);
+  // x[i] = max(x[i], 0) in place.
+  void (*relu)(size_t n, float* x);
+  const char* name;
+};
+
+// i8 table for the active ISA — follows the same DACE_KERNELS / SetIsa
+// selection as the f64 and f32 tables.
+const TableI8& ActiveI8();
+
+// Direct access for side-by-side equivalence tests. I8TableFor(kAvx2) is a
+// fatal error when HasAvx2() is false.
+const TableI8& I8TableFor(Isa isa);
+
+}  // namespace dace::nn::kernel
+
+#endif  // DACE_NN_KERNELS_I8_H_

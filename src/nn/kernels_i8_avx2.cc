@@ -1,0 +1,229 @@
+// AVX2 int8 kernel table. Unlike kernels_f32_avx2.cc this TU is bound by the
+// bit-identity contract in kernels_i8.h: every entry must produce the exact
+// bytes the scalar table produces. That is achievable at int8 because the
+// heavy lifting is integer arithmetic — the GEMV accumulates i8·i8 products
+// exactly in i32 (sign-extend to i16, _mm256_madd_epi16 pairs into i32), so
+// lane order cannot change the sum, and the only float ops are elementwise
+// (mul/add dequant, max-reduction for maxabs, round-to-nearest-even
+// conversion) which are IEEE-identical to the scalar loop as long as fp
+// contraction is off (enforced via -ffp-contract=off on this TU and the
+// scalar one). The wide-accumulator layout follows the hand-vectorized scan
+// primitives idiom from the MariaDB ColumnStore port cited in ROADMAP.
+//
+// madd overflow note: products are <= 127·127 = 16129; _mm256_madd_epi16
+// sums adjacent i16·i16 pairs directly into i32, so no intermediate
+// saturation is reachable at int8 inputs.
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "nn/kernels_i8.h"
+
+namespace dace::nn::kernel {
+
+namespace {
+
+// -------------------------------------------------------------- quantize --
+
+float QuantizeAvx2I8(size_t n, const float* x, int8_t* out) {
+  // maxabs reduction: max is associative/commutative for finite floats, so
+  // the 8-lane tree reduction matches the scalar running max bit-for-bit.
+  const __m256 abs_mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+  __m256 vmax = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    vmax = _mm256_max_ps(vmax, _mm256_and_ps(_mm256_loadu_ps(x + i), abs_mask));
+  }
+  float maxabs = 0.0f;
+  alignas(32) float lanes[8];
+  _mm256_store_ps(lanes, vmax);
+  for (int l = 0; l < 8; ++l) {
+    if (lanes[l] > maxabs) maxabs = lanes[l];
+  }
+  for (; i < n; ++i) {
+    const float a = std::fabs(x[i]);
+    if (a > maxabs) maxabs = a;
+  }
+  if (maxabs == 0.0f) {
+    std::memset(out, 0, n);
+    return 0.0f;
+  }
+  const float inv = 127.0f / maxabs;
+  const __m256 vinv = _mm256_set1_ps(inv);
+  i = 0;
+  for (; i + 16 <= n; i += 16) {
+    // x·inv is a single float multiply per element; _mm256_cvtps_epi32
+    // rounds to nearest even exactly like the scalar std::nearbyintf. The
+    // results are within [-127, 127] by construction (|x| <= maxabs), so the
+    // saturating packs cannot clamp differently than the scalar path.
+    const __m256i q0 =
+        _mm256_cvtps_epi32(_mm256_mul_ps(_mm256_loadu_ps(x + i), vinv));
+    const __m256i q1 =
+        _mm256_cvtps_epi32(_mm256_mul_ps(_mm256_loadu_ps(x + i + 8), vinv));
+    __m256i p16 = _mm256_packs_epi32(q0, q1);
+    p16 = _mm256_permute4x64_epi64(p16, _MM_SHUFFLE(3, 1, 2, 0));
+    const __m128i p8 = _mm_packs_epi16(_mm256_castsi256_si128(p16),
+                                       _mm256_extracti128_si256(p16, 1));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), p8);
+  }
+  for (; i < n; ++i) {
+    int q = static_cast<int>(std::nearbyintf(x[i] * inv));
+    if (q > 127) q = 127;
+    if (q < -127) q = -127;
+    out[i] = static_cast<int8_t>(q);
+  }
+  return maxabs / 127.0f;
+}
+
+// ------------------------------------------------------------------ GEMV --
+
+// Exact i32 dot product of two int8 vectors: 32 bytes per step, each 16-byte
+// half sign-extended to i16 and madd'ed into 8 i32 lanes.
+inline int32_t DotI8(const int8_t* w, const int8_t* x, size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i wv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i));
+    const __m256i xv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+    const __m256i wlo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(wv));
+    const __m256i whi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(wv, 1));
+    const __m256i xlo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(xv));
+    const __m256i xhi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(xv, 1));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(wlo, xlo));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(whi, xhi));
+  }
+  if (i + 16 <= n) {
+    const __m128i wv =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(w + i));
+    const __m128i xv =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(x + i));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(_mm256_cvtepi8_epi16(wv),
+                                                  _mm256_cvtepi8_epi16(xv)));
+    i += 16;
+  }
+  alignas(32) int32_t lanes[8];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  int32_t sum = 0;
+  for (int l = 0; l < 8; ++l) sum += lanes[l];
+  for (; i < n; ++i) {
+    sum += static_cast<int32_t>(w[i]) * static_cast<int32_t>(x[i]);
+  }
+  return sum;
+}
+
+// One 32-byte step of row w against the pre-extended x halves.
+inline __m256i MaddRow32(const int8_t* w, __m256i xlo, __m256i xhi,
+                         __m256i acc) {
+  const __m256i wv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w));
+  const __m256i wlo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(wv));
+  const __m256i whi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(wv, 1));
+  acc = _mm256_add_epi32(acc, _mm256_madd_epi16(wlo, xlo));
+  return _mm256_add_epi32(acc, _mm256_madd_epi16(whi, xhi));
+}
+
+void GemvAvx2I8(const int8_t* wq, size_t lda, const float* sw,
+                const float* bias, const int8_t* xq, float sx, size_t in,
+                size_t out, float* y) {
+  // Four output rows per sweep: the sign-extended x chunks are loaded once
+  // and shared, and the four row accumulators collapse through one hadd tree
+  // instead of four separate horizontal reductions. Integer sums are exact
+  // and order-free, so the blocking cannot change a single output bit.
+  size_t o = 0;
+  for (; o + 4 <= out; o += 4) {
+    const int8_t* w0 = wq + (o + 0) * lda;
+    const int8_t* w1 = wq + (o + 1) * lda;
+    const int8_t* w2 = wq + (o + 2) * lda;
+    const int8_t* w3 = wq + (o + 3) * lda;
+    __m256i a0 = _mm256_setzero_si256();
+    __m256i a1 = _mm256_setzero_si256();
+    __m256i a2 = _mm256_setzero_si256();
+    __m256i a3 = _mm256_setzero_si256();
+    size_t i = 0;
+    for (; i + 32 <= in; i += 32) {
+      const __m256i xv =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(xq + i));
+      const __m256i xlo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(xv));
+      const __m256i xhi =
+          _mm256_cvtepi8_epi16(_mm256_extracti128_si256(xv, 1));
+      a0 = MaddRow32(w0 + i, xlo, xhi, a0);
+      a1 = MaddRow32(w1 + i, xlo, xhi, a1);
+      a2 = MaddRow32(w2 + i, xlo, xhi, a2);
+      a3 = MaddRow32(w3 + i, xlo, xhi, a3);
+    }
+    if (i + 16 <= in) {
+      const __m256i x16 = _mm256_cvtepi8_epi16(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(xq + i)));
+      a0 = _mm256_add_epi32(
+          a0, _mm256_madd_epi16(
+                  _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                      reinterpret_cast<const __m128i*>(w0 + i))),
+                  x16));
+      a1 = _mm256_add_epi32(
+          a1, _mm256_madd_epi16(
+                  _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                      reinterpret_cast<const __m128i*>(w1 + i))),
+                  x16));
+      a2 = _mm256_add_epi32(
+          a2, _mm256_madd_epi16(
+                  _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                      reinterpret_cast<const __m128i*>(w2 + i))),
+                  x16));
+      a3 = _mm256_add_epi32(
+          a3, _mm256_madd_epi16(
+                  _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                      reinterpret_cast<const __m128i*>(w3 + i))),
+                  x16));
+      i += 16;
+    }
+    // hadd tree: t2's low/high 128-bit halves each hold the per-row partial
+    // quads [Σa0, Σa1, Σa2, Σa3]; one add finishes all four reductions.
+    const __m256i t0 = _mm256_hadd_epi32(a0, a1);
+    const __m256i t1 = _mm256_hadd_epi32(a2, a3);
+    const __m256i t2 = _mm256_hadd_epi32(t0, t1);
+    alignas(16) int32_t s[4];
+    _mm_store_si128(reinterpret_cast<__m128i*>(s),
+                    _mm_add_epi32(_mm256_castsi256_si128(t2),
+                                  _mm256_extracti128_si256(t2, 1)));
+    for (; i < in; ++i) {
+      const int32_t xi = static_cast<int32_t>(xq[i]);
+      s[0] += static_cast<int32_t>(w0[i]) * xi;
+      s[1] += static_cast<int32_t>(w1[i]) * xi;
+      s[2] += static_cast<int32_t>(w2[i]) * xi;
+      s[3] += static_cast<int32_t>(w3[i]) * xi;
+    }
+    y[o + 0] = bias[o + 0] + (sx * sw[o + 0]) * static_cast<float>(s[0]);
+    y[o + 1] = bias[o + 1] + (sx * sw[o + 1]) * static_cast<float>(s[1]);
+    y[o + 2] = bias[o + 2] + (sx * sw[o + 2]) * static_cast<float>(s[2]);
+    y[o + 3] = bias[o + 3] + (sx * sw[o + 3]) * static_cast<float>(s[3]);
+  }
+  for (; o < out; ++o) {
+    const int32_t acc = DotI8(wq + o * lda, xq, in);
+    y[o] = bias[o] + (sx * sw[o]) * static_cast<float>(acc);
+  }
+}
+
+void ReluAvx2I8(size_t n, float* x) {
+  const __m256 zero = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(x + i, _mm256_max_ps(_mm256_loadu_ps(x + i), zero));
+  }
+  for (; i < n; ++i) x[i] = x[i] > 0.0f ? x[i] : 0.0f;
+}
+
+constexpr TableI8 kAvx2TableI8 = {
+    QuantizeAvx2I8,
+    GemvAvx2I8,
+    ReluAvx2I8,
+    "avx2-i8",
+};
+
+}  // namespace
+
+const TableI8& Avx2TableI8() { return kAvx2TableI8; }
+
+}  // namespace dace::nn::kernel

@@ -85,6 +85,16 @@ class Matrix {
   double* data() { return data_.data(); }
   const double* data() const { return data_.data(); }
 
+  // Reshapes to rows×cols and zero-fills. The heap buffer is reused whenever
+  // rows*cols fits in the current capacity, so warm callers that cycle
+  // through per-plan shapes (the batched featurize/inference paths) stop
+  // allocating once they have seen their largest plan.
+  void Resize(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0);
+  }
+
   void SetZero();
   void Fill(double value);
 

@@ -79,45 +79,71 @@ int32_t QueryPlan::AddNode(PlanNode node) {
 
 std::vector<int32_t> QueryPlan::DfsOrder() const {
   std::vector<int32_t> order;
-  order.reserve(nodes_.size());
-  if (root_ < 0) return order;
-  std::vector<int32_t> stack = {root_};
-  while (!stack.empty()) {
-    const int32_t id = stack.back();
-    stack.pop_back();
-    order.push_back(id);
-    const auto& children = nodes_[static_cast<size_t>(id)].children;
-    // Push in reverse so the leftmost child is visited first.
-    for (auto it = children.rbegin(); it != children.rend(); ++it) {
-      stack.push_back(*it);
-    }
-  }
+  std::vector<int32_t> stack;
+  DfsOrderInto(&order, &stack);
   return order;
 }
 
-std::vector<int32_t> QueryPlan::Heights() const {
-  std::vector<int32_t> heights(nodes_.size(), -1);
-  if (root_ < 0) return heights;
-  std::vector<int32_t> stack = {root_};
-  heights[static_cast<size_t>(root_)] = 0;
-  while (!stack.empty()) {
-    const int32_t id = stack.back();
-    stack.pop_back();
-    for (int32_t child : nodes_[static_cast<size_t>(id)].children) {
-      heights[static_cast<size_t>(child)] = heights[static_cast<size_t>(id)] + 1;
-      stack.push_back(child);
+void QueryPlan::DfsOrderInto(std::vector<int32_t>* order,
+                             std::vector<int32_t>* stack) const {
+  order->clear();
+  order->reserve(nodes_.size());
+  if (root_ < 0) return;
+  stack->clear();
+  stack->push_back(root_);
+  while (!stack->empty()) {
+    const int32_t id = stack->back();
+    stack->pop_back();
+    order->push_back(id);
+    const auto& children = nodes_[static_cast<size_t>(id)].children;
+    // Push in reverse so the leftmost child is visited first.
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      stack->push_back(*it);
     }
   }
+}
+
+std::vector<int32_t> QueryPlan::Heights() const {
+  std::vector<int32_t> heights;
+  std::vector<int32_t> stack;
+  HeightsInto(&heights, &stack);
   return heights;
 }
 
+void QueryPlan::HeightsInto(std::vector<int32_t>* heights,
+                            std::vector<int32_t>* stack) const {
+  heights->assign(nodes_.size(), -1);
+  if (root_ < 0) return;
+  stack->clear();
+  stack->push_back(root_);
+  (*heights)[static_cast<size_t>(root_)] = 0;
+  while (!stack->empty()) {
+    const int32_t id = stack->back();
+    stack->pop_back();
+    for (int32_t child : nodes_[static_cast<size_t>(id)].children) {
+      (*heights)[static_cast<size_t>(child)] =
+          (*heights)[static_cast<size_t>(id)] + 1;
+      stack->push_back(child);
+    }
+  }
+}
+
 std::vector<uint8_t> QueryPlan::AncestorClosure() const {
-  const std::vector<int32_t> dfs = DfsOrder();
+  std::vector<uint8_t> closure;
+  std::vector<size_t> subtree;
+  AncestorClosureInto(DfsOrder(), &closure, &subtree);
+  return closure;
+}
+
+void QueryPlan::AncestorClosureInto(const std::vector<int32_t>& dfs,
+                                    std::vector<uint8_t>* closure,
+                                    std::vector<size_t>* subtree_scratch) const {
   const size_t n = dfs.size();
-  std::vector<uint8_t> closure(n * n, 0);
+  closure->assign(n * n, 0);
   // Preorder property: the subtree of dfs[i] occupies a contiguous range
   // [i, i + subtree_size(i)). Compute subtree sizes with one reverse pass.
-  std::vector<size_t> subtree_size(nodes_.size(), 1);
+  subtree_scratch->assign(nodes_.size(), 1);
+  std::vector<size_t>& subtree_size = *subtree_scratch;
   for (size_t pos = n; pos-- > 0;) {
     const int32_t id = dfs[pos];
     for (int32_t child : nodes_[static_cast<size_t>(id)].children) {
@@ -127,9 +153,8 @@ std::vector<uint8_t> QueryPlan::AncestorClosure() const {
   }
   for (size_t i = 0; i < n; ++i) {
     const size_t extent = subtree_size[static_cast<size_t>(dfs[i])];
-    for (size_t j = i; j < i + extent; ++j) closure[i * n + j] = 1;
+    for (size_t j = i; j < i + extent; ++j) (*closure)[i * n + j] = 1;
   }
-  return closure;
 }
 
 Status QueryPlan::Validate() const {

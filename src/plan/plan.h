@@ -120,6 +120,20 @@ class QueryPlan {
   // n = size(); the i/j indices refer to positions in DfsOrder().
   std::vector<uint8_t> AncestorClosure() const;
 
+  // Scratch-reusing variants of the derived-structure getters: identical
+  // results, but every buffer is caller-owned so a warm caller (the batched
+  // featurize path) performs zero heap allocations. `stack` is traversal
+  // scratch whose contents are meaningless afterwards.
+  void DfsOrderInto(std::vector<int32_t>* order,
+                    std::vector<int32_t>* stack) const;
+  void HeightsInto(std::vector<int32_t>* heights,
+                   std::vector<int32_t>* stack) const;
+  // `dfs` must be this plan's DfsOrder() (pass the buffer DfsOrderInto just
+  // filled — recomputing it here would waste the caller's pass).
+  void AncestorClosureInto(const std::vector<int32_t>& dfs,
+                           std::vector<uint8_t>* closure,
+                           std::vector<size_t>* subtree_scratch) const;
+
   // Validates tree-ness: a single root, every non-root node has exactly one
   // parent, no cycles, all indices in range.
   Status Validate() const;

@@ -139,12 +139,26 @@ void ThreadPool::WorkerLoop(int slot) {
 }
 
 void ThreadPool::ParallelFor(size_t begin, size_t end,
-                             const std::function<void(size_t)>& fn) {
+                             FunctionRef<void(size_t)> fn) {
   ParallelForWorker(begin, end, [&fn](int /*slot*/, size_t i) { fn(i); });
 }
 
+std::shared_ptr<ThreadPool::Job> ThreadPool::AcquireJobLocked() {
+  for (auto& spare : spares_) {
+    if (spare.use_count() == 1) {
+      // No worker holds this control block anymore; reset and recycle it.
+      spare->next.store(0, std::memory_order_relaxed);
+      spare->error = nullptr;
+      return spare;
+    }
+  }
+  auto job = std::make_shared<Job>();
+  if (spares_.size() < kMaxSpareJobs) spares_.push_back(job);
+  return job;
+}
+
 void ThreadPool::ParallelForWorker(size_t begin, size_t end,
-                                   const std::function<void(int, size_t)>& fn) {
+                                   FunctionRef<void(int, size_t)> fn) {
   if (end <= begin) return;
   const size_t count = end - begin;
   ParallelForCounter()->Add(1);
@@ -166,9 +180,11 @@ void ThreadPool::ParallelForWorker(size_t begin, size_t end,
   // safe: once pending hits zero no item remains claimable, so no worker
   // can dereference `fn`/`body` after we return (the Job itself is kept
   // alive by the workers' shared_ptr).
-  const std::function<void(int, size_t)> body =
-      [&fn, begin](int slot, size_t i) { fn(slot, begin + i); };
-  auto job = std::make_shared<Job>();
+  const auto shifted = [&fn, begin](int slot, size_t i) {
+    fn(slot, begin + i);
+  };
+  const FunctionRef<void(int, size_t)> body = shifted;
+  std::shared_ptr<Job> job = AcquireJobLocked();
   job->end = count;
   // ~4 chunks per thread: coarse enough to amortize the atomic claim, fine
   // enough to rebalance around stragglers.

@@ -6,13 +6,47 @@
 #include <cstddef>
 #include <cstdint>
 #include <exception>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace dace {
+
+// Non-owning callable reference: a trivially-copyable {object pointer,
+// call-thunk} pair, the minimal type-erasure a blocking parallel-for needs.
+// ParallelFor bodies are always fully invoked before the call returns, so
+// borrowing the caller's closure is safe — and unlike std::function there is
+// no per-call heap allocation once a capture list outgrows the small-buffer
+// optimisation. Do NOT store a FunctionRef beyond the call that produced it.
+template <typename Sig>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit like std::function.
+  FunctionRef(F&& f)
+      : obj_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
 
 // Fixed-size worker pool with a blocking parallel-for primitive. This is the
 // shared execution substrate for data-parallel training, batched inference
@@ -33,6 +67,9 @@ namespace dace {
 //    no new threads, no deadlock, same results.
 //  - The first exception thrown by the body cancels the remaining items and
 //    is rethrown on the calling thread.
+//  - A warm ParallelFor is allocation-free: bodies are passed by FunctionRef
+//    (no std::function capture boxing) and Job control blocks are recycled
+//    through a small spare list once the workers release them.
 class ThreadPool {
  public:
   // Parallelism degree `num_threads` (caller included). Values <= 1 create
@@ -50,15 +87,14 @@ class ThreadPool {
   // returns once all calls finished. Safe to call concurrently from several
   // threads (calls serialize) and recursively from inside a body (the inner
   // loop runs inline).
-  void ParallelFor(size_t begin, size_t end,
-                   const std::function<void(size_t)>& fn);
+  void ParallelFor(size_t begin, size_t end, FunctionRef<void(size_t)> fn);
 
   // Like ParallelFor but also hands the body a stable worker slot in
   // [0, num_threads()); slot 0 is the calling thread. Use it to index
   // per-worker scratch. Item-to-slot assignment is NOT deterministic — do
   // not let results depend on the slot (reads/writes of scratch are fine).
   void ParallelForWorker(size_t begin, size_t end,
-                         const std::function<void(int, size_t)>& fn);
+                         FunctionRef<void(int, size_t)> fn);
 
   // Process-wide default pool. First use creates it with
   // hardware_concurrency() threads unless SetDefaultThreads ran earlier.
@@ -73,7 +109,7 @@ class ThreadPool {
   struct Job {
     size_t end = 0;    // items are [0, end); ParallelForWorker re-bases
     size_t chunk = 1;  // items claimed per atomic fetch_add
-    const std::function<void(int, size_t)>* fn = nullptr;
+    const FunctionRef<void(int, size_t)>* fn = nullptr;
     std::atomic<size_t> next{0};     // claim cursor
     std::atomic<size_t> pending{0};  // items not yet retired
     std::exception_ptr error;
@@ -85,6 +121,11 @@ class ThreadPool {
   // cancels unclaimed items on throw. Returns with job->pending reduced by
   // every item this thread retired.
   static void RunChunks(Job* job, int slot);
+  // A Job from spares_ no worker still references (reset, ready to submit),
+  // or a freshly allocated one. Caller must hold submit_mu_.
+  std::shared_ptr<Job> AcquireJobLocked();
+
+  static constexpr size_t kMaxSpareJobs = 8;
 
   std::vector<std::thread> workers_;
   std::mutex mu_;                  // guards job_/job_seq_/stop_
@@ -94,6 +135,11 @@ class ThreadPool {
   std::shared_ptr<Job> job_;       // current job, null when idle
   uint64_t job_seq_ = 0;           // bumped per job so workers run each once
   bool stop_ = false;
+  // Recycled Job control blocks (guarded by submit_mu_). An entry is
+  // reusable when use_count() == 1: no worker still holds its shared_ptr
+  // from a previous fan-out. Bounded, so a straggling worker costs at most
+  // one fresh allocation, never unbounded growth.
+  std::vector<std::shared_ptr<Job>> spares_;
 };
 
 }  // namespace dace

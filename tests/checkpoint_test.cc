@@ -60,7 +60,8 @@ class CheckpointFuzzTest : public ::testing::Test {
 
     donor_ = new DaceEstimator(TinyConfig());
     donor_->Train(*plans_);
-    donor_->FineTune(*plans_);  // checkpoints carry LoRA adapters
+    donor_->FineTune(*plans_);   // checkpoints carry LoRA adapters
+    donor_->Distill(*plans_);    // ... and the optional student section
     path_ = new std::string(TempPath("ckpt_fuzz.dace"));
     ASSERT_TRUE(donor_->SaveToFile(*path_).ok());
     blob_ = new std::string();
@@ -157,6 +158,7 @@ TEST_F(CheckpointFuzzTest, RoundTripIsBitIdentical) {
   DaceEstimator restored(TinyConfig());
   ASSERT_TRUE(restored.LoadFromFile(*path_).ok());
   EXPECT_TRUE(restored.model().lora_attached());
+  EXPECT_TRUE(restored.model().has_student());
   for (const auto& probe : *probes_) {
     const auto want = donor_->PredictSubPlansMs(probe);
     const auto got = restored.PredictSubPlansMs(probe);
@@ -172,9 +174,10 @@ TEST_F(CheckpointFuzzTest, HeaderAndSectionsInspectable) {
   EXPECT_EQ(header.format_version, kCheckpointFormatVersion);
   EXPECT_EQ(header.d_k, 16u);
   EXPECT_EQ(header.lora_r3, 2u);
-  ASSERT_EQ(sections.size(), 5u);
+  ASSERT_EQ(sections.size(), 6u);
   const uint32_t want_tags[] = {kSectionFeaturizer, kSectionAttention,
-                                kSectionFc1, kSectionFc2, kSectionFc3};
+                                kSectionFc1,        kSectionFc2,
+                                kSectionFc3,        kSectionStudent};
   for (size_t i = 0; i < sections.size(); ++i) {
     EXPECT_EQ(sections[i].tag, want_tags[i]);
   }

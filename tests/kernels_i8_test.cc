@@ -1,0 +1,247 @@
+// int8 kernel table equivalence (nn/kernels_i8.h): unlike f32, the i8 table
+// carries a BIT-IDENTITY contract between the scalar and AVX2 entries — the
+// integer accumulation is exact, maxabs is order-free, and both paths round
+// to nearest even — so every comparison here is EXPECT_EQ (0 ULP), not a
+// tolerance. Shapes deliberately include primes and off-by-one sizes around
+// the 32-lane quantize and gemv main loops to hit every tail branch. All
+// AVX2 cases skip cleanly without AVX2.
+
+#include "nn/kernels_i8.h"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "nn/kernels.h"
+#include "nn/kernels_f32.h"
+#include "util/rng.h"
+
+namespace dace::nn::kernel {
+namespace {
+
+// Lengths probing the vector main loops and every scalar tail.
+const size_t kLengths[] = {0,  1,  2,  3,  7,  8,  15, 16, 17,
+                           31, 32, 33, 55, 63, 64, 65, 127, 200};
+
+// GEMV shapes: odd in/out dims, in == kStudentFeatureDim (55), single
+// row/column degenerates, and lda > in padding.
+struct GemvShape {
+  size_t in, out, lda;
+};
+const GemvShape kGemvShapes[] = {
+    {1, 1, 1},    {1, 7, 1},    {3, 2, 3},   {17, 5, 17},  {31, 33, 31},
+    {55, 32, 55}, {32, 16, 32}, {16, 2, 16}, {55, 32, 64}, {129, 31, 129},
+};
+
+class KernelsI8Avx2Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!HasAvx2()) {
+      GTEST_SKIP() << "AVX2 unavailable on this machine/build";
+    }
+  }
+};
+
+std::vector<float> RandomVec(size_t n, Rng* rng, double sparsity = 0.0) {
+  std::vector<float> v(n);
+  for (float& x : v) {
+    x = rng->Bernoulli(sparsity)
+            ? 0.0f
+            : static_cast<float>(rng->Gaussian(0.0, 2.0));
+  }
+  return v;
+}
+
+std::vector<int8_t> RandomQuantized(size_t n, Rng* rng) {
+  std::vector<int8_t> v(n);
+  for (int8_t& x : v) {
+    x = static_cast<int8_t>(rng->UniformInt(-127, 127));
+  }
+  return v;
+}
+
+// Straight scalar reference: exact i32 accumulation then one f32 dequant,
+// exactly the contract in kernels_i8.h.
+void NaiveGemv(const std::vector<int8_t>& wq, size_t lda,
+               const std::vector<float>& sw, const std::vector<float>& bias,
+               const std::vector<int8_t>& xq, float sx, size_t in, size_t out,
+               std::vector<float>* y) {
+  for (size_t o = 0; o < out; ++o) {
+    int32_t acc = 0;
+    for (size_t i = 0; i < in; ++i) {
+      acc += static_cast<int32_t>(wq[o * lda + i]) *
+             static_cast<int32_t>(xq[i]);
+    }
+    (*y)[o] = bias[o] + (sx * sw[o]) * static_cast<float>(acc);
+  }
+}
+
+TEST(KernelsI8ScalarTest, QuantizeRoundTripsWithinOneStep) {
+  const TableI8& t = I8TableFor(Isa::kScalar);
+  Rng rng(21);
+  for (size_t n : kLengths) {
+    if (n == 0) continue;
+    const auto x = RandomVec(n, &rng);
+    std::vector<int8_t> q(n, 99);
+    const float sx = t.quantize(n, x.data(), q.data());
+    float maxabs = 0.0f;
+    for (float v : x) maxabs = std::max(maxabs, std::fabs(v));
+    if (maxabs == 0.0f) {
+      EXPECT_EQ(0.0f, sx);
+      for (int8_t v : q) EXPECT_EQ(0, v);
+      continue;
+    }
+    EXPECT_FLOAT_EQ(maxabs / 127.0f, sx);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_GE(q[i], -127);
+      EXPECT_LE(q[i], 127);
+      // Dequantized value within half a quantization step of the original.
+      EXPECT_NEAR(x[i], static_cast<float>(q[i]) * sx, 0.5f * sx + 1e-7f);
+    }
+  }
+}
+
+TEST(KernelsI8ScalarTest, QuantizeRoundsToNearestEven) {
+  const TableI8& t = I8TableFor(Isa::kScalar);
+  // maxabs = 127 makes the scale exactly 1, so codes are nearbyintf(x):
+  // halfway cases must round to EVEN (2.5 -> 2, 3.5 -> 4, -2.5 -> -2).
+  const float x[6] = {127.0f, 2.5f, 3.5f, -2.5f, -3.5f, 0.5f};
+  int8_t q[6];
+  const float sx = t.quantize(6, x, q);
+  EXPECT_FLOAT_EQ(1.0f, sx);
+  EXPECT_EQ(127, q[0]);
+  EXPECT_EQ(2, q[1]);
+  EXPECT_EQ(4, q[2]);
+  EXPECT_EQ(-2, q[3]);
+  EXPECT_EQ(-4, q[4]);
+  EXPECT_EQ(0, q[5]);
+}
+
+TEST(KernelsI8ScalarTest, QuantizeNeverProducesMinus128) {
+  const TableI8& t = I8TableFor(Isa::kScalar);
+  // A lone extreme negative: its code must clamp at -127, keeping the scheme
+  // symmetric so negation of the input negates every code.
+  const float x[4] = {-10.0f, 5.0f, 0.0f, 9.99f};
+  int8_t q[4];
+  t.quantize(4, x, q);
+  EXPECT_EQ(-127, q[0]);
+}
+
+TEST(KernelsI8ScalarTest, GemvMatchesNaiveReferenceExactly) {
+  const TableI8& t = I8TableFor(Isa::kScalar);
+  Rng rng(22);
+  for (const GemvShape& s : kGemvShapes) {
+    const auto wq = RandomQuantized(s.out * s.lda, &rng);
+    const auto xq = RandomQuantized(s.in, &rng);
+    const auto sw = RandomVec(s.out, &rng);
+    const auto bias = RandomVec(s.out, &rng);
+    const float sx = 0.031f;
+    std::vector<float> expected(s.out), got(s.out);
+    NaiveGemv(wq, s.lda, sw, bias, xq, sx, s.in, s.out, &expected);
+    t.gemv(wq.data(), s.lda, sw.data(), bias.data(), xq.data(), sx, s.in,
+           s.out, got.data());
+    for (size_t o = 0; o < s.out; ++o) {
+      EXPECT_EQ(expected[o], got[o]) << "out " << o << " in=" << s.in;
+    }
+  }
+}
+
+TEST_F(KernelsI8Avx2Test, QuantizeBitIdenticalToScalar) {
+  const TableI8& scalar = I8TableFor(Isa::kScalar);
+  const TableI8& avx2 = I8TableFor(Isa::kAvx2);
+  Rng rng(23);
+  for (size_t n : kLengths) {
+    const auto x = RandomVec(n, &rng, /*sparsity=*/0.2);
+    std::vector<int8_t> q_s(n, 99), q_v(n, 99);
+    const float sx_s = scalar.quantize(n, x.data(), q_s.data());
+    const float sx_v = avx2.quantize(n, x.data(), q_v.data());
+    EXPECT_EQ(sx_s, sx_v) << "n=" << n;
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(q_s[i], q_v[i]) << "n=" << n << " @" << i;
+    }
+  }
+}
+
+TEST_F(KernelsI8Avx2Test, GemvBitIdenticalToScalarOnEveryShape) {
+  const TableI8& scalar = I8TableFor(Isa::kScalar);
+  const TableI8& avx2 = I8TableFor(Isa::kAvx2);
+  Rng rng(24);
+  for (const GemvShape& s : kGemvShapes) {
+    const auto wq = RandomQuantized(s.out * s.lda, &rng);
+    const auto xq = RandomQuantized(s.in, &rng);
+    const auto sw = RandomVec(s.out, &rng);
+    const auto bias = RandomVec(s.out, &rng);
+    const float sx = 0.017f;
+    std::vector<float> y_s(s.out), y_v(s.out);
+    scalar.gemv(wq.data(), s.lda, sw.data(), bias.data(), xq.data(), sx, s.in,
+                s.out, y_s.data());
+    avx2.gemv(wq.data(), s.lda, sw.data(), bias.data(), xq.data(), sx, s.in,
+              s.out, y_v.data());
+    for (size_t o = 0; o < s.out; ++o) {
+      EXPECT_EQ(y_s[o], y_v[o]) << "out " << o << " in=" << s.in;
+    }
+  }
+}
+
+TEST_F(KernelsI8Avx2Test, ReluBitIdenticalToScalar) {
+  const TableI8& scalar = I8TableFor(Isa::kScalar);
+  const TableI8& avx2 = I8TableFor(Isa::kAvx2);
+  Rng rng(25);
+  for (size_t n : kLengths) {
+    auto a = RandomVec(n, &rng);
+    auto b = a;
+    scalar.relu(n, a.data());
+    avx2.relu(n, b.data());
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(a[i], b[i]) << "n=" << n << " @" << i;
+      EXPECT_GE(a[i], 0.0f);
+    }
+  }
+}
+
+// End-to-end layer composition (quantize -> gemv -> relu) must be
+// bit-identical between ISAs — the composition the student forward runs.
+TEST_F(KernelsI8Avx2Test, LayerCompositionBitIdentical) {
+  const TableI8& scalar = I8TableFor(Isa::kScalar);
+  const TableI8& avx2 = I8TableFor(Isa::kAvx2);
+  Rng rng(26);
+  const size_t in = 55, out = 32;
+  const auto x = RandomVec(in, &rng);
+  const auto wq = RandomQuantized(out * in, &rng);
+  const auto sw = RandomVec(out, &rng);
+  const auto bias = RandomVec(out, &rng);
+  std::vector<int8_t> q_s(in), q_v(in);
+  std::vector<float> y_s(out), y_v(out);
+  const float sx_s = scalar.quantize(in, x.data(), q_s.data());
+  scalar.gemv(wq.data(), in, sw.data(), bias.data(), q_s.data(), sx_s, in, out,
+              y_s.data());
+  scalar.relu(out, y_s.data());
+  const float sx_v = avx2.quantize(in, x.data(), q_v.data());
+  avx2.gemv(wq.data(), in, sw.data(), bias.data(), q_v.data(), sx_v, in, out,
+            y_v.data());
+  avx2.relu(out, y_v.data());
+  for (size_t o = 0; o < out; ++o) EXPECT_EQ(y_s[o], y_v[o]) << "out " << o;
+}
+
+TEST(KernelsI8DispatchTest, ActiveI8FollowsIsaSelection) {
+  const Isa prev = ActiveIsa();
+  SetIsa(Isa::kScalar);
+  EXPECT_STREQ("scalar-i8", ActiveI8().name);
+  if (HasAvx2()) {
+    SetIsa(Isa::kAvx2);
+    EXPECT_STREQ("avx2-i8", ActiveI8().name);
+  }
+  SetIsa(prev);
+}
+
+TEST(KernelsI8DispatchTest, PrecisionNameCoversI8) {
+  EXPECT_STREQ("i8", PrecisionName(Precision::kI8));
+  const Precision prev = ActivePrecision();
+  SetPrecision(Precision::kI8);
+  EXPECT_EQ(Precision::kI8, ActivePrecision());
+  SetPrecision(prev);
+}
+
+}  // namespace
+}  // namespace dace::nn::kernel

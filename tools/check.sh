@@ -6,21 +6,26 @@
 #                     at runtime when the CPU supports them.
 #   2. scalar       — same binaries, DACE_KERNELS=scalar forces the blocked
 #                     scalar fallback, proving SIMD-off correctness.
-#   3. precision    — the kernel/layer/packed/differential suites under every
-#                     DACE_KERNELS={scalar,avx2} x DACE_PRECISION={f64,f32}
-#                     combination (avx2 columns skipped on machines without
-#                     AVX2+FMA). Suites asserting f64 bit-identity pin their
-#                     precision internally, so a green run here proves both
-#                     that the env resolution works and that no suite
-#                     accidentally depends on the ambient default.
+#   3. precision    — the kernel/layer/packed/differential/tiered suites
+#                     under every DACE_KERNELS={scalar,avx2} x
+#                     DACE_PRECISION={f64,f32,i8} combination (avx2 columns
+#                     skipped on machines without AVX2+FMA). Suites asserting
+#                     f64 bit-identity pin their precision internally, so a
+#                     green run here proves both that the env resolution
+#                     works and that no suite accidentally depends on the
+#                     ambient default.
 #   4. asan         — separate build tree with -DDACE_SANITIZE=address, run
 #                     in both ISA modes (the AVX2 tail handling and the
 #                     aligned allocator are the interesting targets).
-#   5. input-fuzz   — the checkpoint corruption fuzz AND the plan-text
-#                     mutation fuzz (truncations, bit flips, nesting bombs,
+#   5. input-fuzz   — the checkpoint corruption fuzz (which now covers the
+#                     optional student section) AND the plan-text mutation
+#                     fuzz (truncations, bit flips, nesting bombs,
 #                     duplicate/unknown fields, separator splices) re-run
-#                     explicitly under ASan in both ISA modes: every rejected
-#                     input must be leak- and overflow-clean, not just return
+#                     explicitly under ASan in both ISA modes, together with
+#                     the int8 kernel and tiered-serving suites (the i8
+#                     quantize/gemv tails and the student scratch reuse are
+#                     the interesting overflow targets): every rejected input
+#                     must be leak- and overflow-clean, not just return
 #                     non-OK.
 #   6. tsan-obs     — separate build tree with -DDACE_SANITIZE=thread, run
 #                     with logging at INFO and tracing enabled so the metrics
@@ -43,7 +48,11 @@
 #  10. bench-micro  — kernel/inference microbenchmarks; writes
 #                     BENCH_micro.json and gates on the derived records:
 #                     the packed f64 path must not be slower than the
-#                     per-plan path (packed_vs_perplan_speedup >= 1.0).
+#                     per-plan path (packed_vs_perplan_speedup >= 1.0), the
+#                     int8 student tier must hold a healthy margin over the
+#                     packed f32 teacher (student_vs_teacher_speedup >= 3.0),
+#                     and the tiered path's median q-error must stay within
+#                     its accuracy budget (tiered_qerror_budget <= 1.05).
 #
 # Usage: tools/check.sh [-j N]
 set -euo pipefail
@@ -70,12 +79,12 @@ run_ctest build env
 echo "==> [2/10] scalar-forced tests (same build, DACE_KERNELS=scalar)"
 run_ctest build env DACE_KERNELS=scalar
 
-echo "==> [3/10] kernels x precision matrix (targeted suites, 4 combos)"
-PRECISION_SUITES='Kernels|Matrix|Layers|PackedInference|ServeDifferential'
+echo "==> [3/10] kernels x precision matrix (targeted suites, 6 combos)"
+PRECISION_SUITES='Kernels|Matrix|Layers|PackedInference|ServeDifferential|TieredServing'
 ISAS="scalar"
 if grep -qw avx2 /proc/cpuinfo 2>/dev/null; then ISAS="scalar avx2"; fi
 for isa in $ISAS; do
-  for prec in f64 f32; do
+  for prec in f64 f32 i8; do
     echo "    -- DACE_KERNELS=$isa DACE_PRECISION=$prec"
     (cd build && env DACE_KERNELS="$isa" DACE_PRECISION="$prec" \
       ctest --output-on-failure -R "$PRECISION_SUITES")
@@ -89,10 +98,12 @@ cmake --build build-asan -j "$JOBS"
 run_ctest build-asan env
 run_ctest build-asan env DACE_KERNELS=scalar
 
-echo "==> [5/10] checkpoint + plan-text fuzz under ASan (both ISA modes)"
-(cd build-asan && env ctest --output-on-failure -R 'Checkpoint|PlanIoFuzz')
+echo "==> [5/10] checkpoint + plan-text fuzz + int8/tiered under ASan"
+echo "           (both ISA modes)"
+(cd build-asan && env \
+  ctest --output-on-failure -R 'Checkpoint|PlanIoFuzz|KernelsI8|TieredServing')
 (cd build-asan && env DACE_KERNELS=scalar \
-  ctest --output-on-failure -R 'Checkpoint|PlanIoFuzz')
+  ctest --output-on-failure -R 'Checkpoint|PlanIoFuzz|KernelsI8|TieredServing')
 
 echo "==> [6/10] thread-sanitizer build + tests (logging INFO, tracing on)"
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -136,6 +147,28 @@ for name in ("f32_vs_f64_speedup", "packed_f32_vs_perplan_speedup"):
     if name not in records:
         failures.append(f"{name} record missing from BENCH_micro.json")
 
+# The student tier only earns its keep while it is decisively cheaper than
+# the packed f32 teacher it escalates to. 3.0x is the floor, not the target
+# (the committed record should sit well above it).
+student = records.get("student_vs_teacher_speedup")
+if student is None:
+    failures.append("student_vs_teacher_speedup record missing from BENCH_micro.json")
+elif student["speedup"] < 3.0:
+    failures.append(
+        f"int8 student tier too close to the packed f32 teacher: "
+        f"{student['speedup']:.3f}x < 3.0x")
+
+# Accuracy guard: the agreement gate must keep the tiered path's median
+# q-error within budget of serving every plan through the teacher.
+qerr = records.get("tiered_qerror_budget")
+if qerr is None:
+    failures.append("tiered_qerror_budget record missing from BENCH_micro.json")
+elif qerr["ratio"] > qerr["budget"]:
+    failures.append(
+        f"tiered q-error outside budget: ratio {qerr['ratio']:.4f} > "
+        f"{qerr['budget']:.2f} (tiered {qerr['tiered_median_qerror']:.3f} vs "
+        f"teacher {qerr['teacher_median_qerror']:.3f})")
+
 if failures:
     for f in failures:
         print(f"FAIL: {f}", file=sys.stderr)
@@ -144,6 +177,8 @@ if failures:
 print(f"    packed_vs_perplan_speedup        {packed['speedup']:.2f}x")
 print(f"    f32_vs_f64_speedup               {records['f32_vs_f64_speedup']['speedup']:.2f}x")
 print(f"    packed_f32_vs_perplan_speedup    {records['packed_f32_vs_perplan_speedup']['speedup']:.2f}x")
+print(f"    student_vs_teacher_speedup       {student['speedup']:.2f}x")
+print(f"    tiered_qerror_budget             {qerr['ratio']:.4f} (<= {qerr['budget']:.2f})")
 EOF
 
 echo "==> all ten configurations passed"
