@@ -1,0 +1,80 @@
+#ifndef DACE_CORE_PLAN_CHOICE_H_
+#define DACE_CORE_PLAN_CHOICE_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+#include "plan/plan.h"
+
+namespace dace::core {
+
+// Scores complete candidate physical plans on behalf of the optimizer's
+// plan-choice path (engine::Optimizer::ChoosePlan). LOWER is better; only
+// the ORDER of scores within one candidate set matters, so implementations
+// are free to return abstract cost units or predicted milliseconds.
+//
+// This is the Hyrise AbstractCostEstimator shape: one virtual per-plan cost
+// hook plus a batch entry point, with the optimizer owning enumeration and
+// the estimator owning ranking. Plugging in a learned estimator turns the
+// repository's q-error story into a plan-SELECTION story — the central
+// critique of "How Good are Learned Cost Models, Really?".
+class PlanChoiceEstimator {
+ public:
+  virtual ~PlanChoiceEstimator() = default;
+
+  virtual std::string Name() const = 0;
+
+  // Score of one complete candidate plan. Must be deterministic for a given
+  // plan (ChoosePlan's tie-breaking and the regret bench rely on it).
+  virtual double ScorePlan(const plan::QueryPlan& plan) const = 0;
+
+  // Scores a whole candidate set, indexed like `plans`. The default loops
+  // over ScorePlan; estimators with a batched hot path override it. Every
+  // implementation must return exactly what per-plan ScorePlan would.
+  virtual std::vector<double> ScorePlans(
+      std::span<const plan::QueryPlan> plans) const {
+    std::vector<double> out;
+    out.reserve(plans.size());
+    for (const plan::QueryPlan& plan : plans) out.push_back(ScorePlan(plan));
+    return out;
+  }
+
+  // True when scores are predicted milliseconds of wall time (learned
+  // estimators): the selection bench can then compute q-error against the
+  // simulated runtime. Abstract-unit scorers (the native PG-style model)
+  // return false.
+  virtual bool ScoresAreMilliseconds() const { return false; }
+};
+
+// Adapter: any learned CostEstimator (DACE, every baseline) drives plan
+// choice by its predicted runtime. The batched path goes through
+// PredictBatchMs, so DACE's packed/tiered/cached inference paths are used
+// unchanged.
+class EstimatorPlanChoice final : public PlanChoiceEstimator {
+ public:
+  // `estimator` must be trained and must outlive the adapter.
+  explicit EstimatorPlanChoice(const CostEstimator* estimator)
+      : estimator_(estimator) {}
+
+  std::string Name() const override { return estimator_->Name(); }
+
+  double ScorePlan(const plan::QueryPlan& plan) const override {
+    return estimator_->PredictMs(plan);
+  }
+
+  std::vector<double> ScorePlans(
+      std::span<const plan::QueryPlan> plans) const override {
+    return estimator_->PredictBatchMs(plans);
+  }
+
+  bool ScoresAreMilliseconds() const override { return true; }
+
+ private:
+  const CostEstimator* estimator_;  // not owned
+};
+
+}  // namespace dace::core
+
+#endif  // DACE_CORE_PLAN_CHOICE_H_

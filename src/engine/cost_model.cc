@@ -14,6 +14,21 @@ double Log2Safe(double x) { return std::log2(std::max(x, 2.0)); }
 double OperatorCost(plan::OperatorType type, const CostInputs& in,
                     const CostParams& p) {
   using plan::OperatorType;
+  // The optimizer clamps its cardinalities, but hand-built inputs (fuzzers,
+  // property tests, external callers) can carry NaN/Inf/negatives straight
+  // into the formulas, where one NaN silently poisons every inclusive cost
+  // above it. Fail loudly instead of propagating.
+  DACE_CHECK(std::isfinite(in.out_rows) && in.out_rows >= 0.0)
+      << "out_rows=" << in.out_rows;
+  DACE_CHECK(std::isfinite(in.left_rows) && in.left_rows >= 0.0)
+      << "left_rows=" << in.left_rows;
+  DACE_CHECK(std::isfinite(in.right_rows) && in.right_rows >= 0.0)
+      << "right_rows=" << in.right_rows;
+  DACE_CHECK(std::isfinite(in.table_rows) && in.table_rows >= 0.0)
+      << "table_rows=" << in.table_rows;
+  DACE_CHECK(std::isfinite(in.width_bytes) && in.width_bytes >= 0.0)
+      << "width_bytes=" << in.width_bytes;
+  DACE_CHECK(in.num_filters >= 0) << "num_filters=" << in.num_filters;
   const double pages =
       std::max(1.0, in.table_rows * in.width_bytes / p.page_size_bytes);
   const double filter_cost =

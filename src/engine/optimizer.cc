@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <set>
+#include <string>
+#include <utility>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace dace::engine {
@@ -17,9 +21,59 @@ constexpr double kMaxCard = 1e12;
 
 double ClampCard(double card) { return std::clamp(card, 1.0, kMaxCard); }
 
+obs::Counter* ChooseCallsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default()->GetCounter("select.choose_calls");
+  return c;
+}
+
+obs::Counter* CandidatesCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default()->GetCounter("select.candidates");
+  return c;
+}
+
+obs::Histogram* CandidatesPerQueryHistogram() {
+  static obs::Histogram* h = obs::MetricsRegistry::Default()->GetHistogram(
+      "select.candidates_per_query", obs::ExponentialBuckets(1.0, 2.0, 8));
+  return h;
+}
+
+// Ranks candidates by the inclusive PG-style abstract cost the optimizer
+// already wrote at the root. Scores are cost units, not milliseconds.
+class NativeCostChoice final : public core::PlanChoiceEstimator {
+ public:
+  std::string Name() const override { return "native"; }
+  double ScorePlan(const QueryPlan& plan) const override {
+    return plan.node(plan.root()).est_cost;
+  }
+};
+
+// True when `table_id` has a spec edge to any id in `joined` with the other
+// endpoint being `table_id` itself.
+bool ConnectsToJoined(const Database& db, const QuerySpec& spec,
+                      int32_t table_id, const std::vector<int32_t>& joined) {
+  for (const int32_t edge_id : spec.join_edge_ids) {
+    const JoinEdge& edge = db.join_edges[static_cast<size_t>(edge_id)];
+    for (const int32_t j : joined) {
+      if ((edge.from_table == j && edge.to_table == table_id) ||
+          (edge.to_table == j && edge.from_table == table_id)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
+const core::PlanChoiceEstimator& Optimizer::NativeScorer() {
+  static const NativeCostChoice* scorer = new NativeCostChoice();
+  return *scorer;
+}
+
 Optimizer::SubPlan Optimizer::BuildScan(const TableRef& ref,
+                                        AccessPathChoice forced,
                                         QueryPlan* plan) const {
   const Table& table = db_->tables[static_cast<size_t>(ref.table_id)];
   const double rows = static_cast<double>(table.row_count);
@@ -36,13 +90,32 @@ Optimizer::SubPlan Optimizer::BuildScan(const TableRef& ref,
   const double est_card = ClampCard(rows * est_sel);
   const double act_card = ClampCard(rows * true_sel);
 
-  // Access-path choice on ESTIMATES, like a real optimizer.
+  // Access-path choice on ESTIMATES, like a real optimizer. An index path
+  // can only be taken (chosen or forced) when a filtered column is indexed;
+  // an inapplicable forcing degrades to the sequential scan.
   bool any_indexed = false;
   for (const plan::FilterPredicate& f : filters) {
     if (table.columns[static_cast<size_t>(f.column_id)].indexed) {
       any_indexed = true;
       break;
     }
+  }
+  const bool can_index = !filters.empty() && any_indexed;
+  bool use_index = false;
+  bool use_bitmap = false;
+  switch (forced) {
+    case AccessPathChoice::kSeqScan:
+      break;
+    case AccessPathChoice::kIndexScan:
+      use_index = can_index;
+      break;
+    case AccessPathChoice::kBitmapScan:
+      use_bitmap = can_index;
+      break;
+    case AccessPathChoice::kAuto:
+      use_index = can_index && est_sel < 0.002;
+      use_bitmap = !use_index && can_index && est_sel < 0.05;
+      break;
   }
 
   CostInputs in;
@@ -62,7 +135,7 @@ Optimizer::SubPlan Optimizer::BuildScan(const TableRef& ref,
   out.est_card = est_card;
   out.act_card = act_card;
 
-  if (!filters.empty() && any_indexed && est_sel < 0.002) {
+  if (use_index) {
     // Highly selective and indexed: plain index scan; index-only when the
     // single predicate touches just the indexed column (deterministic
     // stand-in for a covering-index check).
@@ -76,22 +149,41 @@ Optimizer::SubPlan Optimizer::BuildScan(const TableRef& ref,
     return out;
   }
 
-  if (!filters.empty() && any_indexed && est_sel < 0.05) {
-    // Mid-selectivity: bitmap index scan feeding a bitmap heap scan.
+  if (use_bitmap) {
+    // Mid-selectivity: bitmap index scan feeding a bitmap heap scan. The
+    // index scan covers only the first indexed qual, so its row stream is
+    // rows * sel(that qual), not the full conjunction; the qual itself is
+    // priced through cpu_index_tuple_cost, not as an extra filter. The heap
+    // scan consumes that stream and rechecks the REMAINING quals — charging
+    // all of them again would double-count the index qual.
+    size_t bitmap_qual = 0;
+    for (size_t i = 0; i < filters.size(); ++i) {
+      if (table.columns[static_cast<size_t>(filters[i].column_id)].indexed) {
+        bitmap_qual = i;
+        break;
+      }
+    }
+    const double bitmap_est =
+        ClampCard(rows * filters[bitmap_qual].est_selectivity);
+    const double bitmap_act = ClampCard(
+        rows * selectivity_.TruePredicate(ref.table_id, filters[bitmap_qual]));
+
     PlanNode bitmap;
     bitmap.type = OperatorType::kBitmapIndexScan;
-    bitmap.est_cardinality = est_card;
-    bitmap.actual_cardinality = act_card;
+    bitmap.est_cardinality = bitmap_est;
+    bitmap.actual_cardinality = bitmap_act;
     bitmap.annotation.table_id = ref.table_id;
     bitmap.annotation.table_rows = rows;
     CostInputs bin = in;
-    bin.num_filters = 1;
+    bin.out_rows = bitmap_est;
+    bin.num_filters = 0;
     bitmap.est_cost = OwnCost(OperatorType::kBitmapIndexScan, bin);
     const int32_t bitmap_id = plan->AddNode(std::move(bitmap));
 
     node.type = OperatorType::kBitmapHeapScan;
     CostInputs hin = in;
-    hin.left_rows = est_card;  // tuples delivered by the bitmap
+    hin.left_rows = bitmap_est;  // tuples delivered by the bitmap
+    hin.num_filters = static_cast<int>(filters.size()) - 1;
     node.est_cost =
         OwnCost(OperatorType::kBitmapHeapScan, hin) + plan->node(bitmap_id).est_cost;
     node.children.push_back(bitmap_id);
@@ -111,6 +203,12 @@ Optimizer::SubPlan Optimizer::BuildScan(const TableRef& ref,
     gather.type = OperatorType::kGather;
     gather.est_cardinality = est_card;
     gather.actual_cardinality = act_card;
+    // The Gather relays the scan's table identity so annotation-reading
+    // featurizers (Zero-Shot, QPPNet) see a populated node. Filters stay on
+    // the scan: they are applied below the Gather, and the executor charges
+    // annotation filters to whichever node carries them.
+    gather.annotation.table_id = ref.table_id;
+    gather.annotation.table_rows = rows;
     CostInputs gin;
     gin.left_rows = est_card;
     gin.out_rows = est_card;
@@ -144,10 +242,12 @@ Optimizer::SubPlan Optimizer::AddUnary(OperatorType type, const SubPlan& input,
 
 Optimizer::SubPlan Optimizer::BuildJoin(const SubPlan& left,
                                         const TableRef& right_ref,
+                                        AccessPathChoice right_forced,
                                         const JoinEdge& edge,
                                         double parent_true_sel,
+                                        JoinMethodChoice forced,
                                         QueryPlan* plan) const {
-  SubPlan right = BuildScan(right_ref, plan);
+  SubPlan right = BuildScan(right_ref, right_forced, plan);
 
   const double jsel_est = selectivity_.EstimatedJoin(edge);
   const double jsel_true = selectivity_.TrueJoin(edge, parent_true_sel);
@@ -166,13 +266,20 @@ Optimizer::SubPlan Optimizer::BuildJoin(const SubPlan& left,
   out.est_card = est_card;
   out.act_card = act_card;
 
-  // Method choice from estimates.
-  const bool tiny_inner = right.est_card <= 200.0;
-  const bool small_product = left.est_card * right.est_card <= 2e5;
-  const bool balanced_large = left.est_card > 5e4 && right.est_card > 5e4 &&
-                              left.est_card < 4.0 * right.est_card &&
-                              right.est_card < 4.0 * left.est_card;
-  if (tiny_inner || small_product) {
+  // Method choice from estimates unless forced.
+  JoinMethodChoice method = forced;
+  if (method == JoinMethodChoice::kAuto) {
+    const bool tiny_inner = right.est_card <= 200.0;
+    const bool small_product = left.est_card * right.est_card <= 2e5;
+    const bool balanced_large = left.est_card > 5e4 && right.est_card > 5e4 &&
+                                left.est_card < 4.0 * right.est_card &&
+                                right.est_card < 4.0 * left.est_card;
+    method = (tiny_inner || small_product) ? JoinMethodChoice::kNestedLoop
+             : balanced_large              ? JoinMethodChoice::kMergeJoin
+                                           : JoinMethodChoice::kHashJoin;
+  }
+
+  if (method == JoinMethodChoice::kNestedLoop) {
     // Nested loop; materialize a non-trivial inner to avoid rescans.
     SubPlan inner = right;
     if (right.est_card > 50.0) {
@@ -189,7 +296,7 @@ Optimizer::SubPlan Optimizer::BuildJoin(const SubPlan& left,
     node.children.push_back(left.root);
     node.children.push_back(inner.root);
     out.root = plan->AddNode(std::move(node));
-  } else if (balanced_large) {
+  } else if (method == JoinMethodChoice::kMergeJoin) {
     // Merge join over two sorts.
     SubPlan sl = AddUnary(OperatorType::kSort, left, left.est_card,
                           left.act_card, plan);
@@ -228,28 +335,93 @@ Optimizer::SubPlan Optimizer::BuildJoin(const SubPlan& left,
 }
 
 QueryPlan Optimizer::BuildPlan(const QuerySpec& spec) const {
+  return BuildPlanWithDecisions(spec, PlanDecisions{});
+}
+
+QueryPlan Optimizer::BuildPlanWithDecisions(const QuerySpec& spec,
+                                            const PlanDecisions& decisions) const {
   DACE_CHECK_OK(ValidateSpec(*db_, spec));
   QueryPlan plan;
+  const size_t num_tables = spec.tables.size();
 
   // Per-table true conjunction selectivity, for join correlation boosts.
-  std::vector<double> true_sels(spec.tables.size(), 1.0);
-  for (size_t k = 0; k < spec.tables.size(); ++k) {
+  std::vector<double> true_sels(num_tables, 1.0);
+  for (size_t k = 0; k < num_tables; ++k) {
     true_sels[k] = selectivity_.TrueConjunction(spec.tables[k].table_id,
                                                 spec.tables[k].filters);
   }
   const auto true_sel_of_table = [&](int32_t table_id) {
-    for (size_t k = 0; k < spec.tables.size(); ++k) {
+    for (size_t k = 0; k < num_tables; ++k) {
       if (spec.tables[k].table_id == table_id) return true_sels[k];
     }
     return 1.0;
   };
 
-  SubPlan current = BuildScan(spec.tables[0], &plan);
-  for (size_t k = 0; k < spec.join_edge_ids.size(); ++k) {
-    const JoinEdge& edge =
-        db_->join_edges[static_cast<size_t>(spec.join_edge_ids[k])];
-    current = BuildJoin(current, spec.tables[k + 1], edge,
-                        true_sel_of_table(edge.to_table), &plan);
+  const auto path_of = [&](size_t slot) {
+    return slot < decisions.access_paths.size() ? decisions.access_paths[slot]
+                                                : AccessPathChoice::kAuto;
+  };
+  const auto method_of = [&](size_t step) {
+    return step < decisions.join_methods.size() ? decisions.join_methods[step]
+                                                : JoinMethodChoice::kAuto;
+  };
+
+  bool spec_order = decisions.table_order.empty();
+  if (!spec_order) {
+    DACE_CHECK_EQ(decisions.table_order.size(), num_tables);
+    spec_order = true;
+    for (size_t k = 0; k < num_tables; ++k) {
+      if (decisions.table_order[k] != static_cast<int32_t>(k)) {
+        spec_order = false;
+        break;
+      }
+    }
+  }
+
+  SubPlan current;
+  if (spec_order) {
+    current = BuildScan(spec.tables[0], path_of(0), &plan);
+    for (size_t k = 0; k < spec.join_edge_ids.size(); ++k) {
+      const JoinEdge& edge =
+          db_->join_edges[static_cast<size_t>(spec.join_edge_ids[k])];
+      current = BuildJoin(current, spec.tables[k + 1], path_of(k + 1), edge,
+                          true_sel_of_table(edge.to_table), method_of(k),
+                          &plan);
+    }
+  } else {
+    // Reordered left-deep build: join tables in `table_order`, attaching
+    // each through the first not-yet-used spec edge that connects it to the
+    // already-joined prefix (the order must keep the join graph connected).
+    std::vector<bool> edge_used(spec.join_edge_ids.size(), false);
+    std::vector<int32_t> joined_ids;
+    const auto first = static_cast<size_t>(decisions.table_order[0]);
+    current = BuildScan(spec.tables[first], path_of(0), &plan);
+    joined_ids.push_back(spec.tables[first].table_id);
+    for (size_t k = 1; k < num_tables; ++k) {
+      const auto pos = static_cast<size_t>(decisions.table_order[k]);
+      const int32_t next_id = spec.tables[pos].table_id;
+      int edge_slot = -1;
+      for (size_t e = 0; e < spec.join_edge_ids.size() && edge_slot < 0; ++e) {
+        if (edge_used[e]) continue;
+        const JoinEdge& edge =
+            db_->join_edges[static_cast<size_t>(spec.join_edge_ids[e])];
+        for (const int32_t j : joined_ids) {
+          if ((edge.from_table == j && edge.to_table == next_id) ||
+              (edge.to_table == j && edge.from_table == next_id)) {
+            edge_slot = static_cast<int>(e);
+            break;
+          }
+        }
+      }
+      DACE_CHECK_GE(edge_slot, 0) << "table order disconnects the join graph";
+      edge_used[static_cast<size_t>(edge_slot)] = true;
+      const JoinEdge& edge = db_->join_edges[static_cast<size_t>(
+          spec.join_edge_ids[static_cast<size_t>(edge_slot)])];
+      current = BuildJoin(current, spec.tables[pos], path_of(k), edge,
+                          true_sel_of_table(edge.to_table), method_of(k - 1),
+                          &plan);
+      joined_ids.push_back(next_id);
+    }
   }
 
   if (spec.has_aggregate) {
@@ -287,6 +459,133 @@ QueryPlan Optimizer::BuildPlan(const QuerySpec& spec) const {
   plan.SetRoot(current.root);
   DACE_CHECK_OK(plan.Validate());
   return plan;
+}
+
+std::vector<QueryPlan> Optimizer::EnumerateCandidates(
+    const QuerySpec& spec, const CandidateOptions& options) const {
+  std::vector<QueryPlan> out;
+  std::set<std::string> seen;
+  // Returns true when the decisions produced a structurally new candidate.
+  const auto add = [&](const PlanDecisions& decisions) {
+    if (static_cast<int>(out.size()) >= options.max_candidates) return false;
+    QueryPlan plan = BuildPlanWithDecisions(spec, decisions);
+    if (!seen.insert(plan.ToText()).second) return false;
+    out.push_back(std::move(plan));
+    return true;
+  };
+
+  // Candidate 0: the classic heuristic plan.
+  add(PlanDecisions{});
+
+  const size_t num_tables = spec.tables.size();
+  const size_t num_joins = spec.join_edge_ids.size();
+
+  // Single-slot join-method perturbations on the spec's own order.
+  for (size_t j = 0; j < num_joins; ++j) {
+    for (const JoinMethodChoice method :
+         {JoinMethodChoice::kNestedLoop, JoinMethodChoice::kHashJoin,
+          JoinMethodChoice::kMergeJoin}) {
+      PlanDecisions decisions;
+      decisions.join_methods.assign(num_joins, JoinMethodChoice::kAuto);
+      decisions.join_methods[j] = method;
+      add(decisions);
+    }
+  }
+
+  // Single-slot access-path perturbations (slot k = k-th scanned table).
+  for (size_t t = 0; t < num_tables; ++t) {
+    for (const AccessPathChoice path :
+         {AccessPathChoice::kSeqScan, AccessPathChoice::kIndexScan,
+          AccessPathChoice::kBitmapScan}) {
+      PlanDecisions decisions;
+      decisions.access_paths.assign(num_tables, AccessPathChoice::kAuto);
+      decisions.access_paths[t] = path;
+      add(decisions);
+    }
+  }
+
+  // Alternative connected left-deep join orders (all slots kAuto), emitted
+  // in lexicographic position order so the set is deterministic.
+  if (num_tables > 2 && options.max_join_orders > 1) {
+    int budget = options.max_join_orders - 1;
+    std::vector<int32_t> order;
+    std::vector<bool> taken(num_tables, false);
+    std::vector<int32_t> placed_ids;
+    const auto dfs = [&](const auto& self) -> void {
+      if (budget <= 0 ||
+          static_cast<int>(out.size()) >= options.max_candidates) {
+        return;
+      }
+      if (order.size() == num_tables) {
+        bool identity = true;
+        for (size_t k = 0; k < num_tables; ++k) {
+          if (order[k] != static_cast<int32_t>(k)) {
+            identity = false;
+            break;
+          }
+        }
+        if (!identity) {
+          PlanDecisions decisions;
+          decisions.table_order = order;
+          if (add(decisions)) --budget;
+        }
+        return;
+      }
+      for (size_t pos = 0; pos < num_tables; ++pos) {
+        if (taken[pos]) continue;
+        const int32_t table_id = spec.tables[pos].table_id;
+        if (!order.empty() &&
+            !ConnectsToJoined(*db_, spec, table_id, placed_ids)) {
+          continue;
+        }
+        taken[pos] = true;
+        order.push_back(static_cast<int32_t>(pos));
+        placed_ids.push_back(table_id);
+        self(self);
+        placed_ids.pop_back();
+        order.pop_back();
+        taken[pos] = false;
+      }
+    };
+    dfs(dfs);
+  }
+
+  CandidatesCounter()->Add(out.size());
+  CandidatesPerQueryHistogram()->Observe(static_cast<double>(out.size()));
+  return out;
+}
+
+PlanChoice Optimizer::ChoosePlan(const QuerySpec& spec,
+                                 const core::PlanChoiceEstimator& scorer,
+                                 const CandidateOptions& options) const {
+  std::vector<QueryPlan> candidates = EnumerateCandidates(spec, options);
+  ChooseCallsCounter()->Add(1);
+
+  PlanChoice choice;
+  choice.scores = scorer.ScorePlans(candidates);
+  DACE_CHECK_EQ(choice.scores.size(), candidates.size())
+      << "scorer " << scorer.Name() << " returned a mis-sized score vector";
+
+  // First finite minimum wins; a candidate with a non-finite score can never
+  // be chosen over one the scorer actually priced.
+  size_t best = 0;
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    const double score = choice.scores[i];
+    const double incumbent = choice.scores[best];
+    if (std::isfinite(score) &&
+        (!std::isfinite(incumbent) || score < incumbent)) {
+      best = i;
+    }
+  }
+  choice.index = best;
+  choice.plan = std::move(candidates[best]);
+  return choice;
+}
+
+PlanChoice Optimizer::ChoosePlan(const QuerySpec& spec,
+                                 const CandidateOptions& options) const {
+  return ChoosePlan(spec, scorer_ != nullptr ? *scorer_ : NativeScorer(),
+                    options);
 }
 
 }  // namespace dace::engine

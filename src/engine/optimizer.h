@@ -1,6 +1,10 @@
 #ifndef DACE_ENGINE_OPTIMIZER_H_
 #define DACE_ENGINE_OPTIMIZER_H_
 
+#include <cstdint>
+#include <vector>
+
+#include "core/plan_choice.h"
 #include "engine/catalog.h"
 #include "engine/cost_model.h"
 #include "engine/selectivity.h"
@@ -8,6 +12,47 @@
 #include "plan/plan.h"
 
 namespace dace::engine {
+
+// Forced physical choices for one plan build. kAuto reproduces the classic
+// heuristic decision for that slot bit-for-bit; anything else overrides it.
+enum class AccessPathChoice : uint8_t {
+  kAuto,
+  kSeqScan,     // sequential scan (parallel Gather applied as usual)
+  kIndexScan,   // plain/index-only scan; needs an indexed filtered column
+  kBitmapScan,  // bitmap index+heap pair; needs an indexed filtered column
+};
+
+enum class JoinMethodChoice : uint8_t {
+  kAuto,
+  kNestedLoop,  // inner still materialized when non-trivial
+  kHashJoin,    // build side still the estimated-smaller input
+  kMergeJoin,   // both inputs sorted
+};
+
+// One candidate's worth of decisions. Empty vectors mean "all kAuto";
+// `table_order` (a permutation of positions into spec.tables, order[0] =
+// first scanned table) empty means the spec's own left-deep order.
+// `access_paths[i]` / `join_methods[j]` align with table_order positions /
+// join steps, not with spec order.
+struct PlanDecisions {
+  std::vector<int32_t> table_order;
+  std::vector<AccessPathChoice> access_paths;
+  std::vector<JoinMethodChoice> join_methods;
+};
+
+// Bounds for candidate enumeration. The defaults keep the per-query set
+// small enough to simulate exhaustively in the selection bench.
+struct CandidateOptions {
+  int max_join_orders = 6;  // classic order + up to this-1 alternatives
+  int max_candidates = 48;  // hard cap on the whole candidate set
+};
+
+// Result of estimator-driven plan choice.
+struct PlanChoice {
+  plan::QueryPlan plan;        // the chosen candidate
+  size_t index = 0;            // its position in EnumerateCandidates()
+  std::vector<double> scores;  // scorer output per candidate
+};
 
 // Builds physical plans the way a classical optimizer would: scan and join
 // methods are chosen from ESTIMATED cardinalities and the abstract cost
@@ -22,14 +67,56 @@ namespace dace::engine {
 //
 // Plan construction is deterministic: the same query yields the same plan,
 // so workloads 1 and 2 (machines M1/M2) share plans exactly as in the paper.
+//
+// Two entry points:
+//   BuildPlan        — the classic heuristic path, unchanged semantics
+//                      (identical bytes to BuildPlanWithDecisions with empty
+//                      decisions). All training corpora are built through it.
+//   ChoosePlan       — estimator-driven: enumerates a bounded candidate set
+//                      (join-method / access-path / join-order variants) and
+//                      lets a pluggable core::PlanChoiceEstimator pick the
+//                      winner. The native PG-style scorer (root est_cost) is
+//                      the default plugin and, by construction, picks the
+//                      minimal-estimated-cost candidate.
 class Optimizer {
  public:
-  // `db` must outlive the optimizer.
-  explicit Optimizer(const Database* db)
-      : db_(db), selectivity_(db), cost_params_() {}
+  // `db` and `scorer` (when given) must outlive the optimizer. A null
+  // scorer means NativeScorer().
+  explicit Optimizer(const Database* db,
+                     const core::PlanChoiceEstimator* scorer = nullptr)
+      : db_(db), selectivity_(db), cost_params_(), scorer_(scorer) {}
 
   // `spec` must be valid for the database (see ValidateSpec).
   plan::QueryPlan BuildPlan(const QuerySpec& spec) const;
+
+  // BuildPlan with forced choices. Out-of-range/inapplicable forcings fall
+  // back to the classic decision for that slot (an index scan cannot be
+  // forced onto a table with no indexed filtered column), so every
+  // decisions value yields a valid plan.
+  plan::QueryPlan BuildPlanWithDecisions(const QuerySpec& spec,
+                                         const PlanDecisions& decisions) const;
+
+  // Deterministic bounded candidate set for `spec`. Candidate 0 is always
+  // the classic BuildPlan result; the rest are single-slot join-method and
+  // access-path perturbations plus alternative connected left-deep join
+  // orders, deduplicated structurally. Every candidate validates.
+  std::vector<plan::QueryPlan> EnumerateCandidates(
+      const QuerySpec& spec,
+      const CandidateOptions& options = CandidateOptions()) const;
+
+  // Enumerates candidates and returns the one the scorer ranks cheapest
+  // (first index wins ties; non-finite scores lose to any finite score).
+  PlanChoice ChoosePlan(const QuerySpec& spec,
+                        const core::PlanChoiceEstimator& scorer,
+                        const CandidateOptions& options = CandidateOptions()) const;
+
+  // Same, with the injected (constructor) scorer or the native default.
+  PlanChoice ChoosePlan(const QuerySpec& spec,
+                        const CandidateOptions& options = CandidateOptions()) const;
+
+  // The default plugin: ranks candidates by the PG-style inclusive abstract
+  // cost already recorded at the plan root.
+  static const core::PlanChoiceEstimator& NativeScorer();
 
   const CostParams& cost_params() const { return cost_params_; }
 
@@ -42,11 +129,13 @@ class Optimizer {
   };
 
   // Builds the access path for one table ref.
-  SubPlan BuildScan(const TableRef& ref, plan::QueryPlan* plan) const;
+  SubPlan BuildScan(const TableRef& ref, AccessPathChoice forced,
+                    plan::QueryPlan* plan) const;
 
   // Joins `left` with a fresh scan of `right_ref` along `edge`.
   SubPlan BuildJoin(const SubPlan& left, const TableRef& right_ref,
-                    const JoinEdge& edge, double parent_true_sel,
+                    AccessPathChoice right_forced, const JoinEdge& edge,
+                    double parent_true_sel, JoinMethodChoice forced,
                     plan::QueryPlan* plan) const;
 
   // Appends a unary node on top of `input`.
@@ -61,6 +150,7 @@ class Optimizer {
   const Database* db_;
   SelectivityModel selectivity_;
   CostParams cost_params_;
+  const core::PlanChoiceEstimator* scorer_ = nullptr;  // null = native
 };
 
 }  // namespace dace::engine

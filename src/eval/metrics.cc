@@ -31,6 +31,51 @@ double Qerror(double est, double act) {
   return std::max(est / act, act / est);
 }
 
+namespace {
+
+// Average ranks (1-based; ties share the mean of their rank span).
+std::vector<double> AverageRanks(const std::vector<double>& values) {
+  const size_t n = values.size();
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    return values[x] < values[y];
+  });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    const double rank = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double SpearmanRho(const std::vector<double>& a, const std::vector<double>& b) {
+  DACE_CHECK_EQ(a.size(), b.size());
+  const size_t n = a.size();
+  if (n < 2) return 0.0;
+  const std::vector<double> ra = AverageRanks(a);
+  const std::vector<double> rb = AverageRanks(b);
+  // Pearson correlation of the ranks (exact under ties, unlike the 6Σd²
+  // shortcut).
+  const double mean = 0.5 * static_cast<double>(n + 1);
+  double cov = 0.0, var_a = 0.0, var_b = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double da = ra[i] - mean;
+    const double db = rb[i] - mean;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a <= 0.0 || var_b <= 0.0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
 QerrorSummary Summarize(std::vector<double> qerrors) {
   QerrorSummary s;
   if (qerrors.empty()) return s;

@@ -26,6 +26,13 @@ struct QerrorSummary {
 
 QerrorSummary Summarize(std::vector<double> qerrors);
 
+// Spearman rank correlation between two equally-sized samples (average
+// ranks for ties), in [-1, 1]. This is the plan-SELECTION accuracy metric:
+// an estimator whose scores rank candidates like their true runtimes picks
+// good plans regardless of its point q-error (Flow-Loss's argument).
+// Returns 0 for samples shorter than 2 or with a constant side.
+double SpearmanRho(const std::vector<double>& a, const std::vector<double>& b);
+
 // Root q-errors of an estimator over a test set.
 std::vector<double> QerrorsOf(const core::CostEstimator& estimator,
                               const std::vector<plan::QueryPlan>& test);

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "engine/cost_model.h"
 #include "engine/machine.h"
@@ -152,6 +153,57 @@ TEST(MachineScalingTest, StartupDominatesTinyOperators) {
     const double ms = m1.OwnTimeMs(static_cast<OperatorType>(t), tiny);
     EXPECT_GE(ms, m1.startup_ms);
     EXPECT_LE(ms, 40.0 * m1.startup_ms);
+  }
+}
+
+// OperatorCost rejects inputs ClampCard never sanitized: hand-built plans
+// (fuzzers, external callers) can feed 0/NaN/negative straight into the
+// formulas, where one NaN poisons every inclusive cost above it. Each bad
+// field must die loudly, naming the field.
+using CostInputValidationDeathTest = ::testing::Test;
+
+TEST(CostInputValidationDeathTest, NonFiniteRowsDie) {
+  CostInputs nan_out = GridInputs(1.0);
+  nan_out.out_rows = std::nan("");
+  EXPECT_DEATH((void)OperatorCost(OperatorType::kSeqScan, nan_out),
+               "out_rows");
+
+  CostInputs inf_table = GridInputs(1.0);
+  inf_table.table_rows = std::numeric_limits<double>::infinity();
+  EXPECT_DEATH((void)OperatorCost(OperatorType::kSeqScan, inf_table),
+               "table_rows");
+}
+
+TEST(CostInputValidationDeathTest, NegativeInputsDie) {
+  CostInputs neg_left = GridInputs(1.0);
+  neg_left.left_rows = -1.0;
+  EXPECT_DEATH((void)OperatorCost(OperatorType::kNestedLoop, neg_left),
+               "left_rows");
+
+  CostInputs neg_right = GridInputs(1.0);
+  neg_right.right_rows = -0.5;
+  EXPECT_DEATH((void)OperatorCost(OperatorType::kHashJoin, neg_right),
+               "right_rows");
+
+  CostInputs neg_width = GridInputs(1.0);
+  neg_width.width_bytes = -64.0;
+  EXPECT_DEATH((void)OperatorCost(OperatorType::kSeqScan, neg_width),
+               "width_bytes");
+
+  CostInputs neg_filters = GridInputs(1.0);
+  neg_filters.num_filters = -1;
+  EXPECT_DEATH((void)OperatorCost(OperatorType::kSeqScan, neg_filters),
+               "num_filters");
+}
+
+TEST(CostInputValidationTest, ZeroRowsAreValid) {
+  // Zero is a legitimate degenerate input (CostInputs defaults), only
+  // negatives and non-finites are rejected.
+  CostInputs zeros;
+  for (int t = 0; t < plan::kNumOperatorTypes; ++t) {
+    const double cost = OperatorCost(static_cast<OperatorType>(t), zeros);
+    EXPECT_TRUE(std::isfinite(cost));
+    EXPECT_GE(cost, 0.0);
   }
 }
 

@@ -451,6 +451,115 @@ TEST_F(PlanningTest, ScansCarryAnnotations) {
   }
 }
 
+TEST_F(PlanningTest, GatherRelaysScanAnnotation) {
+  QuerySpec spec;
+  TableRef ref;
+  ref.table_id = 2;  // cast_info, 6M rows: parallel seq scan behind a Gather
+  spec.tables.push_back(std::move(ref));
+  const plan::QueryPlan plan = optimizer_.BuildPlan(spec);
+  bool saw_gather = false;
+  for (const plan::PlanNode& node : plan.nodes()) {
+    if (node.type != OperatorType::kGather) continue;
+    saw_gather = true;
+    EXPECT_EQ(node.annotation.table_id, 2);
+    EXPECT_DOUBLE_EQ(node.annotation.table_rows, 6'000'000.0);
+    // The quals stay on the scan below: the executor charges annotation
+    // filters to whichever node carries them, so duplicating them on the
+    // Gather would change simulated labels.
+    EXPECT_TRUE(node.annotation.filters.empty());
+  }
+  ASSERT_TRUE(saw_gather);
+}
+
+// Pins the corrected bitmap costing: the index node prices its row stream
+// (rows x indexed-qual selectivity) through cpu_index_tuple_cost with no
+// filter surcharge, and the heap node consumes that stream recharging only
+// the residual quals.
+TEST_F(PlanningTest, BitmapPairPricedPerPgFormulas) {
+  QuerySpec spec;
+  TableRef ref;
+  ref.table_id = 1;  // movie_keyword: movie_id (col 1) is indexed
+  ref.filters = {MakePred(1, CompareOp::kLt, 2'500'000.0 * 0.03)};
+  spec.tables.push_back(std::move(ref));
+  const plan::QueryPlan plan = optimizer_.BuildPlan(spec);
+
+  const plan::PlanNode* heap = nullptr;
+  for (const plan::PlanNode& node : plan.nodes()) {
+    if (node.type == OperatorType::kBitmapHeapScan) heap = &node;
+  }
+  ASSERT_NE(heap, nullptr) << plan.ToText();
+  ASSERT_EQ(heap->children.size(), 1u);
+  const plan::PlanNode& bitmap = plan.node(heap->children[0]);
+  ASSERT_EQ(bitmap.type, OperatorType::kBitmapIndexScan);
+
+  const Table& table = db_.tables[1];
+  const double rows = static_cast<double>(table.row_count);
+  const CostParams& p = optimizer_.cost_params();
+  const double pages =
+      std::max(1.0, rows * table.width_bytes / p.page_size_bytes);
+  ASSERT_EQ(heap->annotation.filters.size(), 1u);
+  const double sel = heap->annotation.filters[0].est_selectivity;
+  const double bitmap_rows = std::clamp(rows * sel, 1.0, 1e12);
+
+  EXPECT_DOUBLE_EQ(bitmap.est_cardinality, bitmap_rows);
+  const double expected_bitmap =
+      p.cpu_index_tuple_cost * bitmap_rows +
+      p.random_page_cost * std::log2(std::max(pages, 2.0));
+  EXPECT_DOUBLE_EQ(bitmap.est_cost, expected_bitmap);
+
+  // Exactly one qual, and the index already applied it: the heap pays page
+  // fetches and per-tuple cost only, with zero filter surcharge.
+  const double expected_heap_own =
+      p.seq_page_cost * 1.5 * std::min(pages, bitmap_rows) +
+      p.cpu_tuple_cost * bitmap_rows;
+  EXPECT_DOUBLE_EQ(heap->est_cost, expected_heap_own + expected_bitmap);
+}
+
+TEST_F(PlanningTest, BitmapHeapChargesOnlyResidualFilters) {
+  QuerySpec spec;
+  TableRef ref;
+  ref.table_id = 1;
+  ref.filters = {MakePred(1, CompareOp::kLt, 2'500'000.0 * 0.03),
+                 MakePred(2, CompareOp::kGt, 100.0)};  // keyword_id: unindexed
+  spec.tables.push_back(std::move(ref));
+  // Force the bitmap path so the pin is independent of where the two-qual
+  // conjunction selectivity lands relative to the access-path thresholds.
+  PlanDecisions decisions;
+  decisions.access_paths = {AccessPathChoice::kBitmapScan};
+  const plan::QueryPlan plan = optimizer_.BuildPlanWithDecisions(spec, decisions);
+
+  const plan::PlanNode* heap = nullptr;
+  for (const plan::PlanNode& node : plan.nodes()) {
+    if (node.type == OperatorType::kBitmapHeapScan) heap = &node;
+  }
+  ASSERT_NE(heap, nullptr) << plan.ToText();
+  const plan::PlanNode& bitmap = plan.node(heap->children[0]);
+
+  const Table& table = db_.tables[1];
+  const double rows = static_cast<double>(table.row_count);
+  const CostParams& p = optimizer_.cost_params();
+  const double pages =
+      std::max(1.0, rows * table.width_bytes / p.page_size_bytes);
+  ASSERT_EQ(heap->annotation.filters.size(), 2u);
+  // The bitmap covers the first indexed qual (movie_id); keyword_id is the
+  // residual recheck.
+  const double index_sel = heap->annotation.filters[0].est_selectivity;
+  const double bitmap_rows = std::clamp(rows * index_sel, 1.0, 1e12);
+
+  EXPECT_DOUBLE_EQ(bitmap.est_cardinality, bitmap_rows);
+  // The index-qual stream is wider than the full conjunction the heap emits.
+  EXPECT_GT(bitmap.est_cardinality, heap->est_cardinality);
+
+  const double expected_bitmap =
+      p.cpu_index_tuple_cost * bitmap_rows +
+      p.random_page_cost * std::log2(std::max(pages, 2.0));
+  EXPECT_DOUBLE_EQ(bitmap.est_cost, expected_bitmap);
+  const double expected_heap_own =
+      p.seq_page_cost * 1.5 * std::min(pages, bitmap_rows) +
+      (p.cpu_tuple_cost + p.cpu_operator_cost * 1.0) * bitmap_rows;
+  EXPECT_DOUBLE_EQ(heap->est_cost, expected_heap_own + expected_bitmap);
+}
+
 TEST_F(PlanningTest, PlanConstructionDeterministic) {
   const auto specs = GenerateQueries(db_, WorkloadKind::kComplex, 10, 7);
   for (const QuerySpec& spec : specs) {

@@ -19,6 +19,35 @@ TEST(QerrorTest, HandlesDegenerateInputs) {
   EXPECT_TRUE(std::isfinite(Qerror(1e308, 1e-308)));
 }
 
+TEST(SpearmanRhoTest, PerfectMonotoneAgreementAndReversal) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> up = {10.0, 200.0, 3000.0, 4e4, 5e5};  // nonlinear
+  const std::vector<double> down = {5.0, 4.0, 3.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(SpearmanRho(x, up), 1.0);
+  EXPECT_DOUBLE_EQ(SpearmanRho(x, down), -1.0);
+}
+
+TEST(SpearmanRhoTest, TiesUseAverageRanks) {
+  // {1,2,2,3} vs {1,2,3,4}: ranks {1, 2.5, 2.5, 4} vs {1,2,3,4} —
+  // cov = 4.5, var_a = 4.5, var_b = 5 -> rho = 4.5/sqrt(22.5).
+  const std::vector<double> a = {1.0, 2.0, 2.0, 3.0};
+  const std::vector<double> b = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_NEAR(SpearmanRho(a, b), 4.5 / std::sqrt(22.5), 1e-12);
+}
+
+TEST(SpearmanRhoTest, DegenerateSamplesReturnZero) {
+  EXPECT_DOUBLE_EQ(SpearmanRho({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(SpearmanRho({1.0}, {2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(SpearmanRho({3.0, 3.0, 3.0}, {1.0, 2.0, 3.0}), 0.0);
+}
+
+TEST(SpearmanRhoTest, InvariantToMonotoneTransforms) {
+  const std::vector<double> a = {3.0, 1.0, 4.0, 1.5, 9.0, 2.6};
+  std::vector<double> b;
+  for (double v : a) b.push_back(std::exp(v));
+  EXPECT_DOUBLE_EQ(SpearmanRho(a, b), 1.0);
+}
+
 TEST(SummarizeTest, PercentilesOfKnownSample) {
   std::vector<double> qerrors;
   for (int i = 1; i <= 100; ++i) qerrors.push_back(static_cast<double>(i));

@@ -272,5 +272,25 @@ TEST_P(FeaturizePropertyTest, FiniteFeaturesEverywhere) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FeaturizePropertyTest, ::testing::Range(0, 5));
 
+// The annotation-reading featurizers (Zero-Shot, QPPNet, MSCN) consume
+// table_id/table_rows per node; a parallel scan's Gather relays its scan's
+// table identity, so no table-bearing node reaches a featurizer with a
+// default (-1/0) annotation. Regression test: Gathers used to come out
+// blank.
+TEST(AnnotationContractTest, GatherAndScanNodesCarryTableIdentity) {
+  bool saw_gather = false;
+  for (const plan::QueryPlan& plan : SamplePlans(60, 21)) {
+    for (const plan::PlanNode& node : plan.nodes()) {
+      const bool table_bearing =
+          plan::IsScan(node.type) || node.type == plan::OperatorType::kGather;
+      if (!table_bearing) continue;
+      saw_gather |= node.type == plan::OperatorType::kGather;
+      EXPECT_GE(node.annotation.table_id, 0) << plan.ToText();
+      EXPECT_GT(node.annotation.table_rows, 0.0) << plan.ToText();
+    }
+  }
+  EXPECT_TRUE(saw_gather) << "corpus exercised no parallel scans";
+}
+
 }  // namespace
 }  // namespace dace::featurize

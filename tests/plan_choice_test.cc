@@ -1,0 +1,275 @@
+// Tests of estimator-driven plan selection (DESIGN.md §15): the bounded
+// candidate enumeration, the pluggable core::PlanChoiceEstimator surface,
+// and the invariants the selection bench relies on — candidate 0 is the
+// classic heuristic plan, the native scorer picks the minimal-estimated-cost
+// candidate, and construction is deterministic across runs and plugins.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "baselines/postgres_cost.h"
+#include "core/plan_choice.h"
+#include "engine/corpus.h"
+#include "engine/dataset.h"
+#include "engine/machine.h"
+#include "engine/optimizer.h"
+#include "engine/workload.h"
+
+namespace dace::engine {
+namespace {
+
+using plan::OperatorType;
+using plan::QueryPlan;
+
+// Scores a plan by the NEGATED native cost: ranks candidates exactly
+// backwards, so any test where it agrees with the native choice would only
+// pass by accident.
+class WorstCostChoice final : public core::PlanChoiceEstimator {
+ public:
+  std::string Name() const override { return "worst"; }
+  double ScorePlan(const QueryPlan& plan) const override {
+    return -plan.node(plan.root()).est_cost;
+  }
+};
+
+class PlanChoiceTest : public ::testing::Test {
+ protected:
+  PlanChoiceTest() : db_(BuildImdbLike(42)), optimizer_(&db_) {}
+
+  std::vector<QuerySpec> Specs(int count, uint64_t seed) {
+    return GenerateQueries(db_, WorkloadKind::kComplex, count, seed);
+  }
+
+  Database db_;
+  Optimizer optimizer_;
+};
+
+TEST_F(PlanChoiceTest, CandidateZeroIsTheClassicPlan) {
+  for (const QuerySpec& spec : Specs(25, 4)) {
+    const std::vector<QueryPlan> candidates =
+        optimizer_.EnumerateCandidates(spec);
+    ASSERT_FALSE(candidates.empty());
+    EXPECT_EQ(candidates[0].ToText(), optimizer_.BuildPlan(spec).ToText());
+  }
+}
+
+TEST_F(PlanChoiceTest, EmptyDecisionsMatchBuildPlanByteForByte) {
+  for (const QuerySpec& spec : Specs(25, 5)) {
+    EXPECT_EQ(optimizer_.BuildPlanWithDecisions(spec, PlanDecisions{}).ToText(),
+              optimizer_.BuildPlan(spec).ToText());
+  }
+}
+
+TEST_F(PlanChoiceTest, CandidatesAreValidDistinctAndBounded) {
+  CandidateOptions options;
+  for (const QuerySpec& spec : Specs(25, 6)) {
+    const std::vector<QueryPlan> candidates =
+        optimizer_.EnumerateCandidates(spec, options);
+    ASSERT_GE(candidates.size(), 1u);
+    ASSERT_LE(candidates.size(),
+              static_cast<size_t>(options.max_candidates));
+    std::set<std::string> texts;
+    for (const QueryPlan& candidate : candidates) {
+      ASSERT_TRUE(candidate.Validate().ok()) << candidate.ToText();
+      EXPECT_TRUE(texts.insert(candidate.ToText()).second)
+          << "duplicate candidate:\n"
+          << candidate.ToText();
+    }
+  }
+}
+
+TEST_F(PlanChoiceTest, MultiJoinQueriesOfferARealChoice) {
+  // A query with joins must yield alternatives (at minimum the forced
+  // join-method variants differ from the heuristic pick).
+  bool saw_multi_join = false;
+  for (const QuerySpec& spec : Specs(40, 7)) {
+    if (spec.NumJoins() < 1) continue;
+    saw_multi_join = true;
+    EXPECT_GE(optimizer_.EnumerateCandidates(spec).size(), 3u);
+  }
+  ASSERT_TRUE(saw_multi_join);
+}
+
+TEST_F(PlanChoiceTest, ForcedJoinMethodsProduceRequestedOperators) {
+  QuerySpec spec;
+  TableRef title, cast;
+  title.table_id = 0;
+  cast.table_id = 2;
+  spec.tables = {title, cast};
+  spec.join_edge_ids = {db_.FindEdge(0, 2)};
+
+  const auto types_of = [&](JoinMethodChoice method) {
+    PlanDecisions decisions;
+    decisions.join_methods = {method};
+    const QueryPlan plan = optimizer_.BuildPlanWithDecisions(spec, decisions);
+    std::set<OperatorType> types;
+    for (const auto& node : plan.nodes()) types.insert(node.type);
+    return types;
+  };
+
+  EXPECT_TRUE(types_of(JoinMethodChoice::kNestedLoop)
+                  .count(OperatorType::kNestedLoop));
+  EXPECT_TRUE(
+      types_of(JoinMethodChoice::kHashJoin).count(OperatorType::kHashJoin));
+  EXPECT_TRUE(
+      types_of(JoinMethodChoice::kMergeJoin).count(OperatorType::kMergeJoin));
+}
+
+TEST_F(PlanChoiceTest, InapplicableAccessPathForcingFallsBackToSeqScan) {
+  // title.production_year (column 1) is unindexed: forcing an index or
+  // bitmap path must degrade to a valid sequential scan, not die.
+  QuerySpec spec;
+  TableRef ref;
+  ref.table_id = 0;
+  plan::FilterPredicate f;
+  f.column_id = 1;
+  f.op = plan::CompareOp::kEq;
+  f.literal = 1999.0;
+  ref.filters = {f};
+  spec.tables.push_back(std::move(ref));
+
+  for (const AccessPathChoice path :
+       {AccessPathChoice::kIndexScan, AccessPathChoice::kBitmapScan}) {
+    PlanDecisions decisions;
+    decisions.access_paths = {path};
+    const QueryPlan plan = optimizer_.BuildPlanWithDecisions(spec, decisions);
+    ASSERT_TRUE(plan.Validate().ok());
+    bool saw_seq = false;
+    for (const auto& node : plan.nodes()) {
+      saw_seq |= node.type == OperatorType::kSeqScan;
+    }
+    EXPECT_TRUE(saw_seq);
+  }
+}
+
+// Satellite: with the native estimator plugged in, the chosen candidate has
+// minimal estimated cost among the enumerated candidates, and the reported
+// scores ARE the candidates' root costs.
+TEST_F(PlanChoiceTest, NativeChoiceMinimizesEstimatedCost) {
+  for (const QuerySpec& spec : Specs(30, 8)) {
+    const std::vector<QueryPlan> candidates =
+        optimizer_.EnumerateCandidates(spec);
+    const PlanChoice choice = optimizer_.ChoosePlan(spec);
+    ASSERT_EQ(choice.scores.size(), candidates.size());
+
+    double min_cost = std::numeric_limits<double>::infinity();
+    size_t first_argmin = 0;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      const double cost = candidates[i].node(candidates[i].root()).est_cost;
+      EXPECT_DOUBLE_EQ(choice.scores[i], cost);
+      if (cost < min_cost) {
+        min_cost = cost;
+        first_argmin = i;
+      }
+    }
+    EXPECT_EQ(choice.index, first_argmin);
+    EXPECT_DOUBLE_EQ(choice.plan.node(choice.plan.root()).est_cost, min_cost);
+    EXPECT_EQ(choice.plan.ToText(), candidates[first_argmin].ToText());
+  }
+}
+
+// Satellite: plan construction stays deterministic — the same spec yields
+// the same plan bytes on every call, the candidate set does not depend on
+// which scorer is plugged in, and each plugin's choice is repeatable.
+TEST_F(PlanChoiceTest, ConstructionDeterministicAcrossRunsAndPlugins) {
+  const WorstCostChoice worst;
+  const Optimizer with_worst(&db_, &worst);
+  for (const QuerySpec& spec : Specs(20, 9)) {
+    const std::vector<QueryPlan> a = optimizer_.EnumerateCandidates(spec);
+    const std::vector<QueryPlan> b = with_worst.EnumerateCandidates(spec);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].ToText(), b[i].ToText());
+    }
+    EXPECT_EQ(optimizer_.ChoosePlan(spec).plan.ToText(),
+              optimizer_.ChoosePlan(spec).plan.ToText());
+    EXPECT_EQ(with_worst.ChoosePlan(spec).plan.ToText(),
+              with_worst.ChoosePlan(spec).plan.ToText());
+  }
+}
+
+TEST_F(PlanChoiceTest, InjectedScorerActuallyDrivesTheChoice) {
+  const WorstCostChoice worst;
+  const Optimizer with_worst(&db_, &worst);
+  bool diverged = false;
+  for (const QuerySpec& spec : Specs(20, 10)) {
+    const std::vector<QueryPlan> candidates =
+        optimizer_.EnumerateCandidates(spec);
+    const PlanChoice choice = with_worst.ChoosePlan(spec);
+
+    // The backwards scorer must pick the MAX-cost candidate.
+    size_t argmax = 0;
+    for (size_t i = 1; i < candidates.size(); ++i) {
+      if (candidates[i].node(candidates[i].root()).est_cost >
+          candidates[argmax].node(candidates[argmax].root()).est_cost) {
+        argmax = i;
+      }
+    }
+    EXPECT_EQ(choice.plan.ToText(), candidates[argmax].ToText());
+    diverged |= choice.index != optimizer_.ChoosePlan(spec).index;
+  }
+  EXPECT_TRUE(diverged)
+      << "max-cost and min-cost choices never diverged: candidate sets "
+         "offer no real alternatives";
+}
+
+TEST_F(PlanChoiceTest, EstimatorAdapterForwardsToTheLearnedModel) {
+  const std::vector<QueryPlan> train = GenerateLabeledPlans(
+      db_, MachineM1(), WorkloadKind::kComplex, 60, /*seed=*/11);
+  baselines::PostgresLinear model;
+  model.Train(train);
+  const core::EstimatorPlanChoice adapter(&model);
+  EXPECT_EQ(adapter.Name(), model.Name());
+  EXPECT_TRUE(adapter.ScoresAreMilliseconds());
+
+  const std::vector<QueryPlan> candidates = optimizer_.EnumerateCandidates(
+      GenerateQueries(db_, WorkloadKind::kComplex, 1, 12)[0]);
+  const std::vector<double> batch = adapter.ScorePlans(candidates);
+  ASSERT_EQ(batch.size(), candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], model.PredictMs(candidates[i]));
+    EXPECT_DOUBLE_EQ(adapter.ScorePlan(candidates[i]), batch[i]);
+  }
+
+  // A learned scorer plugged into ChoosePlan picks its own argmin.
+  const Optimizer with_model(&db_, &adapter);
+  for (const QuerySpec& spec : Specs(10, 13)) {
+    const PlanChoice choice = with_model.ChoosePlan(spec);
+    const double chosen = adapter.ScorePlan(choice.plan);
+    for (const double score : choice.scores) {
+      EXPECT_LE(chosen, score);
+    }
+  }
+}
+
+TEST_F(PlanChoiceTest, AlternativeJoinOrdersAreConnectedAndBounded) {
+  CandidateOptions options;
+  options.max_join_orders = 4;
+  for (const QuerySpec& spec : Specs(30, 14)) {
+    if (spec.NumJoins() < 2) continue;
+    const std::vector<QueryPlan> candidates =
+        optimizer_.EnumerateCandidates(spec, options);
+    // Every candidate joins the same set of base tables (structural check:
+    // identical multiset of scan-annotation table ids).
+    std::multiset<int32_t> expected;
+    for (const TableRef& ref : spec.tables) expected.insert(ref.table_id);
+    for (const QueryPlan& candidate : candidates) {
+      std::multiset<int32_t> scanned;
+      for (const auto& node : candidate.nodes()) {
+        if (node.children.empty() && node.annotation.table_id >= 0) {
+          scanned.insert(node.annotation.table_id);
+        }
+      }
+      EXPECT_EQ(scanned, expected) << candidate.ToText();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dace::engine

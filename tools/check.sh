@@ -53,6 +53,14 @@
 #                     packed f32 teacher (student_vs_teacher_speedup >= 3.0),
 #                     and the tiered path's median q-error must stay within
 #                     its accuracy budget (tiered_qerror_budget <= 1.05).
+#  11. bench-select — plan-selection quality replay (estimators CHOOSE plans
+#                     from the optimizer's candidate sets; chosen plans are
+#                     executed on both machine profiles); rewrites
+#                     BENCH_select.json and gates against the committed
+#                     baseline: neither the native model's nor DACE's mean
+#                     selection regret may regress by more than 5% on either
+#                     machine. The bench is fully deterministic, so the
+#                     committed numbers are exact, not a tolerance band.
 #
 # Usage: tools/check.sh [-j N]
 set -euo pipefail
@@ -71,15 +79,15 @@ run_ctest() {
   (cd "$dir" && "$@" ctest --output-on-failure)
 }
 
-echo "==> [1/10] native build + tests"
+echo "==> [1/11] native build + tests"
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build -j "$JOBS"
 run_ctest build env
 
-echo "==> [2/10] scalar-forced tests (same build, DACE_KERNELS=scalar)"
+echo "==> [2/11] scalar-forced tests (same build, DACE_KERNELS=scalar)"
 run_ctest build env DACE_KERNELS=scalar
 
-echo "==> [3/10] kernels x precision matrix (targeted suites, 6 combos)"
+echo "==> [3/11] kernels x precision matrix (targeted suites, 6 combos)"
 PRECISION_SUITES='Kernels|Matrix|Layers|PackedInference|ServeDifferential|TieredServing'
 ISAS="scalar"
 if grep -qw avx2 /proc/cpuinfo 2>/dev/null; then ISAS="scalar avx2"; fi
@@ -91,41 +99,41 @@ for isa in $ISAS; do
   done
 done
 
-echo "==> [4/10] address-sanitizer build + tests (both ISA modes)"
+echo "==> [4/11] address-sanitizer build + tests (both ISA modes)"
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDACE_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$JOBS"
 run_ctest build-asan env
 run_ctest build-asan env DACE_KERNELS=scalar
 
-echo "==> [5/10] checkpoint + plan-text fuzz + int8/tiered under ASan"
+echo "==> [5/11] checkpoint + plan-text fuzz + int8/tiered under ASan"
 echo "           (both ISA modes)"
 (cd build-asan && env \
   ctest --output-on-failure -R 'Checkpoint|PlanIoFuzz|KernelsI8|TieredServing')
 (cd build-asan && env DACE_KERNELS=scalar \
   ctest --output-on-failure -R 'Checkpoint|PlanIoFuzz|KernelsI8|TieredServing')
 
-echo "==> [6/10] thread-sanitizer build + tests (logging INFO, tracing on)"
+echo "==> [6/11] thread-sanitizer build + tests (logging INFO, tracing on)"
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDACE_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS"
 run_ctest build-tsan env DACE_LOG_LEVEL=INFO DACE_TRACE=1
 
-echo "==> [7/10] serving-layer suites under TSan (soak, swap, differential"
+echo "==> [7/11] serving-layer suites under TSan (soak, swap, differential"
 echo "           incl. PackedForced* packed-path variants)"
 (cd build-tsan && env DACE_LOG_LEVEL=INFO DACE_TRACE=1 \
   ctest --output-on-failure -R 'Serve|RegistrySwap')
 
-echo "==> [8/10] observability-disabled build + tests (-DDACE_OBS=OFF)"
+echo "==> [8/11] observability-disabled build + tests (-DDACE_OBS=OFF)"
 cmake -B build-obs-off -S . -DCMAKE_BUILD_TYPE=Release \
   -DDACE_OBS=OFF >/dev/null
 cmake --build build-obs-off -j "$JOBS"
 run_ctest build-obs-off env
 
-echo "==> [9/10] serving load generator (writes BENCH_serve.json)"
+echo "==> [9/11] serving load generator (writes BENCH_serve.json)"
 ./build/bench/bench_serve --json=BENCH_serve.json
 
-echo "==> [10/10] microbenchmarks + packed-speedup gate (writes BENCH_micro.json)"
+echo "==> [10/11] microbenchmarks + packed-speedup gate (writes BENCH_micro.json)"
 ./build/bench/bench_micro --json=BENCH_micro.json --benchmark_min_time=0.5
 python3 - <<'EOF'
 import json, sys
@@ -181,4 +189,51 @@ print(f"    student_vs_teacher_speedup       {student['speedup']:.2f}x")
 print(f"    tiered_qerror_budget             {qerr['ratio']:.4f} (<= {qerr['budget']:.2f})")
 EOF
 
-echo "==> all ten configurations passed"
+echo "==> [11/11] plan-selection regret gate (rewrites BENCH_select.json)"
+cp BENCH_select.json /tmp/bench_select_baseline.json
+./build/bench/bench_select --json=BENCH_select.json
+python3 - <<'EOF'
+import json, sys
+
+def rows(path):
+    return {(r["machine"], r["model"]): r
+            for r in json.load(open(path))["records"] if r["name"] == "select_row"}
+
+fresh = rows("BENCH_select.json")
+base = rows("/tmp/bench_select_baseline.json")
+failures = []
+
+# The native scorer's regret is the floor the enumeration guarantees; DACE's
+# is the learned-model number this repository exists to defend. Both must
+# stay within 5% of the committed baseline on both machines.
+for machine in ("M1", "M2"):
+    for model in ("native", "DACE"):
+        key = (machine, model)
+        if key not in fresh:
+            failures.append(f"select_row {key} missing from fresh BENCH_select.json")
+            continue
+        if key not in base:
+            failures.append(f"select_row {key} missing from committed BENCH_select.json")
+            continue
+        got, want = fresh[key]["mean_regret"], base[key]["mean_regret"]
+        if got < 1.0:
+            failures.append(f"{model}@{machine}: mean regret {got:.4f} < 1.0 (impossible)")
+        if got > want * 1.05 + 1e-9:
+            failures.append(
+                f"{model}@{machine}: mean selection regret regressed "
+                f"{got:.4f} > {want:.4f} * 1.05")
+
+if failures:
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    sys.exit(1)
+
+for machine in ("M1", "M2"):
+    for model in ("heuristic", "native", "DACE"):
+        r = fresh.get((machine, model))
+        if r:
+            print(f"    {model:10s}@{machine}  mean_regret {r['mean_regret']:.3f}  "
+                  f"pct_optimal {r['pct_optimal']:.1f}%")
+EOF
+
+echo "==> all eleven configurations passed"
