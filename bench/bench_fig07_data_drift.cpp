@@ -5,6 +5,20 @@
 //
 //   ./bench_fig07_data_drift [--wdm_train=1000] [--test_queries=200]
 //                            [--queries_per_db=60] [--epochs=8]
+//                            [--json=out.json]
+//
+// Besides the accuracy-vs-scale tables, the same prediction streams are
+// replayed through the online drift detectors (obs::AccuracyMonitor): the
+// scale-1 test set is the stationary prefix (must raise zero alarms), then
+// the scaled test sets arrive in sweep order as live drift. Per monitored
+// model the replay reports false alarms on the prefix and the
+// time-to-detect (in joined observations past drift onset) for both
+// Page-Hinkley and KS — the WDM's degradation must trip both detectors.
+// With --json the tables and the replay verdicts are emitted as records
+// ("fig07_row", "fig07_drift_detection") for the check.sh drift gate.
+
+#include <cstdint>
+#include <vector>
 
 #include "baselines/mscn.h"
 #include "baselines/postgres_cost.h"
@@ -13,7 +27,83 @@
 #include "bench/bench_util.h"
 #include "core/dace_model.h"
 #include "engine/dataset.h"
+#include "obs/drift.h"
+#include "obs/metrics.h"
 #include "util/strings.h"
+
+namespace {
+
+using namespace dace;
+
+// One (predicted, actual) pair of a model on one test plan — the unit the
+// online monitor consumes.
+struct Joined {
+  double predicted_ms = 0.0;
+  double actual_ms = 0.0;
+};
+
+std::vector<Joined> JoinPredictions(const core::CostEstimator& estimator,
+                                    const std::vector<plan::QueryPlan>& test) {
+  std::vector<Joined> out;
+  out.reserve(test.size());
+  for (const plan::QueryPlan& plan : test) {
+    out.push_back({estimator.PredictMs(plan),
+                   plan.node(plan.root()).actual_time_ms});
+  }
+  return out;
+}
+
+struct ReplayVerdict {
+  std::string model;
+  uint64_t stationary_obs = 0;
+  uint64_t drift_obs = 0;
+  uint64_t false_alarms = 0;        // alarms raised on the stationary prefix
+  int64_t ph_time_to_detect = -1;   // observations past onset; -1 = never
+  int64_t ks_time_to_detect = -1;
+};
+
+// Replays a stationary prefix followed by a drifted stream through a fresh
+// AccuracyMonitor and reports what the detectors did. The replay is purely
+// tick-driven, so it is deterministic for a fixed prediction stream.
+ReplayVerdict ReplayThroughDetectors(const std::string& model,
+                                     const std::vector<Joined>& stationary,
+                                     const std::vector<Joined>& drifted) {
+  obs::AccuracyMonitorConfig config;
+  config.window = obs::WindowConfig{/*width_ticks=*/64, /*sub_windows=*/8};
+  obs::AccuracyMonitor monitor("fig07-" + model, config,
+                               obs::MetricsRegistry::Default());
+  for (const Joined& j : stationary) {
+    monitor.ObserveQError(j.predicted_ms, j.actual_ms);
+  }
+  // Deployment-shaped replay: the stationary prefix ends with the model
+  // being (re)blessed, so snapshot the full stationary window as the KS
+  // reference — same as NotifySwap after a hot swap. Auto-reference would
+  // otherwise have frozen a smaller early sample, costing KS power.
+  monitor.CaptureReference();
+  const uint64_t onset = monitor.tick();
+  ReplayVerdict verdict;
+  verdict.model = model;
+  verdict.stationary_obs = onset;
+  verdict.drift_obs = drifted.size();
+  for (const Joined& j : drifted) {
+    monitor.ObserveQError(j.predicted_ms, j.actual_ms);
+  }
+  for (const obs::Alarm& alarm : monitor.Alarms()) {
+    if (alarm.tick < onset) {
+      ++verdict.false_alarms;
+      continue;
+    }
+    const int64_t delay = static_cast<int64_t>(alarm.tick - onset) + 1;
+    if (alarm.detector == std::string("page_hinkley")) {
+      if (verdict.ph_time_to_detect < 0) verdict.ph_time_to_detect = delay;
+    } else if (verdict.ks_time_to_detect < 0) {
+      verdict.ks_time_to_detect = delay;
+    }
+  }
+  return verdict;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace dace;
@@ -66,6 +156,11 @@ int main(int argc, char** argv) {
                                 "Zero-Shot", "DACE"});
   double dace_first_median = 0.0, dace_last_median = 0.0;
 
+  // Per-model prediction streams for the detector replay: the scale-1 set
+  // is the stationary regime, everything scaled is the drift.
+  std::vector<Joined> mscn_stationary, mscn_drift;
+  std::vector<Joined> dace_stationary, dace_drift;
+
   const double scales[] = {1.0, 5.0, 10.0, 20.0, 50.0, 100.0};
   for (double scale : scales) {
     const engine::Database scaled = engine::ScaleDatabase(tpch, scale);
@@ -78,6 +173,14 @@ int main(int argc, char** argv) {
     const auto qf = eval::Evaluate(queryformer, test);
     const auto zs = eval::Evaluate(zeroshot, test);
     const auto dc = eval::Evaluate(dace_est, test);
+    {
+      auto mscn_pairs = JoinPredictions(mscn, test);
+      auto dace_pairs = JoinPredictions(dace_est, test);
+      auto& mscn_dst = scale == 1.0 ? mscn_stationary : mscn_drift;
+      auto& dace_dst = scale == 1.0 ? dace_stationary : dace_drift;
+      mscn_dst.insert(mscn_dst.end(), mscn_pairs.begin(), mscn_pairs.end());
+      dace_dst.insert(dace_dst.end(), dace_pairs.begin(), dace_pairs.end());
+    }
     median_table.AddRow({StrFormat("%gx", scale), eval::FormatMetric(pg.median),
                          eval::FormatMetric(ms.median),
                          eval::FormatMetric(qf.median),
@@ -86,6 +189,13 @@ int main(int argc, char** argv) {
     p95_table.AddRow({StrFormat("%gx", scale), eval::FormatMetric(pg.p95),
                       eval::FormatMetric(ms.p95), eval::FormatMetric(qf.p95),
                       eval::FormatMetric(zs.p95), eval::FormatMetric(dc.p95)});
+    bench::Json()
+        .Add("fig07_row")
+        .Str("scale", StrFormat("%gx", scale))
+        .Num("mscn_median", ms.median)
+        .Num("queryformer_median", qf.median)
+        .Num("zeroshot_median", zs.median)
+        .Num("dace_median", dc.median);
     if (scale == 1.0) dace_first_median = dc.median;
     dace_last_median = dc.median;
     std::printf("  evaluated scale %gx\n", scale);
@@ -100,5 +210,43 @@ int main(int argc, char** argv) {
       "expected shape: WDMs degrade sharply as data drifts; ADMs stay\n"
       "stable, with DACE most accurate throughout.\n",
       100.0 * (dace_last_median / dace_first_median - 1.0));
+
+  // -------- online drift-detector replay over the same streams --------
+  std::printf("\ndetector replay (stationary = scale 1x, drift = 5x..100x):\n");
+  eval::TablePrinter replay_table({"model", "stationary", "false alarms",
+                                   "PH detect", "KS detect"});
+  const ReplayVerdict verdicts[] = {
+      ReplayThroughDetectors("mscn", mscn_stationary, mscn_drift),
+      ReplayThroughDetectors("dace", dace_stationary, dace_drift),
+  };
+  auto format_delay = [](int64_t d) {
+    return d < 0 ? std::string("never") : StrFormat("+%lld obs",
+                                                    static_cast<long long>(d));
+  };
+  for (const ReplayVerdict& v : verdicts) {
+    replay_table.AddRow({v.model, StrFormat("%llu obs",
+                                  static_cast<unsigned long long>(v.stationary_obs)),
+                         StrFormat("%llu",
+                                   static_cast<unsigned long long>(v.false_alarms)),
+                         format_delay(v.ph_time_to_detect),
+                         format_delay(v.ks_time_to_detect)});
+    bench::Json()
+        .Add("fig07_drift_detection")
+        .Str("model", v.model)
+        .Num("stationary_obs", static_cast<double>(v.stationary_obs))
+        .Num("drift_obs", static_cast<double>(v.drift_obs))
+        .Num("false_alarms", static_cast<double>(v.false_alarms))
+        .Num("ph_detected", v.ph_time_to_detect >= 0 ? 1 : 0)
+        .Num("ks_detected", v.ks_time_to_detect >= 0 ? 1 : 0)
+        .Num("ph_time_to_detect", static_cast<double>(v.ph_time_to_detect))
+        .Num("ks_time_to_detect", static_cast<double>(v.ks_time_to_detect));
+  }
+  replay_table.Print();
+  std::printf(
+      "expected shape: the WDM's accuracy collapse past 1x trips BOTH\n"
+      "detectors with zero alarms on the stationary prefix; the stable ADM\n"
+      "gives the detectors nothing to find (or detects much later).\n");
+
+  if (!bench::Json().WriteIfRequested()) return 1;
   return 0;
 }

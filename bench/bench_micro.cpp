@@ -27,6 +27,7 @@
 #include "featurize/featurize.h"
 #include "nn/kernels.h"
 #include "nn/layers.h"
+#include "serve/feedback.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -512,6 +513,59 @@ void BM_PredictBatchTieredAuto(benchmark::State& state) {
 }
 BENCHMARK(BM_PredictBatchTieredAuto)->Unit(benchmark::kMillisecond);
 
+// The tiered path plus the per-prediction cost of accuracy tracking: one
+// wait-free FeedbackLedger::RecordPrediction per plan, exactly what
+// EstimateTracked adds over Estimate on the serving hot path (the join and
+// the drift detectors run on the ReportActual side, off this path). Gated
+// in check.sh at <= 2% over BM_PredictBatchTieredAuto.
+void BM_PredictBatchTieredAutoFeedback(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  ScopedPrecision pin(nn::kernel::Precision::kI8);
+  ScopedTier tier(&f.estimator, core::DaceEstimator::TierMode::kAuto);
+  ThreadPool pool(1);
+  f.estimator.set_thread_pool(&pool);
+  f.estimator.set_prediction_cache_capacity(0);
+  std::vector<const plan::QueryPlan*> ptrs;
+  for (const auto& p : f.plans) ptrs.push_back(&p);
+  std::vector<double> out;
+  serve::FeedbackLedger ledger(1 << 16);
+  f.estimator.PredictBatchMsInto(ptrs, &out);  // warm-up
+  for (auto _ : state) {
+    f.estimator.PredictBatchMsInto(ptrs, &out);
+    uint64_t last_id = 0;
+    for (double ms : out) last_id = ledger.RecordPrediction(ms);
+    benchmark::DoNotOptimize(last_id);
+    benchmark::DoNotOptimize(out.data());
+  }
+  f.estimator.set_thread_pool(nullptr);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.plans.size()));
+}
+BENCHMARK(BM_PredictBatchTieredAutoFeedback)->Unit(benchmark::kMillisecond);
+
+// The tracking cost in isolation: one batch worth of RecordPrediction calls
+// per iteration, so its per-iteration time is directly comparable to the
+// tiered batch benchmarks above. feedback_overhead_pct is derived as this
+// time over BM_PredictBatchTieredAuto's — measuring the added work directly
+// resolves far below the 2% budget, where subtracting two near-equal
+// end-to-end timings (see BM_PredictBatchTieredAutoFeedback) only measures
+// run-to-run noise.
+void BM_FeedbackRecordPrediction(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  serve::FeedbackLedger ledger(1 << 16);
+  const size_t batch = f.plans.size();
+  for (auto _ : state) {
+    uint64_t last_id = 0;
+    for (size_t i = 0; i < batch; ++i) {
+      last_id = ledger.RecordPrediction(static_cast<double>(i) + 0.5);
+    }
+    benchmark::DoNotOptimize(last_id);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_FeedbackRecordPrediction);
+
 // Serving path with every plan already cached: fingerprint + LRU lookup
 // only. The warm-up batch fills the cache; the hit_fraction counter proves
 // the measured iterations were all hits.
@@ -703,6 +757,27 @@ void AddOverheadRecord(const char* record_name, const char* baseline,
               instrumented, baseline);
 }
 
+// overhead% = t(addition) / t(baseline) * 100, for an addition benchmarked
+// in ISOLATION over the same per-iteration batch as the baseline. The
+// subtraction variant above needs the instrumented path to be measurably
+// slower; this one stays accurate when the addition is orders of magnitude
+// below the baseline's run-to-run noise.
+void AddAddedCostRecord(const char* record_name, const char* baseline,
+                        const char* addition) {
+  const auto& secs = CapturedSeconds();
+  const auto b = secs.find(baseline);
+  const auto a = secs.find(addition);
+  if (b == secs.end() || a == secs.end() || b->second <= 0.0) return;
+  const double overhead_pct = a->second / b->second * 100.0;
+  dace::bench::Json()
+      .Add(record_name)
+      .Str("baseline", baseline)
+      .Str("addition", addition)
+      .Num("overhead_pct", overhead_pct);
+  std::printf("%-32s %+.2f%% (%s added onto %s)\n", record_name, overhead_pct,
+              addition, baseline);
+}
+
 }  // namespace
 
 // Custom main instead of BENCHMARK_MAIN: peels --json=PATH,
@@ -754,6 +829,8 @@ int main(int argc, char** argv) {
   AddTieredQErrorRecord();
   AddOverheadRecord("obs_overhead_pct", "BM_PredictAllIntoWarm",
                     "BM_PredictAllIntoWarmObs");
+  AddAddedCostRecord("feedback_overhead_pct", "BM_PredictBatchTieredAuto",
+                     "BM_FeedbackRecordPrediction");
   const bool ok = dace::bench::Json().WriteIfRequested();
   benchmark::Shutdown();
   return ok ? 0 : 1;

@@ -11,11 +11,24 @@
 //                 [--max-wait-us=200] [--queue-cap=1024] [--deadline-us=0]
 //                 [--swaps=4] [--threads=N] [--precision=i8|f32|f64]
 //                 [--json=out.json] [--metrics-json=m.json]
-//                 [--trace-json=t.json]
+//                 [--trace-json=t.json] [--metrics-port=0]
+//                 [--metrics-period-ms=0] [--linger-ms=0]
 //
 // The base model is distilled before registration, so every tenant serves
 // through the tiered path (student first, agreement-gated escalation) and
 // the run reports the realized tier fallback rate.
+//
+// Clients run the full accuracy-observability loop: EstimateTracked, then
+// ReportActual with the plan's labeled ground truth, so the run exercises
+// the feedback ledger, rolling q-error metrics and drift detectors end to
+// end (serve.feedback.* counters and drift.alarms are reported).
+// --metrics-port=N serves live Prometheus text at 127.0.0.1:N (N=0 picks
+// an ephemeral port, printed at startup; omit the flag to disable);
+// --metrics-period-ms=N additionally rewrites --metrics-json
+// every N ms while the bench runs; --linger-ms=N keeps the process (and
+// the metrics endpoint) alive that long after the run so an external
+// scraper can pull the end-state — the check.sh exposition smoke does
+// exactly that.
 
 #include <algorithm>
 #include <atomic>
@@ -31,13 +44,21 @@
 #include "engine/dataset.h"
 #include "engine/machine.h"
 #include "nn/kernels_f32.h"
+#include "obs/exposition.h"
 #include "obs/metrics.h"
+#include "plan/plan.h"
 #include "serve/model_registry.h"
 #include "serve/service.h"
 
 namespace {
 
 using namespace dace;
+
+// Labeled ground truth for the feedback path: the executed latency the
+// corpus recorded at the plan root.
+double ActualMs(const plan::QueryPlan& plan) {
+  return plan.node(plan.root()).actual_time_ms;
+}
 
 double Percentile(std::vector<double>* sorted, double p) {
   if (sorted->empty()) return 0.0;
@@ -58,6 +79,10 @@ int main(int argc, char** argv) {
   const int epochs = static_cast<int>(flags.GetInt("epochs", 1));
   const int swaps = static_cast<int>(flags.GetInt("swaps", 4));
   const int64_t deadline_us = flags.GetInt("deadline-us", 0);
+  // -1 = no endpoint; 0 = ephemeral port (printed); >0 = that port.
+  const int metrics_port = static_cast<int>(flags.GetInt("metrics-port", -1));
+  const int64_t metrics_period_ms = flags.GetInt("metrics-period-ms", 0);
+  const int64_t linger_ms = flags.GetInt("linger-ms", 0);
   // The serving-tier default is int8 (the student's kernel path); the flag
   // overrides both the flag default and any DACE_PRECISION in the env.
   const std::string precision = flags.GetString("precision", "i8");
@@ -81,6 +106,31 @@ int main(int argc, char** argv) {
 
   bench::PrintHeader("serving layer: coalescing + hot swap under load",
                      "serving micro-benchmark (no paper table)");
+
+  // Bring observability plumbing up before any work happens so an external
+  // scraper can watch the whole run live.
+  std::unique_ptr<obs::ExpositionServer> exposition;
+  if (metrics_port >= 0) {
+    auto server =
+        obs::ExpositionServer::Start(obs::MetricsRegistry::Default(),
+                                     metrics_port);
+    if (!server.ok()) {
+      std::fprintf(stderr, "metrics endpoint failed: %s\n",
+                   server.status().ToString().c_str());
+      return 1;
+    }
+    exposition = std::move(*server);
+    // Flushed immediately: the check.sh exposition smoke parses this line
+    // from the redirected log while the run is still in flight.
+    std::printf("metrics endpoint: http://127.0.0.1:%d/metrics\n",
+                exposition->port());
+    std::fflush(stdout);
+  }
+  std::unique_ptr<obs::PeriodicSnapshotWriter> sidecar;
+  if (metrics_period_ms > 0 && !bench::MetricsJsonPath().empty()) {
+    sidecar = std::make_unique<obs::PeriodicSnapshotWriter>(
+        bench::MetricsJsonPath(), metrics_period_ms);
+  }
 
   const engine::Database db = engine::BuildTpchLike(42);
   const auto plans = engine::GenerateLabeledPlans(
@@ -131,7 +181,11 @@ int main(int argc, char** argv) {
       for (int i = 0; i < swaps && !stop_swapper.load(); ++i) {
         std::this_thread::sleep_for(std::chrono::milliseconds(5));
         for (int t = 0; t < tenants; ++t) {
-          if (registry.SwapFromFile("tenant-" + std::to_string(t), ckpt).ok()) {
+          const std::string tenant = "tenant-" + std::to_string(t);
+          if (registry.SwapFromFile(tenant, ckpt).ok()) {
+            // Re-baseline the tenant's KS drift reference on the (possibly
+            // retrained) model, exactly as a production swap would.
+            service.NotifySwap(tenant);
             swaps_done.fetch_add(1);
           }
         }
@@ -151,10 +205,14 @@ int main(int argc, char** argv) {
         const auto& plan =
             plans[static_cast<size_t>(c * 131 + i) % plans.size()];
         bench::WallTimer timer;
-        const auto result = service.Estimate(tenant, plan, deadline_us);
+        const auto result = service.EstimateTracked(tenant, plan, deadline_us);
         if (result.ok()) {
           ok.fetch_add(1, std::memory_order_relaxed);
           lat.push_back(timer.ElapsedMs() * 1000.0);  // us
+          // Close the loop: report the labeled execution latency so the
+          // feedback join, rolling q-error and drift detectors all run.
+          (void)service.ReportActual(tenant, result->request_id,
+                                     ActualMs(plan));
         } else if (result.status().code() == StatusCode::kDeadlineExceeded) {
           missed.fetch_add(1, std::memory_order_relaxed);
         } else {
@@ -199,6 +257,13 @@ int main(int argc, char** argv) {
       tier_requests > 0 ? static_cast<double>(tier_escalated) /
                               static_cast<double>(tier_requests)
                         : 0.0;
+  const uint64_t fb_predictions =
+      metrics->GetCounter("serve.feedback.predictions")->Value();
+  const uint64_t fb_joined =
+      metrics->GetCounter("serve.feedback.joined")->Value();
+  const uint64_t fb_late =
+      metrics->GetCounter("serve.feedback.late")->Value();
+  const uint64_t drift_alarms = metrics->GetCounter("drift.alarms")->Value();
 
   std::printf("\nclients=%d tenants=%d requests/client=%d "
               "max_batch=%zu max_wait_us=%lld queue_cap=%zu\n",
@@ -224,6 +289,12 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(tier_student),
               static_cast<unsigned long long>(tier_escalated),
               tier_fallback_rate);
+  std::printf("feedback: predictions=%llu joined=%llu late=%llu "
+              "drift_alarms=%llu\n",
+              static_cast<unsigned long long>(fb_predictions),
+              static_cast<unsigned long long>(fb_joined),
+              static_cast<unsigned long long>(fb_late),
+              static_cast<unsigned long long>(drift_alarms));
 
   bench::Json()
       .Add("serve_load")
@@ -252,7 +323,22 @@ int main(int argc, char** argv) {
       .Num("tier_student", static_cast<double>(tier_student))
       .Num("tier_escalated", static_cast<double>(tier_escalated))
       .Num("tier_fallback_rate", tier_fallback_rate);
+  bench::Json()
+      .Add("serve_feedback")
+      .Num("predictions", static_cast<double>(fb_predictions))
+      .Num("joined", static_cast<double>(fb_joined))
+      .Num("late", static_cast<double>(fb_late))
+      .Num("drift_alarms", static_cast<double>(drift_alarms));
   if (!bench::Json().WriteIfRequested()) return 1;
   std::remove(ckpt.c_str());
+
+  // Keep the metrics endpoint serving the end-state so an external scraper
+  // (e.g. the check.sh exposition smoke) can pull it after the run.
+  if (linger_ms > 0 && exposition) {
+    std::printf("lingering %lld ms for scrapes on port %d\n",
+                static_cast<long long>(linger_ms), exposition->port());
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::milliseconds(linger_ms));
+  }
   return 0;
 }

@@ -48,7 +48,11 @@ inline std::string& TraceJsonPath() {
 
 inline void WriteObsSidecarsAtExit() {
   if (!MetricsJsonPath().empty()) {
-    obs::WriteMetricsReport(MetricsJsonPath());
+    const Status status = obs::WriteMetricsReport(MetricsJsonPath());
+    if (!status.ok()) {
+      std::fprintf(stderr, "cannot write --metrics-json %s: %s\n",
+                   MetricsJsonPath().c_str(), status.ToString().c_str());
+    }
   }
   if (!TraceJsonPath().empty()) {
     obs::TraceCollector::Default()->WriteChromeJson(TraceJsonPath());

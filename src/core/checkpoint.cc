@@ -208,36 +208,7 @@ Status InspectCheckpoint(std::string_view blob, CheckpointHeader* header,
   return Status::OK();
 }
 
-// ------------------------------------------------------------- file I/O --
-
-Status ReadFileToString(const std::string& path, std::string* out) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("cannot open for read: " + path);
-  out->assign(std::istreambuf_iterator<char>(in),
-              std::istreambuf_iterator<char>());
-  if (in.bad()) return Status::DataLoss("read failed: " + path);
-  return Status::OK();
-}
-
-Status WriteFileAtomic(const std::string& path, std::string_view data) {
-  const std::string tmp =
-      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return Status::NotFound("cannot open for write: " + tmp);
-    out.write(data.data(), static_cast<std::streamsize>(data.size()));
-    out.flush();
-    if (!out) {
-      out.close();
-      std::remove(tmp.c_str());
-      return Status::DataLoss("write failed (disk full?): " + tmp);
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Status::DataLoss("atomic rename failed: " + tmp + " -> " + path);
-  }
-  return Status::OK();
-}
+// File I/O helpers moved to util/file_io.h; checkpoint.h forwards the old
+// core:: names.
 
 }  // namespace dace::core

@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "util/file_io.h"
 #include "util/serialize.h"
 #include "util/status.h"
 
@@ -144,14 +145,20 @@ struct CheckpointSection {
 Status InspectCheckpoint(std::string_view blob, CheckpointHeader* header,
                          std::vector<CheckpointSection>* sections);
 
-// Reads the whole file into *out. NotFound if it cannot be opened.
-Status ReadFileToString(const std::string& path, std::string* out);
+// Whole-file helpers: the implementations moved to util/file_io.h (the obs
+// sidecar writers need atomic file replacement below the core layer); these
+// forwards keep the established core:: spellings working.
+inline Status ReadFileToString(const std::string& path, std::string* out) {
+  return ::dace::ReadFileToString(path, out);
+}
 
 // Writes data to a temp file in path's directory, flushes, and renames it
 // over path — readers of `path` see either the complete old bytes or the
 // complete new bytes, never a prefix. On any failure the temp file is
 // removed and the existing file at `path` is left untouched.
-Status WriteFileAtomic(const std::string& path, std::string_view data);
+inline Status WriteFileAtomic(const std::string& path, std::string_view data) {
+  return ::dace::WriteFileAtomic(path, data);
+}
 
 }  // namespace dace::core
 

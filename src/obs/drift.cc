@@ -1,0 +1,189 @@
+#include "obs/drift.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace dace::obs {
+
+// ------------------------------------------------------- Page-Hinkley ----
+
+bool PageHinkley::Observe(double x) {
+  ++n_;
+  mean_ += (x - mean_) / static_cast<double>(n_);
+  m_ += x - mean_ - config_.delta;
+  if (m_ < min_m_) min_m_ = m_;
+  return n_ >= config_.min_samples && statistic() > config_.lambda;
+}
+
+void PageHinkley::Reset() {
+  n_ = 0;
+  mean_ = 0.0;
+  m_ = 0.0;
+  min_m_ = 0.0;
+}
+
+// ------------------------------------------------- two-sample KS test ----
+
+double KsStatistic(const Histogram::Snapshot& a, const Histogram::Snapshot& b) {
+  if (a.count == 0 || b.count == 0) return 0.0;
+  DACE_CHECK_EQ(a.counts.size(), b.counts.size());
+  const double na = static_cast<double>(a.count);
+  const double nb = static_cast<double>(b.count);
+  double cum_a = 0.0, cum_b = 0.0, d = 0.0;
+  // The last bucket (overflow) brings both CDFs to 1, so the loop may skip
+  // it; iterating anyway costs nothing and keeps the invariant visible.
+  for (size_t i = 0; i < a.counts.size(); ++i) {
+    cum_a += static_cast<double>(a.counts[i]);
+    cum_b += static_cast<double>(b.counts[i]);
+    d = std::max(d, std::abs(cum_a / na - cum_b / nb));
+  }
+  return d;
+}
+
+double KsThreshold(double c_alpha, uint64_t n, uint64_t m) {
+  if (n == 0 || m == 0) return 1.0;  // unreachable distance: never alarms
+  const double dn = static_cast<double>(n);
+  const double dm = static_cast<double>(m);
+  return c_alpha * std::sqrt((dn + dm) / (dn * dm));
+}
+
+// ---------------------------------------------------- AccuracyMonitor ----
+
+namespace {
+constexpr double kMinMs = 1e-6;  // q-error needs both sides positive
+}  // namespace
+
+AccuracyMonitor::AccuracyMonitor(std::string source,
+                                 const AccuracyMonitorConfig& config,
+                                 MetricsRegistry* registry)
+    : source_(std::move(source)),
+      config_(config),
+      page_hinkley_(config.page_hinkley) {
+  DACE_CHECK(registry != nullptr);
+  DACE_CHECK_GT(config.ks_check_every, 0u);
+  window_ = registry->GetWindowedHistogram(
+      "accuracy." + source_ + ".qerror.window", QErrorBuckets(), config.window);
+  log_qerror_ewma_ = registry->GetEwma(
+      "accuracy." + source_ + ".log_qerror.ewma", config.ewma_alpha);
+  bias_ewma_ =
+      registry->GetEwma("accuracy." + source_ + ".bias.ewma", config.ewma_alpha);
+  ph_statistic_gauge_ =
+      registry->GetGauge("drift." + source_ + ".ph_statistic");
+  ks_statistic_gauge_ =
+      registry->GetGauge("drift." + source_ + ".ks_statistic");
+  alarmed_gauge_ = registry->GetGauge("drift." + source_ + ".alarmed");
+  alarms_total_ = registry->GetCounter("drift.alarms");
+  alarms_source_ = registry->GetCounter("drift." + source_ + ".alarms");
+}
+
+void AccuracyMonitor::RaiseLocked(const char* detector, double statistic,
+                                  double threshold, uint64_t tick,
+                                  std::vector<AlarmCallback>* callbacks,
+                                  Alarm* out) {
+  Alarm alarm;
+  alarm.source = source_;
+  alarm.detector = detector;
+  alarm.tick = tick;
+  alarm.statistic = statistic;
+  alarm.threshold = threshold;
+  alarms_.push_back(alarm);
+  alarms_total_->Add(1);
+  alarms_source_->Add(1);
+  alarmed_gauge_->Set(1.0);
+  DACE_LOG(WARN) << "drift alarm [" << detector << "] on '" << source_
+                 << "' at tick " << tick << ": statistic " << statistic
+                 << " > threshold " << threshold;
+  *callbacks = callbacks_;  // invoked by the caller outside the lock
+  *out = std::move(alarm);
+}
+
+void AccuracyMonitor::ObserveQError(double predicted_ms, double actual_ms) {
+  const double pred = std::max(predicted_ms, kMinMs);
+  const double actual = std::max(actual_ms, kMinMs);
+  const double q = std::max(pred / actual, actual / pred);
+  const double log_q = std::log(q);
+  const uint64_t tick = clock_.Advance();
+
+  window_->Observe(q, tick);
+  log_qerror_ewma_->Observe(log_q);
+  bias_ewma_->Observe(std::log(pred / actual));
+
+  // Up to two alarms can fire on one observation (both detectors crossing
+  // on the same sample); callbacks run after the lock is dropped.
+  Alarm raised[2];
+  std::vector<AlarmCallback> callbacks[2];
+  int raised_count = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++observations_;
+
+    if (page_hinkley_.Observe(log_q)) {
+      RaiseLocked("page_hinkley", page_hinkley_.statistic(),
+                  config_.page_hinkley.lambda, tick, &callbacks[raised_count],
+                  &raised[raised_count]);
+      ++raised_count;
+      page_hinkley_.Reset();  // restart: one alarm per sustained shift
+    }
+    ph_statistic_gauge_->Set(page_hinkley_.statistic());
+
+    if (observations_ % config_.ks_check_every == 0) {
+      DACE_TRACE_SPAN("drift.ks_check");
+      const Histogram::Snapshot live = window_->TakeSnapshot();
+      if (reference_.count == 0 && config_.auto_reference &&
+          live.count >= config_.ks.min_samples) {
+        reference_ = live;  // post-warmup baseline for swap-less sources
+      } else if (!ks_silenced_ && reference_.count >= config_.ks.min_samples &&
+                 live.count >= config_.ks.min_samples) {
+        const double d = KsStatistic(live, reference_);
+        const double threshold =
+            KsThreshold(config_.ks.c_alpha, live.count, reference_.count);
+        ks_statistic_gauge_->Set(d);
+        if (d > threshold) {
+          RaiseLocked("ks", d, threshold, tick, &callbacks[raised_count],
+                      &raised[raised_count]);
+          ++raised_count;
+          ks_silenced_ = true;  // silent until a new reference is captured
+        }
+      }
+    }
+  }
+  for (int i = 0; i < raised_count; ++i) {
+    for (const AlarmCallback& cb : callbacks[i]) cb(raised[i]);
+  }
+}
+
+void AccuracyMonitor::CaptureReference() {
+  std::lock_guard<std::mutex> lock(mu_);
+  reference_ = window_->TakeSnapshot();
+  page_hinkley_.Reset();
+  ks_silenced_ = false;
+  alarmed_gauge_->Set(0.0);
+  ph_statistic_gauge_->Set(0.0);
+  ks_statistic_gauge_->Set(0.0);
+}
+
+void AccuracyMonitor::AddAlarmCallback(AlarmCallback callback) {
+  std::lock_guard<std::mutex> lock(mu_);
+  callbacks_.push_back(std::move(callback));
+}
+
+std::vector<Alarm> AccuracyMonitor::Alarms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return alarms_;
+}
+
+uint64_t AccuracyMonitor::observations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return observations_;
+}
+
+bool AccuracyMonitor::has_reference() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reference_.count > 0;
+}
+
+}  // namespace dace::obs

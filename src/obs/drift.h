@@ -1,0 +1,182 @@
+#ifndef DACE_OBS_DRIFT_H_
+#define DACE_OBS_DRIFT_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/window.h"
+#include "util/clock.h"
+
+namespace dace::obs {
+
+// ------------------------------------------------------- Page-Hinkley ----
+
+// One-sided Page-Hinkley test for an upward mean shift of a streamed
+// signal (here: log q-error — accuracy getting worse). Classic recurrence:
+//   n += 1;  mean += (x - mean) / n
+//   m += x - mean - delta;   M = min(M, m)
+// and the alarm fires when m - M > lambda (after a burn-in of min_samples).
+// delta absorbs benign wander (alarm only on shifts meaningfully above the
+// running mean); lambda trades detection delay against false alarms.
+struct PageHinkleyConfig {
+  double delta = 0.05;
+  double lambda = 12.0;
+  uint64_t min_samples = 64;
+};
+
+class PageHinkley {
+ public:
+  explicit PageHinkley(const PageHinkleyConfig& config) : config_(config) {}
+
+  // Folds in one observation; true = the test crossed lambda on this
+  // observation. The caller decides whether to Reset() (restart the test)
+  // or keep accumulating. NOT thread-safe; guard externally.
+  bool Observe(double x);
+
+  void Reset();
+
+  double statistic() const { return m_ - min_m_; }
+  double mean() const { return mean_; }
+  uint64_t samples() const { return n_; }
+  const PageHinkleyConfig& config() const { return config_; }
+
+ private:
+  const PageHinkleyConfig config_;
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m_ = 0.0;
+  double min_m_ = 0.0;
+};
+
+// ------------------------------------------------- two-sample KS test ----
+
+// Two-sample Kolmogorov–Smirnov distance computed from two histograms over
+// IDENTICAL bucket bounds: max over bucket boundaries of the empirical-CDF
+// gap. Binning makes the statistic conservative (the true sup over all x is
+// at least the sup over boundaries), which is the safe direction for a
+// drift alarm. Returns 0 if either side is empty.
+double KsStatistic(const Histogram::Snapshot& a, const Histogram::Snapshot& b);
+
+// Rejection threshold c(alpha) * sqrt((n + m) / (n * m)). Common c values:
+// 1.36 (alpha 0.05), 1.63 (alpha 0.01), 1.95 (alpha 0.001).
+double KsThreshold(double c_alpha, uint64_t n, uint64_t m);
+
+struct KsConfig {
+  double c_alpha = 1.95;      // alpha = 0.001: windows re-test, so be strict
+  uint64_t min_samples = 64;  // both sides must hold at least this many
+};
+
+// ------------------------------------------------------------- alarms ----
+
+// One drift-alarm event, as delivered to callbacks and retained on the
+// monitor for polling consumers (the future adaptation loop).
+struct Alarm {
+  std::string source;    // monitor label, e.g. the serving tenant
+  std::string detector;  // "page_hinkley" | "ks"
+  uint64_t tick = 0;     // monitor logical time at the alarm
+  double statistic = 0.0;
+  double threshold = 0.0;
+};
+
+using AlarmCallback = std::function<void(const Alarm&)>;
+
+// ---------------------------------------------------- AccuracyMonitor ----
+
+struct AccuracyMonitorConfig {
+  WindowConfig window;           // rolling q-error histogram shape
+  double ewma_alpha = 0.05;      // accuracy gauges' smoothing
+  PageHinkleyConfig page_hinkley;
+  KsConfig ks;
+  uint64_t ks_check_every = 32;  // KS cadence, in joined observations
+  // Capture the KS reference automatically once the live window holds
+  // ks.min_samples observations and no reference exists yet (a monitor that
+  // never sees an explicit CaptureReference — e.g. a tenant that never
+  // swaps — still gets KS coverage of its post-warmup distribution).
+  bool auto_reference = true;
+};
+
+// Online accuracy monitor for one prediction source (a serving tenant): the
+// piece that turns joined (predicted, actual) pairs into rolling metrics
+// and drift alarms. Per observation it
+//   - advances its logical clock one tick,
+//   - records q-error into a registry-registered WindowedHistogram
+//     ("accuracy.<source>.qerror.window") and EWMA gauges
+//     ("accuracy.<source>.log_qerror.ewma", "accuracy.<source>.bias.ewma" —
+//     bias is signed log(pred/actual), the over/under-estimation trend),
+//   - feeds log q-error to the Page-Hinkley test, and
+//   - every ks_check_every observations runs the two-sample KS test of the
+//     live window against the reference snapshot (captured at model-swap
+//     time via CaptureReference, or automatically after warmup).
+// An alarm increments the process-wide "drift.alarms" counter and the
+// per-source "drift.<source>.alarms" counter, latches the
+// "drift.<source>.alarmed" gauge to 1 (cleared by CaptureReference), logs
+// at WARN, and invokes every registered callback outside the monitor lock.
+// Page-Hinkley restarts itself after alarming; KS stays silent until a new
+// reference is captured (re-testing the same drifted window would refire
+// every check).
+class AccuracyMonitor {
+ public:
+  AccuracyMonitor(std::string source, const AccuracyMonitorConfig& config,
+                  MetricsRegistry* registry);
+  AccuracyMonitor(const AccuracyMonitor&) = delete;
+  AccuracyMonitor& operator=(const AccuracyMonitor&) = delete;
+
+  // One ground-truth joined observation. Non-positive inputs are clamped to
+  // a tiny epsilon (q-error needs both sides positive). Thread-safe.
+  void ObserveQError(double predicted_ms, double actual_ms);
+
+  // Snapshots the live window as the new KS reference and restarts both
+  // detectors — call at model-swap time (the new model deserves a fresh
+  // baseline) or to acknowledge an alarm.
+  void CaptureReference();
+
+  void AddAlarmCallback(AlarmCallback callback);
+
+  // Retained alarm history, oldest first.
+  std::vector<Alarm> Alarms() const;
+
+  uint64_t tick() const { return clock_.Now(); }
+  uint64_t observations() const;
+  bool has_reference() const;
+  const std::string& source() const { return source_; }
+  const AccuracyMonitorConfig& config() const { return config_; }
+
+  // Live rolling view of the q-error window (merged sub-windows).
+  Histogram::Snapshot WindowSnapshot() const { return window_->TakeSnapshot(); }
+
+ private:
+  void RaiseLocked(const char* detector, double statistic, double threshold,
+                   uint64_t tick, std::vector<AlarmCallback>* callbacks,
+                   Alarm* out);
+
+  const std::string source_;
+  const AccuracyMonitorConfig config_;
+  LogicalClock clock_;
+
+  // Registry-registered handles (owned by the registry, shared with
+  // snapshots/exposition).
+  WindowedHistogram* window_;
+  EwmaGauge* log_qerror_ewma_;
+  EwmaGauge* bias_ewma_;
+  Gauge* ph_statistic_gauge_;
+  Gauge* ks_statistic_gauge_;
+  Gauge* alarmed_gauge_;
+  Counter* alarms_total_;   // process-wide drift.alarms
+  Counter* alarms_source_;  // drift.<source>.alarms
+
+  mutable std::mutex mu_;
+  PageHinkley page_hinkley_;
+  Histogram::Snapshot reference_;  // empty count == no reference yet
+  bool ks_silenced_ = false;       // latched after a KS alarm
+  uint64_t observations_ = 0;
+  std::vector<Alarm> alarms_;
+  std::vector<AlarmCallback> callbacks_;
+};
+
+}  // namespace dace::obs
+
+#endif  // DACE_OBS_DRIFT_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/window.h"
 #include "util/logging.h"
 
 namespace dace::obs {
@@ -104,6 +105,9 @@ std::span<const double> QErrorBuckets() {
 
 // ----------------------------------------------------- MetricsRegistry ----
 
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
+
 MetricsRegistry* MetricsRegistry::Default() {
   static MetricsRegistry* registry = new MetricsRegistry();
   return registry;
@@ -141,6 +145,30 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name,
   return it->second.get();
 }
 
+WindowedHistogram* MetricsRegistry::GetWindowedHistogram(
+    std::string_view name, std::span<const double> upper_bounds,
+    const WindowConfig& config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = windowed_.find(name);
+  if (it == windowed_.end()) {
+    it = windowed_
+             .emplace(std::string(name),
+                      std::make_unique<WindowedHistogram>(upper_bounds, config))
+             .first;
+  }
+  return it->second.get();
+}
+
+EwmaGauge* MetricsRegistry::GetEwma(std::string_view name, double alpha) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ewmas_.find(name);
+  if (it == ewmas_.end()) {
+    it = ewmas_.emplace(std::string(name), std::make_unique<EwmaGauge>(alpha))
+             .first;
+  }
+  return it->second.get();
+}
+
 MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   Snapshot snap;
@@ -156,6 +184,14 @@ MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
   for (const auto& [name, hist] : histograms_) {
     snap.histograms.push_back({name, hist->TakeSnapshot()});
   }
+  snap.windowed.reserve(windowed_.size());
+  for (const auto& [name, win] : windowed_) {
+    snap.windowed.push_back({name, win->TakeSnapshot()});
+  }
+  snap.ewmas.reserve(ewmas_.size());
+  for (const auto& [name, ewma] : ewmas_) {
+    snap.ewmas.push_back({name, ewma->Value(), ewma->Count()});
+  }
   return snap;
 }
 
@@ -164,6 +200,8 @@ void MetricsRegistry::ResetAllForTest() {
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, hist] : histograms_) hist->Reset();
+  for (auto& [name, win] : windowed_) win->Reset();
+  for (auto& [name, ewma] : ewmas_) ewma->Reset();
 }
 
 }  // namespace dace::obs

@@ -150,6 +150,13 @@ std::span<const double> LatencyBucketsUs();
 // Q-error (>= 1) in log-space: 1.05, 1.05*1.35^k .. ~1e4 (32 buckets).
 std::span<const double> QErrorBuckets();
 
+// Rolling-window metric types (obs/window.h); registered alongside the
+// cumulative kinds but kept behind forward declarations so the hot-path
+// Counter/Gauge/Histogram header stays lean.
+class WindowedHistogram;
+class EwmaGauge;
+struct WindowConfig;
+
 // Named metric registry. Get* registers on first use (under a mutex) and
 // returns a stable pointer callers cache in a local/static handle; every
 // subsequent operation on the handle is lock-free. Names are unique per
@@ -157,7 +164,8 @@ std::span<const double> QErrorBuckets();
 // (obs/report.h) snapshots; tests construct private registries.
 class MetricsRegistry {
  public:
-  MetricsRegistry() = default;
+  MetricsRegistry();
+  ~MetricsRegistry();
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
@@ -170,6 +178,12 @@ class MetricsRegistry {
   // return the existing histogram regardless of `upper_bounds`.
   Histogram* GetHistogram(std::string_view name,
                           std::span<const double> upper_bounds);
+  // Rolling-window variants: bounds and window shape of the first
+  // registration win, like GetHistogram / GetEwma's alpha.
+  WindowedHistogram* GetWindowedHistogram(std::string_view name,
+                                          std::span<const double> upper_bounds,
+                                          const WindowConfig& config);
+  EwmaGauge* GetEwma(std::string_view name, double alpha);
 
   struct Snapshot {
     struct CounterValue {
@@ -184,9 +198,16 @@ class MetricsRegistry {
       std::string name;
       Histogram::Snapshot hist;
     };
+    struct EwmaValue {
+      std::string name;
+      double value = 0.0;
+      uint64_t count = 0;
+    };
     std::vector<CounterValue> counters;      // sorted by name
     std::vector<GaugeValue> gauges;          // sorted by name
     std::vector<HistogramValue> histograms;  // sorted by name
+    std::vector<HistogramValue> windowed;    // sorted by name (live merge)
+    std::vector<EwmaValue> ewmas;            // sorted by name
   };
 
   // Point-in-time copy: taken under the registration mutex, so it contains
@@ -203,6 +224,9 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<WindowedHistogram>, std::less<>>
+      windowed_;
+  std::map<std::string, std::unique_ptr<EwmaGauge>, std::less<>> ewmas_;
 };
 
 }  // namespace dace::obs

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "util/file_io.h"
+
 namespace dace::obs {
 
 namespace {
@@ -34,6 +36,24 @@ std::string JoinCounts(const std::vector<uint64_t>& v) {
 
 }  // namespace
 
+namespace {
+
+void AppendHistogramRecord(const MetricsRegistry::Snapshot::HistogramValue& h,
+                           const char* kind, JsonEmitter* out) {
+  out->Add(h.name)
+      .Str("kind", kind)
+      .Num("count", static_cast<double>(h.hist.count))
+      .Num("sum", h.hist.sum)
+      .Num("mean", h.hist.Mean())
+      .Num("p50", h.hist.Quantile(0.50))
+      .Num("p90", h.hist.Quantile(0.90))
+      .Num("p99", h.hist.Quantile(0.99))
+      .Str("bounds", JoinDoubles(h.hist.upper_bounds))
+      .Str("counts", JoinCounts(h.hist.counts));
+}
+
+}  // namespace
+
 void AppendMetricsRecords(const MetricsRegistry::Snapshot& snap,
                           JsonEmitter* out) {
   for (const auto& c : snap.counters) {
@@ -44,25 +64,27 @@ void AppendMetricsRecords(const MetricsRegistry::Snapshot& snap,
   for (const auto& g : snap.gauges) {
     out->Add(g.name).Str("kind", "gauge").Num("value", g.value);
   }
+  for (const auto& e : snap.ewmas) {
+    out->Add(e.name)
+        .Str("kind", "ewma")
+        .Num("value", e.value)
+        .Num("count", static_cast<double>(e.count));
+  }
   for (const auto& h : snap.histograms) {
-    out->Add(h.name)
-        .Str("kind", "histogram")
-        .Num("count", static_cast<double>(h.hist.count))
-        .Num("sum", h.hist.sum)
-        .Num("mean", h.hist.Mean())
-        .Num("p50", h.hist.Quantile(0.50))
-        .Num("p90", h.hist.Quantile(0.90))
-        .Num("p99", h.hist.Quantile(0.99))
-        .Str("bounds", JoinDoubles(h.hist.upper_bounds))
-        .Str("counts", JoinCounts(h.hist.counts));
+    AppendHistogramRecord(h, "histogram", out);
+  }
+  for (const auto& w : snap.windowed) {
+    AppendHistogramRecord(w, "windowed_histogram", out);
   }
 }
 
-bool WriteMetricsReport(const std::string& path) {
+Status WriteMetricsReport(const std::string& path) {
+  if (path.empty()) {
+    return Status::InvalidArgument("metrics report path is empty");
+  }
   JsonEmitter emitter;
-  emitter.SetPath(path);
   AppendMetricsRecords(MetricsRegistry::Default()->TakeSnapshot(), &emitter);
-  return emitter.WriteIfRequested();
+  return WriteFileAtomic(path, emitter.Render());
 }
 
 }  // namespace dace::obs

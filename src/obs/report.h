@@ -5,25 +5,30 @@
 
 #include "obs/metrics.h"
 #include "util/json_emitter.h"
+#include "util/status.h"
 
 namespace dace::obs {
 
 // Renders a registry snapshot as flat JsonEmitter records, one per metric:
 //   counters:   {"name": N, "kind": "counter", "value": V}
 //   gauges:     {"name": N, "kind": "gauge", "value": V}
+//   ewmas:      {"name": N, "kind": "ewma", "value", "count"}
 //   histograms: {"name": N, "kind": "histogram", "count", "sum", "mean",
 //                "p50", "p90", "p99", "bounds": "1,2,4,...",
 //                "counts": "0,3,..."} (counts has one trailing overflow
 //                bucket beyond bounds)
-// Record order is deterministic: counters, gauges, histograms, each sorted
-// by metric name.
+//   windowed:   like histograms, with kind "windowed_histogram" (counts
+//                cover only the live rolling window)
+// Record order is deterministic: counters, gauges, ewmas, histograms,
+// windowed, each sorted by metric name.
 void AppendMetricsRecords(const MetricsRegistry::Snapshot& snap,
                           JsonEmitter* out);
 
-// Snapshots MetricsRegistry::Default() and writes the records document to
-// `path` ({"records": [...]}). Returns false on IO failure. This is what
-// the bench binaries' --metrics-json flag drives.
-bool WriteMetricsReport(const std::string& path);
+// Snapshots MetricsRegistry::Default() and atomically writes the records
+// document to `path` ({"records": [...]}) via WriteFileAtomic — a reader
+// (or a crash) never sees a truncated document. This is what the bench
+// binaries' --metrics-json flag and the periodic sidecar writer drive.
+Status WriteMetricsReport(const std::string& path);
 
 }  // namespace dace::obs
 

@@ -1,0 +1,111 @@
+#include "obs/window.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace dace::obs {
+
+// ---------------------------------------------------- WindowedHistogram ----
+
+WindowedHistogram::WindowedHistogram(std::span<const double> upper_bounds,
+                                     const WindowConfig& config)
+    : config_(config), bounds_(upper_bounds.begin(), upper_bounds.end()) {
+  DACE_CHECK(!bounds_.empty());
+  DACE_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+  DACE_CHECK_GT(config.width_ticks, 0u);
+  DACE_CHECK_GT(config.sub_windows, 0u);
+  windows_.resize(config.sub_windows);
+  for (SubWindow& w : windows_) w.counts.assign(bounds_.size() + 1, 0);
+}
+
+void WindowedHistogram::ClearSubWindowLocked(SubWindow* w) {
+  std::fill(w->counts.begin(), w->counts.end(), 0);
+  w->count = 0;
+  w->sum = 0.0;
+}
+
+void WindowedHistogram::Observe(double v, uint64_t tick) {
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  uint64_t epoch = tick / config_.width_ticks;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!any_observed_) {
+    any_observed_ = true;
+    newest_epoch_ = epoch;
+  }
+  if (epoch > newest_epoch_) newest_epoch_ = epoch;
+  // An observation older than the live span cannot be represented without
+  // resurrecting an expired sub-window; fold it into the current epoch so
+  // it is counted, not lost (and document the monotone-tick expectation).
+  if (newest_epoch_ >= config_.sub_windows &&
+      epoch <= newest_epoch_ - config_.sub_windows) {
+    epoch = newest_epoch_;
+  }
+  SubWindow& w = windows_[epoch % config_.sub_windows];
+  if (w.epoch != epoch) {
+    ClearSubWindowLocked(&w);
+    w.epoch = epoch;
+  }
+  w.counts[bucket] += 1;
+  w.count += 1;
+  w.sum += v;
+}
+
+Histogram::Snapshot WindowedHistogram::TakeSnapshot() const {
+  Histogram::Snapshot s;
+  s.upper_bounds = bounds_;
+  s.counts.assign(bounds_.size() + 1, 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const SubWindow& w : windows_) {
+    if (w.epoch == kNeverWritten) continue;
+    // Live iff within the last sub_windows epochs ending at newest_epoch_.
+    if (w.epoch > newest_epoch_) continue;  // unreachable, defensive
+    if (newest_epoch_ - w.epoch >= config_.sub_windows) continue;  // expired
+    for (size_t i = 0; i < w.counts.size(); ++i) s.counts[i] += w.counts[i];
+    s.count += w.count;
+    s.sum += w.sum;
+  }
+  return s;
+}
+
+void WindowedHistogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (SubWindow& w : windows_) {
+    ClearSubWindowLocked(&w);
+    w.epoch = kNeverWritten;
+  }
+  newest_epoch_ = 0;
+  any_observed_ = false;
+}
+
+// ------------------------------------------------------------ EwmaGauge ----
+
+EwmaGauge::EwmaGauge(double alpha) : alpha_(alpha) {
+  DACE_CHECK_GT(alpha, 0.0);
+  DACE_CHECK_LE(alpha, 1.0);
+}
+
+void EwmaGauge::Observe(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  value_ = count_ == 0 ? v : value_ + alpha_ * (v - value_);
+  ++count_;
+}
+
+double EwmaGauge::Value() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return value_;
+}
+
+uint64_t EwmaGauge::Count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+void EwmaGauge::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  value_ = 0.0;
+  count_ = 0;
+}
+
+}  // namespace dace::obs

@@ -1,0 +1,107 @@
+#ifndef DACE_OBS_WINDOW_H_
+#define DACE_OBS_WINDOW_H_
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace dace::obs {
+
+// Rotation policy of a WindowedHistogram: a ring of `sub_windows` fixed-
+// bucket sub-histograms, each covering `width_ticks` ticks of a logical
+// clock (util/clock.h). The live span a snapshot reports is therefore the
+// last width_ticks * sub_windows ticks — a rolling view, unlike the
+// cumulative-forever obs::Histogram.
+struct WindowConfig {
+  uint64_t width_ticks = 64;  // logical ticks per sub-window
+  size_t sub_windows = 8;     // ring size; live span = width * sub_windows
+};
+
+// Fixed-bucket histogram over a rolling window of logical time. Rotation is
+// driven entirely by the tick passed to Observe — sub-window index is
+// (tick / width) % sub_windows, and entering a sub-window whose recorded
+// epoch (tick / width) is stale clears it first — so two runs feeding the
+// same (value, tick) sequence produce bit-identical snapshots, regardless
+// of wall-clock scheduling. Ticks are expected to be non-decreasing (they
+// come from a monotone LogicalClock); an out-of-order tick older than the
+// live span folds into its stale sub-window's slot only if that epoch is
+// still live, else it is dropped into the current epoch's window.
+//
+// Guarded by a mutex: the feedback path observes at ground-truth-arrival
+// rate (per executed query), not at the per-plan prediction rate, so a
+// ~20ns uncontended lock is noise there and buys TSan-provable snapshots.
+class WindowedHistogram {
+ public:
+  WindowedHistogram(std::span<const double> upper_bounds,
+                    const WindowConfig& config);
+  WindowedHistogram(const WindowedHistogram&) = delete;
+  WindowedHistogram& operator=(const WindowedHistogram&) = delete;
+
+  void Observe(double v, uint64_t tick);
+
+  // Merged counts over the sub-windows still inside the live span of the
+  // newest observed tick. Reuses Histogram::Snapshot so quantile/mean logic
+  // and the report/exposition renderers are shared with cumulative
+  // histograms.
+  Histogram::Snapshot TakeSnapshot() const;
+
+  const WindowConfig& config() const { return config_; }
+  std::span<const double> bounds() const { return bounds_; }
+
+  void Reset();
+
+ private:
+  struct SubWindow {
+    uint64_t epoch = kNeverWritten;  // tick / width when last written
+    std::vector<uint64_t> counts;    // bounds.size() + 1 (overflow)
+    uint64_t count = 0;
+    double sum = 0.0;
+  };
+  static constexpr uint64_t kNeverWritten = ~uint64_t{0};
+
+  void ClearSubWindowLocked(SubWindow* w);
+
+  const WindowConfig config_;
+  std::vector<double> bounds_;
+
+  mutable std::mutex mu_;
+  std::vector<SubWindow> windows_;
+  uint64_t newest_epoch_ = 0;  // max (tick / width) ever observed
+  bool any_observed_ = false;
+};
+
+// Exponentially-weighted moving average of an observed signal:
+//   ewma <- ewma + alpha * (v - ewma)
+// seeded by the first observation. A mutex keeps (value, count) coherent —
+// the EWMA recurrence is order-sensitive, so unlike Counter there is no
+// sharded lock-free formulation that stays exact. Observe runs at feedback
+// rate (per executed query), where an uncontended lock is noise. Higher
+// alpha reacts faster; the drift monitor uses it as the "current accuracy"
+// gauge the detectors sharpen into alarms.
+class EwmaGauge {
+ public:
+  explicit EwmaGauge(double alpha);
+  EwmaGauge(const EwmaGauge&) = delete;
+  EwmaGauge& operator=(const EwmaGauge&) = delete;
+
+  void Observe(double v);
+
+  double Value() const;
+  uint64_t Count() const;  // observations folded in
+  double alpha() const { return alpha_; }
+
+  void Reset();
+
+ private:
+  const double alpha_;
+  mutable std::mutex mu_;
+  double value_ = 0.0;
+  uint64_t count_ = 0;
+};
+
+}  // namespace dace::obs
+
+#endif  // DACE_OBS_WINDOW_H_

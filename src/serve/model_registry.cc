@@ -1,5 +1,6 @@
 #include "serve/model_registry.h"
 
+#include <chrono>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -20,6 +21,15 @@ obs::Counter* SwapFailedCounter() {
   static obs::Counter* c =
       obs::MetricsRegistry::Default()->GetCounter("serve.swap.failed");
   return c;
+}
+
+// Full SwapFromFile wall time (staging + validation + publish), observed on
+// every outcome — failed swaps burn the same loader work and belong in the
+// same distribution.
+obs::Histogram* SwapDurationHistogram() {
+  static obs::Histogram* h = obs::MetricsRegistry::Default()->GetHistogram(
+      "serve.swap.duration_us", obs::LatencyBucketsUs());
+  return h;
 }
 
 }  // namespace
@@ -56,15 +66,28 @@ StatusOr<ModelRegistry::Snapshot> ModelRegistry::Get(
 Status ModelRegistry::SwapFromFile(std::string_view tenant,
                                    const std::string& path) {
   DACE_TRACE_SPAN("serve.swap");
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto observe_duration = [t0] {
+    SwapDurationHistogram()->Observe(
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  };
   std::shared_ptr<core::DaceEstimator> current;
+  uint64_t generation = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = entries_.find(tenant);
     if (it == entries_.end()) {
       SwapFailedCounter()->Add(1);
+      observe_duration();
+      DACE_LOG(WARN) << "hot swap of tenant '" << std::string(tenant)
+                     << "' (generation 0) from " << path
+                     << " rejected: unknown tenant";
       return Status::NotFound("unknown tenant: " + std::string(tenant));
     }
     current = it->second.estimator;
+    generation = it->second.generation;
   }
   // Stage entirely off the serving path: the checkpoint loader verifies the
   // checksum before parsing a payload byte, rejects config mismatches, and
@@ -76,8 +99,10 @@ Status ModelRegistry::SwapFromFile(std::string_view tenant,
       current->prediction_cache_stats().capacity);
   if (const Status status = staged->LoadFromFile(path); !status.ok()) {
     SwapFailedCounter()->Add(1);
-    DACE_LOG(WARN) << "hot swap of tenant '" << std::string(tenant) << "' from "
-                   << path << " rejected: " << status.ToString();
+    observe_duration();
+    DACE_LOG(WARN) << "hot swap of tenant '" << std::string(tenant)
+                   << "' (generation " << generation << ") from " << path
+                   << " rejected: " << status.ToString();
     return status;
   }
   {
@@ -85,10 +110,12 @@ Status ModelRegistry::SwapFromFile(std::string_view tenant,
     Entry& entry = entries_[std::string(tenant)];
     entry.estimator = std::move(staged);
     ++entry.generation;
+    generation = entry.generation;
   }
   SwapOkCounter()->Add(1);
-  DACE_LOG(INFO) << "hot-swapped tenant '" << std::string(tenant) << "' from "
-                 << path;
+  observe_duration();
+  DACE_LOG(INFO) << "hot-swapped tenant '" << std::string(tenant)
+                 << "' (generation " << generation << ") from " << path;
   return Status::OK();
 }
 

@@ -328,4 +328,53 @@ StatusOr<double> EstimatorService::Estimate(std::string_view tenant,
   return queue->Submit(plan, deadline_us);
 }
 
+TenantFeedback* EstimatorService::GetFeedback(std::string_view tenant) {
+  std::lock_guard<std::mutex> lock(feedback_mu_);
+  auto it = feedback_.find(tenant);
+  if (it == feedback_.end()) {
+    it = feedback_
+             .emplace(std::string(tenant),
+                      std::make_unique<TenantFeedback>(
+                          std::string(tenant), config_.feedback,
+                          obs::MetricsRegistry::Default()))
+             .first;
+  }
+  return it->second.get();
+}
+
+TenantFeedback* EstimatorService::FindFeedback(std::string_view tenant) {
+  std::lock_guard<std::mutex> lock(feedback_mu_);
+  const auto it = feedback_.find(tenant);
+  return it == feedback_.end() ? nullptr : it->second.get();
+}
+
+StatusOr<TrackedEstimate> EstimatorService::EstimateTracked(
+    std::string_view tenant, const plan::QueryPlan& plan, int64_t deadline_us) {
+  auto estimate = Estimate(tenant, plan, deadline_us);
+  if (!estimate.ok()) return estimate.status();
+  TrackedEstimate tracked;
+  tracked.ms = *estimate;
+  tracked.request_id = GetFeedback(tenant)->RecordPrediction(tracked.ms);
+  return tracked;
+}
+
+Status EstimatorService::ReportActual(std::string_view tenant,
+                                      uint64_t request_id, double actual_ms) {
+  TenantFeedback* feedback = FindFeedback(tenant);
+  if (feedback == nullptr) {
+    return Status::NotFound("tenant '" + std::string(tenant) +
+                            "' has no tracked estimates");
+  }
+  return feedback->ReportActual(request_id, actual_ms);
+}
+
+void EstimatorService::NotifySwap(std::string_view tenant) {
+  if (TenantFeedback* feedback = FindFeedback(tenant)) feedback->NotifySwap();
+}
+
+obs::AccuracyMonitor* EstimatorService::Monitor(std::string_view tenant) {
+  TenantFeedback* feedback = FindFeedback(tenant);
+  return feedback == nullptr ? nullptr : feedback->monitor();
+}
+
 }  // namespace dace::serve

@@ -9,6 +9,7 @@
 #include <string_view>
 
 #include "plan/plan.h"
+#include "serve/feedback.h"
 #include "serve/model_registry.h"
 #include "util/status.h"
 
@@ -27,6 +28,17 @@ struct ServiceConfig {
   // when this many requests are already queued, so overload degrades into
   // fast typed rejections instead of unbounded queueing.
   size_t queue_capacity = 1024;
+  // Ground-truth feedback path (ledger size / TTL, drift-detector tuning)
+  // used by EstimateTracked / ReportActual.
+  FeedbackConfig feedback;
+};
+
+// An estimate whose prediction is retained for a later ground-truth join:
+// quote request_id back to ReportActual once the plan's actual latency is
+// known.
+struct TrackedEstimate {
+  uint64_t request_id = 0;
+  double ms = 0.0;
 };
 
 // Thread-safe multi-tenant front end over the estimator stack — the piece
@@ -78,6 +90,34 @@ class EstimatorService {
                             const plan::QueryPlan& plan,
                             int64_t deadline_us = 0);
 
+  // Estimate, plus the accuracy-observability feedback loop: the prediction
+  // is retained in the tenant's feedback ledger and the returned request_id
+  // joins it to ground truth via ReportActual. The retention cost on top of
+  // Estimate is one wait-free ledger write (~tens of ns), bounded memory.
+  StatusOr<TrackedEstimate> EstimateTracked(std::string_view tenant,
+                                            const plan::QueryPlan& plan,
+                                            int64_t deadline_us = 0);
+
+  // Ground-truth feedback: joins the measured latency of the plan behind
+  // `request_id` (from EstimateTracked) to its retained prediction, feeding
+  // the tenant's rolling q-error metrics and drift detectors (obs/drift.h).
+  // Call it from the executor's completion context — it is off the
+  // prediction path and never blocks serving. kNotFound if the tenant has
+  // no tracked estimates or the record's TTL elapsed (late actuals are
+  // counted in serve.feedback.late, never an error to retry).
+  Status ReportActual(std::string_view tenant, uint64_t request_id,
+                      double actual_ms);
+
+  // Tells the tenant's drift detectors the model was swapped: the live
+  // q-error window becomes the new KS reference and the detectors restart
+  // (the new model deserves a fresh baseline). No-op for tenants without a
+  // feedback path yet.
+  void NotifySwap(std::string_view tenant);
+
+  // The tenant's accuracy monitor (alarm history, callbacks), or nullptr if
+  // no EstimateTracked / ReportActual ever ran for the tenant.
+  obs::AccuracyMonitor* Monitor(std::string_view tenant);
+
   // Stops admitting new requests (they get kUnavailable); already-admitted
   // requests are drained to completion. Idempotent; the destructor calls it.
   void Shutdown();
@@ -88,11 +128,21 @@ class EstimatorService {
   struct Request;
   class TenantQueue;
 
+  // The tenant's feedback path, created on first use (decoupled from
+  // TenantQueue: feedback outlives queue shutdown, and ReportActual must
+  // work after Shutdown() drained the queues).
+  TenantFeedback* GetFeedback(std::string_view tenant);
+  TenantFeedback* FindFeedback(std::string_view tenant);
+
   ModelRegistry* const registry_;
   const ServiceConfig config_;
   std::mutex mu_;  // guards queues_ / shutdown_
   bool shutdown_ = false;
   std::map<std::string, std::unique_ptr<TenantQueue>, std::less<>> queues_;
+  std::mutex feedback_mu_;  // guards feedback_ (map only; entries are
+                            // internally synchronized)
+  std::map<std::string, std::unique_ptr<TenantFeedback>, std::less<>>
+      feedback_;
 };
 
 }  // namespace dace::serve

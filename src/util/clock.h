@@ -1,0 +1,36 @@
+#ifndef DACE_UTIL_CLOCK_H_
+#define DACE_UTIL_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace dace {
+
+// Monotone logical clock: time measured in abstract ticks advanced by the
+// code that owns the clock (one tick per observation, per request, per test
+// step — the owner decides what a tick means). Everything downstream of it
+// (windowed-metric rotation, feedback TTL eviction, drift-detector cadence)
+// is deterministic in the tick sequence, so tests and replay harnesses get
+// bit-identical rotation/eviction behaviour without ever touching wall time.
+class LogicalClock {
+ public:
+  LogicalClock() = default;
+  explicit LogicalClock(uint64_t start) : tick_(start) {}
+  LogicalClock(const LogicalClock&) = delete;
+  LogicalClock& operator=(const LogicalClock&) = delete;
+
+  uint64_t Now() const { return tick_.load(std::memory_order_relaxed); }
+
+  // Advances by n ticks and returns the tick the caller owns (the value
+  // BEFORE the advance), so concurrent advancers get distinct ticks.
+  uint64_t Advance(uint64_t n = 1) {
+    return tick_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> tick_{0};
+};
+
+}  // namespace dace
+
+#endif  // DACE_UTIL_CLOCK_H_

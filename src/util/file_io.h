@@ -1,0 +1,59 @@
+#ifndef DACE_UTIL_FILE_IO_H_
+#define DACE_UTIL_FILE_IO_H_
+
+// Whole-file I/O helpers shared by the checkpoint path (core) and the
+// observability sidecar writers (obs). Lived in core/checkpoint.{h,cc} until
+// the obs layer needed atomic writes below core; core re-exports them under
+// its old names so existing callers are unchanged. Header-only because obs
+// sits at the bottom of the library graph.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace dace {
+
+// Reads the whole file into *out. NotFound if it cannot be opened.
+inline Status ReadFileToString(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open for read: " + path);
+  out->assign(std::istreambuf_iterator<char>(in),
+              std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::DataLoss("read failed: " + path);
+  return Status::OK();
+}
+
+// Writes data to a temp file in path's directory, flushes, and renames it
+// over path — readers of `path` see either the complete old bytes or the
+// complete new bytes, never a prefix. On any failure the temp file is
+// removed and the existing file at `path` is left untouched.
+inline Status WriteFileAtomic(const std::string& path, std::string_view data) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::NotFound("cannot open for write: " + tmp);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      return Status::DataLoss("write failed (disk full?): " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::DataLoss("atomic rename failed: " + tmp + " -> " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace dace
+
+#endif  // DACE_UTIL_FILE_IO_H_

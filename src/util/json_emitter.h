@@ -7,6 +7,9 @@
 #include <utility>
 #include <vector>
 
+#include "util/file_io.h"
+#include "util/status.h"
+
 namespace dace {
 
 // Machine-readable results sidecar shared by the bench binaries and the
@@ -72,29 +75,39 @@ class JsonEmitter {
     return records_.back();
   }
 
-  // Writes the document if a path was set. Returns false on IO failure.
-  bool WriteIfRequested() const {
-    if (!enabled()) return true;
-    std::FILE* f = std::fopen(path_.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "cannot open --json path %s\n", path_.c_str());
-      return false;
-    }
-    std::fputs("{\"records\": [\n", f);
+  // Renders the full document — {"records": [{...}, ...]} — as a string, so
+  // callers can hand it to WriteFileAtomic (no torn sidecars) or serve it.
+  std::string Render() const {
+    std::string out = "{\"records\": [\n";
     for (size_t r = 0; r < records_.size(); ++r) {
-      std::fputs("  {", f);
+      out += "  {";
       const auto& fields = records_[r].fields_;
       for (size_t i = 0; i < fields.size(); ++i) {
-        std::fprintf(f, "%s\"%s\": %s", i == 0 ? "" : ", ",
-                     fields[i].first.c_str(), fields[i].second.c_str());
+        if (i != 0) out += ", ";
+        out += '"';
+        out += fields[i].first;
+        out += "\": ";
+        out += fields[i].second;
       }
-      std::fprintf(f, "}%s\n", r + 1 == records_.size() ? "" : ",");
+      out += r + 1 == records_.size() ? "}\n" : "},\n";
     }
-    std::fputs("]}\n", f);
-    const bool ok = std::ferror(f) == 0;
-    std::fclose(f);
-    if (ok) std::printf("wrote %s\n", path_.c_str());
-    return ok;
+    out += "]}\n";
+    return out;
+  }
+
+  // Writes the document if a path was set, atomically (tmp + rename), so a
+  // crash or a concurrent reader never sees a truncated document. Returns
+  // false on IO failure.
+  bool WriteIfRequested() const {
+    if (!enabled()) return true;
+    const Status status = WriteFileAtomic(path_, Render());
+    if (!status.ok()) {
+      std::fprintf(stderr, "cannot write --json path %s: %s\n", path_.c_str(),
+                   status.ToString().c_str());
+      return false;
+    }
+    std::printf("wrote %s\n", path_.c_str());
+    return true;
   }
 
  private:

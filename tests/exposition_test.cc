@@ -1,0 +1,177 @@
+// Prometheus text exposition: the renderer's output format is pinned by a
+// golden test (name sanitization, HELP escaping, cumulative `le` buckets
+// with +Inf, deterministic kind-then-name ordering), and the TCP endpoint
+// is exercised end to end with a raw-socket scrape — the same thing
+// `curl localhost:PORT/metrics` or a Prometheus scrape job does.
+
+#include "obs/exposition.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/window.h"
+#include "util/file_io.h"
+
+namespace dace::obs {
+namespace {
+
+TEST(SanitizeTest, MapsIllegalBytesToUnderscore) {
+  EXPECT_EQ(internal::SanitizeMetricName("serve.request.latency_us"),
+            "serve_request_latency_us");
+  EXPECT_EQ(internal::SanitizeMetricName("drift.tenant-0.alarms"),
+            "drift_tenant_0_alarms");
+  EXPECT_EQ(internal::SanitizeMetricName("a:b_c9"), "a:b_c9");  // legal as-is
+  EXPECT_EQ(internal::SanitizeMetricName("9lives"), "_lives");  // leading digit
+  EXPECT_EQ(internal::SanitizeMetricName(""), "_");
+}
+
+TEST(SanitizeTest, EscapesHelpText) {
+  EXPECT_EQ(internal::EscapeHelp("a\\b\nc"), "a\\\\b\\nc");
+  EXPECT_EQ(internal::EscapeHelp("plain"), "plain");
+}
+
+TEST(ExpositionGoldenTest, RendersSnapshotByteExactly) {
+  MetricsRegistry registry;
+  registry.GetCounter("serve.ok")->Add(5);
+  registry.GetGauge("queue.depth")->Set(3.5);
+  registry.GetEwma("accuracy.t-0.ewma", 0.5)->Observe(2.0);
+  const double bounds[] = {1.0, 2.5};
+  Histogram* h = registry.GetHistogram("req.latency", bounds);
+  h->Observe(0.5);
+  h->Observe(2.0);
+  h->Observe(9.0);  // overflow: in +Inf and count, not in a finite bucket
+  WindowedHistogram* w =
+      registry.GetWindowedHistogram("acc.window", bounds, WindowConfig{4, 2});
+  w->Observe(2.0, 0);
+
+  const std::string golden =
+      "# HELP serve_ok serve.ok\n"
+      "# TYPE serve_ok counter\n"
+      "serve_ok 5\n"
+      "# HELP queue_depth queue.depth\n"
+      "# TYPE queue_depth gauge\n"
+      "queue_depth 3.5\n"
+      "# HELP accuracy_t_0_ewma accuracy.t-0.ewma (ewma)\n"
+      "# TYPE accuracy_t_0_ewma gauge\n"
+      "accuracy_t_0_ewma 2\n"
+      "# HELP req_latency req.latency\n"
+      "# TYPE req_latency histogram\n"
+      "req_latency_bucket{le=\"1\"} 1\n"
+      "req_latency_bucket{le=\"2.5\"} 2\n"
+      "req_latency_bucket{le=\"+Inf\"} 3\n"
+      "req_latency_sum 11.5\n"
+      "req_latency_count 3\n"
+      "# HELP acc_window acc.window (windowed)\n"
+      "# TYPE acc_window histogram\n"
+      "acc_window_bucket{le=\"1\"} 0\n"
+      "acc_window_bucket{le=\"2.5\"} 1\n"
+      "acc_window_bucket{le=\"+Inf\"} 1\n"
+      "acc_window_sum 2\n"
+      "acc_window_count 1\n";
+  EXPECT_EQ(RenderPrometheusText(registry.TakeSnapshot()), golden);
+  // Determinism: a second render of the same state is byte-identical.
+  EXPECT_EQ(RenderPrometheusText(registry.TakeSnapshot()), golden);
+}
+
+// One manual HTTP/1.0 scrape over a fresh socket.
+std::string ScrapeOnce(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    ADD_FAILURE() << "connect failed";
+    return "";
+  }
+  const char request[] = "GET /metrics HTTP/1.0\r\n\r\n";
+  EXPECT_EQ(::write(fd, request, sizeof(request) - 1),
+            static_cast<ssize_t>(sizeof(request) - 1));
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(ExpositionServerTest, ServesScrapesOverLoopback) {
+  MetricsRegistry registry;
+  registry.GetCounter("scrape.test.counter")->Add(42);
+  auto server = ExpositionServer::Start(&registry, /*port=*/0);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  ASSERT_GT((*server)->port(), 0);
+
+  Counter* scrapes =
+      MetricsRegistry::Default()->GetCounter("obs.exposition.scrapes");
+  const uint64_t scrapes_before = scrapes->Value();
+
+  const std::string response = ScrapeOnce((*server)->port());
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(response.find("scrape_test_counter 42"), std::string::npos);
+
+  // A second scrape sees state mutated between scrapes.
+  registry.GetCounter("scrape.test.counter")->Add(1);
+  EXPECT_NE(ScrapeOnce((*server)->port()).find("scrape_test_counter 43"),
+            std::string::npos);
+  EXPECT_EQ(scrapes->Value(), scrapes_before + 2);
+  // Destructor stops the accept loop and joins (hangs here = bug).
+}
+
+TEST(ExpositionServerTest, RefusesOutOfRangePort) {
+  MetricsRegistry registry;
+  EXPECT_FALSE(ExpositionServer::Start(&registry, 70000).ok());
+  EXPECT_FALSE(ExpositionServer::Start(&registry, -1).ok());
+}
+
+TEST(PeriodicSnapshotWriterTest, WritesAndRewritesTheSidecar) {
+  const std::string path =
+      ::testing::TempDir() + "/exposition_periodic_metrics.json";
+  std::remove(path.c_str());
+  MetricsRegistry::Default()->GetCounter("periodic.test.counter")->Add(7);
+  {
+    PeriodicSnapshotWriter writer(path, /*period_ms=*/5);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (writer.writes() < 2 && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_GE(writer.writes(), 2u) << "periodic writer never fired";
+  }  // destructor performs one final write
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(path, &contents).ok());
+  EXPECT_NE(contents.find("\"records\""), std::string::npos);
+  EXPECT_NE(contents.find("periodic.test.counter"), std::string::npos);
+  // Atomic rename means no temp residue on the happy path.
+  std::remove(path.c_str());
+}
+
+TEST(MetricsReportTest, WriteMetricsReportReturnsTypedErrors) {
+  EXPECT_FALSE(WriteMetricsReport("").ok());
+  EXPECT_FALSE(WriteMetricsReport("/nonexistent-dir/metrics.json").ok());
+  const std::string path = ::testing::TempDir() + "/report_ok_metrics.json";
+  EXPECT_TRUE(WriteMetricsReport(path).ok());
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(path, &contents).ok());
+  EXPECT_NE(contents.find("\"records\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dace::obs

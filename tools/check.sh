@@ -42,18 +42,33 @@
 #   8. obs-off      — separate build tree with -DDACE_OBS=OFF proving the
 #                     DACE_TRACE_SPAN no-op macro compiles everywhere and the
 #                     suite still passes without span instrumentation.
-#   9. bench-serve  — the closed-loop serving load generator; writes
+#   9. drift-soak   — the long-stream drift-detector soak suites (stationary
+#                     streams must stay alarm-free, injected accuracy shifts
+#                     must trip Page-Hinkley AND KS), then the fig07 drift
+#                     scenario replayed through the online detectors: the
+#                     WDM's accuracy collapse past scale 1x must be detected
+#                     by BOTH detectors with zero false alarms on the
+#                     stationary prefix (writes BENCH_fig07_drift.json).
+#  10. bench-serve  — the closed-loop serving load generator; writes
 #                     BENCH_serve.json as the committed throughput/latency
-#                     record for the coalescing scheduler.
-#  10. bench-micro  — kernel/inference microbenchmarks; writes
+#                     record for the coalescing scheduler. The same run
+#                     serves live Prometheus text on an ephemeral
+#                     --metrics-port and lingers after the load; the smoke
+#                     scrapes it once and validates the exposition format
+#                     (HELP/TYPE pairs, cumulative le buckets, the
+#                     serve.feedback.* counters) before the process exits.
+#  11. bench-micro  — kernel/inference microbenchmarks; writes
 #                     BENCH_micro.json and gates on the derived records:
 #                     the packed f64 path must not be slower than the
 #                     per-plan path (packed_vs_perplan_speedup >= 1.0), the
 #                     int8 student tier must hold a healthy margin over the
 #                     packed f32 teacher (student_vs_teacher_speedup >= 3.0),
-#                     and the tiered path's median q-error must stay within
-#                     its accuracy budget (tiered_qerror_budget <= 1.05).
-#  11. bench-select — plan-selection quality replay (estimators CHOOSE plans
+#                     the tiered path's median q-error must stay within
+#                     its accuracy budget (tiered_qerror_budget <= 1.05),
+#                     and per-prediction accuracy tracking must stay in the
+#                     noise on the tiered hot path
+#                     (feedback_overhead_pct <= 2%).
+#  12. bench-select — plan-selection quality replay (estimators CHOOSE plans
 #                     from the optimizer's candidate sets; chosen plans are
 #                     executed on both machine profiles); rewrites
 #                     BENCH_select.json and gates against the committed
@@ -79,15 +94,15 @@ run_ctest() {
   (cd "$dir" && "$@" ctest --output-on-failure)
 }
 
-echo "==> [1/11] native build + tests"
+echo "==> [1/12] native build + tests"
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build -j "$JOBS"
 run_ctest build env
 
-echo "==> [2/11] scalar-forced tests (same build, DACE_KERNELS=scalar)"
+echo "==> [2/12] scalar-forced tests (same build, DACE_KERNELS=scalar)"
 run_ctest build env DACE_KERNELS=scalar
 
-echo "==> [3/11] kernels x precision matrix (targeted suites, 6 combos)"
+echo "==> [3/12] kernels x precision matrix (targeted suites, 6 combos)"
 PRECISION_SUITES='Kernels|Matrix|Layers|PackedInference|ServeDifferential|TieredServing'
 ISAS="scalar"
 if grep -qw avx2 /proc/cpuinfo 2>/dev/null; then ISAS="scalar avx2"; fi
@@ -99,41 +114,157 @@ for isa in $ISAS; do
   done
 done
 
-echo "==> [4/11] address-sanitizer build + tests (both ISA modes)"
+echo "==> [4/12] address-sanitizer build + tests (both ISA modes)"
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDACE_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$JOBS"
 run_ctest build-asan env
 run_ctest build-asan env DACE_KERNELS=scalar
 
-echo "==> [5/11] checkpoint + plan-text fuzz + int8/tiered under ASan"
+echo "==> [5/12] checkpoint + plan-text fuzz + int8/tiered under ASan"
 echo "           (both ISA modes)"
 (cd build-asan && env \
   ctest --output-on-failure -R 'Checkpoint|PlanIoFuzz|KernelsI8|TieredServing')
 (cd build-asan && env DACE_KERNELS=scalar \
   ctest --output-on-failure -R 'Checkpoint|PlanIoFuzz|KernelsI8|TieredServing')
 
-echo "==> [6/11] thread-sanitizer build + tests (logging INFO, tracing on)"
+echo "==> [6/12] thread-sanitizer build + tests (logging INFO, tracing on)"
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDACE_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS"
 run_ctest build-tsan env DACE_LOG_LEVEL=INFO DACE_TRACE=1
 
-echo "==> [7/11] serving-layer suites under TSan (soak, swap, differential"
+echo "==> [7/12] serving-layer suites under TSan (soak, swap, differential"
 echo "           incl. PackedForced* packed-path variants)"
 (cd build-tsan && env DACE_LOG_LEVEL=INFO DACE_TRACE=1 \
   ctest --output-on-failure -R 'Serve|RegistrySwap')
 
-echo "==> [8/11] observability-disabled build + tests (-DDACE_OBS=OFF)"
+echo "==> [8/12] observability-disabled build + tests (-DDACE_OBS=OFF)"
 cmake -B build-obs-off -S . -DCMAKE_BUILD_TYPE=Release \
   -DDACE_OBS=OFF >/dev/null
 cmake --build build-obs-off -j "$JOBS"
 run_ctest build-obs-off env
 
-echo "==> [9/11] serving load generator (writes BENCH_serve.json)"
-./build/bench/bench_serve --json=BENCH_serve.json
+echo "==> [9/12] drift-detector soak + fig07 detector-replay gate"
+(cd build && ctest --output-on-failure -R 'DriftSoak|PageHinkley|^KsTest')
+./build/bench/bench_fig07_data_drift --wdm_train=300 --test_queries=150 \
+  --queries_per_db=30 --epochs=2 --json=BENCH_fig07_drift.json
+python3 - <<'EOF'
+import json, sys
 
-echo "==> [10/11] microbenchmarks + packed-speedup gate (writes BENCH_micro.json)"
+records = [r for r in json.load(open("BENCH_fig07_drift.json"))["records"]
+           if r["name"] == "fig07_drift_detection"]
+by_model = {r["model"]: r for r in records}
+failures = []
+
+if "mscn" not in by_model:
+    failures.append("fig07_drift_detection record for the WDM (mscn) missing")
+else:
+    wdm = by_model["mscn"]
+    # The drifting WDM must be caught by BOTH online detectors.
+    if wdm["ph_detected"] != 1:
+        failures.append("Page-Hinkley never detected the WDM's accuracy drift")
+    if wdm["ks_detected"] != 1:
+        failures.append("KS never detected the WDM's accuracy drift")
+
+# Nobody may alarm on the stationary scale-1 prefix.
+for model, r in sorted(by_model.items()):
+    if r["false_alarms"] != 0:
+        failures.append(
+            f"{model}: {int(r['false_alarms'])} false alarm(s) on the "
+            f"stationary prefix")
+
+if failures:
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    sys.exit(1)
+
+for model, r in sorted(by_model.items()):
+    def delay(v):
+        return f"+{int(v)} obs" if v >= 0 else "never"
+    print(f"    {model:5s} false_alarms=0  ph={delay(r['ph_time_to_detect'])}  "
+          f"ks={delay(r['ks_time_to_detect'])}")
+EOF
+
+echo "==> [10/12] serving load generator + live exposition smoke"
+rm -f /tmp/bench_serve_expo.log
+./build/bench/bench_serve --json=BENCH_serve.json --metrics-port=0 \
+  --linger-ms=30000 >/tmp/bench_serve_expo.log 2>&1 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+python3 - <<'EOF'
+import re, sys, time, urllib.request
+
+# The endpoint comes up before the load runs; wait for the printed port.
+deadline = time.time() + 60
+port = None
+while time.time() < deadline and port is None:
+    try:
+        log = open("/tmp/bench_serve_expo.log").read()
+        m = re.search(r"metrics endpoint: http://127\.0\.0\.1:(\d+)/metrics", log)
+        if m:
+            port = int(m.group(1))
+            break
+    except FileNotFoundError:
+        pass
+    time.sleep(0.2)
+if port is None:
+    sys.exit("FAIL: bench_serve never printed its metrics endpoint")
+
+# Wait for the load to finish so the scrape sees the end-state counters.
+while time.time() < deadline and "lingering" not in open("/tmp/bench_serve_expo.log").read():
+    time.sleep(0.2)
+
+text = urllib.request.urlopen(f"http://127.0.0.1:{port}/metrics", timeout=10).read().decode()
+failures = []
+
+# Structural validation of the exposition format: every sample line must be
+# `name{labels}? value`, every family must carry HELP+TYPE, histogram
+# bucket counts must be cumulative and end in +Inf.
+sample_re = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? '
+    r'(-?\d+(\.\d+)?([eE][+-]?\d+)?|NaN|\+Inf|-Inf)$')
+helped, typed = set(), set()
+buckets = {}
+for line in text.splitlines():
+    if line.startswith("# HELP "):
+        helped.add(line.split()[2])
+    elif line.startswith("# TYPE "):
+        typed.add(line.split()[2])
+    elif line:
+        if not sample_re.match(line):
+            failures.append(f"malformed sample line: {line!r}")
+            continue
+        name = line.split("{")[0].split(" ")[0]
+        if name.endswith("_bucket"):
+            buckets.setdefault(name, []).append(line)
+if helped != typed:
+    failures.append(f"HELP/TYPE mismatch: {sorted(helped ^ typed)}")
+for name, lines in buckets.items():
+    counts = [float(l.rsplit(" ", 1)[1]) for l in lines]
+    if counts != sorted(counts):
+        failures.append(f"{name}: bucket counts not cumulative")
+    if 'le="+Inf"' not in lines[-1]:
+        failures.append(f"{name}: last bucket is not le=\"+Inf\"")
+
+# The run must have exercised the feedback/observability path end to end.
+for needle in ("serve_feedback_predictions", "serve_feedback_joined",
+               "serve_requests", "obs_exposition_scrapes",
+               "accuracy_tenant_0_qerror_window_bucket"):
+    if needle not in text:
+        failures.append(f"expected metric missing from scrape: {needle}")
+
+if failures:
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    sys.exit(1)
+print(f"    scraped {len(text.splitlines())} exposition lines from port {port}: format ok")
+EOF
+kill "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+trap - EXIT
+
+echo "==> [11/12] microbenchmarks + speedup/overhead gates (writes BENCH_micro.json)"
 ./build/bench/bench_micro --json=BENCH_micro.json --benchmark_min_time=0.5
 python3 - <<'EOF'
 import json, sys
@@ -166,6 +297,17 @@ elif student["speedup"] < 3.0:
         f"int8 student tier too close to the packed f32 teacher: "
         f"{student['speedup']:.3f}x < 3.0x")
 
+# Accuracy tracking must be free on the serving hot path: the wait-free
+# feedback-ledger write per prediction may cost at most 2% over the bare
+# tiered path (the join + drift detectors run on the ReportActual side).
+feedback = records.get("feedback_overhead_pct")
+if feedback is None:
+    failures.append("feedback_overhead_pct record missing from BENCH_micro.json")
+elif feedback["overhead_pct"] > 2.0:
+    failures.append(
+        f"feedback tracking too expensive on the tiered hot path: "
+        f"{feedback['overhead_pct']:+.2f}% > +2.00%")
+
 # Accuracy guard: the agreement gate must keep the tiered path's median
 # q-error within budget of serving every plan through the teacher.
 qerr = records.get("tiered_qerror_budget")
@@ -187,9 +329,10 @@ print(f"    f32_vs_f64_speedup               {records['f32_vs_f64_speedup']['spe
 print(f"    packed_f32_vs_perplan_speedup    {records['packed_f32_vs_perplan_speedup']['speedup']:.2f}x")
 print(f"    student_vs_teacher_speedup       {student['speedup']:.2f}x")
 print(f"    tiered_qerror_budget             {qerr['ratio']:.4f} (<= {qerr['budget']:.2f})")
+print(f"    feedback_overhead_pct            {feedback['overhead_pct']:+.2f}% (<= +2.00%)")
 EOF
 
-echo "==> [11/11] plan-selection regret gate (rewrites BENCH_select.json)"
+echo "==> [12/12] plan-selection regret gate (rewrites BENCH_select.json)"
 cp BENCH_select.json /tmp/bench_select_baseline.json
 ./build/bench/bench_select --json=BENCH_select.json
 python3 - <<'EOF'
@@ -236,4 +379,4 @@ for machine in ("M1", "M2"):
                   f"pct_optimal {r['pct_optimal']:.1f}%")
 EOF
 
-echo "==> all eleven configurations passed"
+echo "==> all twelve configurations passed"
