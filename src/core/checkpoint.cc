@@ -172,6 +172,15 @@ Status CheckpointReader::EnterSection(uint32_t expected_tag,
   return Status::OK();
 }
 
+Status CheckpointReader::PeekSectionTag(uint32_t* tag) const {
+  DACE_CHECK(!blob_.empty()) << "PeekSectionTag before Init";
+  if (AtEnd()) {
+    return Status::DataLoss("no section to peek (at end of checkpoint)");
+  }
+  ByteReader frame(blob_.data() + cursor_, sections_end_ - cursor_);
+  return frame.ReadU32(tag);
+}
+
 Status CheckpointReader::ExpectEnd() const {
   if (cursor_ != sections_end_) {
     return Status::DataLoss(

@@ -45,16 +45,22 @@ inline constexpr uint32_t kEndiannessMarker = 0x01020304u;
 inline constexpr size_t kCheckpointHeaderSize = 8 + 4 + 4 + 8 * 4;
 inline constexpr size_t kCheckpointTrailerSize = 4 + 4;
 
-// Section tags, in the order SaveToFile emits them. kSectionStudent is
-// OPTIONAL and trailing: checkpoints written before distillation (or by older
-// builds) simply end after fc3, and readers probe for it with AtEnd() —
-// which is what keeps pre-student checkpoints loadable unchanged.
+// Section tags, in the order SaveToFile emits them. kSectionStudent and
+// kSectionLineage are OPTIONAL and trailing: checkpoints written before
+// distillation (or by older builds) simply end after fc3, and readers probe
+// for them with AtEnd() + PeekSectionTag() — which is what keeps pre-student
+// and pre-lineage checkpoints loadable unchanged.
 inline constexpr uint32_t kSectionFeaturizer = 1;
 inline constexpr uint32_t kSectionAttention = 2;
 inline constexpr uint32_t kSectionFc1 = 3;
 inline constexpr uint32_t kSectionFc2 = 4;
 inline constexpr uint32_t kSectionFc3 = 5;
 inline constexpr uint32_t kSectionStudent = 6;
+// Provenance of the weights: a free-form lineage string stamped by whoever
+// produced the checkpoint (the adaptation loop records tenant, parent
+// generation and fine-tune seed) so a rollback target or promoted candidate
+// is attributable from the artifact alone.
+inline constexpr uint32_t kSectionLineage = 7;
 inline constexpr uint32_t kTrailerTag = 0;
 
 // The decoded header: format version plus the DaceConfig dimensions the
@@ -121,8 +127,14 @@ class CheckpointReader {
 
   // True once every section byte has been consumed — i.e. the next thing in
   // the file is the trailer. Lets loaders probe for optional trailing
-  // sections (kSectionStudent) without attempting a read that would fail.
+  // sections (kSectionStudent, kSectionLineage) without attempting a read
+  // that would fail.
   bool AtEnd() const { return cursor_ >= sections_end_; }
+
+  // Tag of the next unconsumed section, without advancing. Lets loaders
+  // dispatch among multiple optional trailing sections. DataLoss at end of
+  // sections or on a malformed frame.
+  Status PeekSectionTag(uint32_t* tag) const;
 
  private:
   std::string_view blob_;

@@ -393,6 +393,17 @@ TrainStats DaceModel::FineTuneLora(const std::vector<PlanFeatures>& data) {
   return RunTraining(data, /*lora_only=*/true);
 }
 
+TrainStats DaceModel::FineTuneLora(const std::vector<PlanFeatures>& data,
+                                   uint64_t seed) {
+  // Reseeding before adapter init / shuffling erases whatever RNG history the
+  // model accumulated (every prior Train/FineTune advanced rng_), so two
+  // models with identical weights produce bitwise-identical fine-tunes from
+  // the same (data, seed) — the reproducibility contract the background
+  // adaptation loop records in its lineage tag.
+  rng_.Reseed(seed);
+  return FineTuneLora(data);
+}
+
 StudentTrainStats DaceModel::DistillStudent(
     const std::vector<PlanFeatures>& data, const Matrix& inputs) {
   DACE_CHECK(!data.empty());
@@ -891,6 +902,14 @@ void DaceModel::AppendSections(CheckpointWriter* w) const {
     student_->Serialize(w->bytes());
     w->EndSection();
   }
+  // Lineage is likewise optional and trailing (after the student, when both
+  // are present): untagged models write nothing, so their artifacts are
+  // byte-identical to pre-lineage builds.
+  if (!lineage_.empty()) {
+    w->BeginSection(kSectionLineage);
+    w->bytes()->WriteBytes(lineage_.data(), lineage_.size());
+    w->EndSection();
+  }
 }
 
 Status DaceModel::LoadSections(CheckpointReader* r) {
@@ -911,13 +930,26 @@ Status DaceModel::LoadSections(CheckpointReader* r) {
   DACE_RETURN_IF_ERROR(load(kSectionFc2, &staged.fc2, "fc2"));
   DACE_RETURN_IF_ERROR(load(kSectionFc3, &staged.fc3, "fc3"));
   if (!r->AtEnd()) {
-    // Optional trailing student section. The staged student is constructed
-    // with the config dims and then overwritten by Deserialize; ValidateStaged
-    // rejects a checkpoint student of another architecture.
-    staged.student = std::make_unique<StudentModel>(
-        config_.student_hidden1, config_.student_hidden2, /*seed=*/0);
-    DACE_RETURN_IF_ERROR(load(kSectionStudent, staged.student.get(),
-                              "student"));
+    uint32_t tag = 0;
+    DACE_RETURN_IF_ERROR(r->PeekSectionTag(&tag));
+    if (tag == kSectionStudent) {
+      // Optional trailing student section. The staged student is constructed
+      // with the config dims and then overwritten by Deserialize;
+      // ValidateStaged rejects a checkpoint student of another architecture.
+      staged.student = std::make_unique<StudentModel>(
+          config_.student_hidden1, config_.student_hidden2, /*seed=*/0);
+      DACE_RETURN_IF_ERROR(load(kSectionStudent, staged.student.get(),
+                                "student"));
+    }
+  }
+  if (!r->AtEnd()) {
+    // Optional trailing lineage section (always after the student when both
+    // are present): the payload is the raw provenance string.
+    ByteReader payload;
+    DACE_RETURN_IF_ERROR(r->EnterSection(kSectionLineage, &payload));
+    staged.lineage.resize(payload.remaining());
+    DACE_RETURN_IF_ERROR(
+        payload.ReadBytes(staged.lineage.data(), staged.lineage.size()));
   }
   DACE_RETURN_IF_ERROR(r->ExpectEnd());
   DACE_RETURN_IF_ERROR(ValidateStaged(staged));
@@ -1001,6 +1033,9 @@ void DaceModel::CommitStaged(StagedWeights&& staged) {
   // The student follows the teacher wholesale: a checkpoint without a
   // student section drops any live student (it answered for other weights).
   student_ = std::move(staged.student);
+  // Lineage follows the same rule: it describes the weights being committed,
+  // so a checkpoint without the section clears any stale tag.
+  lineage_ = std::move(staged.lineage);
   ++weights_version_;  // loaded weights replace whatever was cached against
 }
 
@@ -1074,6 +1109,13 @@ void DaceEstimator::Train(const std::vector<plan::QueryPlan>& plans) {
 TrainStats DaceEstimator::FineTune(const std::vector<plan::QueryPlan>& plans) {
   DACE_CHECK(featurizer_.fitted()) << "FineTune requires a pre-trained model";
   last_train_stats_ = model_.FineTuneLora(FeaturizeAll(plans));
+  return last_train_stats_;
+}
+
+TrainStats DaceEstimator::FineTune(const std::vector<plan::QueryPlan>& plans,
+                                   uint64_t seed) {
+  DACE_CHECK(featurizer_.fitted()) << "FineTune requires a pre-trained model";
+  last_train_stats_ = model_.FineTuneLora(FeaturizeAll(plans), seed);
   return last_train_stats_;
 }
 
@@ -1545,22 +1587,30 @@ std::vector<double> DaceEstimator::Encode(const plan::QueryPlan& plan) const {
   return model_.EncodeRoot(f);
 }
 
-Status DaceEstimator::SaveToFile(const std::string& path) const {
-  // The whole artifact is built in memory (headers, framed sections, CRC
-  // trailer) and hits the filesystem exactly once, via temp-file + rename:
-  // a reader of `path` can never observe a torn checkpoint, and a failed
-  // write never clobbers the previous one.
+std::string DaceEstimator::SerializeToString() const {
   CheckpointWriter writer(config_);
   writer.BeginSection(kSectionFeaturizer);
   featurizer_.Serialize(writer.bytes());
   writer.EndSection();
   model_.AppendSections(&writer);
-  return WriteFileAtomic(path, std::move(writer).Finalize());
+  return std::move(writer).Finalize();
+}
+
+Status DaceEstimator::SaveToFile(const std::string& path) const {
+  // The whole artifact is built in memory (headers, framed sections, CRC
+  // trailer) and hits the filesystem exactly once, via temp-file + rename:
+  // a reader of `path` can never observe a torn checkpoint, and a failed
+  // write never clobbers the previous one.
+  return WriteFileAtomic(path, SerializeToString());
 }
 
 Status DaceEstimator::LoadFromFile(const std::string& path) {
   std::string blob;
   DACE_RETURN_IF_ERROR(ReadFileToString(path, &blob));
+  return LoadFromString(blob);
+}
+
+Status DaceEstimator::LoadFromString(std::string_view blob) {
   featurize::Featurizer staged_featurizer;
   if (HasCheckpointMagic(blob)) {
     CheckpointReader reader;
@@ -1592,6 +1642,20 @@ Status DaceEstimator::LoadFromFile(const std::string& path) {
     TierGateQBoundGauge()->Set(model_.student()->gate_q_bound());
   }
   return Status::OK();
+}
+
+std::unique_ptr<DaceEstimator> DaceEstimator::Clone() const {
+  auto clone = std::make_unique<DaceEstimator>(config_);
+  // The round-trip goes through the same validated checkpoint image as
+  // save/load, so the clone's predictions are bit-identical to the
+  // original's by the established serialization contract — while its RNG,
+  // scratch, caches and counters are all fresh.
+  const Status loaded = clone->LoadFromString(SerializeToString());
+  DACE_CHECK(loaded.ok()) << "self-serialized checkpoint failed to load: "
+                          << loaded.ToString();
+  clone->set_name(name_);
+  clone->set_prediction_cache_capacity(prediction_cache_->GetStats().capacity);
+  return clone;
 }
 
 }  // namespace dace::core

@@ -2,9 +2,11 @@
 #define DACE_CORE_DACE_MODEL_H_
 
 #include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/estimator.h"
@@ -119,6 +121,15 @@ class DaceModel {
   // base weights, and updates only the adapters.
   TrainStats FineTuneLora(const std::vector<featurize::PlanFeatures>& data);
 
+  // Seeded variant for background adaptation: reseeds the model RNG before
+  // attaching adapters / shuffling, so the resulting weights are a pure
+  // function of (current weights, data, seed) — bit-reproducible at any
+  // thread count and independent of however many training runs advanced the
+  // RNG before this call (the PR-1 chunked-reduction contract supplies the
+  // thread-count half; the reseed supplies the history half).
+  TrainStats FineTuneLora(const std::vector<featurize::PlanFeatures>& data,
+                          uint64_t seed);
+
   // Distills the student tier (DESIGN.md §14): computes the frozen teacher's
   // root prediction for every plan of `data` in parallel, trains a fresh
   // StudentModel on (inputs row i → teacher prediction i), then calibrates
@@ -209,6 +220,13 @@ class DaceModel {
   size_t LoraParameterCount() const;
   bool lora_attached() const { return lora_attached_; }
 
+  // Free-form provenance tag carried by format-1 checkpoints (optional
+  // trailing kSectionLineage): who produced these weights and from what.
+  // Never affects predictions, so setting it does not bump
+  // weights_version(); it rides along through save/load and Clone.
+  const std::string& lineage() const { return lineage_; }
+  void set_lineage(std::string lineage) { lineage_ = std::move(lineage); }
+
   // Monotone counter identifying the current weights: bumped by every
   // mutation of the parameters (Train, FineTuneLora, Deserialize). Cached
   // predictions are valid exactly as long as this value is unchanged — the
@@ -283,6 +301,7 @@ class DaceModel {
     nn::TreeAttention attention;
     nn::Linear fc1, fc2, fc3;
     std::unique_ptr<StudentModel> student;  // optional trailing section
+    std::string lineage;                    // optional trailing section
   };
   Status ValidateStaged(const StagedWeights& staged) const;
   void CommitStaged(StagedWeights&& staged);
@@ -297,6 +316,7 @@ class DaceModel {
   ThreadPool* pool_ = nullptr;
   mutable F32Weights f32_;  // rebuilt by EnsureF32Weights on version change
   std::unique_ptr<StudentModel> student_;  // distilled tier; often null
+  std::string lineage_;  // provenance tag; empty = untagged
 };
 
 // Plan-level facade implementing the CostEstimator interface: owns the
@@ -316,6 +336,13 @@ class DaceEstimator : public CostEstimator {
   // LoRA fine-tuning on a new workload (across-more / instance adaptation).
   // Reuses the already-fitted featurizer; requires Train first.
   TrainStats FineTune(const std::vector<plan::QueryPlan>& plans);
+
+  // Seeded fine-tune for the background adaptation loop: the produced
+  // weights are a pure function of (current weights, plans, seed) — bitwise
+  // reproducible at any thread count, regardless of how much training
+  // history advanced the model RNG beforehand.
+  TrainStats FineTune(const std::vector<plan::QueryPlan>& plans,
+                      uint64_t seed);
 
   // Distills the student serving tier from the current (frozen) teacher on
   // `plans` (typically the training or fine-tuning corpus) and calibrates
@@ -436,8 +463,30 @@ class DaceEstimator : public CostEstimator {
   const featurize::Featurizer& featurizer() const { return featurizer_; }
   const TrainStats& last_train_stats() const { return last_train_stats_; }
 
+  // Checkpoint provenance tag (forwarded to the model; see
+  // DaceModel::lineage). Serialized as the optional kSectionLineage.
+  const std::string& lineage() const { return model_.lineage(); }
+  void set_lineage(std::string lineage) {
+    mutable_model().set_lineage(std::move(lineage));
+  }
+
   Status SaveToFile(const std::string& path) const;
   Status LoadFromFile(const std::string& path);
+
+  // The complete format-1 checkpoint image (what SaveToFile writes) and its
+  // transactional inverse. LoadFromString has exactly the LoadFromFile
+  // contract: on any failure the live featurizer, weights, version and
+  // cached predictions are untouched.
+  std::string SerializeToString() const;
+  Status LoadFromString(std::string_view blob);
+
+  // Deep copy via an in-memory checkpoint round-trip: a fresh estimator with
+  // this one's config, featurizer, weights (bit-identical predictions),
+  // student, and lineage — and its OWN scratch, cache and RNG (reseeded from
+  // config.seed), so the clone can fine-tune on a background thread while
+  // the original keeps serving. Name and cache capacity carry over; thread
+  // pool and tier/packed modes are left at the clone's defaults.
+  std::unique_ptr<DaceEstimator> Clone() const;
 
  private:
   featurize::FeaturizerConfig FeatConfig() const;

@@ -151,6 +151,11 @@ void AccuracyMonitor::ObserveQError(double predicted_ms, double actual_ms) {
       }
     }
   }
+  // Re-entrancy contract (pinned by drift_reentrancy_test): mu_ is NOT held
+  // here, so a callback may call back into this monitor — CaptureReference
+  // to acknowledge, ObserveQError, Alarms, AddAlarmCallback — or into the
+  // serving layer (NotifySwap lands on CaptureReference) without deadlock.
+  // The adaptation controller's alarm subscription relies on this.
   for (int i = 0; i < raised_count; ++i) {
     for (const AlarmCallback& cb : callbacks[i]) cb(raised[i]);
   }

@@ -148,6 +148,11 @@ class AccuracyMonitor {
   // Live rolling view of the q-error window (merged sub-windows).
   Histogram::Snapshot WindowSnapshot() const { return window_->TakeSnapshot(); }
 
+  // Median q-error of the live rolling window (0 if empty) — the scalar the
+  // adaptation gate and the drift-recovery CI stage compare against their
+  // pre-drift baselines.
+  double WindowMedianQError() const { return WindowSnapshot().Quantile(0.5); }
+
  private:
   void RaiseLocked(const char* detector, double statistic, double threshold,
                    uint64_t tick, std::vector<AlarmCallback>* callbacks,

@@ -1,0 +1,361 @@
+#include "serve/adaptation.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "obs/trace.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace dace::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedUs(Clock::time_point since) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - since)
+      .count();
+}
+
+// Handles into the process-wide registry, resolved once. The exact
+// accounting identities (triggered == skipped + finetunes; finetunes ==
+// promoted + rolledback + aborted) are part of the public contract — the
+// stress test reconciles these counters to the job ledger it drove.
+struct AdaptMetrics {
+  obs::Counter* triggered;
+  obs::Counter* dropped;
+  obs::Counter* skipped;
+  obs::Counter* finetunes;
+  obs::Counter* promoted;
+  obs::Counter* rolledback;
+  obs::Counter* aborted;
+  obs::Histogram* finetune_us;
+  obs::Histogram* cycle_us;
+};
+
+AdaptMetrics* Metrics() {
+  static AdaptMetrics* metrics = [] {
+    obs::MetricsRegistry* r = obs::MetricsRegistry::Default();
+    auto* m = new AdaptMetrics();
+    m->triggered = r->GetCounter("serve.adapt.triggered");
+    m->dropped = r->GetCounter("serve.adapt.dropped");
+    m->skipped = r->GetCounter("serve.adapt.skipped");
+    m->finetunes = r->GetCounter("serve.adapt.finetunes");
+    m->promoted = r->GetCounter("serve.adapt.promoted");
+    m->rolledback = r->GetCounter("serve.adapt.rolledback");
+    m->aborted = r->GetCounter("serve.adapt.aborted");
+    m->finetune_us =
+        r->GetHistogram("serve.adapt.finetune_us", obs::LatencyBucketsUs());
+    m->cycle_us =
+        r->GetHistogram("serve.adapt.cycle_us", obs::LatencyBucketsUs());
+    return m;
+  }();
+  return metrics;
+}
+
+// Median q-error of `estimator` over the labelled holdout. The estimator
+// must be privately owned by the caller (PredictBatchMs shares scratch) —
+// the controller only ever scores its own clone or the unpublished canary.
+double MedianQError(const core::DaceEstimator& estimator,
+                    std::span<const plan::QueryPlan> holdout) {
+  if (holdout.empty()) return 0.0;
+  const std::vector<double> predicted = estimator.PredictBatchMs(holdout);
+  std::vector<double> q;
+  q.reserve(holdout.size());
+  for (size_t i = 0; i < holdout.size(); ++i) {
+    const double actual =
+        std::max(holdout[i].node(holdout[i].root()).actual_time_ms, 1e-6);
+    const double pred = std::max(predicted[i], 1e-6);
+    q.push_back(std::max(pred / actual, actual / pred));
+  }
+  const size_t mid = q.size() / 2;
+  std::nth_element(q.begin(), q.begin() + static_cast<ptrdiff_t>(mid), q.end());
+  return q[mid];
+}
+
+// Deterministic per-cycle fine-tune seed: a pure function of the configured
+// base seed, the tenant key and the incumbent generation the cycle adapts.
+uint64_t DeriveSeed(uint64_t base, std::string_view tenant,
+                    uint64_t generation) {
+  uint64_t h = base;
+  for (const char c : tenant) {
+    h = HashCombine(h, static_cast<uint64_t>(static_cast<unsigned char>(c)));
+  }
+  return HashCombine(h, generation);
+}
+
+}  // namespace
+
+AdaptationController::AdaptationController(ModelRegistry* registry,
+                                           EstimatorService* service,
+                                           const AdaptationConfig& config)
+    : registry_(registry), service_(service), config_(config) {
+  DACE_CHECK(registry != nullptr);
+  DACE_CHECK(service != nullptr);
+  DACE_CHECK(!config.checkpoint_dir.empty())
+      << "AdaptationConfig.checkpoint_dir is required (anchor + candidate "
+         "checkpoints live there)";
+  DACE_CHECK(config.queue_capacity >= 1);
+  DACE_CHECK(config.holdout_plans >= 1);
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+AdaptationController::~AdaptationController() {
+  Shutdown();
+  worker_.join();
+}
+
+Status AdaptationController::Watch(std::string_view tenant) {
+  if (registry_->Generation(tenant) == 0) {
+    return Status::NotFound("unknown tenant: " + std::string(tenant));
+  }
+  obs::AccuracyMonitor* monitor = service_->EnsureMonitor(tenant);
+  // The monitor copies callbacks under its lock but INVOKES them outside it
+  // (pinned by serve_adaptation_test), so this enqueue can never deadlock
+  // against the ObserveQError path that raised the alarm.
+  monitor->AddAlarmCallback(
+      [this, key = std::string(tenant)](const obs::Alarm&) {
+        TriggerAdaptation(key);
+      });
+  return Status::OK();
+}
+
+bool AdaptationController::TriggerAdaptation(std::string_view tenant) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const bool duplicate =
+        running_ == tenant ||
+        std::find(queue_.begin(), queue_.end(), tenant) != queue_.end();
+    if (stop_ || duplicate || queue_.size() >= config_.queue_capacity) {
+      Metrics()->dropped->Add(1);
+      return false;
+    }
+    queue_.emplace_back(tenant);
+    Metrics()->triggered->Add(1);
+  }
+  SetState(std::string(tenant), State::kDrifted);
+  work_cv_.notify_one();
+  return true;
+}
+
+void AdaptationController::Quiesce() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && running_.empty(); });
+}
+
+void AdaptationController::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+}
+
+AdaptationController::State AdaptationController::state(
+    std::string_view tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = states_.find(tenant);
+  return it == states_.end() ? State::kStable : it->second;
+}
+
+uint64_t AdaptationController::cycles_completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cycles_completed_;
+}
+
+void AdaptationController::SetState(const std::string& tenant, State state) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    states_[tenant] = state;
+  }
+  obs::MetricsRegistry::Default()
+      ->GetGauge("serve.adapt." + tenant + ".state")
+      ->Set(static_cast<double>(state));
+}
+
+void AdaptationController::Hook(std::string_view stage,
+                                const std::string& path) {
+  if (config_.stage_hook) config_.stage_hook(stage, path);
+}
+
+void AdaptationController::WorkerLoop() {
+  for (;;) {
+    std::string tenant;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_) {
+        // Queued-but-unstarted jobs resolve as skipped so the triggered
+        // identity still reconciles after a shutdown race.
+        while (!queue_.empty()) {
+          queue_.pop_front();
+          Metrics()->skipped->Add(1);
+          ++cycles_completed_;
+        }
+        idle_cv_.notify_all();
+        return;
+      }
+      tenant = std::move(queue_.front());
+      queue_.pop_front();
+      running_ = tenant;
+    }
+    RunCycle(tenant);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      running_.clear();
+      ++cycles_completed_;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+void AdaptationController::RunCycle(const std::string& tenant) {
+  DACE_TRACE_SPAN("serve.adapt.cycle");
+  AdaptMetrics* m = Metrics();
+  const Clock::time_point cycle_t0 = Clock::now();
+  const auto finish = [&](State state) {
+    SetState(tenant, state);
+    m->cycle_us->Observe(ElapsedUs(cycle_t0));
+  };
+  Hook("cycle.begin", "");
+
+  // Harvest. The copy decouples the (long) fine-tune from serving-path
+  // retention writes; the holdout is the most RECENT slice — live traffic
+  // closest to the drifted distribution the candidate must win on.
+  const std::vector<plan::QueryPlan> retained = service_->RetainedPlans(tenant);
+  if (retained.size() < config_.min_finetune_plans ||
+      retained.size() <= config_.holdout_plans) {
+    DACE_LOG(INFO) << "adaptation cycle for tenant '" << tenant
+                   << "' skipped: " << retained.size()
+                   << " labelled plans retained, need "
+                   << std::max(config_.min_finetune_plans,
+                               config_.holdout_plans + 1);
+    m->skipped->Add(1);
+    finish(State::kStable);
+    return;
+  }
+  auto snapshot_or = registry_->Get(tenant);
+  if (!snapshot_or.ok()) {
+    m->skipped->Add(1);
+    finish(State::kStable);
+    return;
+  }
+  const ModelRegistry::Snapshot incumbent = *std::move(snapshot_or);
+  const uint64_t generation = registry_->Generation(tenant);
+  const uint64_t seed =
+      DeriveSeed(config_.finetune_seed, tenant, generation);
+  const std::span<const plan::QueryPlan> holdout(
+      retained.data() + (retained.size() - config_.holdout_plans),
+      config_.holdout_plans);
+  const std::vector<plan::QueryPlan> corpus(
+      retained.begin(),
+      retained.end() - static_cast<ptrdiff_t>(config_.holdout_plans));
+
+  SetState(tenant, State::kFineTuning);
+
+  // Clone-and-finetune: the clone is bit-identical to the incumbent (same
+  // checkpoint image) with its own scratch and caches, so both the baseline
+  // scoring and the fine-tune run fully off the serving path — the published
+  // snapshot is never touched.
+  std::unique_ptr<core::DaceEstimator> candidate = incumbent->Clone();
+
+  // Anchor: the exact incumbent weights, lineage-tagged — the versioned
+  // artifact a rollback (or an operator) restores bit-for-bit.
+  const std::string stem = config_.checkpoint_dir + "/" + tenant + "-g" +
+                           std::to_string(generation);
+  const std::string anchor_path = stem + "-anchor.ckpt";
+  candidate->set_lineage(StrFormat("anchor tenant=%s gen=%llu", tenant.c_str(),
+                                   static_cast<unsigned long long>(generation)));
+  if (const Status s = candidate->SaveToFile(anchor_path); !s.ok()) {
+    DACE_LOG(WARN) << "adaptation cycle for tenant '" << tenant
+                   << "' skipped: anchor checkpoint failed: " << s.ToString();
+    m->skipped->Add(1);
+    finish(State::kStable);
+    return;
+  }
+  const double incumbent_q = MedianQError(*candidate, holdout);
+
+  Hook("finetune.before", anchor_path);
+  m->finetunes->Add(1);
+  const Clock::time_point ft_t0 = Clock::now();
+  candidate->FineTune(corpus, seed);
+  m->finetune_us->Observe(ElapsedUs(ft_t0));
+
+  const std::string candidate_path = stem + "-candidate.ckpt";
+  candidate->set_lineage(
+      StrFormat("candidate tenant=%s parent_gen=%llu seed=%llu",
+                tenant.c_str(), static_cast<unsigned long long>(generation),
+                static_cast<unsigned long long>(seed)));
+  if (const Status s = candidate->SaveToFile(candidate_path); !s.ok()) {
+    DACE_LOG(WARN) << "adaptation cycle for tenant '" << tenant
+                   << "' aborted: candidate checkpoint failed: "
+                   << s.ToString();
+    m->aborted->Add(1);
+    finish(State::kStable);
+    return;
+  }
+
+  // Canary: everything from here on goes through the registry's gated
+  // publication path, against the staged ARTIFACT — what would actually
+  // serve — not the in-memory clone.
+  SetState(tenant, State::kCanary);
+  Hook("canary.before_stage", candidate_path);
+  if (const Status s = registry_->BeginCanary(tenant, candidate_path);
+      !s.ok()) {
+    DACE_LOG(WARN) << "adaptation cycle for tenant '" << tenant
+                   << "' aborted at canary staging: " << s.ToString();
+    m->aborted->Add(1);
+    // Acknowledge the alarm: the detectors keep watching the incumbent, but
+    // from a fresh baseline instead of instantly re-firing on the same
+    // drifted window.
+    if (obs::AccuracyMonitor* monitor = service_->Monitor(tenant)) {
+      monitor->CaptureReference();
+    }
+    finish(State::kStable);
+    return;
+  }
+  auto canary_or = registry_->CanarySnapshot(tenant);
+  DACE_CHECK(canary_or.ok());  // staged above, nothing else drops it
+  const double candidate_q = MedianQError(**canary_or, holdout);
+
+  const bool accept = candidate_q <= config_.accept_margin * incumbent_q;
+  DACE_LOG(INFO) << "canary gate for tenant '" << tenant
+                 << "': incumbent median q-error " << incumbent_q
+                 << ", candidate " << candidate_q << " (margin "
+                 << config_.accept_margin << ") -> "
+                 << (accept ? "promote" : "rollback");
+  Hook("canary.before_promote", candidate_path);
+  if (!accept) {
+    const Status s = registry_->RollbackCanary(tenant);
+    DACE_CHECK(s.ok()) << s.ToString();
+    m->rolledback->Add(1);
+    if (obs::AccuracyMonitor* monitor = service_->Monitor(tenant)) {
+      monitor->CaptureReference();
+    }
+    finish(State::kRolledBack);
+    return;
+  }
+  if (const Status s = registry_->PromoteCanary(tenant); !s.ok()) {
+    // Lost the publication race (a concurrent SwapFromFile republished the
+    // tenant): the registry already dropped the candidate; the newer swap's
+    // owner is responsible for its own NotifySwap.
+    DACE_LOG(WARN) << "adaptation cycle for tenant '" << tenant
+                   << "' aborted at promote: " << s.ToString();
+    m->aborted->Add(1);
+    if (obs::AccuracyMonitor* monitor = service_->Monitor(tenant)) {
+      monitor->CaptureReference();
+    }
+    finish(State::kStable);
+    return;
+  }
+  m->promoted->Add(1);
+  // Rebaseline the drift detectors on the promoted model: its q-error
+  // distribution is the new normal.
+  service_->NotifySwap(tenant);
+  finish(State::kPromoted);
+}
+
+}  // namespace dace::serve

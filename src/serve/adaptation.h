@@ -1,0 +1,162 @@
+#ifndef DACE_SERVE_ADAPTATION_H_
+#define DACE_SERVE_ADAPTATION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "serve/model_registry.h"
+#include "serve/service.h"
+#include "util/status.h"
+
+namespace dace::serve {
+
+// Tunables of the closed adaptation loop (DESIGN.md §17).
+struct AdaptationConfig {
+  // Directory the loop writes its versioned artifacts into: per cycle an
+  // anchor checkpoint of the incumbent (the exact rollback target) and the
+  // fine-tuned candidate checkpoint the canary stages from. Required.
+  std::string checkpoint_dir;
+
+  // A cycle is skipped (serve.adapt.skipped) unless at least this many
+  // labelled plans are retained — fine-tuning on a handful of joins would
+  // overfit the adapters to noise.
+  size_t min_finetune_plans = 32;
+
+  // The most recent `holdout_plans` retained plans are withheld from the
+  // fine-tune corpus and used to shadow-score incumbent vs candidate — a
+  // slice of live traffic the candidate never trained on.
+  size_t holdout_plans = 16;
+
+  // Acceptance gate: the candidate is promoted iff its holdout median
+  // q-error <= accept_margin × the incumbent's. < 1 demands strict
+  // improvement with a safety margin; a regressing candidate always rolls
+  // back.
+  double accept_margin = 0.95;
+
+  // Base RNG seed for background fine-tunes. The per-cycle seed is derived
+  // from (this, tenant, incumbent generation), so a cycle is bit-reproducible
+  // — rerunning the same cycle against the same weights and corpus yields a
+  // bit-identical candidate at any thread count — while distinct cycles
+  // explore distinct adapter initializations.
+  uint64_t finetune_seed = 0xDACE5EED;
+
+  // Pending-job slots. Alarms landing while the queue is full (or while the
+  // tenant already has a cycle queued or running) are dropped and counted
+  // (serve.adapt.dropped) — drift alarms are level signals, not a work list.
+  size_t queue_capacity = 2;
+
+  // Test-only fault-injection hook, invoked synchronously on the worker
+  // thread at named stages ("cycle.begin", "finetune.before",
+  // "canary.before_stage", "canary.before_promote") with the artifact path
+  // relevant to the stage (empty when none). Production leaves it unset.
+  std::function<void(std::string_view stage, const std::string& path)>
+      stage_hook;
+};
+
+// Closed loop turning PR-9 drift alarms into safely-published fine-tunes:
+//
+//   Stable --alarm--> Drifted --enough labelled plans--> FineTuning
+//     FineTuning: clone the incumbent snapshot, score the clone on the
+//       holdout slice (incumbent baseline — the clone is bit-identical, so
+//       this never touches the serving estimator's scratch), LoRA-fine-tune
+//       the clone on the retained corpus with the derived seed, write the
+//       lineage-tagged anchor + candidate checkpoints.
+//     Canary: stage the candidate checkpoint beside the incumbent
+//       (ModelRegistry::BeginCanary), shadow-score the STAGED artifact on
+//       the holdout, then gate:
+//         accepted  -> PromoteCanary (generation-guarded; a raced swap
+//                      aborts) -> NotifySwap rebaselines the drift
+//                      detectors -> Promoted
+//         rejected  -> RollbackCanary (incumbent bit-identical, its
+//                      prediction cache intact) + CaptureReference to
+//                      acknowledge the alarm -> RolledBack
+//   and back to Stable either way.
+//
+// All of it runs on ONE background worker thread, off the serving path: the
+// serving snapshot is only ever read through the registry, never mutated.
+//
+// serve.adapt.* accounting (exact, asserted by the stress test):
+//   triggered  == skipped + finetunes            (every job resolves once)
+//   finetunes  == promoted + rolledback + aborted (every fine-tune resolves)
+//   dropped counts alarms/triggers that never became jobs (full queue or
+//   dedupe) and participates in no other identity.
+// Plus serve.adapt.finetune_us / serve.adapt.cycle_us histograms and a
+// per-tenant serve.adapt.<tenant>.state gauge holding the State enum value.
+class AdaptationController {
+ public:
+  enum class State {
+    kStable = 0,
+    kDrifted = 1,
+    kFineTuning = 2,
+    kCanary = 3,
+    kPromoted = 4,
+    kRolledBack = 5,
+  };
+
+  AdaptationController(ModelRegistry* registry, EstimatorService* service,
+                       const AdaptationConfig& config);
+  ~AdaptationController();  // Shutdown() and joins the worker.
+
+  AdaptationController(const AdaptationController&) = delete;
+  AdaptationController& operator=(const AdaptationController&) = delete;
+
+  // Subscribes the controller to the tenant's drift alarms (creating the
+  // tenant's feedback path if needed): every alarm becomes a
+  // TriggerAdaptation. The monitor invokes callbacks outside its lock, so
+  // the enqueue never deadlocks against the observation path.
+  Status Watch(std::string_view tenant);
+
+  // Enqueues an adaptation cycle for the tenant. Returns true if enqueued
+  // (serve.adapt.triggered); false if dropped because the queue is full or
+  // the tenant already has a cycle queued/running (serve.adapt.dropped).
+  bool TriggerAdaptation(std::string_view tenant);
+
+  // Blocks until every queued job has fully resolved and the worker is
+  // idle. Does not stop the controller — new triggers keep working.
+  void Quiesce();
+
+  // Stops the worker: queued-but-unstarted jobs are abandoned (their
+  // `triggered` remains; they resolve as skipped), the running job finishes.
+  // Idempotent; the destructor calls it.
+  void Shutdown();
+
+  // The tenant's current lifecycle state (kStable if never adapted).
+  State state(std::string_view tenant) const;
+
+  // Completed cycles (jobs fully resolved), for test synchronization.
+  uint64_t cycles_completed() const;
+
+ private:
+  void WorkerLoop();
+  void RunCycle(const std::string& tenant);
+  void SetState(const std::string& tenant, State state);
+  void Hook(std::string_view stage, const std::string& path);
+
+  ModelRegistry* const registry_;
+  EstimatorService* const service_;
+  const AdaptationConfig config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // worker waits for jobs / stop
+  std::condition_variable idle_cv_;   // Quiesce waits for drain
+  std::deque<std::string> queue_;     // pending tenants (deduped)
+  std::string running_;               // tenant of the in-flight cycle
+  bool stop_ = false;
+  uint64_t cycles_completed_ = 0;
+  std::map<std::string, State, std::less<>> states_;
+  std::thread worker_;
+};
+
+}  // namespace dace::serve
+
+#endif  // DACE_SERVE_ADAPTATION_H_

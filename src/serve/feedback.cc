@@ -81,7 +81,9 @@ TenantFeedback::TenantFeedback(const std::string& tenant,
       monitor_(tenant, config.monitor, registry),
       predictions_(registry->GetCounter("serve.feedback.predictions")),
       joined_(registry->GetCounter("serve.feedback.joined")),
-      late_(registry->GetCounter("serve.feedback.late")) {}
+      late_(registry->GetCounter("serve.feedback.late")),
+      retained_total_(registry->GetCounter("serve.feedback.retained")),
+      retain_capacity_(config.retain_capacity) {}
 
 Status TenantFeedback::ReportActual(uint64_t request_id, double actual_ms) {
   double predicted_ms = 0.0;
@@ -93,6 +95,35 @@ Status TenantFeedback::ReportActual(uint64_t request_id, double actual_ms) {
   joined_->Add(1);
   monitor_.ObserveQError(predicted_ms, actual_ms);
   return Status::OK();
+}
+
+Status TenantFeedback::ReportExecuted(uint64_t request_id,
+                                      const plan::QueryPlan& executed_plan) {
+  if (executed_plan.root() < 0) {
+    return Status::InvalidArgument("executed plan has no root");
+  }
+  const double actual_ms = executed_plan.node(executed_plan.root()).actual_time_ms;
+  DACE_RETURN_IF_ERROR(ReportActual(request_id, actual_ms));
+  // Retention rides on a successful join only: a late or duplicate actual
+  // must not enter the fine-tune corpus twice.
+  if (retain_capacity_ == 0) return Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(retain_mu_);
+    if (retained_.size() == retain_capacity_) retained_.pop_front();
+    retained_.push_back(executed_plan);
+  }
+  retained_total_->Add(1);
+  return Status::OK();
+}
+
+std::vector<plan::QueryPlan> TenantFeedback::RetainedPlans() const {
+  std::lock_guard<std::mutex> lock(retain_mu_);
+  return std::vector<plan::QueryPlan>(retained_.begin(), retained_.end());
+}
+
+size_t TenantFeedback::retained_count() const {
+  std::lock_guard<std::mutex> lock(retain_mu_);
+  return retained_.size();
 }
 
 }  // namespace dace::serve

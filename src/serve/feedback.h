@@ -3,11 +3,15 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "obs/drift.h"
 #include "obs/metrics.h"
+#include "plan/plan.h"
 #include "util/status.h"
 
 namespace dace::serve {
@@ -76,6 +80,11 @@ struct FeedbackConfig {
   // Ledger ring size == prediction-TTL: an actual reported more than this
   // many predictions after its estimate counts as late.
   size_t ledger_capacity = 1 << 16;
+  // Labelled-plan retention: ReportExecuted keeps the most recent
+  // `retain_capacity` executed plans (with their measured node times) as the
+  // adaptation loop's fine-tune corpus and shadow-scoring slice. 0 disables
+  // retention (ReportExecuted still joins and feeds the monitor).
+  size_t retain_capacity = 512;
   obs::AccuracyMonitorConfig monitor;
 };
 
@@ -105,6 +114,20 @@ class TenantFeedback {
   // not crashed" — the late counter keeps the books).
   Status ReportActual(uint64_t request_id, double actual_ms);
 
+  // Ground-truth join from a fully-executed plan (the EXPLAIN ANALYZE shape:
+  // every node carries its measured actual_time_ms). Joins exactly like
+  // ReportActual using the root's actual time, and on a successful join
+  // additionally retains a copy of the plan in the bounded ring — the
+  // labelled corpus the adaptation loop fine-tunes and shadow-scores on.
+  // Counts serve.feedback.retained per retained plan.
+  Status ReportExecuted(uint64_t request_id,
+                        const plan::QueryPlan& executed_plan);
+
+  // Copy of the retained labelled plans, oldest first. The copy decouples
+  // the (possibly long) fine-tune from the serving-path retention writes.
+  std::vector<plan::QueryPlan> RetainedPlans() const;
+  size_t retained_count() const;
+
   // Model swapped: rebaseline the drift detectors on the new model.
   void NotifySwap() { monitor_.CaptureReference(); }
 
@@ -117,6 +140,11 @@ class TenantFeedback {
   obs::Counter* predictions_;
   obs::Counter* joined_;
   obs::Counter* late_;
+  obs::Counter* retained_total_;
+
+  const size_t retain_capacity_;
+  mutable std::mutex retain_mu_;
+  std::deque<plan::QueryPlan> retained_;  // bounded by retain_capacity_
 };
 
 }  // namespace dace::serve

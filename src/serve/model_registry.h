@@ -54,16 +54,61 @@ class ModelRegistry {
   Status SwapFromFile(std::string_view tenant, const std::string& path);
 
   // Times the tenant's snapshot has been (re)published: 1 after Register,
-  // +1 per successful swap. 0 for unknown tenants.
+  // +1 per successful swap or promoted canary. 0 for unknown tenants.
   uint64_t Generation(std::string_view tenant) const;
 
   // Registered tenant keys, sorted.
   std::vector<std::string> Tenants() const;
 
+  // ----------------------------------------------------- canary stage ----
+  //
+  // The adaptation loop's gated publication path. BeginCanary stages a
+  // candidate estimator from a checkpoint exactly like SwapFromFile — same
+  // transactional loader, same validation — but parks it BESIDE the
+  // published snapshot instead of replacing it, remembering the incumbent
+  // generation it was staged against. The caller shadow-scores the staged
+  // candidate (CanarySnapshot) off the serving path and then either
+  // PromoteCanary (publish, +1 generation) or RollbackCanary (drop the
+  // candidate; the incumbent was never touched, so its predictions and
+  // prediction-cache entries are bit-identical to before the canary).
+  //
+  // PromoteCanary is generation-guarded: if a concurrent SwapFromFile /
+  // Register republished the tenant after BeginCanary, the promote returns
+  // kAborted and drops the candidate — the candidate's baseline comparison
+  // was against an incumbent that no longer serves, so publishing it would
+  // race in stale weights. Counts serve.canary.staged / stage_failed /
+  // promoted / rolledback / aborted.
+
+  // Stages the checkpoint at `path` as the tenant's canary candidate.
+  // FailedPrecondition if a canary is already staged; load failures (missing
+  // file, corrupt checksum, config mismatch) leave the registry untouched.
+  Status BeginCanary(std::string_view tenant, const std::string& path);
+
+  // The staged candidate, for shadow-scoring. kNotFound if the tenant has no
+  // canary staged. The caller owns the scoring calls: the candidate is not
+  // published, so nothing else touches it.
+  StatusOr<Snapshot> CanarySnapshot(std::string_view tenant) const;
+
+  // Publishes the staged candidate (+1 generation). kAborted if the
+  // incumbent generation moved since BeginCanary (candidate dropped);
+  // kFailedPrecondition if no canary is staged.
+  Status PromoteCanary(std::string_view tenant);
+
+  // Drops the staged candidate without publishing. kFailedPrecondition if no
+  // canary is staged. The incumbent is untouched.
+  Status RollbackCanary(std::string_view tenant);
+
+  // True iff the tenant currently has a staged canary candidate.
+  bool HasCanary(std::string_view tenant) const;
+
  private:
   struct Entry {
     std::shared_ptr<core::DaceEstimator> estimator;
     uint64_t generation = 0;
+    // Canary stage: candidate staged beside the snapshot, plus the
+    // incumbent generation it was validated against.
+    std::shared_ptr<core::DaceEstimator> canary;
+    uint64_t canary_base_generation = 0;
   };
 
   mutable std::mutex mu_;

@@ -368,6 +368,24 @@ Status EstimatorService::ReportActual(std::string_view tenant,
   return feedback->ReportActual(request_id, actual_ms);
 }
 
+Status EstimatorService::ReportExecuted(std::string_view tenant,
+                                        uint64_t request_id,
+                                        const plan::QueryPlan& executed_plan) {
+  TenantFeedback* feedback = FindFeedback(tenant);
+  if (feedback == nullptr) {
+    return Status::NotFound("tenant '" + std::string(tenant) +
+                            "' has no tracked estimates");
+  }
+  return feedback->ReportExecuted(request_id, executed_plan);
+}
+
+std::vector<plan::QueryPlan> EstimatorService::RetainedPlans(
+    std::string_view tenant) {
+  TenantFeedback* feedback = FindFeedback(tenant);
+  return feedback == nullptr ? std::vector<plan::QueryPlan>()
+                             : feedback->RetainedPlans();
+}
+
 void EstimatorService::NotifySwap(std::string_view tenant) {
   if (TenantFeedback* feedback = FindFeedback(tenant)) feedback->NotifySwap();
 }
@@ -375,6 +393,10 @@ void EstimatorService::NotifySwap(std::string_view tenant) {
 obs::AccuracyMonitor* EstimatorService::Monitor(std::string_view tenant) {
   TenantFeedback* feedback = FindFeedback(tenant);
   return feedback == nullptr ? nullptr : feedback->monitor();
+}
+
+obs::AccuracyMonitor* EstimatorService::EnsureMonitor(std::string_view tenant) {
+  return GetFeedback(tenant)->monitor();
 }
 
 }  // namespace dace::serve

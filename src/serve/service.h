@@ -7,6 +7,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "plan/plan.h"
 #include "serve/feedback.h"
@@ -108,6 +109,18 @@ class EstimatorService {
   Status ReportActual(std::string_view tenant, uint64_t request_id,
                       double actual_ms);
 
+  // Ground-truth feedback from a fully-executed plan (the EXPLAIN ANALYZE
+  // shape: every node carries its measured actual_time_ms). Joins exactly
+  // like ReportActual using the root's actual time, and on a successful join
+  // retains a copy of the plan in the tenant's bounded labelled-plan ring —
+  // the corpus the adaptation loop fine-tunes and shadow-scores on.
+  Status ReportExecuted(std::string_view tenant, uint64_t request_id,
+                        const plan::QueryPlan& executed_plan);
+
+  // Copy of the tenant's retained labelled plans, oldest first (empty if the
+  // tenant has no feedback path yet).
+  std::vector<plan::QueryPlan> RetainedPlans(std::string_view tenant);
+
   // Tells the tenant's drift detectors the model was swapped: the live
   // q-error window becomes the new KS reference and the detectors restart
   // (the new model deserves a fresh baseline). No-op for tenants without a
@@ -117,6 +130,11 @@ class EstimatorService {
   // The tenant's accuracy monitor (alarm history, callbacks), or nullptr if
   // no EstimateTracked / ReportActual ever ran for the tenant.
   obs::AccuracyMonitor* Monitor(std::string_view tenant);
+
+  // Like Monitor, but creates the tenant's feedback path if it does not
+  // exist yet — so the adaptation controller can subscribe its drift-alarm
+  // callback before the first tracked estimate ever runs. Never nullptr.
+  obs::AccuracyMonitor* EnsureMonitor(std::string_view tenant);
 
   // Stops admitting new requests (they get kUnavailable); already-admitted
   // requests are drained to completion. Idempotent; the destructor calls it.

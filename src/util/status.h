@@ -21,6 +21,7 @@ enum class StatusCode {
   kDataLoss = 7,
   kUnavailable = 8,
   kDeadlineExceeded = 9,
+  kAborted = 10,
 };
 
 // Returns a short human-readable name ("OK", "INVALID_ARGUMENT", ...).
@@ -67,6 +68,12 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  // Lost a race with a concurrent actor (e.g. a canary promotion finding the
+  // incumbent generation moved): the operation was abandoned whole and can
+  // be retried against the new state.
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,352 @@
+// Canary fault-injection matrix (ISSUE PR-10): every way a candidate can
+// fail to earn promotion, asserted down to bit-identical incumbent
+// predictions and exact serve.canary.* / serve.adapt.* accounting:
+//   - a candidate that regresses q-error is rolled back,
+//   - a candidate checkpoint corrupted mid-stage never stages,
+//   - a promote raced by a concurrent SwapFromFile aborts,
+//   - a rollback leaves the incumbent's predictions bit-identical and its
+//     prediction cache warm.
+// Suites are named Serve* so tools/check.sh's tsan-serve stage replays them
+// under TSan.
+
+#include <sys/stat.h>
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dace_model.h"
+#include "engine/corpus.h"
+#include "engine/dataset.h"
+#include "engine/machine.h"
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "serve/adaptation.h"
+#include "serve/model_registry.h"
+#include "serve/service.h"
+
+namespace dace::serve {
+namespace {
+
+// Flips one byte in the middle of the file — enough to break the
+// checkpoint's CRC trailer on load.
+void CorruptFile(const std::string& path) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open()) << path;
+  f.seekg(0, std::ios::end);
+  const std::streamoff size = f.tellg();
+  ASSERT_GT(size, 0);
+  const std::streamoff at = size / 2;
+  f.seekg(at);
+  char byte = 0;
+  f.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x5a);
+  f.seekp(at);
+  f.write(&byte, 1);
+}
+
+uint64_t CounterValue(const char* name) {
+  return obs::MetricsRegistry::Default()->GetCounter(name)->Value();
+}
+
+// A per-test checkpoint directory. gtest_discover_tests runs sibling tests
+// as concurrent PROCESSES sharing TempDir(), and the controller derives its
+// artifact names from (tenant, generation) only — two tests adapting tenant
+// "t0" at generation 1 would overwrite each other's candidate mid-cycle.
+std::string PrivateCheckpointDir() {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  const std::string dir = ::testing::TempDir() + "/" +
+                          info->test_suite_name() + "." + info->name();
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+class ServeCanaryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<engine::Database>(engine::BuildTpchLike(29));
+    plans_ = engine::GenerateLabeledPlans(*db_, engine::MachineM1(),
+                                          engine::WorkloadKind::kComplex, 32, 3);
+    drifted_ = plans_;
+    engine::RelabelPlans(*db_, engine::MachineM2(), /*seed=*/7, &drifted_);
+
+    config_.epochs = 1;
+    config_.finetune_epochs = 1;
+    auto est = std::make_shared<core::DaceEstimator>(config_);
+    est->set_name("canary-incumbent");
+    est->Train(plans_);
+    incumbent_ = est.get();
+    ASSERT_TRUE(registry_.Register("t0", est).ok());
+
+    // A second, differently-fine-tuned checkpoint for swap races.
+    auto other = std::make_unique<core::DaceEstimator>(config_);
+    ASSERT_TRUE(other->LoadFromString(est->SerializeToString()).ok());
+    other->FineTune(plans_, /*seed=*/99);
+    other_path_ = ::testing::TempDir() + "/canary_other.ckpt";
+    ASSERT_TRUE(other->SaveToFile(other_path_).ok());
+
+    candidate_path_ = ::testing::TempDir() + "/canary_candidate.ckpt";
+    auto candidate = std::make_unique<core::DaceEstimator>(config_);
+    ASSERT_TRUE(candidate->LoadFromString(est->SerializeToString()).ok());
+    candidate->FineTune(plans_, /*seed=*/5);
+    ASSERT_TRUE(candidate->SaveToFile(candidate_path_).ok());
+  }
+
+  std::vector<double> Predict(const core::DaceEstimator& est) const {
+    return est.PredictBatchMs(plans_);
+  }
+
+  std::unique_ptr<engine::Database> db_;
+  std::vector<plan::QueryPlan> plans_;
+  std::vector<plan::QueryPlan> drifted_;
+  core::DaceConfig config_;
+  ModelRegistry registry_;
+  core::DaceEstimator* incumbent_ = nullptr;  // owned by the registry
+  std::string other_path_;
+  std::string candidate_path_;
+};
+
+TEST_F(ServeCanaryTest, LifecycleStagePromote) {
+  const uint64_t staged_before = CounterValue("serve.canary.staged");
+  const uint64_t promoted_before = CounterValue("serve.canary.promoted");
+
+  EXPECT_FALSE(registry_.HasCanary("t0"));
+  EXPECT_EQ(registry_.CanarySnapshot("t0").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(registry_.PromoteCanary("t0").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(registry_.RollbackCanary("t0").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(registry_.BeginCanary("nobody", candidate_path_).code(),
+            StatusCode::kNotFound);
+
+  ASSERT_TRUE(registry_.BeginCanary("t0", candidate_path_).ok());
+  EXPECT_TRUE(registry_.HasCanary("t0"));
+  EXPECT_EQ(CounterValue("serve.canary.staged"), staged_before + 1);
+  // Staging is not publication: the incumbent still serves.
+  ASSERT_TRUE(registry_.Get("t0").ok());
+  EXPECT_EQ(registry_.Get("t0")->get(), incumbent_);
+  EXPECT_EQ(registry_.Generation("t0"), 1u);
+
+  // Only one canary at a time per tenant.
+  EXPECT_EQ(registry_.BeginCanary("t0", candidate_path_).code(),
+            StatusCode::kFailedPrecondition);
+
+  auto canary = registry_.CanarySnapshot("t0");
+  ASSERT_TRUE(canary.ok());
+  EXPECT_NE(canary->get(), incumbent_);
+
+  ASSERT_TRUE(registry_.PromoteCanary("t0").ok());
+  EXPECT_EQ(CounterValue("serve.canary.promoted"), promoted_before + 1);
+  EXPECT_FALSE(registry_.HasCanary("t0"));
+  EXPECT_EQ(registry_.Generation("t0"), 2u);
+  EXPECT_EQ(registry_.Get("t0")->get(), canary->get());
+  // The promoted snapshot carried over identity and serves the candidate's
+  // weights: its predictions match the staged snapshot exactly.
+  EXPECT_EQ((*registry_.Get("t0"))->Name(), "canary-incumbent");
+}
+
+TEST_F(ServeCanaryTest, CorruptCheckpointFailsStagingAndIncumbentServes) {
+  const uint64_t failed_before = CounterValue("serve.canary.stage_failed");
+  const std::vector<double> before = Predict(*incumbent_);
+
+  const std::string corrupt = ::testing::TempDir() + "/canary_corrupt.ckpt";
+  {
+    std::ifstream src(candidate_path_, std::ios::binary);
+    std::ofstream dst(corrupt, std::ios::binary);
+    dst << src.rdbuf();
+  }
+  CorruptFile(corrupt);
+
+  const Status s = registry_.BeginCanary("t0", corrupt);
+  EXPECT_FALSE(s.ok()) << "corrupt checkpoint must not stage";
+  EXPECT_FALSE(registry_.HasCanary("t0"));
+  EXPECT_EQ(CounterValue("serve.canary.stage_failed"), failed_before + 1);
+  // The failed stage never touched the published snapshot.
+  EXPECT_EQ(registry_.Get("t0")->get(), incumbent_);
+  EXPECT_EQ(registry_.Generation("t0"), 1u);
+  EXPECT_EQ(Predict(*incumbent_), before);
+}
+
+TEST_F(ServeCanaryTest, PromoteAbortsWhenGenerationMoves) {
+  const uint64_t aborted_before = CounterValue("serve.canary.aborted");
+
+  ASSERT_TRUE(registry_.BeginCanary("t0", candidate_path_).ok());
+  // An operator hot-swaps the tenant while the canary is being scored.
+  ASSERT_TRUE(registry_.SwapFromFile("t0", other_path_).ok());
+  ASSERT_EQ(registry_.Generation("t0"), 2u);
+  const ModelRegistry::Snapshot swapped = *registry_.Get("t0");
+
+  const Status s = registry_.PromoteCanary("t0");
+  EXPECT_EQ(s.code(), StatusCode::kAborted)
+      << "promote must refuse to clobber a newer publication: "
+      << s.ToString();
+  // The candidate is dropped, the racing swap's snapshot keeps serving.
+  EXPECT_FALSE(registry_.HasCanary("t0"));
+  EXPECT_EQ(CounterValue("serve.canary.aborted"), aborted_before + 1);
+  EXPECT_EQ(registry_.Get("t0")->get(), swapped.get());
+  EXPECT_EQ(registry_.Generation("t0"), 2u);
+}
+
+TEST_F(ServeCanaryTest, RollbackLeavesIncumbentBitIdenticalAndCacheWarm) {
+  const uint64_t rolledback_before = CounterValue("serve.canary.rolledback");
+
+  // Warm the incumbent's prediction cache through the serving snapshot.
+  const std::vector<double> before = Predict(*incumbent_);
+  const auto cache_before = incumbent_->prediction_cache_stats();
+
+  ASSERT_TRUE(registry_.BeginCanary("t0", candidate_path_).ok());
+  ASSERT_TRUE(registry_.RollbackCanary("t0").ok());
+  EXPECT_EQ(CounterValue("serve.canary.rolledback"), rolledback_before + 1);
+  EXPECT_FALSE(registry_.HasCanary("t0"));
+
+  // Exact rollback: same object, same generation, bitwise-same predictions,
+  // and the repeat batch is answered from the still-valid cache.
+  ASSERT_TRUE(registry_.Get("t0").ok());
+  EXPECT_EQ(registry_.Get("t0")->get(), incumbent_);
+  EXPECT_EQ(registry_.Generation("t0"), 1u);
+  EXPECT_EQ(Predict(*incumbent_), before);
+  const auto cache_after = incumbent_->prediction_cache_stats();
+  EXPECT_GT(cache_after.hits, cache_before.hits)
+      << "rollback must not invalidate the incumbent's prediction cache";
+}
+
+// ------------------------------------- controller-driven fault matrix ----
+
+// Harness driving real adaptation cycles with a full retention buffer, so
+// each test only has to pick the fault it injects.
+class ServeCanaryControllerTest : public ServeCanaryTest {
+ protected:
+  void FillRetention(EstimatorService* service) {
+    for (const plan::QueryPlan& plan : drifted_) {
+      auto tracked = service->EstimateTracked("t0", plan);
+      ASSERT_TRUE(tracked.ok());
+      ASSERT_TRUE(
+          service->ReportExecuted("t0", tracked->request_id, plan).ok());
+    }
+  }
+
+  AdaptationConfig BaseConfig() const {
+    AdaptationConfig ac;
+    ac.checkpoint_dir = PrivateCheckpointDir();
+    ac.min_finetune_plans = 16;
+    ac.holdout_plans = 4;
+    return ac;
+  }
+};
+
+TEST_F(ServeCanaryControllerTest, RegressingCandidateRollsBackExactly) {
+  ServiceConfig sc;
+  EstimatorService service(&registry_, sc);
+  AdaptationConfig ac = BaseConfig();
+  // A one-epoch fine-tune cannot cut the holdout median q-error by 4x, so
+  // this margin forces the regression branch deterministically.
+  ac.accept_margin = 0.25;
+  AdaptationController controller(&registry_, &service, ac);
+
+  FillRetention(&service);
+  const std::vector<double> before = Predict(*incumbent_);
+  const auto cache_before = incumbent_->prediction_cache_stats();
+  const uint64_t rolledback_before = CounterValue("serve.adapt.rolledback");
+
+  ASSERT_TRUE(controller.TriggerAdaptation("t0"));
+  controller.Quiesce();
+
+  EXPECT_EQ(CounterValue("serve.adapt.rolledback"), rolledback_before + 1);
+  EXPECT_EQ(controller.state("t0"), AdaptationController::State::kRolledBack);
+  EXPECT_FALSE(registry_.HasCanary("t0"));
+  EXPECT_EQ(registry_.Generation("t0"), 1u);
+  // The exact-rollback guarantee, end to end: same snapshot object, bitwise
+  // identical predictions, cache still warm.
+  EXPECT_EQ(registry_.Get("t0")->get(), incumbent_);
+  EXPECT_EQ(Predict(*incumbent_), before);
+  EXPECT_GT(incumbent_->prediction_cache_stats().hits, cache_before.hits);
+  // The alarm was acknowledged so the detectors don't immediately re-fire.
+  ASSERT_NE(service.Monitor("t0"), nullptr);
+  EXPECT_TRUE(service.Monitor("t0")->has_reference());
+}
+
+TEST_F(ServeCanaryControllerTest, CandidateCorruptedMidStageAborts) {
+  ServiceConfig sc;
+  EstimatorService service(&registry_, sc);
+  AdaptationConfig ac = BaseConfig();
+  ac.accept_margin = 1e9;  // would accept anything — corruption must win
+  ac.stage_hook = [](std::string_view stage, const std::string& path) {
+    // The fault: the candidate checkpoint rots on disk after the fine-tune
+    // wrote it but before the canary stages it.
+    if (stage == "canary.before_stage") CorruptFile(path);
+  };
+  AdaptationController controller(&registry_, &service, ac);
+
+  FillRetention(&service);
+  const std::vector<double> before = Predict(*incumbent_);
+  const uint64_t aborted_before = CounterValue("serve.adapt.aborted");
+
+  ASSERT_TRUE(controller.TriggerAdaptation("t0"));
+  controller.Quiesce();
+
+  EXPECT_EQ(CounterValue("serve.adapt.aborted"), aborted_before + 1);
+  EXPECT_EQ(controller.state("t0"), AdaptationController::State::kStable);
+  EXPECT_FALSE(registry_.HasCanary("t0"));
+  EXPECT_EQ(registry_.Generation("t0"), 1u);
+  EXPECT_EQ(registry_.Get("t0")->get(), incumbent_);
+  EXPECT_EQ(Predict(*incumbent_), before);
+}
+
+TEST_F(ServeCanaryControllerTest, PromoteRacedBySwapAborts) {
+  ServiceConfig sc;
+  EstimatorService service(&registry_, sc);
+  AdaptationConfig ac = BaseConfig();
+  ac.accept_margin = 1e9;  // force the accept branch: the race decides
+  ac.stage_hook = [this](std::string_view stage, const std::string&) {
+    // The fault: a concurrent operator swap lands between the gate decision
+    // and the promote.
+    if (stage == "canary.before_promote") {
+      ASSERT_TRUE(registry_.SwapFromFile("t0", other_path_).ok());
+    }
+  };
+  AdaptationController controller(&registry_, &service, ac);
+
+  FillRetention(&service);
+  const uint64_t aborted_before = CounterValue("serve.adapt.aborted");
+
+  ASSERT_TRUE(controller.TriggerAdaptation("t0"));
+  controller.Quiesce();
+
+  EXPECT_EQ(CounterValue("serve.adapt.aborted"), aborted_before + 1);
+  EXPECT_EQ(controller.state("t0"), AdaptationController::State::kStable);
+  EXPECT_FALSE(registry_.HasCanary("t0"));
+  // The racing swap won: its snapshot serves, at its generation.
+  EXPECT_EQ(registry_.Generation("t0"), 2u);
+  EXPECT_NE(registry_.Get("t0")->get(), incumbent_);
+}
+
+TEST_F(ServeCanaryControllerTest, AnchorCheckpointIsExactRollbackTarget) {
+  ServiceConfig sc;
+  EstimatorService service(&registry_, sc);
+  AdaptationConfig ac = BaseConfig();
+  ac.accept_margin = 0.25;  // force rollback so the incumbent stays at g1
+  std::string anchor_path;
+  ac.stage_hook = [&anchor_path](std::string_view stage,
+                                 const std::string& path) {
+    if (stage == "finetune.before") anchor_path = path;
+  };
+  AdaptationController controller(&registry_, &service, ac);
+
+  FillRetention(&service);
+  ASSERT_TRUE(controller.TriggerAdaptation("t0"));
+  controller.Quiesce();
+  ASSERT_FALSE(anchor_path.empty());
+
+  // The PR-3 versioned anchor the cycle wrote restores the incumbent's
+  // weights bit-for-bit, with its lineage recording what it anchors.
+  core::DaceEstimator restored(config_);
+  ASSERT_TRUE(restored.LoadFromFile(anchor_path).ok());
+  EXPECT_EQ(restored.lineage(), "anchor tenant=t0 gen=1");
+  EXPECT_EQ(restored.PredictBatchMs(plans_), Predict(*incumbent_));
+}
+
+}  // namespace
+}  // namespace dace::serve

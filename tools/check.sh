@@ -48,8 +48,18 @@
 #                     scenario replayed through the online detectors: the
 #                     WDM's accuracy collapse past scale 1x must be detected
 #                     by BOTH detectors with zero false alarms on the
-#                     stationary prefix (writes BENCH_fig07_drift.json).
-#  10. bench-serve  — the closed-loop serving load generator; writes
+#                     stationary prefix (writes BENCH_fig07_drift.json,
+#                     which also carries the adaptation-soak records gated
+#                     by the next stage).
+#  10. drift-recovery — the closed-loop adaptation soak gate, read from the
+#                     BENCH_fig07_drift.json the previous stage wrote: the
+#                     drift alarm must trigger a fine-tune whose canary is
+#                     promoted (adapted == 1), the post-adaptation median
+#                     q-error must land within 1.5x of the pre-drift
+#                     baseline, not a single request may fail during the
+#                     swaps, and the forced-regression canary must roll
+#                     back with the incumbent's predictions bit-identical.
+#  11. bench-serve  — the closed-loop serving load generator; writes
 #                     BENCH_serve.json as the committed throughput/latency
 #                     record for the coalescing scheduler. The same run
 #                     serves live Prometheus text on an ephemeral
@@ -57,7 +67,7 @@
 #                     scrapes it once and validates the exposition format
 #                     (HELP/TYPE pairs, cumulative le buckets, the
 #                     serve.feedback.* counters) before the process exits.
-#  11. bench-micro  — kernel/inference microbenchmarks; writes
+#  12. bench-micro  — kernel/inference microbenchmarks; writes
 #                     BENCH_micro.json and gates on the derived records:
 #                     the packed f64 path must not be slower than the
 #                     per-plan path (packed_vs_perplan_speedup >= 1.0), the
@@ -68,7 +78,7 @@
 #                     and per-prediction accuracy tracking must stay in the
 #                     noise on the tiered hot path
 #                     (feedback_overhead_pct <= 2%).
-#  12. bench-select — plan-selection quality replay (estimators CHOOSE plans
+#  13. bench-select — plan-selection quality replay (estimators CHOOSE plans
 #                     from the optimizer's candidate sets; chosen plans are
 #                     executed on both machine profiles); rewrites
 #                     BENCH_select.json and gates against the committed
@@ -94,15 +104,15 @@ run_ctest() {
   (cd "$dir" && "$@" ctest --output-on-failure)
 }
 
-echo "==> [1/12] native build + tests"
+echo "==> [1/13] native build + tests"
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build -j "$JOBS"
 run_ctest build env
 
-echo "==> [2/12] scalar-forced tests (same build, DACE_KERNELS=scalar)"
+echo "==> [2/13] scalar-forced tests (same build, DACE_KERNELS=scalar)"
 run_ctest build env DACE_KERNELS=scalar
 
-echo "==> [3/12] kernels x precision matrix (targeted suites, 6 combos)"
+echo "==> [3/13] kernels x precision matrix (targeted suites, 6 combos)"
 PRECISION_SUITES='Kernels|Matrix|Layers|PackedInference|ServeDifferential|TieredServing'
 ISAS="scalar"
 if grep -qw avx2 /proc/cpuinfo 2>/dev/null; then ISAS="scalar avx2"; fi
@@ -114,38 +124,38 @@ for isa in $ISAS; do
   done
 done
 
-echo "==> [4/12] address-sanitizer build + tests (both ISA modes)"
+echo "==> [4/13] address-sanitizer build + tests (both ISA modes)"
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDACE_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$JOBS"
 run_ctest build-asan env
 run_ctest build-asan env DACE_KERNELS=scalar
 
-echo "==> [5/12] checkpoint + plan-text fuzz + int8/tiered under ASan"
+echo "==> [5/13] checkpoint + plan-text fuzz + int8/tiered under ASan"
 echo "           (both ISA modes)"
 (cd build-asan && env \
   ctest --output-on-failure -R 'Checkpoint|PlanIoFuzz|KernelsI8|TieredServing')
 (cd build-asan && env DACE_KERNELS=scalar \
   ctest --output-on-failure -R 'Checkpoint|PlanIoFuzz|KernelsI8|TieredServing')
 
-echo "==> [6/12] thread-sanitizer build + tests (logging INFO, tracing on)"
+echo "==> [6/13] thread-sanitizer build + tests (logging INFO, tracing on)"
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDACE_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS"
 run_ctest build-tsan env DACE_LOG_LEVEL=INFO DACE_TRACE=1
 
-echo "==> [7/12] serving-layer suites under TSan (soak, swap, differential"
+echo "==> [7/13] serving-layer suites under TSan (soak, swap, differential"
 echo "           incl. PackedForced* packed-path variants)"
 (cd build-tsan && env DACE_LOG_LEVEL=INFO DACE_TRACE=1 \
   ctest --output-on-failure -R 'Serve|RegistrySwap')
 
-echo "==> [8/12] observability-disabled build + tests (-DDACE_OBS=OFF)"
+echo "==> [8/13] observability-disabled build + tests (-DDACE_OBS=OFF)"
 cmake -B build-obs-off -S . -DCMAKE_BUILD_TYPE=Release \
   -DDACE_OBS=OFF >/dev/null
 cmake --build build-obs-off -j "$JOBS"
 run_ctest build-obs-off env
 
-echo "==> [9/12] drift-detector soak + fig07 detector-replay gate"
+echo "==> [9/13] drift-detector soak + fig07 detector-replay gate"
 (cd build && ctest --output-on-failure -R 'DriftSoak|PageHinkley|^KsTest')
 ./build/bench/bench_fig07_data_drift --wdm_train=300 --test_queries=150 \
   --queries_per_db=30 --epochs=2 --json=BENCH_fig07_drift.json
@@ -186,7 +196,63 @@ for model, r in sorted(by_model.items()):
           f"ks={delay(r['ks_time_to_detect'])}")
 EOF
 
-echo "==> [10/12] serving load generator + live exposition smoke"
+echo "==> [10/13] drift-recovery gate (closed-loop adaptation soak records)"
+python3 - <<'EOF'
+import json, sys
+
+records = {r["name"]: r for r in json.load(open("BENCH_fig07_drift.json"))["records"]
+           if r["name"] in ("fig07_soak", "fig07_rollback")}
+failures = []
+
+soak = records.get("fig07_soak")
+if soak is None:
+    failures.append("fig07_soak record missing from BENCH_fig07_drift.json")
+else:
+    # The loop must have closed: alarm -> fine-tune -> canary -> promote.
+    if soak["adapted"] != 1:
+        failures.append("adaptation loop never promoted a candidate")
+    # Recovery gate: post-adaptation accuracy within 1.5x of pre-drift.
+    if soak["recovery_ratio"] > 1.5:
+        failures.append(
+            f"post-adaptation median q-error {soak['recovered_median']:.3f} is "
+            f"{soak['recovery_ratio']:.2f}x the pre-drift baseline "
+            f"{soak['pre_drift_median']:.3f} (gate <= 1.5x)")
+    # Zero-downtime gate: no request may fail across the canary swaps.
+    if soak["requests_failed"] != 0:
+        failures.append(
+            f"{int(soak['requests_failed'])} request(s) failed during "
+            f"adaptation swaps (gate: zero)")
+
+rb = records.get("fig07_rollback")
+if rb is None:
+    failures.append("fig07_rollback record missing from BENCH_fig07_drift.json")
+else:
+    # The regressing candidate must be rejected, and rollback must be EXACT:
+    # the incumbent object survives and predicts bit-identically.
+    if rb["rolledback"] < 1:
+        failures.append("forced-regression canary was not rolled back")
+    if rb["bit_identical"] != 1:
+        failures.append(
+            "rollback left the incumbent's predictions not bit-identical")
+    if rb["requests_failed"] != 0:
+        failures.append(
+            f"{int(rb['requests_failed'])} request(s) failed during the "
+            f"forced-regression rollback (gate: zero)")
+
+if failures:
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    sys.exit(1)
+
+print(f"    soak: pre-drift {soak['pre_drift_median']:.3f} -> drifted "
+      f"{soak['drifted_median']:.3f} -> recovered {soak['recovered_median']:.3f} "
+      f"({soak['recovery_ratio']:.2f}x pre-drift, gate <= 1.5x)")
+print(f"    {int(soak['promoted'])} candidate(s) promoted, generation "
+      f"{int(soak['generation'])}, {int(soak['requests'])} requests, 0 failed")
+print(f"    forced-regression canary rolled back, incumbent bit-identical")
+EOF
+
+echo "==> [11/13] serving load generator + live exposition smoke"
 rm -f /tmp/bench_serve_expo.log
 ./build/bench/bench_serve --json=BENCH_serve.json --metrics-port=0 \
   --linger-ms=30000 >/tmp/bench_serve_expo.log 2>&1 &
@@ -264,7 +330,7 @@ kill "$SERVE_PID" 2>/dev/null || true
 wait "$SERVE_PID" 2>/dev/null || true
 trap - EXIT
 
-echo "==> [11/12] microbenchmarks + speedup/overhead gates (writes BENCH_micro.json)"
+echo "==> [12/13] microbenchmarks + speedup/overhead gates (writes BENCH_micro.json)"
 ./build/bench/bench_micro --json=BENCH_micro.json --benchmark_min_time=0.5
 python3 - <<'EOF'
 import json, sys
@@ -332,7 +398,7 @@ print(f"    tiered_qerror_budget             {qerr['ratio']:.4f} (<= {qerr['budg
 print(f"    feedback_overhead_pct            {feedback['overhead_pct']:+.2f}% (<= +2.00%)")
 EOF
 
-echo "==> [12/12] plan-selection regret gate (rewrites BENCH_select.json)"
+echo "==> [13/13] plan-selection regret gate (rewrites BENCH_select.json)"
 cp BENCH_select.json /tmp/bench_select_baseline.json
 ./build/bench/bench_select --json=BENCH_select.json
 python3 - <<'EOF'
@@ -379,4 +445,4 @@ for machine in ("M1", "M2"):
                   f"pct_optimal {r['pct_optimal']:.1f}%")
 EOF
 
-echo "==> all twelve configurations passed"
+echo "==> all thirteen configurations passed"
